@@ -1,0 +1,91 @@
+"""Macromodel fidelity: regression macromodels vs gate-level reference power.
+
+Section 2.1 builds on characterization-based macromodels; this harness
+quantifies how well the cycle-accurate linear-regression form (the one that is
+synthesized into power-estimation hardware) fits gate-level reference energies
+across the component library, and compares it against the LUT-table
+macromodel form used as an ablation.
+Writes ``benchmarks/results/characterization.txt``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.gates import GatePowerCalculator, GateLevelSimulator, TechnologyMapper
+from repro.netlist.components import Adder, Comparator, LogicOp, Multiplier, Mux, ShifterVar
+from repro.power import CharacterizationEngine
+
+_COMPONENTS = [
+    ("adder16", lambda: Adder("adder16", 16)),
+    ("multiplier8", lambda: Multiplier("multiplier8", 8)),
+    ("comparator16", lambda: Comparator("comparator16", 16)),
+    ("mux4x12", lambda: Mux("mux4x12", 12, 4)),
+    ("xor16", lambda: LogicOp("xor16", "xor", 16)),
+    ("barrel16", lambda: ShifterVar("barrel16", 16, 4, "left")),
+]
+
+_ROWS = {}
+
+
+def _holdout_error(component, model, seed=99, n_pairs=40):
+    """Average relative error of the model on a fresh (non-training) vector set."""
+    mapper = TechnologyMapper()
+    netlist = mapper.map_component(component)
+    calculator = GatePowerCalculator(netlist)
+    simulator = GateLevelSimulator(netlist)
+    widths = {p.name: p.width for p in component.ports.values()}
+    rng = random.Random(seed)
+    total_ref = 0.0
+    total_model = 0.0
+    for _ in range(n_pairs):
+        first = {p.name: rng.getrandbits(p.width) for p in component.input_ports}
+        second = {p.name: rng.getrandbits(p.width) for p in component.input_ports}
+        reference = calculator.vector_pair_energy(simulator, first, second, widths).total_fj
+        prev_io = dict(first, **component.evaluate(first))
+        curr_io = dict(second, **component.evaluate(second))
+        total_ref += reference
+        total_model += model.evaluate(prev_io, curr_io)
+    return abs(total_model - total_ref) / total_ref if total_ref else 0.0
+
+
+@pytest.mark.parametrize("label,factory", _COMPONENTS)
+def test_characterization_fidelity(benchmark, label, factory):
+    component = factory()
+    engine = CharacterizationEngine(n_pairs=120, seed=7)
+
+    result = benchmark.pedantic(engine.characterize, args=(component,), rounds=1, iterations=1)
+    lut_model = engine.characterize_lut(factory(), n_bins=6)
+    holdout_linear = _holdout_error(factory(), result.model)
+    holdout_lut = _holdout_error(factory(), lut_model)
+
+    _ROWS[label] = {
+        "r_squared": result.metrics.r_squared,
+        "nrmse": result.metrics.nrmse,
+        "mean_energy_fj": result.metrics.mean_energy_fj,
+        "holdout_linear": holdout_linear,
+        "holdout_lut": holdout_lut,
+    }
+    benchmark.extra_info.update({k: round(v, 4) for k, v in _ROWS[label].items()})
+
+    assert result.metrics.r_squared > 0.6
+    assert holdout_linear < 0.25
+
+    if len(_ROWS) == len(_COMPONENTS):
+        lines = [
+            "Macromodel characterization fidelity vs gate-level reference power",
+            "",
+            f"{'component':14s} {'R^2':>7s} {'NRMSE':>7s} {'mean E (fJ)':>12s} "
+            f"{'holdout err (linear)':>21s} {'holdout err (LUT)':>18s}",
+        ]
+        for name, row in _ROWS.items():
+            lines.append(
+                f"{name:14s} {row['r_squared']:7.3f} {row['nrmse']:7.3f} "
+                f"{row['mean_energy_fj']:12.1f} {row['holdout_linear']:20.1%} "
+                f"{row['holdout_lut']:17.1%}"
+            )
+        from conftest import write_result
+
+        write_result("characterization.txt", "\n".join(lines))

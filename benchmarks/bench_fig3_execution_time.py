@@ -1,0 +1,77 @@
+"""Figure 3 (execution-time series): power estimation time per design.
+
+The paper's Figure 3 plots, for each of the seven benchmark designs, the
+execution time of NEC-RTpower, PowerTheater and power emulation (log scale).
+Each benchmark below runs the complete study for one design — software RTL
+power estimation on the scaled stimulus, power-emulation flow (instrument,
+map, emulate), and the calibrated tool / platform time models evaluated at the
+paper-scale nominal workload.  After the last design the reproduced
+execution-time table is written to ``benchmarks/results/fig3_execution_time.txt``.
+
+Expected shape (paper): all three bars grow with design size; power emulation
+is one to three orders of magnitude below the software tools.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.designs.registry import FIGURE3_ORDER
+
+from conftest import write_result
+
+
+@pytest.mark.parametrize("design_name", FIGURE3_ORDER)
+def test_fig3_execution_time(benchmark, fig3_study, design_name):
+    """Run the per-design Figure 3 study (benchmarked: full host-side study)."""
+    row = benchmark.pedantic(
+        fig3_study.compute, args=(design_name,), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {
+            "nec_rtpower_s": round(row.time_nec_s, 2),
+            "powertheater_s": round(row.time_powertheater_s, 2),
+            "emulation_s": round(row.time_emulation_s, 3),
+            "speedup_over_nec": round(row.speedup_nec, 1),
+            "speedup_over_powertheater": round(row.speedup_powertheater, 1),
+            "monitored_bits": row.monitored_bits,
+            "nominal_cycles": row.nominal_cycles,
+        }
+    )
+    # sanity: software tools are always slower than emulation for these workloads
+    assert row.time_nec_s > row.time_emulation_s
+    assert row.time_powertheater_s > row.time_emulation_s
+
+    if fig3_study.complete:
+        _write_table(fig3_study)
+
+
+def _write_table(study) -> None:
+    rows = [study.rows[name] for name in FIGURE3_ORDER]
+    lines = [
+        "Figure 3 reproduction — execution time of RTL power estimation vs power emulation",
+        "(software tool times from models calibrated to the paper's MPEG4 data point;",
+        " emulation time = bitstream download + testbench streaming + execution + readback)",
+        "",
+        f"{'design':12s} {'bits':>6s} {'nominal cycles':>15s} "
+        f"{'NEC-RTpower (s)':>16s} {'PowerTheater (s)':>17s} {'Emulation (s)':>14s} "
+        f"{'device':>9s} {'f_emu MHz':>10s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.design:12s} {row.monitored_bits:6d} {row.nominal_cycles:15d} "
+            f"{row.time_nec_s:16.1f} {row.time_powertheater_s:17.1f} "
+            f"{row.time_emulation_s:14.2f} {row.device:>9s} {row.emulation_clock_mhz:10.1f}"
+        )
+    lines += [
+        "",
+        "measured host-side wall-clock on the scaled stimulus (this reproduction's own runtimes):",
+        f"{'design':12s} {'sw estimator (s)':>17s} {'emulated sim (s)':>17s} "
+        f"{'executed cycles':>16s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.design:12s} {row.measured_software_s:17.2f} "
+            f"{row.measured_emulation_host_s:17.2f} {row.executed_cycles:16d}"
+        )
+    write_result("fig3_execution_time.txt", "\n".join(lines))

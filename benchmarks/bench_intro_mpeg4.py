@@ -1,0 +1,48 @@
+"""Introduction data point: MPEG4, 4-frame stimulus, 43 min / 55 min.
+
+The paper motivates power emulation with one absolute number: RTL power
+estimation of a 1.25M-transistor MPEG4 decoder over a 4-frame stimulus took
+43 minutes (PowerTheater) and 55 minutes (NEC's RTL power estimator).  The
+commercial-tool models are calibrated against exactly this point, so this
+harness verifies the calibration is self-consistent and reports what power
+emulation achieves on the same workload.
+Writes ``benchmarks/results/intro_mpeg4.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import (
+    PAPER_MPEG4_NEC_S,
+    PAPER_MPEG4_POWERTHEATER_S,
+    write_result,
+)
+
+
+def test_intro_mpeg4_datapoint(benchmark, fig3_study):
+    row = benchmark.pedantic(fig3_study.compute, args=("MPEG4",), rounds=1, iterations=1)
+
+    lines = [
+        "Introduction data point — MPEG4 decoder, 4-frame stimulus",
+        "",
+        f"{'quantity':36s} {'paper':>12s} {'this reproduction':>18s}",
+        f"{'PowerTheater runtime':36s} {PAPER_MPEG4_POWERTHEATER_S / 60:>10.0f}min "
+        f"{row.time_powertheater_s / 60:>16.1f}min",
+        f"{'NEC RTL power estimator runtime':36s} {PAPER_MPEG4_NEC_S / 60:>10.0f}min "
+        f"{row.time_nec_s / 60:>16.1f}min",
+        f"{'power emulation runtime':36s} {'n/a':>12s} {row.time_emulation_s:>17.1f}s",
+        f"{'emulation speedup over PowerTheater':36s} {'-':>12s} "
+        f"{row.speedup_powertheater:>17.0f}x",
+        f"{'emulation speedup over NEC tool':36s} {'-':>12s} {row.speedup_nec:>17.0f}x",
+        "",
+        f"workload: {row.nominal_cycles} cycles, {row.monitored_bits} monitored bits; "
+        f"device {row.device} at {row.emulation_clock_mhz:.0f} MHz",
+    ]
+    write_result("intro_mpeg4.txt", "\n".join(lines))
+
+    # calibration self-consistency: the tool models reproduce the paper's numbers
+    assert row.time_powertheater_s == pytest.approx(PAPER_MPEG4_POWERTHEATER_S, rel=1e-6)
+    assert row.time_nec_s == pytest.approx(PAPER_MPEG4_NEC_S, rel=1e-6)
+    # emulation completes the same workload in seconds, not tens of minutes
+    assert row.time_emulation_s < 60.0

@@ -1,0 +1,66 @@
+"""Quickstart: power-emulate the paper's Fig. 1 binary-search circuit.
+
+Builds the example RTL design, estimates its power with the software RTL
+estimator (the baseline that tools like PowerTheater / NEC-RTpower implement),
+then enhances it with power-estimation hardware, maps it onto a Virtex-II
+emulation platform model and reads the power back from the emulated circuit —
+comparing accuracy and (modeled) estimation time.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import InstrumentationConfig, PowerEmulationFlow, compare_reports
+from repro.designs import binary_search
+from repro.netlist import flatten, module_stats
+from repro.power import NEC_RTPOWER, POWERTHEATER, RTLPowerEstimator, build_seed_library
+
+
+def main() -> None:
+    # ------------------------------------------------------------ the design
+    module = binary_search.build()
+    stats = module_stats(module)
+    print("=== design under test ===")
+    print(stats.summary())
+    print()
+
+    library = build_seed_library()
+
+    # ---------------------------------------------- software RTL power estimate
+    testbench = binary_search.testbench(n_searches=32, module=module)
+    estimator = RTLPowerEstimator(flatten(module), library=library)
+    software_report = estimator.estimate(testbench)
+    print("=== software RTL power estimation (baseline) ===")
+    print(software_report.table(n=8))
+    print()
+
+    # -------------------------------------------------------- power emulation
+    flow = PowerEmulationFlow(library=library,
+                              config=InstrumentationConfig(coefficient_bits=12))
+    nominal_cycles = 1_000_000 * 24          # one million searches
+    report = flow.run(
+        module,
+        binary_search.testbench(n_searches=32, module=module),
+        workload_cycles=nominal_cycles,
+    )
+    print("=== power emulation ===")
+    print(report.summary())
+    print()
+    print(report.power_report.table(n=8))
+    print()
+
+    # ----------------------------------------------------------- comparison
+    accuracy = compare_reports(report.power_report, software_report)
+    print("=== accuracy and speed ===")
+    print(accuracy.summary())
+    for tool in (NEC_RTPOWER, POWERTHEATER):
+        tool_time = tool.estimate_runtime_s(nominal_cycles, report.instrumented.monitored_bits)
+        print(
+            f"  {tool.name:13s}: {tool_time:9.1f} s for the nominal workload  "
+            f"-> emulation speedup {tool_time / report.emulation_time_s:6.1f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Power emulation — the paper's primary contribution.
+
+The observation behind the paper is that the functions needed for power
+estimation (power-model evaluation, strobing, aggregation) can themselves be
+implemented as hardware and attached to the design under test, so that an
+FPGA emulation run produces power numbers as a side effect of executing the
+testbench at hardware speed.
+
+This package implements that idea end to end:
+
+* :mod:`repro.core.fixedpoint` — fixed-point quantization of macromodel
+  coefficients (hardware power models cannot carry floats),
+* :mod:`repro.core.power_model_hw` — the synthesizable per-component power
+  model (value queues, XOR transition detection, coefficient dot product),
+* :mod:`repro.core.strobe` — the power strobe generator (one per clock domain),
+* :mod:`repro.core.aggregator` — the power aggregator accumulating the
+  design's total power,
+* :mod:`repro.core.instrument` — the instrumentation pass that enhances an
+  RTL design with the above (the paper's Fig. 1),
+* :mod:`repro.core.fpga` — Virtex-II-class FPGA device capacity models,
+* :mod:`repro.core.synthesis` — LUT/FF/BRAM resource and timing estimation,
+* :mod:`repro.core.emulator` — the emulation platform model (download,
+  execute at hardware speed, read back power),
+* :mod:`repro.core.flow` — the end-to-end power-emulation design flow
+  (the paper's Fig. 2),
+* :mod:`repro.core.accuracy` — emulation-vs-software accuracy comparison
+  utilities.
+"""
+
+from repro.core.fixedpoint import FixedPointFormat, quantize_coefficients
+from repro.core.power_model_hw import HardwarePowerModel
+from repro.core.strobe import PowerStrobeGenerator
+from repro.core.aggregator import PowerAggregator
+from repro.core.instrument import (
+    InstrumentationConfig,
+    InstrumentedDesign,
+    instrument,
+)
+from repro.core.fpga import FPGADevice, VIRTEX2_DEVICES, smallest_fitting_device
+from repro.core.synthesis import ResourceEstimate, SynthesisEstimator
+from repro.core.emulator import (
+    EmulationPlatform,
+    EmulationTimeBreakdown,
+    EmulationResult,
+    HostInterface,
+)
+from repro.core.flow import PowerEmulationFlow, FlowReport
+from repro.core.accuracy import AccuracyResult, compare_reports, sweep_coefficient_bits
+
+__all__ = [
+    "FixedPointFormat",
+    "quantize_coefficients",
+    "HardwarePowerModel",
+    "PowerStrobeGenerator",
+    "PowerAggregator",
+    "InstrumentationConfig",
+    "InstrumentedDesign",
+    "instrument",
+    "FPGADevice",
+    "VIRTEX2_DEVICES",
+    "smallest_fitting_device",
+    "ResourceEstimate",
+    "SynthesisEstimator",
+    "EmulationPlatform",
+    "EmulationTimeBreakdown",
+    "EmulationResult",
+    "HostInterface",
+    "PowerEmulationFlow",
+    "FlowReport",
+    "AccuracyResult",
+    "compare_reports",
+    "sweep_coefficient_bits",
+]

@@ -1,0 +1,105 @@
+"""Accuracy comparison between emulated and software power estimates.
+
+The paper claims power emulation extends RTL/gate-level estimation to large
+designs "with little or no tradeoff in accuracy".  In this reproduction the
+only accuracy differences between the software RTL estimator and the emulated
+estimate come from (a) fixed-point coefficient quantization and (b) the power
+strobe sampling policy — both introduced by the instrumentation pass and both
+measurable with the helpers below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.emulator import EmulationPlatform
+from repro.core.instrument import InstrumentationConfig, instrument
+from repro.netlist.flatten import flatten
+from repro.netlist.module import Module
+from repro.power.library import PowerModelLibrary, build_seed_library
+from repro.power.report import PowerReport
+from repro.power.rtl_estimator import RTLPowerEstimator
+from repro.power.technology import CB130M_TECHNOLOGY, Technology
+from repro.sim.testbench import Testbench
+
+
+@dataclass
+class AccuracyResult:
+    """Comparison of a test power report against a reference report."""
+
+    design: str
+    reference_estimator: str
+    test_estimator: str
+    reference_power_mw: float
+    test_power_mw: float
+    relative_error: float
+    per_component_relative_error: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def percent_error(self) -> float:
+        return 100.0 * self.relative_error
+
+    def summary(self) -> str:
+        return (
+            f"{self.design}: {self.test_estimator} vs {self.reference_estimator}: "
+            f"{self.test_power_mw:.4f} mW vs {self.reference_power_mw:.4f} mW "
+            f"({self.percent_error:+.2f}% error)"
+        )
+
+
+def compare_reports(test: PowerReport, reference: PowerReport) -> AccuracyResult:
+    """Total and per-component accuracy of ``test`` against ``reference``."""
+    if reference.average_power_mw > 0:
+        relative = (test.average_power_mw - reference.average_power_mw) / reference.average_power_mw
+    else:
+        relative = 0.0
+    per_component: Dict[str, float] = {}
+    for name, ref_component in reference.components.items():
+        if name not in test.components or ref_component.energy_fj <= 0:
+            continue
+        per_component[name] = (
+            test.components[name].energy_fj - ref_component.energy_fj
+        ) / ref_component.energy_fj
+    return AccuracyResult(
+        design=reference.design,
+        reference_estimator=reference.estimator,
+        test_estimator=test.estimator,
+        reference_power_mw=reference.average_power_mw,
+        test_power_mw=test.average_power_mw,
+        relative_error=relative,
+        per_component_relative_error=per_component,
+    )
+
+
+def sweep_coefficient_bits(
+    module: Module,
+    testbench_factory,
+    bits_values: Sequence[int] = (4, 6, 8, 10, 12, 16),
+    library: Optional[PowerModelLibrary] = None,
+    technology: Technology = CB130M_TECHNOLOGY,
+    max_cycles: Optional[int] = None,
+) -> List[Tuple[int, AccuracyResult]]:
+    """Quantization ablation: emulated accuracy as a function of coefficient width.
+
+    ``testbench_factory`` must return a *fresh* testbench each time it is
+    called (testbenches carry run state).
+    """
+    library = library if library is not None else build_seed_library(technology)
+    flat = flatten(module)
+    reference = RTLPowerEstimator(flat, library=library, technology=technology).estimate(
+        testbench_factory(), max_cycles=max_cycles
+    )
+    platform = EmulationPlatform()
+    results: List[Tuple[int, AccuracyResult]] = []
+    for bits in bits_values:
+        config = InstrumentationConfig(coefficient_bits=bits)
+        instrumented = instrument(module, library, config)
+        emulation = platform.run(
+            instrumented,
+            testbench_factory(),
+            technology=technology,
+            max_cycles=max_cycles,
+        )
+        results.append((bits, compare_reports(emulation.power_report, reference)))
+    return results

@@ -1,0 +1,74 @@
+"""The power aggregator.
+
+The paper implements aggregation "as a sequence of additions to accumulate
+the outputs of the power models".  Our aggregator component adds all power
+model outputs presented in a cycle into a wide accumulator register that
+holds the design's total energy so far; the emulation host reads this
+register (or any individual model's output) at the end of the run — or
+periodically, for a power-over-time profile.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from repro.netlist.sequential import SequentialComponent
+from repro.netlist.signals import mask_value
+
+
+class PowerAggregator(SequentialComponent):
+    """Adds ``n_inputs`` energy values into a running total every cycle."""
+
+    type_name = "power_aggregator"
+
+    def __init__(
+        self,
+        name: str,
+        n_inputs: int,
+        input_width: int = 32,
+        total_width: int = 48,
+    ) -> None:
+        super().__init__(name)
+        if n_inputs < 1:
+            raise ValueError("aggregator needs at least one energy input")
+        self.n_inputs = n_inputs
+        self.input_width = input_width
+        self.total_width = total_width
+        self.params = {
+            "n_inputs": n_inputs,
+            "input_width": input_width,
+            "total_width": total_width,
+        }
+        for i in range(n_inputs):
+            self.add_input(f"e{i}", input_width)
+        self.add_input("clear", 1)
+        self.add_output("total", total_width)
+        self._total = 0
+        self._pending = 0
+
+    def monitored_ports(self):
+        return []
+
+    @property
+    def value(self) -> int:
+        """Current accumulated energy code (what the host reads back)."""
+        return self._total
+
+    def reset(self) -> None:
+        self._total = 0
+        self._pending = 0
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        return {"total": self._total}
+
+    def capture(self, inputs: Mapping[str, int]) -> None:
+        if inputs.get("clear", 0) & 1:
+            self._pending = 0
+            return
+        cycle_sum = 0
+        for i in range(self.n_inputs):
+            cycle_sum += inputs.get(f"e{i}", 0)
+        self._pending = mask_value(self._total + cycle_sum, self.total_width)
+
+    def commit(self) -> None:
+        self._total = self._pending

@@ -1,0 +1,64 @@
+"""Fixed-point quantization of power-model coefficients.
+
+The hardware power models carry their regression coefficients as unsigned
+integers; every model inserted into one design shares a single global scale
+(fJ per LSB) so that the power aggregator can sum model outputs without any
+per-model rescaling.  The quantization error this introduces is one of the
+"little or no tradeoff in accuracy" knobs the paper alludes to, and is swept
+explicitly by ``benchmarks/bench_accuracy.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Unsigned fixed-point encoding: ``code = round(value / lsb)``."""
+
+    #: number of bits available for a coefficient code
+    bits: int
+    #: value (in fJ) of one least-significant bit
+    lsb_fj: float
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError(f"coefficient width must be >= 1 bit, got {self.bits}")
+        if self.lsb_fj <= 0:
+            raise ValueError(f"LSB must be positive, got {self.lsb_fj}")
+
+    @property
+    def max_code(self) -> int:
+        return (1 << self.bits) - 1
+
+    @property
+    def max_value_fj(self) -> float:
+        return self.max_code * self.lsb_fj
+
+    # ------------------------------------------------------------------ API
+    def quantize(self, value_fj: float) -> int:
+        """Encode a (non-negative) energy value, saturating at the top code."""
+        if value_fj <= 0:
+            return 0
+        return min(self.max_code, int(round(value_fj / self.lsb_fj)))
+
+    def dequantize(self, code: int) -> float:
+        return code * self.lsb_fj
+
+    def quantization_error_fj(self, value_fj: float) -> float:
+        return abs(self.dequantize(self.quantize(value_fj)) - max(value_fj, 0.0))
+
+    @classmethod
+    def for_coefficients(cls, coefficients: Iterable[float], bits: int) -> "FixedPointFormat":
+        """Choose the LSB so the largest coefficient uses the full code range."""
+        largest = max((c for c in coefficients if c > 0), default=1.0)
+        return cls(bits=bits, lsb_fj=largest / ((1 << bits) - 1))
+
+
+def quantize_coefficients(
+    coefficients: Sequence[float], fmt: FixedPointFormat
+) -> List[int]:
+    """Quantize a coefficient vector; order is preserved."""
+    return [fmt.quantize(c) for c in coefficients]

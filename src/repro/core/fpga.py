@@ -1,0 +1,91 @@
+"""FPGA device capacity models (Xilinx Virtex-II class).
+
+The paper maps power-model-enhanced designs onto a Virtex-II based PC
+emulation platform and notes that FPGA capacity is the main practical
+constraint of the approach.  These device models carry the resource totals
+needed for capacity checking and a realistic achievable-clock ceiling; the
+numbers follow the public Virtex-II family tables (4-input LUT + FF per logic
+cell, 18 Kbit block RAMs, 18x18 multipliers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.core.synthesis import ResourceEstimate
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """Capacity model of one FPGA part."""
+
+    name: str
+    luts: int
+    ffs: int
+    bram_kbits: int
+    multipliers_18x18: int
+    max_clock_mhz: float
+    #: configuration bitstream size, used by the download-time model
+    bitstream_mbits: float
+
+    def fits(self, resources: ResourceEstimate) -> bool:
+        """True when the estimated resources fit on this part."""
+        return (
+            resources.luts <= self.luts
+            and resources.ffs <= self.ffs
+            and resources.bram_kbits <= self.bram_kbits
+            and resources.multipliers <= self.multipliers_18x18
+        )
+
+    def utilization(self, resources: ResourceEstimate) -> Dict[str, float]:
+        """Fractional utilization per resource class (can exceed 1.0)."""
+        return {
+            "luts": resources.luts / self.luts if self.luts else 0.0,
+            "ffs": resources.ffs / self.ffs if self.ffs else 0.0,
+            "bram_kbits": resources.bram_kbits / self.bram_kbits if self.bram_kbits else 0.0,
+            "multipliers": (
+                resources.multipliers / self.multipliers_18x18
+                if self.multipliers_18x18
+                else 0.0
+            ),
+        }
+
+
+#: Virtex-II family (logic cells ~= LUT+FF pairs); sizes follow the datasheet.
+VIRTEX2_DEVICES: Dict[str, FPGADevice] = {
+    device.name: device
+    for device in [
+        FPGADevice("XC2V250", luts=3_072, ffs=3_072, bram_kbits=432,
+                   multipliers_18x18=24, max_clock_mhz=120.0, bitstream_mbits=1.7),
+        FPGADevice("XC2V500", luts=6_144, ffs=6_144, bram_kbits=576,
+                   multipliers_18x18=32, max_clock_mhz=120.0, bitstream_mbits=2.8),
+        FPGADevice("XC2V1000", luts=10_240, ffs=10_240, bram_kbits=720,
+                   multipliers_18x18=40, max_clock_mhz=120.0, bitstream_mbits=4.1),
+        FPGADevice("XC2V2000", luts=21_504, ffs=21_504, bram_kbits=1_008,
+                   multipliers_18x18=56, max_clock_mhz=110.0, bitstream_mbits=8.3),
+        FPGADevice("XC2V3000", luts=28_672, ffs=28_672, bram_kbits=1_728,
+                   multipliers_18x18=96, max_clock_mhz=110.0, bitstream_mbits=10.5),
+        FPGADevice("XC2V4000", luts=46_080, ffs=46_080, bram_kbits=2_160,
+                   multipliers_18x18=120, max_clock_mhz=100.0, bitstream_mbits=15.7),
+        FPGADevice("XC2V6000", luts=67_584, ffs=67_584, bram_kbits=2_592,
+                   multipliers_18x18=144, max_clock_mhz=100.0, bitstream_mbits=21.9),
+        FPGADevice("XC2V8000", luts=93_184, ffs=93_184, bram_kbits=3_024,
+                   multipliers_18x18=168, max_clock_mhz=95.0, bitstream_mbits=29.1),
+    ]
+}
+
+
+def smallest_fitting_device(
+    resources: ResourceEstimate,
+    devices: Optional[Iterable[FPGADevice]] = None,
+) -> Optional[FPGADevice]:
+    """The smallest (by LUT count) device that fits, or ``None`` if none does."""
+    candidates = sorted(
+        devices if devices is not None else VIRTEX2_DEVICES.values(),
+        key=lambda d: d.luts,
+    )
+    for device in candidates:
+        if device.fits(resources):
+            return device
+    return None

@@ -1,0 +1,272 @@
+"""The power-emulation instrumentation pass (paper Fig. 1, step 1 of Fig. 2).
+
+``instrument(design, library)`` returns an *enhanced* copy of the design in
+which:
+
+* every monitored RTL component has a :class:`HardwarePowerModel` attached to
+  its input/output nets,
+* a single :class:`PowerStrobeGenerator` paces model evaluation (one per
+  clock domain; our designs are single-clock),
+* a :class:`PowerAggregator` sums all model outputs into the design's total
+  energy, exposed as the new ``power_total`` output port,
+* (optionally) one accumulator per monitored component records per-component
+  energy, so the host can read back a power breakdown "for the circuit or any
+  part thereof" as the paper puts it.
+
+The enhanced design is still a plain RTL netlist: it simulates on
+:mod:`repro.sim`, maps through the FPGA resource estimator, and its power
+outputs are produced by the inserted hardware itself — not by any software
+observer — which is the essence of power emulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.aggregator import PowerAggregator
+from repro.core.fixedpoint import FixedPointFormat
+from repro.core.power_model_hw import MONITOR_PREFIX, HardwarePowerModel
+from repro.core.strobe import PowerStrobeGenerator
+from repro.netlist.components import Component, Constant
+from repro.netlist.flatten import flatten
+from repro.netlist.module import Module
+from repro.netlist.nets import Net
+from repro.power.library import PowerModelLibrary
+from repro.power.macromodel import LinearTransitionModel
+
+#: component types that are themselves power-estimation hardware
+ESTIMATION_HARDWARE_TYPES = {"power_model_hw", "power_strobe", "power_aggregator"}
+
+
+class InstrumentationError(Exception):
+    """Raised when a design cannot be enhanced for power emulation."""
+
+
+@dataclass
+class InstrumentationConfig:
+    """Knobs of the instrumentation pass."""
+
+    #: power strobe period in clock cycles (1 = evaluate every cycle)
+    strobe_period: int = 1
+    #: bit width of the fixed-point coefficient codes inside the power models
+    coefficient_bits: int = 12
+    #: width of each power model's energy output
+    energy_width: int = 32
+    #: width of the aggregator's total-energy accumulator
+    total_width: int = 48
+    #: also insert one per-component energy accumulator per power model
+    per_component_totals: bool = True
+    #: paper-literal sampling (queues only updated on the strobe); see
+    #: :class:`repro.core.power_model_hw.HardwarePowerModel`
+    sample_on_strobe_only: bool = False
+    #: predicate selecting which components receive a power model
+    monitor_filter: Optional[Callable[[Component], bool]] = None
+
+
+@dataclass
+class InstrumentedDesign:
+    """The enhanced design plus everything needed to interpret its outputs."""
+
+    module: Module
+    original_name: str
+    config: InstrumentationConfig
+    fmt: FixedPointFormat
+    #: original component name -> hardware power model component name
+    model_map: Dict[str, str] = field(default_factory=dict)
+    #: original component name -> per-component accumulator name (if enabled)
+    accumulator_map: Dict[str, str] = field(default_factory=dict)
+    aggregator_name: str = "pwr_aggregator"
+    strobe_name: str = "pwr_strobe"
+    #: number of monitored bits across all inserted power models
+    monitored_bits: int = 0
+
+    @property
+    def n_power_models(self) -> int:
+        return len(self.model_map)
+
+    # ------------------------------------------------------------- readback
+    def read_total_energy_code(self, simulator) -> int:
+        """Raw aggregator contents (fixed-point energy code)."""
+        aggregator: PowerAggregator = self.module.components[self.aggregator_name]
+        return aggregator.value
+
+    def read_total_energy_fj(self, simulator) -> float:
+        """Total design energy (fJ) accumulated so far, as the host reads it."""
+        return self.fmt.dequantize(self.read_total_energy_code(simulator))
+
+    def read_component_energy_fj(self, simulator, original_name: str) -> float:
+        """Per-component energy read from that component's accumulator."""
+        if original_name not in self.accumulator_map:
+            raise KeyError(
+                f"no per-component accumulator for {original_name!r}; "
+                "instrument with per_component_totals=True"
+            )
+        accumulator = self.module.components[self.accumulator_map[original_name]]
+        return self.fmt.dequantize(accumulator.value)
+
+    def component_energies_fj(self, simulator) -> Dict[str, float]:
+        """Energy of every monitored component (requires per-component totals)."""
+        return {
+            name: self.read_component_energy_fj(simulator, name)
+            for name in self.accumulator_map
+        }
+
+
+def instrument(
+    module: Module,
+    library: PowerModelLibrary,
+    config: Optional[InstrumentationConfig] = None,
+) -> InstrumentedDesign:
+    """Enhance ``module`` with power-estimation hardware.
+
+    The input module is never modified; a flattened copy is enhanced and
+    returned.
+    """
+    config = config if config is not None else InstrumentationConfig()
+    enhanced = flatten(module, name=f"{module.name}_pwr_emu")
+
+    if any(c.type_name in ESTIMATION_HARDWARE_TYPES for c in enhanced.components.values()):
+        raise InstrumentationError(
+            f"module {module.name!r} already contains power-estimation hardware"
+        )
+
+    monitored: List[Component] = []
+    models: Dict[str, LinearTransitionModel] = {}
+    for component in enhanced.components.values():
+        if not component.monitored_ports():
+            continue
+        if config.monitor_filter is not None and not config.monitor_filter(component):
+            continue
+        model = library.lookup(component)
+        if not isinstance(model, LinearTransitionModel):
+            raise InstrumentationError(
+                f"component {component.name!r} has a {model.kind!r} power model; only "
+                "linear-transition models are synthesizable into power-estimation hardware"
+            )
+        monitored.append(component)
+        models[component.name] = model
+    if not monitored:
+        raise InstrumentationError(
+            f"module {module.name!r} has no components eligible for power monitoring"
+        )
+
+    # One global fixed-point scale shared by every model and the aggregator.
+    all_values = [
+        value
+        for model in models.values()
+        for _, _, value in model.flat_coefficients()
+    ] + [model.base_energy_fj for model in models.values()]
+    fmt = FixedPointFormat.for_coefficients(all_values, bits=config.coefficient_bits)
+
+    helper = _NetHelper(enhanced)
+    strobe_gen = PowerStrobeGenerator("pwr_strobe", period=config.strobe_period)
+    enhanced.add_component(strobe_gen)
+    strobe_gen.connect("enable", helper.constant(1, 1))
+    strobe_net = helper.new_net("pwr_strobe_out", 1)
+    strobe_gen.connect("strobe", strobe_net)
+
+    design = InstrumentedDesign(
+        module=enhanced,
+        original_name=module.name,
+        config=config,
+        fmt=fmt,
+        strobe_name="pwr_strobe",
+    )
+
+    energy_nets: List[Net] = []
+    for component in monitored:
+        model = models[component.name]
+        hw_name = f"pwr_model_{component.name}"
+        hw = HardwarePowerModel(
+            hw_name,
+            model,
+            fmt,
+            energy_width=config.energy_width,
+            monitored_component=component.name,
+            sample_on_strobe_only=config.sample_on_strobe_only,
+        )
+        enhanced.add_component(hw)
+        for port in component.monitored_ports():
+            target = port.net
+            if target is None:
+                target = helper.constant(0, port.width)
+            hw.connect(MONITOR_PREFIX + port.name, target)
+        hw.connect("strobe", strobe_net)
+        energy_net = helper.new_net(f"{hw_name}_energy", config.energy_width)
+        hw.connect("energy", energy_net)
+        energy_nets.append(energy_net)
+        design.model_map[component.name] = hw_name
+        design.monitored_bits += model.total_bits
+
+        if config.per_component_totals:
+            from repro.netlist.sequential import Accumulator
+
+            acc_name = f"pwr_acc_{component.name}"
+            accumulator = Accumulator(acc_name, config.total_width)
+            enhanced.add_component(accumulator)
+            accumulator.connect("d", helper.resize(energy_net, config.total_width))
+            accumulator.connect("en", helper.constant(1, 1))
+            accumulator.connect("clear", helper.constant(0, 1))
+            acc_out = helper.new_net(f"{acc_name}_q", config.total_width)
+            accumulator.connect("q", acc_out)
+            design.accumulator_map[component.name] = acc_name
+
+    aggregator = PowerAggregator(
+        "pwr_aggregator",
+        n_inputs=len(energy_nets),
+        input_width=config.energy_width,
+        total_width=config.total_width,
+    )
+    enhanced.add_component(aggregator)
+    for i, net in enumerate(energy_nets):
+        aggregator.connect(f"e{i}", net)
+    aggregator.connect("clear", helper.constant(0, 1))
+    total_net = helper.new_net("pwr_total", config.total_width)
+    aggregator.connect("total", total_net)
+    enhanced.add_output("power_total", total_net)
+    enhanced.add_output("power_strobe", strobe_net)
+
+    design.aggregator_name = "pwr_aggregator"
+    return design
+
+
+class _NetHelper:
+    """Small utilities for adding tie-off constants and resize logic."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self._constants: Dict[tuple, Net] = {}
+        self._counter = 0
+
+    def new_net(self, name: str, width: int) -> Net:
+        if name in self.module.nets:
+            name = f"{name}_{self._counter}"
+            self._counter += 1
+        return self.module.add_net(name, width)
+
+    def constant(self, value: int, width: int) -> Net:
+        key = (value, width)
+        if key not in self._constants:
+            name = f"pwr_const_{value}_{width}"
+            component = Constant(name, width, value)
+            self.module.add_component(component)
+            net = self.new_net(f"{name}_y", width)
+            component.connect("y", net)
+            self._constants[key] = net
+        return self._constants[key]
+
+    def resize(self, net: Net, width: int) -> Net:
+        if net.width == width:
+            return net
+        from repro.netlist.components import Extend, Slice
+
+        if net.width < width:
+            component = Extend(f"pwr_zext_{net.name}_{width}", net.width, width, signed=False)
+        else:
+            component = Slice(f"pwr_trunc_{net.name}_{width}", net.width, width - 1, 0)
+        self.module.add_component(component)
+        component.connect("a", net)
+        out = self.new_net(f"{component.name}_y", width)
+        component.connect("y", out)
+        return out

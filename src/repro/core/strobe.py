@@ -1,0 +1,60 @@
+"""The power strobe generator.
+
+One strobe generator is instantiated per clock domain (our designs are all
+single-clock, so the instrumentation pass inserts exactly one).  It raises its
+``strobe`` output for a single cycle every ``period`` cycles; the hardware
+power models evaluate/flush on that strobe and the aggregator accumulates the
+flushed energies one cycle later.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.netlist.sequential import SequentialComponent
+
+
+class PowerStrobeGenerator(SequentialComponent):
+    """Free-running divider producing a 1-cycle-wide strobe every ``period`` cycles."""
+
+    type_name = "power_strobe"
+
+    def __init__(self, name: str, period: int = 1) -> None:
+        super().__init__(name)
+        if period < 1:
+            raise ValueError(f"strobe period must be >= 1, got {period}")
+        self.period = period
+        self.params = {"period": period}
+        self.add_input("enable", 1)
+        self.add_output("strobe", 1)
+        self._count = 0
+        self._strobe = 1 if period == 1 else 0
+        self._pending_count = 0
+        self._pending_strobe = self._strobe
+
+    def monitored_ports(self):
+        return []
+
+    def reset(self) -> None:
+        self._count = 0
+        self._strobe = 1 if self.period == 1 else 0
+        self._pending_count = 0
+        self._pending_strobe = self._strobe
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        return {"strobe": self._strobe}
+
+    def capture(self, inputs: Mapping[str, int]) -> None:
+        if not (inputs.get("enable", 1) & 1):
+            self._pending_count = self._count
+            self._pending_strobe = 0
+            return
+        next_count = self._count + 1
+        if next_count >= self.period:
+            next_count = 0
+        self._pending_count = next_count
+        self._pending_strobe = 1 if next_count == self.period - 1 or self.period == 1 else 0
+
+    def commit(self) -> None:
+        self._count = self._pending_count
+        self._strobe = self._pending_strobe

@@ -1,0 +1,289 @@
+"""FPGA synthesis estimation: resources (LUT/FF/BRAM/multiplier) and timing.
+
+Stands in for the Synplify Pro + Xilinx ISE step of the paper's flow
+(Fig. 2, step 2).  The per-component cost functions follow standard 4-input
+LUT mapping results (a W-bit ripple adder is ~W LUTs plus carry logic, a
+W-bit 2:1 mux is ~W LUTs, an N-state FSM is a few LUTs per transition, ...),
+and the achievable clock is derated with combinational depth — enough to
+reproduce the capacity and emulation-frequency behaviour the paper discusses,
+without pretending to be a real P&R tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.netlist.components import Component
+from repro.netlist.module import Module
+from repro.sim.scheduler import levelize
+
+
+@dataclass
+class ResourceEstimate:
+    """Estimated FPGA resources for a component or module."""
+
+    luts: int = 0
+    ffs: int = 0
+    bram_kbits: int = 0
+    multipliers: int = 0
+    #: estimated combinational logic depth (levels of LUTs)
+    logic_depth: int = 0
+
+    def __add__(self, other: "ResourceEstimate") -> "ResourceEstimate":
+        return ResourceEstimate(
+            luts=self.luts + other.luts,
+            ffs=self.ffs + other.ffs,
+            bram_kbits=self.bram_kbits + other.bram_kbits,
+            multipliers=self.multipliers + other.multipliers,
+            logic_depth=max(self.logic_depth, other.logic_depth),
+        )
+
+    def scaled(self, factor: float) -> "ResourceEstimate":
+        return ResourceEstimate(
+            luts=int(round(self.luts * factor)),
+            ffs=int(round(self.ffs * factor)),
+            bram_kbits=int(round(self.bram_kbits * factor)),
+            multipliers=int(round(self.multipliers * factor)),
+            logic_depth=self.logic_depth,
+        )
+
+    def overhead_relative_to(self, base: "ResourceEstimate") -> Dict[str, float]:
+        """Fractional increase of each resource class over a baseline."""
+        def ratio(new: float, old: float) -> float:
+            if old == 0:
+                return float("inf") if new > 0 else 0.0
+            return (new - old) / old
+
+        return {
+            "luts": ratio(self.luts, base.luts),
+            "ffs": ratio(self.ffs, base.ffs),
+            "bram_kbits": ratio(self.bram_kbits, base.bram_kbits),
+            "multipliers": ratio(self.multipliers, base.multipliers),
+        }
+
+
+@dataclass
+class SynthesisResult:
+    """Resources plus the timing estimate for one module."""
+
+    module_name: str
+    resources: ResourceEstimate
+    achievable_clock_mhz: float
+    per_component: Dict[str, ResourceEstimate] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        r = self.resources
+        return (
+            f"{self.module_name}: {r.luts} LUTs, {r.ffs} FFs, {r.bram_kbits} Kb BRAM, "
+            f"{r.multipliers} MULT18, depth {r.logic_depth}, "
+            f"f_max {self.achievable_clock_mhz:.1f} MHz"
+        )
+
+
+class SynthesisEstimator:
+    """Per-component FPGA resource and clock estimation."""
+
+    #: base LUT delay + local routing (ns) and per-level routing penalty used
+    #: by the timing model
+    lut_delay_ns: float = 0.65
+    routing_delay_ns: float = 0.75
+    clock_overhead_ns: float = 1.8
+
+    #: memories larger than this many bits go to block RAM instead of LUT RAM
+    bram_threshold_bits: int = 1024
+
+    def __init__(self, use_hard_multipliers: bool = True) -> None:
+        self.use_hard_multipliers = use_hard_multipliers
+
+    # ------------------------------------------------------------------ API
+    def estimate_component(self, component: Component) -> ResourceEstimate:
+        handler = getattr(self, f"_estimate_{component.type_name}", None)
+        if handler is not None:
+            return handler(component)
+        return self._estimate_generic(component)
+
+    def estimate_module(self, module: Module) -> SynthesisResult:
+        if module.is_hierarchical:
+            raise ValueError(
+                f"module {module.name!r} is hierarchical; flatten() before synthesis estimation"
+            )
+        per_component: Dict[str, ResourceEstimate] = {}
+        total = ResourceEstimate()
+        for component in module.components.values():
+            estimate = self.estimate_component(component)
+            per_component[component.name] = estimate
+            total = total + estimate
+        schedule = levelize(module)
+        total.logic_depth = max(total.logic_depth, schedule.depth)
+        clock = self.achievable_clock_mhz(total.logic_depth)
+        return SynthesisResult(
+            module_name=module.name,
+            resources=total,
+            achievable_clock_mhz=clock,
+            per_component=per_component,
+        )
+
+    def achievable_clock_mhz(self, logic_depth: int) -> float:
+        """Timing model: critical path = clock overhead + depth * (LUT+routing)."""
+        period_ns = self.clock_overhead_ns + max(1, logic_depth) * (
+            self.lut_delay_ns + self.routing_delay_ns
+        )
+        return 1e3 / period_ns
+
+    # ------------------------------------------------- per-type cost models
+    @staticmethod
+    def _width(component: Component, key: str = "width", default: int = 8) -> int:
+        return int(component.params.get(key, default))
+
+    def _estimate_generic(self, component: Component) -> ResourceEstimate:
+        bits = component.monitored_bits()
+        return ResourceEstimate(luts=max(1, bits // 2), logic_depth=2)
+
+    def _estimate_adder(self, component: Component) -> ResourceEstimate:
+        width = self._width(component)
+        return ResourceEstimate(luts=width + 1, logic_depth=2)
+
+    _estimate_subtractor = _estimate_adder
+
+    def _estimate_addsub(self, component: Component) -> ResourceEstimate:
+        width = self._width(component)
+        return ResourceEstimate(luts=width + 2, logic_depth=2)
+
+    def _estimate_multiplier(self, component: Component) -> ResourceEstimate:
+        width_a = self._width(component, "width_a")
+        width_b = self._width(component, "width_b")
+        if self.use_hard_multipliers and width_a <= 18 and width_b <= 18:
+            return ResourceEstimate(multipliers=1, luts=4, logic_depth=3)
+        luts = width_a * width_b
+        return ResourceEstimate(luts=luts, logic_depth=4 + max(width_a, width_b) // 8)
+
+    def _estimate_comparator(self, component: Component) -> ResourceEstimate:
+        width = self._width(component)
+        return ResourceEstimate(luts=width, logic_depth=2)
+
+    def _estimate_absval(self, component: Component) -> ResourceEstimate:
+        width = self._width(component)
+        return ResourceEstimate(luts=width + width // 2, logic_depth=2)
+
+    def _estimate_saturator(self, component: Component) -> ResourceEstimate:
+        width = self._width(component, "width_out")
+        return ResourceEstimate(luts=width + 2, logic_depth=2)
+
+    def _estimate_shifter_const(self, component: Component) -> ResourceEstimate:
+        return ResourceEstimate(luts=0, logic_depth=0)
+
+    def _estimate_shifter_var(self, component: Component) -> ResourceEstimate:
+        width = self._width(component)
+        stages = self._width(component, "amount_width", 3)
+        return ResourceEstimate(luts=width * stages // 2 + 1, logic_depth=stages)
+
+    def _estimate_mux(self, component: Component) -> ResourceEstimate:
+        width = self._width(component)
+        n_inputs = self._width(component, "n_inputs", 2)
+        luts = width * max(1, (n_inputs + 1) // 2)
+        return ResourceEstimate(luts=luts, logic_depth=max(1, (n_inputs - 1).bit_length()))
+
+    def _estimate_logic(self, component: Component) -> ResourceEstimate:
+        width = self._width(component)
+        return ResourceEstimate(luts=max(1, width // 2), logic_depth=1)
+
+    def _estimate_not(self, component: Component) -> ResourceEstimate:
+        return ResourceEstimate(luts=max(1, self._width(component) // 4), logic_depth=1)
+
+    def _estimate_reduce(self, component: Component) -> ResourceEstimate:
+        width = self._width(component)
+        return ResourceEstimate(luts=max(1, (width + 3) // 4), logic_depth=max(1, width // 4))
+
+    def _estimate_concat(self, component: Component) -> ResourceEstimate:
+        return ResourceEstimate()
+
+    _estimate_slice = _estimate_concat
+    _estimate_extend = _estimate_concat
+    _estimate_constant = _estimate_concat
+
+    def _estimate_decoder(self, component: Component) -> ResourceEstimate:
+        outputs = 1 << self._width(component, "sel_width", 3)
+        return ResourceEstimate(luts=max(1, outputs // 2), logic_depth=2)
+
+    # --------------------------------------------------------------- memory
+    def _estimate_register(self, component: Component) -> ResourceEstimate:
+        width = self._width(component)
+        return ResourceEstimate(ffs=width, luts=width // 4, logic_depth=1)
+
+    def _estimate_counter(self, component: Component) -> ResourceEstimate:
+        width = self._width(component)
+        return ResourceEstimate(ffs=width, luts=width, logic_depth=2)
+
+    def _estimate_accumulator(self, component: Component) -> ResourceEstimate:
+        width = self._width(component)
+        return ResourceEstimate(ffs=width, luts=width + 1, logic_depth=2)
+
+    def _estimate_memory(self, component: Component) -> ResourceEstimate:
+        width = self._width(component)
+        depth = self._width(component, "depth", 16)
+        bits = width * depth
+        if bits > self.bram_threshold_bits:
+            brams = (bits + 18_431) // 18_432  # 18 Kbit blocks
+            return ResourceEstimate(bram_kbits=brams * 18, luts=8, logic_depth=2)
+        return ResourceEstimate(luts=max(1, bits // 16) + 4, ffs=width, logic_depth=2)
+
+    def _estimate_regfile(self, component: Component) -> ResourceEstimate:
+        width = self._width(component)
+        depth = self._width(component, "depth", 8)
+        reads = self._width(component, "n_read_ports", 1)
+        return ResourceEstimate(
+            luts=max(1, width * depth // 16) * reads + 4,
+            ffs=width,
+            logic_depth=2,
+        )
+
+    def _estimate_rom(self, component: Component) -> ResourceEstimate:
+        width = self._width(component)
+        depth = self._width(component, "depth", 16)
+        bits = width * depth
+        if bits > self.bram_threshold_bits:
+            brams = (bits + 18_431) // 18_432
+            return ResourceEstimate(bram_kbits=brams * 18, luts=4, logic_depth=2)
+        return ResourceEstimate(luts=max(1, bits // 16), logic_depth=2)
+
+    def _estimate_fsm(self, component: Component) -> ResourceEstimate:
+        n_states = self._width(component, "n_states", 2)
+        n_transitions = self._width(component, "n_transitions", n_states)
+        output_bits = self._width(component, "n_output_bits", 4)
+        state_ffs = max(1, (n_states - 1).bit_length())
+        return ResourceEstimate(
+            ffs=state_ffs,
+            luts=n_transitions + output_bits + state_ffs,
+            logic_depth=3,
+        )
+
+    # --------------------------------------- power-estimation hardware cost
+    def _estimate_power_model_hw(self, component: Component) -> ResourceEstimate:
+        bits = self._width(component, "monitored_bits", 8)
+        coeff_bits = self._width(component, "coefficient_bits", 12)
+        energy_width = self._width(component, "energy_width", 32)
+        # queues: one FF per monitored bit; XOR + coefficient select: ~1 LUT/bit;
+        # adder tree over `bits` coefficient-wide terms; accumulator + output reg
+        adder_tree_luts = max(1, bits - 1) * max(1, coeff_bits // 2)
+        return ResourceEstimate(
+            ffs=bits + 2 * energy_width,
+            luts=bits + adder_tree_luts + energy_width,
+            logic_depth=3 + max(1, bits.bit_length()),
+        )
+
+    def _estimate_power_strobe(self, component: Component) -> ResourceEstimate:
+        period = self._width(component, "period", 1)
+        counter_bits = max(1, (max(period - 1, 1)).bit_length())
+        return ResourceEstimate(ffs=counter_bits + 1, luts=counter_bits + 1, logic_depth=1)
+
+    def _estimate_power_aggregator(self, component: Component) -> ResourceEstimate:
+        n_inputs = self._width(component, "n_inputs", 1)
+        input_width = self._width(component, "input_width", 32)
+        total_width = self._width(component, "total_width", 48)
+        adder_luts = max(1, n_inputs - 1) * input_width + total_width
+        return ResourceEstimate(
+            ffs=total_width,
+            luts=adder_luts,
+            logic_depth=2 + max(1, n_inputs.bit_length()),
+        )

@@ -1,0 +1,33 @@
+"""Benchmark designs evaluated in the paper's Figure 3.
+
+Seven designs (plus the paper's Fig. 1 binary-search example) built on the
+RTL netlist IR, each with stimulus generators and testbenches:
+
+================  =============================================================
+``binary_search``  the Fig. 1 example circuit (FSM + datapath binary search)
+``Bubble_Sort``    in-memory bubble sort engine
+``HVPeakF``        horizontal/vertical peaking (sharpening) image filter
+``DCT``            2-D 8x8 forward discrete cosine transform (MAC engine)
+``IDCT``           2-D 8x8 inverse DCT (MPEG4 decoder sub-block)
+``Ispq``           MPEG-style inverse quantizer (MPEG4 decoder sub-block)
+``Vld``            variable-length (prefix-code) decoder (MPEG4 sub-block)
+``MPEG4``          block decoder composite: VLD -> IQ -> IDCT -> MC/frame store
+================  =============================================================
+
+All designs register themselves in :mod:`repro.designs.registry`, which the
+benchmark harnesses iterate over.
+"""
+
+from repro.designs.registry import (
+    BenchmarkDesign,
+    all_designs,
+    get_design,
+    figure3_designs,
+)
+
+__all__ = [
+    "BenchmarkDesign",
+    "all_designs",
+    "get_design",
+    "figure3_designs",
+]

@@ -1,0 +1,21 @@
+"""DCT benchmark: 2-D 8x8 forward discrete cosine transform engine."""
+
+from __future__ import annotations
+
+from repro.designs import stimuli, transform
+from repro.netlist.module import Module
+
+
+def build() -> Module:
+    """Forward-DCT instance of the shared transform engine."""
+    module = transform.build_transform("DCT", forward=True)
+    return module
+
+
+def testbench(n_blocks: int = 1, seed: int = 2) -> transform.TransformTestbench:
+    """Standard stimulus: pseudo-random pixel blocks (level-shifted to signed)."""
+    blocks = [
+        [p - 128 for p in stimuli.random_pixel_block(seed=seed + i)]
+        for i in range(n_blocks)
+    ]
+    return transform.TransformTestbench(blocks, forward=True, name="dct_tb")

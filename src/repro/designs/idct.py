@@ -1,0 +1,21 @@
+"""IDCT benchmark: 2-D 8x8 inverse DCT engine (MPEG4 decoder sub-block)."""
+
+from __future__ import annotations
+
+from repro.designs import stimuli, transform
+from repro.netlist.module import Module
+
+
+def build() -> Module:
+    """Inverse-DCT instance of the shared transform engine."""
+    module = transform.build_transform("IDCT", forward=False)
+    return module
+
+
+def testbench(n_blocks: int = 1, seed: int = 4) -> transform.TransformTestbench:
+    """Standard stimulus: sparse DCT-domain coefficient blocks."""
+    blocks = [
+        stimuli.random_coefficient_block(seed=seed + i)
+        for i in range(n_blocks)
+    ]
+    return transform.TransformTestbench(blocks, forward=False, name="idct_tb")

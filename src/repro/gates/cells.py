@@ -1,0 +1,193 @@
+"""A synthetic 0.13 µm-class standard-cell library.
+
+The numbers below are *representative*, not vendor data: areas, input
+capacitances, internal energies and leakage currents are scaled consistently
+with published 0.13 µm generic libraries so that relative power between RTL
+components (adder vs. multiplier vs. mux, 8-bit vs. 16-bit) behaves
+realistically.  Absolute accuracy is irrelevant to the reproduction — every
+estimator (software RTL, gate level, emulated) is characterized against the
+same cells, which is exactly the paper's experimental situation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class CellType:
+    """A combinational standard cell.
+
+    ``function`` maps the tuple of input bits to the output bit.  Energy is
+    split into internal (``intrinsic_energy_fj`` per output toggle) and
+    switching energy (computed from load capacitance by the power calculator).
+    """
+
+    name: str
+    n_inputs: int
+    function: Callable[[Tuple[int, ...]], int]
+    area_um2: float
+    input_cap_ff: float
+    output_cap_ff: float
+    intrinsic_energy_fj: float
+    leakage_nw: float
+
+    def evaluate(self, inputs: Sequence[int]) -> int:
+        if len(inputs) != self.n_inputs:
+            raise ValueError(
+                f"cell {self.name}: expected {self.n_inputs} inputs, got {len(inputs)}"
+            )
+        return self.function(tuple(inputs)) & 1
+
+
+def _inv(x):
+    return 1 - x[0]
+
+
+def _buf(x):
+    return x[0]
+
+
+def _nand2(x):
+    return 1 - (x[0] & x[1])
+
+
+def _nand3(x):
+    return 1 - (x[0] & x[1] & x[2])
+
+
+def _nor2(x):
+    return 1 - (x[0] | x[1])
+
+
+def _nor3(x):
+    return 1 - (x[0] | x[1] | x[2])
+
+
+def _and2(x):
+    return x[0] & x[1]
+
+
+def _and3(x):
+    return x[0] & x[1] & x[2]
+
+
+def _or2(x):
+    return x[0] | x[1]
+
+
+def _or3(x):
+    return x[0] | x[1] | x[2]
+
+
+def _xor2(x):
+    return x[0] ^ x[1]
+
+
+def _xnor2(x):
+    return 1 - (x[0] ^ x[1])
+
+
+def _mux2(x):
+    # inputs: (d0, d1, sel)
+    return x[1] if x[2] else x[0]
+
+
+def _aoi21(x):
+    # inputs: (a, b, c) -> !((a & b) | c)
+    return 1 - ((x[0] & x[1]) | x[2])
+
+
+def _oai21(x):
+    # inputs: (a, b, c) -> !((a | b) & c)
+    return 1 - ((x[0] | x[1]) & x[2])
+
+
+def _maj3(x):
+    # carry of a full adder
+    return 1 if (x[0] + x[1] + x[2]) >= 2 else 0
+
+
+def _xor3(x):
+    return (x[0] ^ x[1] ^ x[2]) & 1
+
+
+class StandardCellLibrary:
+    """Container of cell types plus the electrical constants shared by them."""
+
+    def __init__(
+        self,
+        name: str,
+        cells: Dict[str, CellType],
+        vdd_v: float = 1.2,
+        wire_cap_per_fanout_ff: float = 1.5,
+        feature_nm: int = 130,
+    ) -> None:
+        self.name = name
+        self.cells = dict(cells)
+        self.vdd_v = vdd_v
+        #: estimated interconnect capacitance added per fanout endpoint
+        self.wire_cap_per_fanout_ff = wire_cap_per_fanout_ff
+        self.feature_nm = feature_nm
+
+    def cell(self, name: str) -> CellType:
+        try:
+            return self.cells[name]
+        except KeyError:
+            raise KeyError(
+                f"library {self.name!r} has no cell {name!r}; available: {sorted(self.cells)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.cells
+
+    def switching_energy_fj(self, load_cap_ff: float) -> float:
+        """Energy of one output toggle into ``load_cap_ff``: ``1/2 C V^2`` in fJ."""
+        return 0.5 * load_cap_ff * self.vdd_v * self.vdd_v
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StandardCellLibrary({self.name!r}, {len(self.cells)} cells)"
+
+
+def _make_cb013() -> StandardCellLibrary:
+    """Build the synthetic CB013-class library."""
+    cells = {}
+
+    def add(name, n_inputs, function, area, in_cap, out_cap, energy, leak):
+        cells[name] = CellType(
+            name=name,
+            n_inputs=n_inputs,
+            function=function,
+            area_um2=area,
+            input_cap_ff=in_cap,
+            output_cap_ff=out_cap,
+            intrinsic_energy_fj=energy,
+            leakage_nw=leak,
+        )
+
+    #    name     #in  fn       area  in_cap out_cap energy leak
+    add("INV",     1, _inv,     2.4,  1.8,   1.0,    0.45,  0.8)
+    add("BUF",     1, _buf,     3.2,  1.6,   1.2,    0.80,  1.0)
+    add("NAND2",   2, _nand2,   3.2,  1.9,   1.1,    0.60,  1.1)
+    add("NAND3",   3, _nand3,   4.0,  2.0,   1.2,    0.78,  1.4)
+    add("NOR2",    2, _nor2,    3.2,  2.1,   1.1,    0.66,  1.1)
+    add("NOR3",    3, _nor3,    4.0,  2.3,   1.2,    0.85,  1.4)
+    add("AND2",    2, _and2,    4.0,  1.8,   1.1,    0.85,  1.2)
+    add("AND3",    3, _and3,    4.8,  1.9,   1.2,    1.00,  1.5)
+    add("OR2",     2, _or2,     4.0,  1.9,   1.1,    0.88,  1.2)
+    add("OR3",     3, _or3,     4.8,  2.0,   1.2,    1.05,  1.5)
+    add("XOR2",    2, _xor2,    6.4,  2.6,   1.3,    1.60,  1.8)
+    add("XNOR2",   2, _xnor2,   6.4,  2.6,   1.3,    1.60,  1.8)
+    add("XOR3",    3, _xor3,    9.6,  2.9,   1.4,    2.40,  2.6)
+    add("MAJ3",    3, _maj3,    8.0,  2.4,   1.3,    1.90,  2.2)
+    add("MUX2",    3, _mux2,    5.6,  2.2,   1.2,    1.20,  1.6)
+    add("AOI21",   3, _aoi21,   4.0,  2.0,   1.1,    0.80,  1.3)
+    add("OAI21",   3, _oai21,   4.0,  2.0,   1.1,    0.80,  1.3)
+
+    return StandardCellLibrary("CB013-synthetic", cells, vdd_v=1.2,
+                               wire_cap_per_fanout_ff=1.5, feature_nm=130)
+
+
+#: the default library used across the package
+CB013_LIBRARY = _make_cb013()

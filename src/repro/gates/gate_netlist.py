@@ -1,0 +1,142 @@
+"""Flat gate-level (bit-level) netlists.
+
+A gate netlist is produced by technology-mapping one RTL component (or a whole
+module) and is purely combinational: sequential elements are handled at the
+RTL level with analytic power models, which keeps characterization simulation
+cheap while still exercising the dominant datapath power.
+
+Net naming convention: the bit ``i`` of an RTL port named ``p`` becomes the
+gate-level net ``"p[i]"``; internal nets are free-form unique strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.gates.cells import CellType, StandardCellLibrary
+
+
+def bit_net(port: str, index: int) -> str:
+    """Canonical name of bit ``index`` of RTL port ``port``."""
+    return f"{port}[{index}]"
+
+
+@dataclass(eq=False)
+class GateInstance:
+    """One standard-cell instance (identity-hashed so it can key scheduling maps)."""
+
+    name: str
+    cell: CellType
+    inputs: List[str]
+    output: str
+
+
+class GateNetlist:
+    """A flat, combinational gate-level netlist."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.gates: List[GateInstance] = []
+        #: primary input bit-net names, in declaration order
+        self.primary_inputs: List[str] = []
+        #: primary output bit-net names, in declaration order
+        self.primary_outputs: List[str] = []
+        #: nets tied to constant 0/1 (e.g. unused carry inputs)
+        self.constants: Dict[str, int] = {}
+        #: alias map: output net name -> source net it is directly wired to
+        #: (used for zero-gate mappings such as slices, shifts by constants)
+        self.aliases: Dict[str, str] = {}
+        self._gate_counter = 0
+
+    # ------------------------------------------------------------- building
+    def add_input(self, net: str) -> str:
+        if net not in self.primary_inputs:
+            self.primary_inputs.append(net)
+        return net
+
+    def add_output(self, net: str) -> str:
+        if net not in self.primary_outputs:
+            self.primary_outputs.append(net)
+        return net
+
+    def add_constant(self, net: str, value: int) -> str:
+        self.constants[net] = value & 1
+        return net
+
+    def add_alias(self, output_net: str, source_net: str) -> str:
+        """Declare that ``output_net`` is the same wire as ``source_net``."""
+        self.aliases[output_net] = source_net
+        return output_net
+
+    def add_gate(self, cell: CellType, inputs: Sequence[str], output: Optional[str] = None,
+                 name: Optional[str] = None) -> str:
+        """Instantiate ``cell``; returns the output net name."""
+        if output is None:
+            output = f"{self.name}_w{self._gate_counter}"
+        gate_name = name if name is not None else f"{self.name}_g{self._gate_counter}"
+        self._gate_counter += 1
+        self.gates.append(GateInstance(gate_name, cell, list(inputs), output))
+        return output
+
+    def merge(self, other: "GateNetlist", keep_io: bool = False) -> None:
+        """Absorb another netlist's gates/constants/aliases (for composed mappings)."""
+        self.gates.extend(other.gates)
+        self.constants.update(other.constants)
+        self.aliases.update(other.aliases)
+        if keep_io:
+            for net in other.primary_inputs:
+                self.add_input(net)
+            for net in other.primary_outputs:
+                self.add_output(net)
+        self._gate_counter = max(self._gate_counter, other._gate_counter) + len(other.gates)
+
+    # -------------------------------------------------------------- queries
+    @property
+    def n_gates(self) -> int:
+        return len(self.gates)
+
+    def all_nets(self) -> List[str]:
+        nets = set(self.primary_inputs) | set(self.primary_outputs) | set(self.constants)
+        nets.update(self.aliases)
+        nets.update(self.aliases.values())
+        for gate in self.gates:
+            nets.update(gate.inputs)
+            nets.add(gate.output)
+        return sorted(nets)
+
+    def total_area_um2(self) -> float:
+        return sum(gate.cell.area_um2 for gate in self.gates)
+
+    def total_leakage_nw(self) -> float:
+        return sum(gate.cell.leakage_nw for gate in self.gates)
+
+    def fanout(self) -> Dict[str, int]:
+        """Number of gate inputs (plus aliases) each net drives."""
+        counts: Dict[str, int] = {net: 0 for net in self.all_nets()}
+        for gate in self.gates:
+            for net in gate.inputs:
+                counts[net] = counts.get(net, 0) + 1
+        for source in self.aliases.values():
+            counts[source] = counts.get(source, 0) + 1
+        return counts
+
+    def load_capacitance_ff(self, library: StandardCellLibrary) -> Dict[str, float]:
+        """Capacitive load on each net: receiver input caps + wire estimate."""
+        loads: Dict[str, float] = {net: 0.0 for net in self.all_nets()}
+        for gate in self.gates:
+            for net in gate.inputs:
+                loads[net] = loads.get(net, 0.0) + gate.cell.input_cap_ff + library.wire_cap_per_fanout_ff
+        # primary outputs see a default external load
+        for net in self.primary_outputs:
+            loads[net] = loads.get(net, 0.0) + 2.0 * library.wire_cap_per_fanout_ff
+        return loads
+
+    def gate_histogram(self) -> Dict[str, int]:
+        histogram: Dict[str, int] = {}
+        for gate in self.gates:
+            histogram[gate.cell.name] = histogram.get(gate.cell.name, 0) + 1
+        return histogram
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GateNetlist({self.name!r}, {self.n_gates} gates)"

@@ -1,0 +1,137 @@
+"""Levelized gate-level simulation.
+
+Two-valued (0/1), cycle-less evaluation: each call settles the combinational
+gate network for one input vector.  Consecutive vectors yield per-net toggle
+information which the power calculator converts into switching energy — this
+is the "gate-level implementation" reference used to characterize RTL power
+macromodels, and the engine behind the slow gate-level estimation baseline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.gates.gate_netlist import GateInstance, GateNetlist, bit_net
+
+
+class GateLevelSimulator:
+    """Evaluates a :class:`GateNetlist` one input vector at a time."""
+
+    def __init__(self, netlist: GateNetlist) -> None:
+        self.netlist = netlist
+        self._order = self._levelize(netlist)
+        self._alias_cache: Dict[str, str] = {}
+        self.values: Dict[str, int] = {}
+        self.reset()
+
+    # ---------------------------------------------------------------- setup
+    @staticmethod
+    def _levelize(netlist: GateNetlist) -> List[GateInstance]:
+        producers: Dict[str, GateInstance] = {g.output: g for g in netlist.gates}
+        resolved_alias = _build_alias_resolver(netlist)
+
+        indegree: Dict[GateInstance, int] = {}
+        successors: Dict[GateInstance, List[GateInstance]] = {g: [] for g in netlist.gates}
+        for gate in netlist.gates:
+            count = 0
+            for net in gate.inputs:
+                source = producers.get(resolved_alias(net))
+                if source is not None and source is not gate:
+                    successors[source].append(gate)
+                    count += 1
+            indegree[gate] = count
+
+        order: List[GateInstance] = []
+        queue = deque(g for g in netlist.gates if indegree[g] == 0)
+        while queue:
+            gate = queue.popleft()
+            order.append(gate)
+            for succ in successors[gate]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    queue.append(succ)
+        if len(order) != len(netlist.gates):
+            raise ValueError(
+                f"gate netlist {netlist.name!r} contains a combinational cycle"
+            )
+        return order
+
+    # ------------------------------------------------------------- controls
+    def reset(self) -> None:
+        """Zero every net (and re-apply constants)."""
+        self.values = {net: 0 for net in self.netlist.all_nets()}
+        self.values.update(self.netlist.constants)
+
+    def resolve(self, net: str) -> str:
+        """Follow alias chains to the net that actually carries the value."""
+        if net not in self._alias_cache:
+            seen = set()
+            current = net
+            while current in self.netlist.aliases:
+                if current in seen:
+                    raise ValueError(f"alias cycle through net {current!r}")
+                seen.add(current)
+                current = self.netlist.aliases[current]
+            self._alias_cache[net] = current
+        return self._alias_cache[net]
+
+    # ------------------------------------------------------------ execution
+    def evaluate(self, input_bits: Mapping[str, int]) -> Dict[str, int]:
+        """Settle the network for one vector of primary-input bit values."""
+        values = self.values
+        values.update(self.netlist.constants)
+        for net in self.netlist.primary_inputs:
+            values[net] = input_bits.get(net, 0) & 1
+        for gate in self._order:
+            operands = [values[self.resolve(net)] for net in gate.inputs]
+            values[gate.output] = gate.cell.evaluate(operands)
+        # propagate alias targets so that aliased nets read correctly
+        for alias in self.netlist.aliases:
+            values[alias] = values[self.resolve(alias)]
+        return values
+
+    def evaluate_ports(self, port_values: Mapping[str, int],
+                       port_widths: Mapping[str, int]) -> Dict[str, int]:
+        """Bit-blast RTL port values, evaluate, and reassemble output ports."""
+        input_bits: Dict[str, int] = {}
+        for port, value in port_values.items():
+            width = port_widths.get(port, 1)
+            for i in range(width):
+                input_bits[bit_net(port, i)] = (value >> i) & 1
+        values = self.evaluate(input_bits)
+        outputs: Dict[str, int] = {}
+        for net in self.netlist.primary_outputs:
+            port, index = _split_bit_net(net)
+            outputs.setdefault(port, 0)
+            outputs[port] |= (values[net] & 1) << index
+        return outputs
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of the current net values (for toggle counting across vectors)."""
+        return dict(self.values)
+
+
+def _build_alias_resolver(netlist: GateNetlist):
+    cache: Dict[str, str] = {}
+
+    def resolve(net: str) -> str:
+        if net not in cache:
+            current = net
+            seen = set()
+            while current in netlist.aliases:
+                if current in seen:
+                    raise ValueError(f"alias cycle through net {current!r}")
+                seen.add(current)
+                current = netlist.aliases[current]
+            cache[net] = current
+        return cache[net]
+
+    return resolve
+
+
+def _split_bit_net(net: str) -> tuple:
+    if not net.endswith("]") or "[" not in net:
+        return net, 0
+    base, _, index = net.rpartition("[")
+    return base, int(index[:-1])

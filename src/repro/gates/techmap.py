@@ -1,0 +1,360 @@
+"""Technology mapping: expanding RTL components into standard-cell netlists.
+
+The mapper produces structurally plausible gate implementations (ripple-carry
+adders, array multipliers, mux trees, barrel shifters, ...) whose switching
+behaviour under real data is what the power-macromodel characterization engine
+measures.  Sequential components (registers, memories, FSMs) are *not* mapped;
+their power is covered by analytic models in :mod:`repro.power.macromodel`,
+which keeps gate-level reference simulation affordable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.gates.cells import CB013_LIBRARY, StandardCellLibrary
+from repro.gates.gate_netlist import GateNetlist, bit_net
+from repro.netlist.components import Component
+
+
+class TechmapError(Exception):
+    """Raised when a component type has no gate-level mapping."""
+
+
+class TechnologyMapper:
+    """Maps RTL components onto a :class:`StandardCellLibrary`."""
+
+    def __init__(self, library: StandardCellLibrary = CB013_LIBRARY) -> None:
+        self.library = library
+        self._dispatch = {
+            "adder": self._map_adder,
+            "subtractor": self._map_subtractor,
+            "addsub": self._map_addsub,
+            "multiplier": self._map_multiplier,
+            "comparator": self._map_comparator,
+            "absval": self._map_absval,
+            "saturator": self._map_saturator,
+            "shifter_const": self._map_shifter_const,
+            "shifter_var": self._map_shifter_var,
+            "mux": self._map_mux,
+            "logic": self._map_logic,
+            "not": self._map_not,
+            "reduce": self._map_reduce,
+            "concat": self._map_concat,
+            "slice": self._map_slice,
+            "extend": self._map_extend,
+            "decoder": self._map_decoder,
+        }
+
+    # ------------------------------------------------------------------ API
+    def can_map(self, component: Component) -> bool:
+        return component.type_name in self._dispatch
+
+    def map_component(self, component: Component) -> GateNetlist:
+        """Return the gate netlist implementing ``component``."""
+        handler = self._dispatch.get(component.type_name)
+        if handler is None:
+            raise TechmapError(
+                f"no gate-level mapping for component type {component.type_name!r} "
+                f"({component.name!r}); sequential/storage components use analytic "
+                "power models instead"
+            )
+        netlist = GateNetlist(f"{component.type_name}_{component.name}")
+        for port in component.input_ports:
+            for i in range(port.width):
+                netlist.add_input(bit_net(port.name, i))
+        handler(component, netlist)
+        for port in component.output_ports:
+            for i in range(port.width):
+                netlist.add_output(bit_net(port.name, i))
+        return netlist
+
+    # -------------------------------------------------------------- helpers
+    def _cell(self, name: str):
+        return self.library.cell(name)
+
+    def _full_adder(self, netlist: GateNetlist, a: str, b: str, cin: str,
+                    sum_net: Optional[str] = None) -> tuple:
+        """XOR3/MAJ3 full adder; returns (sum, carry) net names."""
+        s = netlist.add_gate(self._cell("XOR3"), [a, b, cin], sum_net)
+        c = netlist.add_gate(self._cell("MAJ3"), [a, b, cin])
+        return s, c
+
+    def _ripple_add(
+        self,
+        netlist: GateNetlist,
+        a_bits: Sequence[str],
+        b_bits: Sequence[str],
+        cin: str,
+        sum_names: Optional[Sequence[Optional[str]]] = None,
+    ) -> tuple:
+        """Ripple-carry addition of two equal-width bit vectors; returns (sums, cout)."""
+        width = len(a_bits)
+        sums: List[str] = []
+        carry = cin
+        for i in range(width):
+            target = sum_names[i] if sum_names is not None else None
+            s, carry = self._full_adder(netlist, a_bits[i], b_bits[i], carry, target)
+            sums.append(s)
+        return sums, carry
+
+    def _invert_bits(self, netlist: GateNetlist, bits: Sequence[str]) -> List[str]:
+        return [netlist.add_gate(self._cell("INV"), [b]) for b in bits]
+
+    def _const(self, netlist: GateNetlist, value: int) -> str:
+        net = f"const_{value}_{len(netlist.constants)}"
+        return netlist.add_constant(net, value)
+
+    def _port_bits(self, component: Component, port: str) -> List[str]:
+        width = component.ports[port].width
+        return [bit_net(port, i) for i in range(width)]
+
+    def _and_tree(self, netlist: GateNetlist, bits: Sequence[str]) -> str:
+        return self._reduce_tree(netlist, bits, "AND2")
+
+    def _or_tree(self, netlist: GateNetlist, bits: Sequence[str]) -> str:
+        return self._reduce_tree(netlist, bits, "OR2")
+
+    def _xor_tree(self, netlist: GateNetlist, bits: Sequence[str]) -> str:
+        return self._reduce_tree(netlist, bits, "XOR2")
+
+    def _reduce_tree(self, netlist: GateNetlist, bits: Sequence[str], cell: str) -> str:
+        level = list(bits)
+        if not level:
+            return self._const(netlist, 0)
+        while len(level) > 1:
+            next_level = []
+            for i in range(0, len(level) - 1, 2):
+                next_level.append(netlist.add_gate(self._cell(cell), [level[i], level[i + 1]]))
+            if len(level) % 2:
+                next_level.append(level[-1])
+            level = next_level
+        return level[0]
+
+    # ------------------------------------------------------------- mappings
+    def _map_adder(self, component: Component, netlist: GateNetlist) -> None:
+        a = self._port_bits(component, "a")
+        b = self._port_bits(component, "b")
+        cin = bit_net("cin", 0) if component.with_carry_in else self._const(netlist, 0)
+        sum_names = [bit_net("y", i) for i in range(component.width)]
+        _, cout = self._ripple_add(netlist, a, b, cin, sum_names)
+        if component.with_carry_out:
+            netlist.add_alias(bit_net("cout", 0), cout)
+
+    def _map_subtractor(self, component: Component, netlist: GateNetlist) -> None:
+        a = self._port_bits(component, "a")
+        b = self._invert_bits(netlist, self._port_bits(component, "b"))
+        cin = self._const(netlist, 1)
+        sum_names = [bit_net("y", i) for i in range(component.width)]
+        _, cout = self._ripple_add(netlist, a, b, cin, sum_names)
+        if component.with_borrow_out:
+            # borrow is the complement of the final carry in a - b = a + ~b + 1
+            borrow = netlist.add_gate(self._cell("INV"), [cout])
+            netlist.add_alias(bit_net("borrow", 0), borrow)
+
+    def _map_addsub(self, component: Component, netlist: GateNetlist) -> None:
+        a = self._port_bits(component, "a")
+        b = self._port_bits(component, "b")
+        sub = bit_net("sub", 0)
+        b_sel = [netlist.add_gate(self._cell("XOR2"), [bit, sub]) for bit in b]
+        sum_names = [bit_net("y", i) for i in range(component.width)]
+        self._ripple_add(netlist, a, b_sel, sub, sum_names)
+
+    def _map_multiplier(self, component: Component, netlist: GateNetlist) -> None:
+        width_y = component.width_y
+        a = self._extended_operand(
+            netlist, self._port_bits(component, "a"), width_y, component.signed
+        )
+        b = self._extended_operand(
+            netlist, self._port_bits(component, "b"), width_y, component.signed
+        )
+        zero = self._const(netlist, 0)
+        # shift-and-add array multiplier over width_y partial-product rows
+        accumulator = [zero] * width_y
+        for row in range(width_y):
+            row_width = width_y - row
+            partial = [
+                netlist.add_gate(self._cell("AND2"), [a[col], b[row]])
+                for col in range(row_width)
+            ]
+            acc_slice = accumulator[row:]
+            sums, _ = self._ripple_add(netlist, acc_slice, partial, zero)
+            accumulator = accumulator[:row] + sums
+        for i in range(width_y):
+            netlist.add_alias(bit_net("y", i), accumulator[i])
+
+    def _extended_operand(
+        self, netlist: GateNetlist, bits: Sequence[str], width: int, signed: bool
+    ) -> List[str]:
+        bits = list(bits)[:width]
+        if len(bits) == width:
+            return bits
+        fill = bits[-1] if signed else self._const(netlist, 0)
+        return bits + [fill] * (width - len(bits))
+
+    def _map_comparator(self, component: Component, netlist: GateNetlist) -> None:
+        a = self._port_bits(component, "a")
+        b = self._port_bits(component, "b")
+        if component.signed:
+            # flip MSBs so that two's-complement ordering matches unsigned ordering
+            a = a[:-1] + [netlist.add_gate(self._cell("INV"), [a[-1]])]
+            b = b[:-1] + [netlist.add_gate(self._cell("INV"), [b[-1]])]
+        xnors = [netlist.add_gate(self._cell("XNOR2"), [x, y]) for x, y in zip(a, b)]
+        eq = self._and_tree(netlist, xnors)
+        netlist.add_alias(bit_net("eq", 0), eq)
+        # a < b  <=>  carry out of a + ~b + 1 is 0
+        b_inv = self._invert_bits(netlist, b)
+        _, cout = self._ripple_add(netlist, a, b_inv, self._const(netlist, 1))
+        lt = netlist.add_gate(self._cell("INV"), [cout])
+        netlist.add_alias(bit_net("lt", 0), lt)
+        gt = netlist.add_gate(self._cell("NOR2"), [lt, eq])
+        netlist.add_alias(bit_net("gt", 0), gt)
+
+    def _map_absval(self, component: Component, netlist: GateNetlist) -> None:
+        a = self._port_bits(component, "a")
+        sign = a[-1]
+        flipped = [netlist.add_gate(self._cell("XOR2"), [bit, sign]) for bit in a]
+        zeros = [self._const(netlist, 0)] * len(a)
+        sum_names = [bit_net("y", i) for i in range(len(a))]
+        self._ripple_add(netlist, flipped, zeros, sign, sum_names)
+
+    def _map_saturator(self, component: Component, netlist: GateNetlist) -> None:
+        a = self._port_bits(component, "a")
+        width_out = component.width_out
+        if component.signed:
+            sign = a[-1]
+            # overflow when the discarded high bits + the output sign bit are not
+            # all equal to the sign bit
+            high = a[width_out - 1:]
+            diffs = [netlist.add_gate(self._cell("XOR2"), [bit, sign]) for bit in high]
+            overflow = self._or_tree(netlist, diffs)
+            for i in range(width_out):
+                if i == width_out - 1:
+                    sat_bit = sign
+                else:
+                    sat_bit = netlist.add_gate(self._cell("INV"), [sign])
+                out = netlist.add_gate(self._cell("MUX2"), [a[i], sat_bit, overflow])
+                netlist.add_alias(bit_net("y", i), out)
+        else:
+            high = a[width_out:]
+            overflow = self._or_tree(netlist, high) if high else self._const(netlist, 0)
+            for i in range(width_out):
+                out = netlist.add_gate(
+                    self._cell("MUX2"), [a[i], self._const(netlist, 1), overflow]
+                )
+                netlist.add_alias(bit_net("y", i), out)
+
+    def _map_shifter_const(self, component: Component, netlist: GateNetlist) -> None:
+        width = component.width
+        amount = component.amount
+        for i in range(width):
+            if component.direction == "left":
+                source_index = i - amount
+            else:
+                source_index = i + amount
+            if 0 <= source_index < width:
+                netlist.add_alias(bit_net("y", i), bit_net("a", source_index))
+            elif component.direction == "right" and component.arithmetic:
+                netlist.add_alias(bit_net("y", i), bit_net("a", width - 1))
+            else:
+                netlist.add_alias(bit_net("y", i), self._const(netlist, 0))
+
+    def _map_shifter_var(self, component: Component, netlist: GateNetlist) -> None:
+        width = component.width
+        current = self._port_bits(component, "a")
+        sign = current[-1]
+        for stage in range(component.amount_width):
+            shift = 1 << stage
+            sel = bit_net("amount", stage)
+            next_bits: List[str] = []
+            for i in range(width):
+                if component.direction == "left":
+                    source = current[i - shift] if i - shift >= 0 else self._const(netlist, 0)
+                else:
+                    if i + shift < width:
+                        source = current[i + shift]
+                    else:
+                        source = sign if component.arithmetic else self._const(netlist, 0)
+                next_bits.append(
+                    netlist.add_gate(self._cell("MUX2"), [current[i], source, sel])
+                )
+            current = next_bits
+        for i in range(width):
+            netlist.add_alias(bit_net("y", i), current[i])
+
+    def _map_mux(self, component: Component, netlist: GateNetlist) -> None:
+        width = component.width
+        n_inputs = component.n_inputs
+        sel_bits = [bit_net("sel", i) for i in range(component.sel_width)]
+        for bit in range(width):
+            candidates = [bit_net(f"d{i}", bit) for i in range(n_inputs)]
+            level = candidates
+            for stage, sel in enumerate(sel_bits):
+                next_level = []
+                for i in range(0, len(level), 2):
+                    if i + 1 < len(level):
+                        next_level.append(
+                            netlist.add_gate(self._cell("MUX2"), [level[i], level[i + 1], sel])
+                        )
+                    else:
+                        next_level.append(level[i])
+                level = next_level
+                if len(level) == 1:
+                    break
+            netlist.add_alias(bit_net("y", bit), level[0])
+
+    _LOGIC_CELLS = {
+        "and": "AND2",
+        "or": "OR2",
+        "xor": "XOR2",
+        "nand": "NAND2",
+        "nor": "NOR2",
+        "xnor": "XNOR2",
+    }
+
+    def _map_logic(self, component: Component, netlist: GateNetlist) -> None:
+        cell = self._cell(self._LOGIC_CELLS[component.op])
+        for i in range(component.width):
+            netlist.add_gate(cell, [bit_net("a", i), bit_net("b", i)], bit_net("y", i))
+
+    def _map_not(self, component: Component, netlist: GateNetlist) -> None:
+        for i in range(component.width):
+            netlist.add_gate(self._cell("INV"), [bit_net("a", i)], bit_net("y", i))
+
+    def _map_reduce(self, component: Component, netlist: GateNetlist) -> None:
+        bits = self._port_bits(component, "a")
+        cell = {"and": "AND2", "or": "OR2", "xor": "XOR2"}[component.op]
+        result = self._reduce_tree(netlist, bits, cell)
+        netlist.add_alias(bit_net("y", 0), result)
+
+    def _map_concat(self, component: Component, netlist: GateNetlist) -> None:
+        offset = 0
+        for index, width in enumerate(component.widths):
+            for i in range(width):
+                netlist.add_alias(bit_net("y", offset + i), bit_net(f"i{index}", i))
+            offset += width
+
+    def _map_slice(self, component: Component, netlist: GateNetlist) -> None:
+        for i in range(component.width_out):
+            netlist.add_alias(bit_net("y", i), bit_net("a", component.low + i))
+
+    def _map_extend(self, component: Component, netlist: GateNetlist) -> None:
+        for i in range(component.width_in):
+            netlist.add_alias(bit_net("y", i), bit_net("a", i))
+        fill = (
+            bit_net("a", component.width_in - 1)
+            if component.signed
+            else self._const(netlist, 0)
+        )
+        for i in range(component.width_in, component.width_out):
+            netlist.add_alias(bit_net("y", i), fill)
+
+    def _map_decoder(self, component: Component, netlist: GateNetlist) -> None:
+        sel_bits = self._port_bits(component, "a")
+        inverted = self._invert_bits(netlist, sel_bits)
+        for value in range(component.width_out):
+            terms = [
+                sel_bits[i] if (value >> i) & 1 else inverted[i]
+                for i in range(len(sel_bits))
+            ]
+            netlist.add_alias(bit_net("y", value), self._and_tree(netlist, terms))

@@ -1,0 +1,42 @@
+"""A small behavioral-synthesis (high-level synthesis) substrate.
+
+The paper's benchmark RTL is produced by NEC's CYBER behavioral synthesis tool
+from C descriptions.  This package provides the equivalent substrate for
+dataflow kernels: a dataflow-graph IR, ASAP/ALAP/resource-constrained list
+scheduling, functional-unit allocation and binding, left-edge register
+binding, and datapath + FSM controller generation into the RTL netlist IR.
+The generated designs are ordinary :class:`repro.netlist.module.Module`
+objects, so they flow through power estimation and power emulation exactly
+like the hand-written benchmarks.
+"""
+
+from repro.hls.dfg import DataflowGraph, DFGNode, DFGError
+from repro.hls.scheduling import (
+    Schedule,
+    asap_schedule,
+    alap_schedule,
+    list_schedule,
+    OP_CLASSES,
+)
+from repro.hls.allocation import Allocation, allocate
+from repro.hls.binding import Binding, bind
+from repro.hls.datapath import generate_datapath
+from repro.hls.synthesize import HLSResult, synthesize
+
+__all__ = [
+    "DataflowGraph",
+    "DFGNode",
+    "DFGError",
+    "Schedule",
+    "asap_schedule",
+    "alap_schedule",
+    "list_schedule",
+    "OP_CLASSES",
+    "Allocation",
+    "allocate",
+    "Binding",
+    "bind",
+    "generate_datapath",
+    "HLSResult",
+    "synthesize",
+]

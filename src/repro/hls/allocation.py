@@ -1,0 +1,65 @@
+"""Functional-unit allocation.
+
+Expensive, shareable units (ALUs and multipliers) are allocated from the
+schedule's concurrency profile; cheap operations (bitwise logic, constant
+shifts) get dedicated hardware, which is what practical behavioral-synthesis
+tools do as well — sharing a shifter behind a multiplexer costs more than the
+shifter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.hls.dfg import DataflowGraph
+from repro.hls.scheduling import OP_CLASSES, Schedule
+
+#: functional-unit classes that are shared between operations
+SHARED_CLASSES = ("alu", "multiplier")
+
+
+@dataclass
+class Allocation:
+    """Allocated functional units for one scheduled dataflow graph."""
+
+    #: shared class -> list of unit instance names (e.g. ``alu -> [alu0, alu1]``)
+    shared_units: Dict[str, List[str]] = field(default_factory=dict)
+    #: shared class -> datapath width of the units of that class
+    shared_widths: Dict[str, int] = field(default_factory=dict)
+    #: node names that receive dedicated (unshared) hardware
+    dedicated: List[str] = field(default_factory=list)
+
+    @property
+    def n_shared_units(self) -> int:
+        return sum(len(units) for units in self.shared_units.values())
+
+    def summary(self) -> str:
+        parts = [
+            f"{op_class}: {len(units)} x {self.shared_widths.get(op_class, 0)}-bit"
+            for op_class, units in sorted(self.shared_units.items())
+        ]
+        parts.append(f"dedicated: {len(self.dedicated)}")
+        return ", ".join(parts)
+
+
+def allocate(graph: DataflowGraph, schedule: Schedule) -> Allocation:
+    """Allocate functional units for a schedule."""
+    allocation = Allocation()
+    concurrency = schedule.max_concurrency()
+    for op_class in SHARED_CLASSES:
+        needed = concurrency.get(op_class, 0)
+        if needed == 0:
+            continue
+        allocation.shared_units[op_class] = [f"{op_class}{i}" for i in range(needed)]
+        width = 0
+        for node in graph.operations:
+            if OP_CLASSES[node.op] != op_class:
+                continue
+            width = max(width, node.width,
+                        *(graph.nodes[op].width for op in node.operands))
+        allocation.shared_widths[op_class] = max(1, width)
+    for node in graph.operations:
+        if OP_CLASSES[node.op] not in SHARED_CLASSES:
+            allocation.dedicated.append(node.name)
+    return allocation

@@ -1,0 +1,123 @@
+"""Operation-to-unit binding and left-edge register binding."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hls.allocation import SHARED_CLASSES, Allocation
+from repro.hls.dfg import DataflowGraph
+from repro.hls.scheduling import OP_CLASSES, Schedule
+
+
+@dataclass
+class ValueLifetime:
+    """Register-allocation interval of one operation result."""
+
+    node: str
+    width: int
+    #: step at whose end the value is written into its register
+    birth: int
+    #: last step in which the value is read (inclusive)
+    death: int
+
+    def overlaps(self, other: "ValueLifetime") -> bool:
+        return not (self.death < other.birth or other.death < self.birth)
+
+
+@dataclass
+class Binding:
+    """Complete binding: operations to units, values to registers."""
+
+    #: operation node -> functional unit name (shared units and dedicated ones)
+    unit_of: Dict[str, str] = field(default_factory=dict)
+    #: register name -> list of value (node) names stored in it
+    register_values: Dict[str, List[str]] = field(default_factory=dict)
+    #: value (node) name -> register name
+    register_of: Dict[str, str] = field(default_factory=dict)
+    #: register name -> width
+    register_widths: Dict[str, int] = field(default_factory=dict)
+    #: value lifetimes (kept for inspection/tests)
+    lifetimes: Dict[str, ValueLifetime] = field(default_factory=dict)
+
+    @property
+    def n_registers(self) -> int:
+        return len(self.register_values)
+
+
+def bind(graph: DataflowGraph, schedule: Schedule, allocation: Allocation) -> Binding:
+    """Bind scheduled operations to units and their results to registers."""
+    binding = Binding()
+    _bind_operations(graph, schedule, allocation, binding)
+    _bind_registers(graph, schedule, binding)
+    return binding
+
+
+# ---------------------------------------------------------------- operations
+def _bind_operations(
+    graph: DataflowGraph,
+    schedule: Schedule,
+    allocation: Allocation,
+    binding: Binding,
+) -> None:
+    # dedicated units simply carry their node's name
+    for node_name in allocation.dedicated:
+        binding.unit_of[node_name] = f"ded_{node_name}"
+    # shared units: per step, hand out units round-robin within each class
+    for step in range(schedule.n_steps):
+        used: Dict[str, int] = {op_class: 0 for op_class in allocation.shared_units}
+        for node in sorted(schedule.operations_in_step(step), key=lambda n: n.name):
+            op_class = OP_CLASSES[node.op]
+            if op_class not in SHARED_CLASSES:
+                continue
+            units = allocation.shared_units[op_class]
+            index = used[op_class]
+            if index >= len(units):
+                raise ValueError(
+                    f"step {step} needs more {op_class} units than allocated "
+                    f"({len(units)}); schedule and allocation disagree"
+                )
+            binding.unit_of[node.name] = units[index]
+            used[op_class] = index + 1
+
+
+# ----------------------------------------------------------------- registers
+def _lifetimes(graph: DataflowGraph, schedule: Schedule) -> List[ValueLifetime]:
+    lifetimes: List[ValueLifetime] = []
+    n_steps = schedule.n_steps
+    output_nodes = set(graph.outputs.values())
+    for node in graph.operations:
+        birth = schedule.start_step[node.name] + schedule.latency(node.name) - 1
+        death = birth
+        for consumer in graph.consumers(node.name):
+            death = max(death, schedule.start_step[consumer.name])
+        if node.name in output_nodes:
+            # outputs must survive until the controller signals completion
+            death = max(death, n_steps)
+        lifetimes.append(ValueLifetime(node.name, node.width, birth, death))
+    return lifetimes
+
+
+def _bind_registers(graph: DataflowGraph, schedule: Schedule, binding: Binding) -> None:
+    """Left-edge algorithm over value lifetimes."""
+    lifetimes = sorted(_lifetimes(graph, schedule), key=lambda lt: (lt.birth, lt.death))
+    registers: List[Tuple[str, List[ValueLifetime]]] = []
+    for lifetime in lifetimes:
+        binding.lifetimes[lifetime.node] = lifetime
+        placed = False
+        for reg_name, occupants in registers:
+            if all(not lifetime.overlaps(existing) for existing in occupants):
+                occupants.append(lifetime)
+                binding.register_values[reg_name].append(lifetime.node)
+                binding.register_of[lifetime.node] = reg_name
+                binding.register_widths[reg_name] = max(
+                    binding.register_widths[reg_name], lifetime.width
+                )
+                placed = True
+                break
+        if not placed:
+            reg_name = f"r{len(registers)}"
+            registers.append((reg_name, [lifetime]))
+            binding.register_values[reg_name] = [lifetime.node]
+            binding.register_of[lifetime.node] = reg_name
+            binding.register_widths[reg_name] = lifetime.width

@@ -1,0 +1,271 @@
+"""Datapath and controller generation.
+
+Turns a scheduled and bound dataflow graph into a structural RTL module:
+
+* one shared functional unit per allocated ALU/multiplier, fed by input
+  multiplexers whose select lines are Moore outputs of the controller,
+* dedicated units for cheap operations (bitwise logic, constant shifts),
+* one register per left-edge register class, with an input multiplexer when it
+  stores values produced by different units,
+* a Moore FSM controller with states ``IDLE, S0..S{n-1}, DONE`` driving all
+  register enables, multiplexer selects and the ALU add/sub controls.
+
+Protocol: drive the kernel inputs, pulse ``start`` for one cycle, wait for
+``done``; outputs stay valid until the next run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hls.allocation import Allocation
+from repro.hls.binding import Binding
+from repro.hls.dfg import DataflowGraph, DFGNode
+from repro.hls.scheduling import OP_CLASSES, Schedule
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.module import Module
+from repro.netlist.nets import Net
+
+
+@dataclass
+class _SharedUnitPlan:
+    """Bookkeeping for one shared functional unit before netlist construction."""
+
+    name: str
+    op_class: str
+    width: int
+    #: ordered distinct source node names for each operand position
+    a_sources: List[str] = field(default_factory=list)
+    b_sources: List[str] = field(default_factory=list)
+    #: node name -> (a index, b index, subtract flag)
+    op_controls: Dict[str, Tuple[int, int, int]] = field(default_factory=dict)
+
+    def source_index(self, sources: List[str], node: str) -> int:
+        if node not in sources:
+            sources.append(node)
+        return sources.index(node)
+
+
+def _sel_width(n_sources: int) -> int:
+    return max(1, (max(n_sources, 2) - 1).bit_length())
+
+
+def generate_datapath(
+    graph: DataflowGraph,
+    schedule: Schedule,
+    allocation: Allocation,
+    binding: Binding,
+    name: Optional[str] = None,
+) -> Module:
+    """Generate the RTL module implementing the scheduled kernel."""
+    schedule.verify_dependencies()
+    n_steps = schedule.n_steps
+    states = ["IDLE"] + [f"S{i}" for i in range(n_steps)] + ["DONE"]
+
+    # ---------------------------------------------------------------- plan
+    unit_plans: Dict[str, _SharedUnitPlan] = {}
+    for op_class, units in allocation.shared_units.items():
+        for unit in units:
+            unit_plans[unit] = _SharedUnitPlan(
+                unit, op_class, allocation.shared_widths[op_class]
+            )
+
+    zero_const_needed = False
+    for node in graph.operations:
+        unit = binding.unit_of[node.name]
+        if unit not in unit_plans:
+            continue
+        plan = unit_plans[unit]
+        if node.op == "neg":
+            zero_const_needed = True
+            a_operand, b_operand = "__zero__", node.operands[0]
+            subtract = 1
+        elif node.op in ("sub",):
+            a_operand, b_operand = node.operands[0], node.operands[1]
+            subtract = 1
+        elif node.op in ("add",):
+            a_operand, b_operand = node.operands[0], node.operands[1]
+            subtract = 0
+        else:  # multiplier class
+            a_operand, b_operand = node.operands[0], node.operands[1]
+            subtract = 0
+        a_index = plan.source_index(plan.a_sources, a_operand)
+        b_index = plan.source_index(plan.b_sources, b_operand)
+        plan.op_controls[node.name] = (a_index, b_index, subtract)
+
+    # register input plans: register -> ordered distinct producing nodes
+    register_sources: Dict[str, List[str]] = {}
+    for reg, values in binding.register_values.items():
+        sources: List[str] = []
+        for value in values:
+            if value not in sources:
+                sources.append(value)
+        register_sources[reg] = sources
+
+    # ------------------------------------------------------ controller plan
+    output_widths: Dict[str, int] = {"done": 1}
+    for reg in binding.register_values:
+        output_widths[f"en_{reg}"] = 1
+        if len(register_sources[reg]) > 1:
+            output_widths[f"sel_{reg}"] = _sel_width(len(register_sources[reg]))
+    for unit, plan in unit_plans.items():
+        if len(plan.a_sources) > 1:
+            output_widths[f"sela_{unit}"] = _sel_width(len(plan.a_sources))
+        if len(plan.b_sources) > 1:
+            output_widths[f"selb_{unit}"] = _sel_width(len(plan.b_sources))
+        if plan.op_class == "alu":
+            output_widths[f"sub_{unit}"] = 1
+
+    moore: Dict[str, Dict[str, int]] = {state: {} for state in states}
+    moore["DONE"]["done"] = 1
+    for node in graph.operations:
+        step = schedule.start_step[node.name]
+        state = f"S{step + schedule.latency(node.name) - 1}"
+        exec_state = f"S{step}"
+        unit = binding.unit_of[node.name]
+        if unit in unit_plans:
+            plan = unit_plans[unit]
+            a_index, b_index, subtract = plan.op_controls[node.name]
+            if f"sela_{unit}" in output_widths:
+                moore[exec_state][f"sela_{unit}"] = a_index
+            if f"selb_{unit}" in output_widths:
+                moore[exec_state][f"selb_{unit}"] = b_index
+            if f"sub_{unit}" in output_widths:
+                moore[exec_state][f"sub_{unit}"] = subtract
+        reg = binding.register_of[node.name]
+        moore[state][f"en_{reg}"] = 1
+        if f"sel_{reg}" in output_widths:
+            moore[state][f"sel_{reg}"] = register_sources[reg].index(node.name)
+
+    # -------------------------------------------------------------- netlist
+    b = NetlistBuilder(name if name is not None else f"{graph.name}_hls")
+    b.module.attributes["hls"] = {
+        "n_steps": n_steps,
+        "n_registers": binding.n_registers,
+        "allocation": allocation.summary(),
+    }
+    start = b.input("start", 1)
+    input_nets: Dict[str, Net] = {}
+    for node in graph.inputs:
+        input_nets[node.name] = b.input(node.name, node.width)
+
+    fsm, fsm_outputs = b.fsm(
+        "ctrl",
+        states=states,
+        inputs={"start": start},
+        outputs=output_widths,
+        moore_outputs=moore,
+    )
+    fsm.when("IDLE", "S0" if n_steps else "DONE", start=1)
+    for i in range(n_steps - 1):
+        fsm.otherwise(f"S{i}", f"S{i + 1}")
+    if n_steps:
+        fsm.otherwise(f"S{n_steps - 1}", "DONE")
+    fsm.otherwise("DONE", "IDLE")
+
+    # constants
+    const_nets: Dict[str, Net] = {}
+    for node in graph.nodes.values():
+        if node.op == "const":
+            const_nets[node.name] = b.const(int(node.params["value"]), node.width,
+                                            name=f"k_{node.name}")
+    if zero_const_needed:
+        const_nets["__zero__"] = b.const(0, max(allocation.shared_widths.get("alu", 1), 1),
+                                         name="k_zero")
+
+    # registers (declared first so feedback through shared units resolves)
+    register_q: Dict[str, Net] = {}
+    for reg, width in binding.register_widths.items():
+        register_q[reg] = b.register(f"reg_{reg}", width, has_enable=True)
+
+    def source_net(node_name: str) -> Net:
+        if node_name in input_nets:
+            return input_nets[node_name]
+        if node_name in const_nets:
+            return const_nets[node_name]
+        return register_q[binding.register_of[node_name]]
+
+    signed = graph.signed
+
+    def resized(net: Net, width: int) -> Net:
+        return b.resize(net, width, signed=signed)
+
+    # functional units
+    unit_output: Dict[str, Net] = {}
+    for unit, plan in unit_plans.items():
+        a_net = _mux_or_wire(b, plan.a_sources, source_net, resized, plan.width,
+                             fsm_outputs.get(f"sela_{unit}"), f"{unit}_a")
+        b_net = _mux_or_wire(b, plan.b_sources, source_net, resized, plan.width,
+                             fsm_outputs.get(f"selb_{unit}"), f"{unit}_b")
+        if plan.op_class == "alu":
+            unit_output[unit] = b.addsub(a_net, b_net, fsm_outputs[f"sub_{unit}"],
+                                         width=plan.width, name=f"fu_{unit}")
+        else:
+            width_y = max(
+                (graph.nodes[n].width for n in plan.op_controls), default=plan.width
+            )
+            unit_output[unit] = b.mul(a_net, b_net, width_y=width_y, signed=signed,
+                                      name=f"fu_{unit}")
+
+    # dedicated units
+    for node_name in allocation.dedicated:
+        node = graph.nodes[node_name]
+        operand_nets = [source_net(op) for op in node.operands]
+        unit_output[binding.unit_of[node_name]] = _dedicated_unit(
+            b, node, operand_nets, resized
+        )
+
+    def producer_net(node_name: str) -> Net:
+        return unit_output[binding.unit_of[node_name]]
+
+    # register input muxes and drives.  Producer outputs are first truncated to
+    # the value's semantic width (so wrap-around matches the DFG reference
+    # semantics even when a wider shared unit computed it) and then extended to
+    # the register width.
+    for reg, sources in register_sources.items():
+        width = binding.register_widths[reg]
+        candidates = [
+            resized(b.resize(producer_net(value), graph.nodes[value].width, signed=signed), width)
+            for value in sources
+        ]
+        if len(candidates) == 1:
+            d_net = candidates[0]
+        else:
+            d_net = b.mux(fsm_outputs[f"sel_{reg}"], *candidates, name=f"regmux_{reg}")
+        b.drive(f"reg_{reg}", d=d_net, en=fsm_outputs[f"en_{reg}"])
+
+    # outputs
+    for out_name, value_node in graph.outputs.items():
+        node = graph.nodes[value_node]
+        if node.is_source:
+            net = source_net(value_node)
+        else:
+            net = register_q[binding.register_of[value_node]]
+        b.output(out_name, b.resize(net, node.width, signed=signed))
+    b.output("done", fsm_outputs["done"])
+    return b.build()
+
+
+def _mux_or_wire(builder, sources, source_net, resized, width, sel_net, name):
+    nets = [resized(source_net(s), width) for s in sources]
+    if len(nets) == 1:
+        return nets[0]
+    return builder.mux(sel_net, *nets, name=f"mux_{name}")
+
+
+def _dedicated_unit(builder: NetlistBuilder, node: DFGNode, operand_nets, resized):
+    width = node.width
+    if node.op in ("and", "or", "xor"):
+        return builder.logic(node.op, resized(operand_nets[0], width),
+                             resized(operand_nets[1], width), name=f"fu_{node.name}")
+    if node.op == "shl":
+        return builder.shl(resized(operand_nets[0], width), int(node.params["amount"]),
+                           name=f"fu_{node.name}")
+    if node.op == "shr":
+        return builder.shr(resized(operand_nets[0], width), int(node.params["amount"]),
+                           arithmetic=False, name=f"fu_{node.name}")
+    if node.op == "asr":
+        return builder.shr(resized(operand_nets[0], width), int(node.params["amount"]),
+                           arithmetic=True, name=f"fu_{node.name}")
+    raise ValueError(f"operation {node.op!r} has no dedicated-unit mapping")

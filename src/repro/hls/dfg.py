@@ -1,0 +1,211 @@
+"""Dataflow graph intermediate representation for behavioral synthesis.
+
+A :class:`DataflowGraph` describes one invocation of a pure dataflow kernel:
+primary inputs, a DAG of scalar operations, and primary outputs.  Control flow
+is out of scope (the control-dominated benchmark designs are written
+structurally instead), which matches the kernels we generate with it (DCT
+butterflies, FIR taps, quantizer arithmetic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.netlist.signals import from_signed, mask_value, to_signed
+
+#: operations supported by the dataflow IR and their arity
+OPERATIONS = {
+    "input": 0,
+    "const": 0,
+    "add": 2,
+    "sub": 2,
+    "mul": 2,
+    "and": 2,
+    "or": 2,
+    "xor": 2,
+    "shl": 1,
+    "shr": 1,
+    "asr": 1,
+    "neg": 1,
+}
+
+
+class DFGError(Exception):
+    """Raised for malformed dataflow graphs."""
+
+
+@dataclass
+class DFGNode:
+    """One operation (or input/constant) in the dataflow graph."""
+
+    name: str
+    op: str
+    width: int
+    operands: List[str] = field(default_factory=list)
+    #: op-specific parameters: constant ``value``, shift ``amount``, ``signed``
+    params: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def is_source(self) -> bool:
+        return self.op in ("input", "const")
+
+
+class DataflowGraph:
+    """A DAG of scalar operations with named primary inputs and outputs."""
+
+    def __init__(self, name: str, signed: bool = True) -> None:
+        self.name = name
+        #: interpret values as two's complement in :meth:`evaluate`
+        self.signed = signed
+        self.nodes: Dict[str, DFGNode] = {}
+        #: output name -> node name
+        self.outputs: Dict[str, str] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------- building
+    def _add(self, op: str, width: int, operands: Sequence[str] = (),
+             name: Optional[str] = None, **params) -> str:
+        if op not in OPERATIONS:
+            raise DFGError(f"unknown operation {op!r}")
+        arity = OPERATIONS[op]
+        if arity and len(operands) != arity:
+            raise DFGError(f"{op} expects {arity} operands, got {len(operands)}")
+        node_name = name if name is not None else f"{op}_{self._counter}"
+        self._counter += 1
+        if node_name in self.nodes:
+            raise DFGError(f"duplicate node name {node_name!r}")
+        for operand in operands:
+            if operand not in self.nodes:
+                raise DFGError(f"operand {operand!r} of {node_name!r} is not defined yet")
+        self.nodes[node_name] = DFGNode(node_name, op, width, list(operands), dict(params))
+        return node_name
+
+    def input(self, name: str, width: int) -> str:
+        return self._add("input", width, name=name)
+
+    def const(self, value: int, width: int, name: Optional[str] = None) -> str:
+        return self._add("const", width, name=name, value=value)
+
+    def add(self, a: str, b: str, width: Optional[int] = None, name: Optional[str] = None) -> str:
+        return self._add("add", width or self._w(a, b), [a, b], name)
+
+    def sub(self, a: str, b: str, width: Optional[int] = None, name: Optional[str] = None) -> str:
+        return self._add("sub", width or self._w(a, b), [a, b], name)
+
+    def mul(self, a: str, b: str, width: Optional[int] = None, name: Optional[str] = None) -> str:
+        return self._add("mul", width or (self.nodes[a].width + self.nodes[b].width), [a, b], name)
+
+    def logic(self, op: str, a: str, b: str, name: Optional[str] = None) -> str:
+        return self._add(op, self._w(a, b), [a, b], name)
+
+    def shl(self, a: str, amount: int, name: Optional[str] = None) -> str:
+        return self._add("shl", self.nodes[a].width, [a], name, amount=amount)
+
+    def shr(self, a: str, amount: int, name: Optional[str] = None) -> str:
+        return self._add("shr", self.nodes[a].width, [a], name, amount=amount)
+
+    def asr(self, a: str, amount: int, name: Optional[str] = None) -> str:
+        return self._add("asr", self.nodes[a].width, [a], name, amount=amount)
+
+    def neg(self, a: str, name: Optional[str] = None) -> str:
+        return self._add("neg", self.nodes[a].width, [a], name)
+
+    def output(self, name: str, node: str) -> None:
+        if node not in self.nodes:
+            raise DFGError(f"output {name!r} refers to unknown node {node!r}")
+        if name in self.outputs:
+            raise DFGError(f"duplicate output {name!r}")
+        self.outputs[name] = node
+
+    def _w(self, a: str, b: str) -> int:
+        for operand in (a, b):
+            if operand not in self.nodes:
+                raise DFGError(f"operand {operand!r} is not defined yet")
+        return max(self.nodes[a].width, self.nodes[b].width)
+
+    # -------------------------------------------------------------- queries
+    @property
+    def operations(self) -> List[DFGNode]:
+        """All non-source nodes (the ones that need scheduling and binding)."""
+        return [n for n in self.nodes.values() if not n.is_source]
+
+    @property
+    def inputs(self) -> List[DFGNode]:
+        return [n for n in self.nodes.values() if n.op == "input"]
+
+    def consumers(self, node_name: str) -> List[DFGNode]:
+        return [n for n in self.nodes.values() if node_name in n.operands]
+
+    def validate(self) -> None:
+        """Check the graph is a DAG with all operands defined and outputs bound."""
+        if not self.outputs:
+            raise DFGError(f"dataflow graph {self.name!r} has no outputs")
+        # operands-defined is enforced at construction; check for cycles anyway
+        state: Dict[str, int] = {}
+
+        def visit(name: str) -> None:
+            if state.get(name) == 1:
+                raise DFGError(f"cycle detected through node {name!r}")
+            if state.get(name) == 2:
+                return
+            state[name] = 1
+            for operand in self.nodes[name].operands:
+                visit(operand)
+            state[name] = 2
+
+        for name in self.nodes:
+            visit(name)
+
+    # ------------------------------------------------------------ reference
+    def evaluate(self, input_values: Mapping[str, int]) -> Dict[str, int]:
+        """Reference (software) evaluation of the kernel; used to verify HLS output."""
+        values: Dict[str, int] = {}
+
+        def value_of(name: str) -> int:
+            if name in values:
+                return values[name]
+            node = self.nodes[name]
+            if node.op == "input":
+                result = mask_value(input_values.get(name, 0), node.width)
+            elif node.op == "const":
+                result = mask_value(int(node.params["value"]), node.width)
+            else:
+                operands = [value_of(op) for op in node.operands]
+                result = self._apply(node, operands)
+            values[name] = result
+            return result
+
+        return {out: value_of(node) for out, node in self.outputs.items()}
+
+    def _apply(self, node: DFGNode, operands: List[int]) -> int:
+        width = node.width
+        signed = self.signed
+
+        def sval(value: int, from_node: str) -> int:
+            w = self.nodes[from_node].width
+            return to_signed(value, w) if signed else value
+
+        if node.op == "add":
+            result = sval(operands[0], node.operands[0]) + sval(operands[1], node.operands[1])
+        elif node.op == "sub":
+            result = sval(operands[0], node.operands[0]) - sval(operands[1], node.operands[1])
+        elif node.op == "mul":
+            result = sval(operands[0], node.operands[0]) * sval(operands[1], node.operands[1])
+        elif node.op == "and":
+            result = operands[0] & operands[1]
+        elif node.op == "or":
+            result = operands[0] | operands[1]
+        elif node.op == "xor":
+            result = operands[0] ^ operands[1]
+        elif node.op == "shl":
+            result = operands[0] << int(node.params["amount"])
+        elif node.op == "shr":
+            result = operands[0] >> int(node.params["amount"])
+        elif node.op == "asr":
+            result = sval(operands[0], node.operands[0]) >> int(node.params["amount"])
+        elif node.op == "neg":
+            result = -sval(operands[0], node.operands[0])
+        else:  # pragma: no cover - guarded at construction
+            raise DFGError(f"unknown operation {node.op!r}")
+        return from_signed(result, width) if signed else mask_value(result, width)

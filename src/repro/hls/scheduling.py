@@ -1,0 +1,188 @@
+"""Operation scheduling: ASAP, ALAP and resource-constrained list scheduling.
+
+Control steps are clock cycles of the generated datapath.  All operations have
+unit latency by default (results are registered at the end of their step and
+available from the next step on); per-class latencies can be overridden.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.hls.dfg import DataflowGraph, DFGNode
+
+#: mapping of DFG operations to shareable functional-unit classes
+OP_CLASSES: Dict[str, str] = {
+    "add": "alu",
+    "sub": "alu",
+    "neg": "alu",
+    "mul": "multiplier",
+    "and": "logic",
+    "or": "logic",
+    "xor": "logic",
+    "shl": "shift",
+    "shr": "shift",
+    "asr": "shift",
+}
+
+
+@dataclass
+class Schedule:
+    """Assignment of operations to control steps."""
+
+    graph: DataflowGraph
+    start_step: Dict[str, int] = field(default_factory=dict)
+    latencies: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_steps(self) -> int:
+        if not self.start_step:
+            return 0
+        return max(
+            self.start_step[name] + self.latency(name) for name in self.start_step
+        )
+
+    def latency(self, node_name: str) -> int:
+        node = self.graph.nodes[node_name]
+        return self.latencies.get(OP_CLASSES.get(node.op, "alu"), 1)
+
+    def operations_in_step(self, step: int) -> List[DFGNode]:
+        return [
+            self.graph.nodes[name]
+            for name, start in self.start_step.items()
+            if start == step
+        ]
+
+    def concurrency(self) -> Dict[str, Dict[int, int]]:
+        """Per functional-unit class, the number of operations active per step."""
+        usage: Dict[str, Dict[int, int]] = {}
+        for name, start in self.start_step.items():
+            op_class = OP_CLASSES[self.graph.nodes[name].op]
+            for step in range(start, start + self.latency(name)):
+                usage.setdefault(op_class, {}).setdefault(step, 0)
+                usage[op_class][step] += 1
+        return usage
+
+    def max_concurrency(self) -> Dict[str, int]:
+        return {
+            op_class: max(per_step.values())
+            for op_class, per_step in self.concurrency().items()
+        }
+
+    def verify_dependencies(self) -> None:
+        """Check that every operation starts after all its operands finish."""
+        for name, start in self.start_step.items():
+            node = self.graph.nodes[name]
+            for operand in node.operands:
+                producer = self.graph.nodes[operand]
+                if producer.is_source:
+                    continue
+                finish = self.start_step[operand] + self.latency(operand)
+                if start < finish:
+                    raise ValueError(
+                        f"operation {name!r} starts at step {start} before its operand "
+                        f"{operand!r} finishes at step {finish}"
+                    )
+
+
+def _ready_order(graph: DataflowGraph) -> List[DFGNode]:
+    """Operations in a topological order (operands are created before users)."""
+    return list(graph.operations)
+
+
+def asap_schedule(
+    graph: DataflowGraph, latencies: Optional[Mapping[str, int]] = None
+) -> Schedule:
+    """As-soon-as-possible schedule (unlimited resources)."""
+    graph.validate()
+    schedule = Schedule(graph, latencies=dict(latencies or {}))
+    for node in _ready_order(graph):
+        earliest = 0
+        for operand in node.operands:
+            producer = graph.nodes[operand]
+            if producer.is_source:
+                continue
+            earliest = max(
+                earliest, schedule.start_step[operand] + schedule.latency(operand)
+            )
+        schedule.start_step[node.name] = earliest
+    return schedule
+
+
+def alap_schedule(
+    graph: DataflowGraph,
+    latency_bound: Optional[int] = None,
+    latencies: Optional[Mapping[str, int]] = None,
+) -> Schedule:
+    """As-late-as-possible schedule within ``latency_bound`` steps."""
+    asap = asap_schedule(graph, latencies)
+    bound = latency_bound if latency_bound is not None else asap.n_steps
+    if bound < asap.n_steps:
+        raise ValueError(
+            f"latency bound {bound} is below the critical path length {asap.n_steps}"
+        )
+    schedule = Schedule(graph, latencies=dict(latencies or {}))
+    for node in reversed(_ready_order(graph)):
+        latest = bound - schedule.latency(node.name)
+        for consumer in graph.consumers(node.name):
+            if consumer.is_source:
+                continue
+            latest = min(latest, schedule.start_step[consumer.name] - schedule.latency(node.name))
+        schedule.start_step[node.name] = latest
+    return schedule
+
+
+def list_schedule(
+    graph: DataflowGraph,
+    resource_constraints: Mapping[str, int],
+    latencies: Optional[Mapping[str, int]] = None,
+) -> Schedule:
+    """Resource-constrained list scheduling with ALAP-mobility priority.
+
+    ``resource_constraints`` maps functional-unit classes (see
+    :data:`OP_CLASSES`) to the number of available units; unlisted classes are
+    unconstrained.
+    """
+    graph.validate()
+    asap = asap_schedule(graph, latencies)
+    alap = alap_schedule(graph, None, latencies)
+    schedule = Schedule(graph, latencies=dict(latencies or {}))
+    unscheduled = {node.name for node in graph.operations}
+    step = 0
+    # usage[op_class][step] counts operations occupying a unit in that step
+    usage: Dict[str, Dict[int, int]] = {}
+    guard = 0
+    while unscheduled:
+        ready = []
+        for name in unscheduled:
+            node = graph.nodes[name]
+            operands_done = all(
+                graph.nodes[op].is_source
+                or (
+                    op in schedule.start_step
+                    and schedule.start_step[op] + schedule.latency(op) <= step
+                )
+                for op in node.operands
+            )
+            if operands_done:
+                ready.append(name)
+        # lower mobility (slack) first: critical operations get units first
+        ready.sort(key=lambda n: (alap.start_step[n] - asap.start_step[n], n))
+        for name in ready:
+            node = graph.nodes[name]
+            op_class = OP_CLASSES[node.op]
+            limit = resource_constraints.get(op_class)
+            occupied = usage.get(op_class, {}).get(step, 0)
+            if limit is not None and occupied >= limit:
+                continue
+            schedule.start_step[name] = step
+            for s in range(step, step + schedule.latency(name)):
+                usage.setdefault(op_class, {}).setdefault(s, 0)
+                usage[op_class][s] += 1
+            unscheduled.discard(name)
+        step += 1
+        guard += 1
+        if guard > 10_000:
+            raise RuntimeError("list scheduling did not converge (check constraints)")
+    return schedule

@@ -1,0 +1,65 @@
+"""Top-level behavioral synthesis driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.hls.allocation import Allocation, allocate
+from repro.hls.binding import Binding, bind
+from repro.hls.datapath import generate_datapath
+from repro.hls.dfg import DataflowGraph
+from repro.hls.scheduling import Schedule, asap_schedule, list_schedule
+from repro.netlist.module import Module
+
+
+@dataclass
+class HLSResult:
+    """Everything produced by one behavioral-synthesis run."""
+
+    graph: DataflowGraph
+    schedule: Schedule
+    allocation: Allocation
+    binding: Binding
+    module: Module
+
+    @property
+    def latency_cycles(self) -> int:
+        """Cycles from the start pulse to ``done`` (execution states only)."""
+        return self.schedule.n_steps + 1  # +1 for the DONE state
+
+    def summary(self) -> str:
+        return (
+            f"HLS {self.graph.name!r}: {len(self.graph.operations)} operations in "
+            f"{self.schedule.n_steps} steps, units [{self.allocation.summary()}], "
+            f"{self.binding.n_registers} registers, "
+            f"{len(self.module.components)} RTL components"
+        )
+
+
+def synthesize(
+    graph: DataflowGraph,
+    resource_constraints: Optional[Mapping[str, int]] = None,
+    latencies: Optional[Mapping[str, int]] = None,
+    name: Optional[str] = None,
+) -> HLSResult:
+    """Schedule, allocate, bind and generate RTL for a dataflow kernel.
+
+    Without ``resource_constraints`` an ASAP schedule (maximum parallelism) is
+    used; with constraints, resource-constrained list scheduling.
+    """
+    graph.validate()
+    if resource_constraints:
+        schedule = list_schedule(graph, resource_constraints, latencies)
+    else:
+        schedule = asap_schedule(graph, latencies)
+    allocation = allocate(graph, schedule)
+    binding = bind(graph, schedule, allocation)
+    module = generate_datapath(graph, schedule, allocation, binding, name=name)
+    return HLSResult(
+        graph=graph,
+        schedule=schedule,
+        allocation=allocation,
+        binding=binding,
+        module=module,
+    )

@@ -1,0 +1,115 @@
+"""Register-transfer level netlist intermediate representation.
+
+This package provides the structural RTL IR on which everything else in
+:mod:`repro` is built: bit-vector value helpers, nets and ports, a library of
+RTL components (functional units, steering logic, storage elements and FSM
+controllers), hierarchical modules with elaboration/flattening, a fluent
+:class:`~repro.netlist.builder.NetlistBuilder`, structural validation and
+netlist statistics.
+
+The IR deliberately mirrors the level of abstraction at which the DATE'05
+power-emulation paper operates: a design is a set of RTL components connected
+by multi-bit nets, each of which can be monitored by a power macromodel and
+each of which can be technology-mapped to gates for characterization.
+"""
+
+from repro.netlist.signals import (
+    mask_value,
+    to_signed,
+    from_signed,
+    sign_extend,
+    popcount,
+    hamming_distance,
+    bits_of,
+    value_from_bits,
+)
+from repro.netlist.nets import Net
+from repro.netlist.ports import Port, PortDirection
+from repro.netlist.components import (
+    Component,
+    Adder,
+    Subtractor,
+    AddSub,
+    Multiplier,
+    Comparator,
+    ShifterConst,
+    ShifterVar,
+    Mux,
+    LogicOp,
+    NotOp,
+    ReduceOp,
+    Concat,
+    Slice,
+    Extend,
+    Constant,
+    Decoder,
+    Saturator,
+    AbsoluteValue,
+)
+from repro.netlist.sequential import (
+    SequentialComponent,
+    Register,
+    Counter,
+    Accumulator,
+    RegisterFile,
+    Memory,
+    ROM,
+)
+from repro.netlist.fsm import FSMController, Transition, Guard
+from repro.netlist.module import Module, Instance, ModulePort
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.flatten import flatten
+from repro.netlist.validate import validate_module, ValidationError
+from repro.netlist.stats import ModuleStats, module_stats
+
+__all__ = [
+    "mask_value",
+    "to_signed",
+    "from_signed",
+    "sign_extend",
+    "popcount",
+    "hamming_distance",
+    "bits_of",
+    "value_from_bits",
+    "Net",
+    "Port",
+    "PortDirection",
+    "Component",
+    "Adder",
+    "Subtractor",
+    "AddSub",
+    "Multiplier",
+    "Comparator",
+    "ShifterConst",
+    "ShifterVar",
+    "Mux",
+    "LogicOp",
+    "NotOp",
+    "ReduceOp",
+    "Concat",
+    "Slice",
+    "Extend",
+    "Constant",
+    "Decoder",
+    "Saturator",
+    "AbsoluteValue",
+    "SequentialComponent",
+    "Register",
+    "Counter",
+    "Accumulator",
+    "RegisterFile",
+    "Memory",
+    "ROM",
+    "FSMController",
+    "Transition",
+    "Guard",
+    "Module",
+    "Instance",
+    "ModulePort",
+    "NetlistBuilder",
+    "flatten",
+    "validate_module",
+    "ValidationError",
+    "ModuleStats",
+    "module_stats",
+]

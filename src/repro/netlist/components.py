@@ -1,0 +1,600 @@
+"""Combinational RTL components.
+
+Every component exposes named, directed, fixed-width ports and a purely
+functional :meth:`Component.evaluate` that maps input values to output values.
+Components never store signal values; the cycle-accurate simulator owns the
+value map.  This keeps a netlist reusable across simulations and lets the
+power-emulation instrumentation pass treat components uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.netlist.nets import Net
+from repro.netlist.ports import Port, PortDirection
+from repro.netlist.signals import (
+    from_signed,
+    mask_value,
+    saturate,
+    sign_extend,
+    to_signed,
+)
+
+
+class Component:
+    """Base class for all RTL components (combinational and sequential).
+
+    Subclasses declare their ports in ``__init__`` via :meth:`add_port` and
+    implement :meth:`evaluate`.  ``params`` records the constructor arguments
+    that define the component's "shape" (widths, operation, depth, ...); the
+    power-model library and the FPGA synthesis estimator key off
+    ``type_name`` plus these parameters.
+    """
+
+    #: short type identifier used by power-model lookup and reports
+    type_name: str = "component"
+    #: True for components with internal state (registers, memories, FSMs)
+    is_sequential: bool = False
+    #: True when at least one output depends combinationally on an input
+    has_comb_path: bool = True
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.ports: Dict[str, Port] = {}
+        self.params: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------ ports
+    def add_port(self, name: str, direction: PortDirection, width: int) -> Port:
+        if name in self.ports:
+            raise ValueError(f"{self}: duplicate port {name!r}")
+        port = Port(name=name, direction=direction, width=width)
+        self.ports[name] = port
+        return port
+
+    def add_input(self, name: str, width: int) -> Port:
+        return self.add_port(name, PortDirection.INPUT, width)
+
+    def add_output(self, name: str, width: int) -> Port:
+        return self.add_port(name, PortDirection.OUTPUT, width)
+
+    def connect(self, port_name: str, net: Net) -> None:
+        """Attach ``net`` to the named port, recording driver/sink links."""
+        port = self.ports[port_name]
+        if port.width != net.width:
+            raise ValueError(
+                f"{self}: port {port_name!r} has width {port.width} but net "
+                f"{net.name!r} has width {net.width}"
+            )
+        port.net = net
+        if port.is_output:
+            if net.driver is not None:
+                raise ValueError(
+                    f"net {net.name!r} already driven by {net.driver}; cannot "
+                    f"also drive it from {self.name}.{port_name}"
+                )
+            net.driver = (self, port_name)
+        else:
+            net.sinks.append((self, port_name))
+
+    @property
+    def input_ports(self) -> List[Port]:
+        return [p for p in self.ports.values() if p.is_input]
+
+    @property
+    def output_ports(self) -> List[Port]:
+        return [p for p in self.ports.values() if p.is_output]
+
+    def input_nets(self) -> List[Net]:
+        return [p.net for p in self.input_ports if p.net is not None]
+
+    def output_nets(self) -> List[Net]:
+        return [p.net for p in self.output_ports if p.net is not None]
+
+    def monitored_ports(self) -> List[Port]:
+        """Ports whose bits a power macromodel observes (default: all I/O)."""
+        return list(self.ports.values())
+
+    def monitored_bits(self) -> int:
+        """Total number of bits observed by this component's power model."""
+        return sum(p.width for p in self.monitored_ports())
+
+    # ------------------------------------------------------------- evaluation
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        """Compute output port values from input port values."""
+        raise NotImplementedError
+
+    # ---------------------------------------------------------------- helpers
+    def macromodel_key(self) -> tuple:
+        """Key used to look up a power macromodel for this component."""
+        widths = tuple(sorted((p.name, p.width) for p in self.ports.values()))
+        return (self.type_name, widths)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic units
+# ---------------------------------------------------------------------------
+
+
+class Adder(Component):
+    """Unsigned adder: ``y = (a + b + cin) mod 2^width`` with optional carry out."""
+
+    type_name = "adder"
+
+    def __init__(
+        self,
+        name: str,
+        width: int,
+        with_carry_in: bool = False,
+        with_carry_out: bool = False,
+    ) -> None:
+        super().__init__(name)
+        self.width = width
+        self.with_carry_in = with_carry_in
+        self.with_carry_out = with_carry_out
+        self.params = {
+            "width": width,
+            "with_carry_in": with_carry_in,
+            "with_carry_out": with_carry_out,
+        }
+        self.add_input("a", width)
+        self.add_input("b", width)
+        if with_carry_in:
+            self.add_input("cin", 1)
+        self.add_output("y", width)
+        if with_carry_out:
+            self.add_output("cout", 1)
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        total = inputs["a"] + inputs["b"] + (inputs.get("cin", 0) if self.with_carry_in else 0)
+        out = {"y": mask_value(total, self.width)}
+        if self.with_carry_out:
+            out["cout"] = (total >> self.width) & 1
+        return out
+
+
+class Subtractor(Component):
+    """Unsigned subtractor: ``y = (a - b) mod 2^width`` with optional borrow."""
+
+    type_name = "subtractor"
+
+    def __init__(self, name: str, width: int, with_borrow_out: bool = False) -> None:
+        super().__init__(name)
+        self.width = width
+        self.with_borrow_out = with_borrow_out
+        self.params = {"width": width, "with_borrow_out": with_borrow_out}
+        self.add_input("a", width)
+        self.add_input("b", width)
+        self.add_output("y", width)
+        if with_borrow_out:
+            self.add_output("borrow", 1)
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        diff = inputs["a"] - inputs["b"]
+        out = {"y": mask_value(diff, self.width)}
+        if self.with_borrow_out:
+            out["borrow"] = 1 if diff < 0 else 0
+        return out
+
+
+class AddSub(Component):
+    """Adder/subtractor: ``y = a + b`` when ``sub == 0`` else ``a - b``."""
+
+    type_name = "addsub"
+
+    def __init__(self, name: str, width: int) -> None:
+        super().__init__(name)
+        self.width = width
+        self.params = {"width": width}
+        self.add_input("a", width)
+        self.add_input("b", width)
+        self.add_input("sub", 1)
+        self.add_output("y", width)
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        if inputs["sub"] & 1:
+            return {"y": mask_value(inputs["a"] - inputs["b"], self.width)}
+        return {"y": mask_value(inputs["a"] + inputs["b"], self.width)}
+
+
+class Multiplier(Component):
+    """Multiplier.  Signed multiplication interprets operands as two's complement."""
+
+    type_name = "multiplier"
+
+    def __init__(
+        self,
+        name: str,
+        width_a: int,
+        width_b: Optional[int] = None,
+        width_y: Optional[int] = None,
+        signed: bool = False,
+    ) -> None:
+        super().__init__(name)
+        self.width_a = width_a
+        self.width_b = width_b if width_b is not None else width_a
+        self.width_y = width_y if width_y is not None else self.width_a + self.width_b
+        self.signed = signed
+        self.params = {
+            "width_a": self.width_a,
+            "width_b": self.width_b,
+            "width_y": self.width_y,
+            "signed": signed,
+        }
+        self.add_input("a", self.width_a)
+        self.add_input("b", self.width_b)
+        self.add_output("y", self.width_y)
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        if self.signed:
+            product = to_signed(inputs["a"], self.width_a) * to_signed(
+                inputs["b"], self.width_b
+            )
+            return {"y": from_signed(product, self.width_y)}
+        return {"y": mask_value(inputs["a"] * inputs["b"], self.width_y)}
+
+
+class Comparator(Component):
+    """Magnitude comparator producing ``lt``, ``eq`` and ``gt`` flags."""
+
+    type_name = "comparator"
+
+    def __init__(self, name: str, width: int, signed: bool = False) -> None:
+        super().__init__(name)
+        self.width = width
+        self.signed = signed
+        self.params = {"width": width, "signed": signed}
+        self.add_input("a", width)
+        self.add_input("b", width)
+        self.add_output("lt", 1)
+        self.add_output("eq", 1)
+        self.add_output("gt", 1)
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        a, b = inputs["a"], inputs["b"]
+        if self.signed:
+            a = to_signed(a, self.width)
+            b = to_signed(b, self.width)
+        return {"lt": int(a < b), "eq": int(a == b), "gt": int(a > b)}
+
+
+class AbsoluteValue(Component):
+    """Two's-complement absolute value: ``y = |a|`` (MIN_INT saturates)."""
+
+    type_name = "absval"
+
+    def __init__(self, name: str, width: int) -> None:
+        super().__init__(name)
+        self.width = width
+        self.params = {"width": width}
+        self.add_input("a", width)
+        self.add_output("y", width)
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        value = abs(to_signed(inputs["a"], self.width))
+        return {"y": saturate(value, self.width, signed=False)}
+
+
+class Saturator(Component):
+    """Width-reducing saturator (clamps into the output range)."""
+
+    type_name = "saturator"
+
+    def __init__(self, name: str, width_in: int, width_out: int, signed: bool = True) -> None:
+        super().__init__(name)
+        self.width_in = width_in
+        self.width_out = width_out
+        self.signed = signed
+        self.params = {"width_in": width_in, "width_out": width_out, "signed": signed}
+        self.add_input("a", width_in)
+        self.add_output("y", width_out)
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        value = to_signed(inputs["a"], self.width_in) if self.signed else inputs["a"]
+        return {"y": saturate(value, self.width_out, self.signed)}
+
+
+# ---------------------------------------------------------------------------
+# Shifters
+# ---------------------------------------------------------------------------
+
+
+class ShifterConst(Component):
+    """Constant-amount shifter, e.g. ``>> 1`` in the paper's Fig. 1 circuit."""
+
+    type_name = "shifter_const"
+
+    def __init__(
+        self,
+        name: str,
+        width: int,
+        amount: int,
+        direction: str = "right",
+        arithmetic: bool = False,
+    ) -> None:
+        super().__init__(name)
+        if direction not in ("left", "right"):
+            raise ValueError(f"direction must be 'left' or 'right', got {direction!r}")
+        self.width = width
+        self.amount = amount
+        self.direction = direction
+        self.arithmetic = arithmetic
+        self.params = {
+            "width": width,
+            "amount": amount,
+            "direction": direction,
+            "arithmetic": arithmetic,
+        }
+        self.add_input("a", width)
+        self.add_output("y", width)
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        a = inputs["a"]
+        if self.direction == "left":
+            return {"y": mask_value(a << self.amount, self.width)}
+        if self.arithmetic:
+            return {"y": from_signed(to_signed(a, self.width) >> self.amount, self.width)}
+        return {"y": a >> self.amount}
+
+
+class ShifterVar(Component):
+    """Variable-amount (barrel) shifter."""
+
+    type_name = "shifter_var"
+
+    def __init__(
+        self,
+        name: str,
+        width: int,
+        amount_width: int,
+        direction: str = "left",
+        arithmetic: bool = False,
+    ) -> None:
+        super().__init__(name)
+        if direction not in ("left", "right"):
+            raise ValueError(f"direction must be 'left' or 'right', got {direction!r}")
+        self.width = width
+        self.amount_width = amount_width
+        self.direction = direction
+        self.arithmetic = arithmetic
+        self.params = {
+            "width": width,
+            "amount_width": amount_width,
+            "direction": direction,
+            "arithmetic": arithmetic,
+        }
+        self.add_input("a", width)
+        self.add_input("amount", amount_width)
+        self.add_output("y", width)
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        a = inputs["a"]
+        amount = inputs["amount"]
+        if self.direction == "left":
+            return {"y": mask_value(a << amount, self.width)}
+        if self.arithmetic:
+            return {"y": from_signed(to_signed(a, self.width) >> amount, self.width)}
+        return {"y": a >> amount}
+
+
+# ---------------------------------------------------------------------------
+# Steering and bitwise logic
+# ---------------------------------------------------------------------------
+
+
+class Mux(Component):
+    """N-way multiplexer with data inputs ``d0 .. d{n-1}`` and a select input.
+
+    Out-of-range select values return input ``d{n-1}`` (the highest-indexed
+    input), matching the behaviour of a mux tree built from 2:1 muxes.
+    """
+
+    type_name = "mux"
+
+    def __init__(self, name: str, width: int, n_inputs: int) -> None:
+        super().__init__(name)
+        if n_inputs < 2:
+            raise ValueError(f"mux needs at least 2 inputs, got {n_inputs}")
+        self.width = width
+        self.n_inputs = n_inputs
+        self.sel_width = max(1, (n_inputs - 1).bit_length())
+        self.params = {"width": width, "n_inputs": n_inputs}
+        for i in range(n_inputs):
+            self.add_input(f"d{i}", width)
+        self.add_input("sel", self.sel_width)
+        self.add_output("y", width)
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        sel = min(inputs["sel"], self.n_inputs - 1)
+        return {"y": mask_value(inputs[f"d{sel}"], self.width)}
+
+
+_LOGIC_OPS = {
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "nand": lambda a, b: ~(a & b),
+    "nor": lambda a, b: ~(a | b),
+    "xnor": lambda a, b: ~(a ^ b),
+}
+
+
+class LogicOp(Component):
+    """Two-input bitwise logic operation (and/or/xor/nand/nor/xnor)."""
+
+    type_name = "logic"
+
+    def __init__(self, name: str, op: str, width: int) -> None:
+        super().__init__(name)
+        if op not in _LOGIC_OPS:
+            raise ValueError(f"unknown logic op {op!r}; expected one of {sorted(_LOGIC_OPS)}")
+        self.op = op
+        self.width = width
+        self.params = {"op": op, "width": width}
+        self.add_input("a", width)
+        self.add_input("b", width)
+        self.add_output("y", width)
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        return {"y": mask_value(_LOGIC_OPS[self.op](inputs["a"], inputs["b"]), self.width)}
+
+
+class NotOp(Component):
+    """Bitwise complement."""
+
+    type_name = "not"
+
+    def __init__(self, name: str, width: int) -> None:
+        super().__init__(name)
+        self.width = width
+        self.params = {"width": width}
+        self.add_input("a", width)
+        self.add_output("y", width)
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        return {"y": mask_value(~inputs["a"], self.width)}
+
+
+_REDUCE_OPS = {"and", "or", "xor"}
+
+
+class ReduceOp(Component):
+    """Reduction operator collapsing a vector to a single bit."""
+
+    type_name = "reduce"
+
+    def __init__(self, name: str, op: str, width: int) -> None:
+        super().__init__(name)
+        if op not in _REDUCE_OPS:
+            raise ValueError(f"unknown reduce op {op!r}; expected one of {sorted(_REDUCE_OPS)}")
+        self.op = op
+        self.width = width
+        self.params = {"op": op, "width": width}
+        self.add_input("a", width)
+        self.add_output("y", 1)
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        a = mask_value(inputs["a"], self.width)
+        if self.op == "and":
+            return {"y": int(a == (1 << self.width) - 1)}
+        if self.op == "or":
+            return {"y": int(a != 0)}
+        return {"y": bin(a).count("1") & 1}
+
+
+# ---------------------------------------------------------------------------
+# Bit plumbing
+# ---------------------------------------------------------------------------
+
+
+class Concat(Component):
+    """Concatenate input vectors; ``i0`` occupies the least-significant bits."""
+
+    type_name = "concat"
+
+    def __init__(self, name: str, widths: Sequence[int]) -> None:
+        super().__init__(name)
+        if not widths:
+            raise ValueError("concat needs at least one input")
+        self.widths = list(widths)
+        self.width_out = sum(widths)
+        self.params = {"widths": tuple(widths)}
+        for i, w in enumerate(widths):
+            self.add_input(f"i{i}", w)
+        self.add_output("y", self.width_out)
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        value = 0
+        shift = 0
+        for i, w in enumerate(self.widths):
+            value |= mask_value(inputs[f"i{i}"], w) << shift
+            shift += w
+        return {"y": value}
+
+
+class Slice(Component):
+    """Extract bits ``[high:low]`` (inclusive) from the input vector."""
+
+    type_name = "slice"
+
+    def __init__(self, name: str, width_in: int, high: int, low: int) -> None:
+        super().__init__(name)
+        if not (0 <= low <= high < width_in):
+            raise ValueError(
+                f"invalid slice [{high}:{low}] of a {width_in}-bit value"
+            )
+        self.width_in = width_in
+        self.high = high
+        self.low = low
+        self.width_out = high - low + 1
+        self.params = {"width_in": width_in, "high": high, "low": low}
+        self.add_input("a", width_in)
+        self.add_output("y", self.width_out)
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        return {"y": mask_value(inputs["a"] >> self.low, self.width_out)}
+
+
+class Extend(Component):
+    """Zero- or sign-extend a value to a wider output."""
+
+    type_name = "extend"
+
+    def __init__(self, name: str, width_in: int, width_out: int, signed: bool = False) -> None:
+        super().__init__(name)
+        if width_out < width_in:
+            raise ValueError(
+                f"extend output width {width_out} is narrower than input {width_in}"
+            )
+        self.width_in = width_in
+        self.width_out = width_out
+        self.signed = signed
+        self.params = {"width_in": width_in, "width_out": width_out, "signed": signed}
+        self.add_input("a", width_in)
+        self.add_output("y", width_out)
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        if self.signed:
+            return {"y": sign_extend(inputs["a"], self.width_in, self.width_out)}
+        return {"y": mask_value(inputs["a"], self.width_in)}
+
+
+class Constant(Component):
+    """Constant driver (e.g. the ``1`` and ``-1`` literals in the Fig. 1 circuit)."""
+
+    type_name = "constant"
+    #: constants never toggle; they need no power model
+    has_comb_path = False
+
+    def __init__(self, name: str, width: int, value: int) -> None:
+        super().__init__(name)
+        self.width = width
+        self.value = mask_value(value, width)
+        self.params = {"width": width, "value": self.value}
+        self.add_output("y", width)
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        return {"y": self.value}
+
+    def monitored_ports(self) -> List[Port]:
+        return []
+
+
+class Decoder(Component):
+    """Binary-to-one-hot decoder."""
+
+    type_name = "decoder"
+
+    def __init__(self, name: str, sel_width: int) -> None:
+        super().__init__(name)
+        self.sel_width = sel_width
+        self.width_out = 1 << sel_width
+        self.params = {"sel_width": sel_width}
+        self.add_input("a", sel_width)
+        self.add_output("y", self.width_out)
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        return {"y": 1 << mask_value(inputs["a"], self.sel_width)}

@@ -1,0 +1,90 @@
+"""Hierarchy elaboration: flattening a module tree into a single flat module.
+
+All analysis and transformation passes (simulation, technology mapping, power
+estimation, power-emulation instrumentation, FPGA resource estimation) operate
+on flat modules.  :func:`flatten` always returns a *new* module — even for an
+already-flat input — so callers are free to mutate the result (e.g. the
+instrumentation pass inserts power-estimation hardware) without disturbing the
+original design.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Mapping
+
+from repro.netlist.components import Component
+from repro.netlist.module import Module
+from repro.netlist.nets import Net
+
+#: separator used between instance names and child object names in flat names
+HIER_SEP = "."
+
+
+def clone_component(component: Component, new_name: str | None = None) -> Component:
+    """Deep-copy a component, detaching it from any nets.
+
+    Internal state (register contents, memory arrays, FSM state) is copied as
+    well, which also captures backdoor-initialized memories.
+    """
+    cloned = copy.deepcopy(component)
+    cloned.name = new_name if new_name is not None else component.name
+    for port in cloned.ports.values():
+        port.net = None
+    return cloned
+
+
+def flatten(module: Module, name: str | None = None) -> Module:
+    """Elaborate ``module`` into a fresh, fully flat module."""
+    flat = Module(name if name is not None else module.name)
+    flat.attributes = dict(module.attributes)
+    _inline(flat, module, prefix="", port_binding=None)
+    return flat
+
+
+def _inline(
+    flat: Module,
+    source: Module,
+    prefix: str,
+    port_binding: Mapping[str, Net] | None,
+) -> None:
+    """Copy the contents of ``source`` into ``flat`` under a name prefix.
+
+    ``port_binding`` maps the source module's port names to nets that already
+    exist in ``flat`` (the nets of the parent that the instance was connected
+    to); it is ``None`` only for the top level, where the module's ports are
+    re-created on ``flat`` itself.
+    """
+    net_map: Dict[Net, Net] = {}
+
+    if port_binding is not None:
+        for port_name, parent_net in port_binding.items():
+            net_map[source.ports[port_name].net] = parent_net
+
+    for net in source.nets.values():
+        if net in net_map:
+            continue
+        net_map[net] = flat.add_net(prefix + net.name, net.width)
+
+    if port_binding is None:
+        for port_name, port in source.ports.items():
+            flat.add_port(port_name, port.direction, net_map[port.net])
+
+    for component in source.components.values():
+        cloned = clone_component(component, prefix + component.name)
+        flat.add_component(cloned)
+        for port_name, port in component.ports.items():
+            if port.net is not None:
+                cloned.connect(port_name, net_map[port.net])
+
+    for instance in source.instances.values():
+        child_binding = {
+            child_port: net_map[parent_net]
+            for child_port, parent_net in instance.connections.items()
+        }
+        _inline(
+            flat,
+            instance.module,
+            prefix=prefix + instance.name + HIER_SEP,
+            port_binding=child_binding,
+        )

@@ -1,0 +1,195 @@
+"""Finite-state-machine controllers.
+
+The controller in the paper's Fig. 1 example (and in every benchmark design)
+is a Moore FSM: control outputs are a function of the current state only, and
+the next state is chosen by the first transition whose guard over the status
+inputs evaluates true.  Guards are kept as data (not Python callables) so the
+FSM remains "synthesizable": the gate-level technology mapper and the FPGA
+resource estimator can both reason about its size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.netlist.sequential import SequentialComponent
+from repro.netlist.signals import mask_value, to_signed
+
+_GUARD_OPS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Guard:
+    """A single comparison ``<input> <op> <value>`` used in a transition guard."""
+
+    signal: str
+    op: str
+    value: int
+    signed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.op not in _GUARD_OPS:
+            raise ValueError(f"unknown guard operator {self.op!r}")
+
+    def check(self, observed: int, width: int) -> bool:
+        lhs = to_signed(observed, width) if self.signed else mask_value(observed, width)
+        return _GUARD_OPS[self.op](lhs, self.value)
+
+
+@dataclass
+class Transition:
+    """A guarded transition; an empty guard list means "always" (else branch)."""
+
+    source: str
+    target: str
+    guards: List[Guard] = field(default_factory=list)
+
+    def taken(self, inputs: Mapping[str, int], input_widths: Mapping[str, int]) -> bool:
+        return all(g.check(inputs.get(g.signal, 0), input_widths[g.signal]) for g in self.guards)
+
+
+class FSMController(SequentialComponent):
+    """Table-driven Moore finite state machine.
+
+    Parameters
+    ----------
+    states:
+        Ordered list of state names; the first is the reset state unless
+        ``reset_state`` names another.
+    inputs / outputs:
+        Mapping of status-signal / control-signal names to bit widths.
+    moore_outputs:
+        ``{state: {output: value}}``; unspecified outputs default to 0.
+    """
+
+    type_name = "fsm"
+
+    def __init__(
+        self,
+        name: str,
+        states: Sequence[str],
+        inputs: Mapping[str, int],
+        outputs: Mapping[str, int],
+        moore_outputs: Optional[Mapping[str, Mapping[str, int]]] = None,
+        reset_state: Optional[str] = None,
+    ) -> None:
+        super().__init__(name)
+        if not states:
+            raise ValueError("FSM needs at least one state")
+        self.states = list(states)
+        self.state_index = {s: i for i, s in enumerate(self.states)}
+        if len(self.state_index) != len(self.states):
+            raise ValueError("duplicate state names")
+        self.reset_state = reset_state if reset_state is not None else self.states[0]
+        if self.reset_state not in self.state_index:
+            raise ValueError(f"unknown reset state {self.reset_state!r}")
+        self.input_widths = dict(inputs)
+        self.output_widths = dict(outputs)
+        self.moore_outputs: Dict[str, Dict[str, int]] = {
+            s: dict((moore_outputs or {}).get(s, {})) for s in self.states
+        }
+        for state, assigns in self.moore_outputs.items():
+            for out_name in assigns:
+                if out_name not in self.output_widths:
+                    raise ValueError(
+                        f"state {state!r} assigns unknown output {out_name!r}"
+                    )
+        self.transitions: List[Transition] = []
+        self.state_width = max(1, (len(self.states) - 1).bit_length())
+        self.params = {
+            "n_states": len(self.states),
+            "n_inputs_bits": sum(self.input_widths.values()),
+            "n_output_bits": sum(self.output_widths.values()),
+        }
+        for in_name, width in self.input_widths.items():
+            self.add_input(in_name, width)
+        for out_name, width in self.output_widths.items():
+            self.add_output(out_name, width)
+        self._state = self.reset_state
+        self._pending = self.reset_state
+
+    # -------------------------------------------------------------- building
+    def add_transition(
+        self,
+        source: str,
+        target: str,
+        guards: Optional[Sequence[Guard]] = None,
+    ) -> Transition:
+        """Append a transition; earlier transitions from a state have priority."""
+        for s in (source, target):
+            if s not in self.state_index:
+                raise ValueError(f"unknown state {s!r}")
+        for g in guards or []:
+            if g.signal not in self.input_widths:
+                raise ValueError(f"guard references unknown input {g.signal!r}")
+        transition = Transition(source, target, list(guards or []))
+        self.transitions.append(transition)
+        self.params["n_transitions"] = len(self.transitions)
+        return transition
+
+    def when(self, source: str, target: str, **equals: int) -> Transition:
+        """Shorthand for an equality-guarded transition: ``when('S0', 'S1', go=1)``."""
+        guards = [Guard(signal, "==", value) for signal, value in equals.items()]
+        return self.add_transition(source, target, guards)
+
+    def otherwise(self, source: str, target: str) -> Transition:
+        """Unconditional (else) transition; add it after the guarded ones."""
+        return self.add_transition(source, target, [])
+
+    # ------------------------------------------------------------ simulation
+    @property
+    def state(self) -> str:
+        """Current symbolic state name."""
+        return self._state
+
+    @property
+    def state_code(self) -> int:
+        """Current state encoded as its index (what a binary encoding would hold)."""
+        return self.state_index[self._state]
+
+    def reset(self) -> None:
+        self._state = self.reset_state
+        self._pending = self.reset_state
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        assigns = self.moore_outputs.get(self._state, {})
+        return {
+            out: mask_value(assigns.get(out, 0), width)
+            for out, width in self.output_widths.items()
+        }
+
+    def capture(self, inputs: Mapping[str, int]) -> None:
+        for transition in self.transitions:
+            if transition.source != self._state:
+                continue
+            if transition.taken(inputs, self.input_widths):
+                self._pending = transition.target
+                return
+        self._pending = self._state
+
+    def commit(self) -> None:
+        self._state = self._pending
+
+    # --------------------------------------------------------------- queries
+    def transitions_from(self, state: str) -> List[Transition]:
+        return [t for t in self.transitions if t.source == state]
+
+    def reachable_states(self) -> List[str]:
+        """States reachable from the reset state following transitions."""
+        seen = {self.reset_state}
+        frontier = [self.reset_state]
+        while frontier:
+            current = frontier.pop()
+            for t in self.transitions_from(current):
+                if t.target not in seen:
+                    seen.add(t.target)
+                    frontier.append(t.target)
+        return [s for s in self.states if s in seen]

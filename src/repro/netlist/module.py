@@ -1,0 +1,192 @@
+"""Hierarchical RTL modules.
+
+A :class:`Module` owns nets, components and (optionally) instances of other
+modules.  Hierarchy is elaborated away by :func:`repro.netlist.flatten.flatten`
+before simulation, technology mapping or power-emulation instrumentation, so
+all downstream passes only have to handle flat modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.netlist.components import Component
+from repro.netlist.nets import Net
+from repro.netlist.ports import PortDirection
+
+
+@dataclass
+class ModulePort:
+    """A top-level port of a module, bound to one of the module's nets."""
+
+    name: str
+    direction: PortDirection
+    net: Net
+
+    @property
+    def width(self) -> int:
+        return self.net.width
+
+    @property
+    def is_input(self) -> bool:
+        return self.direction is PortDirection.INPUT
+
+    @property
+    def is_output(self) -> bool:
+        return self.direction is PortDirection.OUTPUT
+
+
+class Instance:
+    """An instantiation of a child module inside a parent module.
+
+    ``connections`` maps the child's port names to nets of the parent.
+    """
+
+    def __init__(self, name: str, module: "Module", connections: Mapping[str, Net]) -> None:
+        self.name = name
+        self.module = module
+        self.connections: Dict[str, Net] = dict(connections)
+        for port_name, net in self.connections.items():
+            if port_name not in module.ports:
+                raise ValueError(
+                    f"instance {name!r}: module {module.name!r} has no port {port_name!r}"
+                )
+            expected = module.ports[port_name].width
+            if expected != net.width:
+                raise ValueError(
+                    f"instance {name!r}: port {port_name!r} is {expected} bits but net "
+                    f"{net.name!r} is {net.width} bits"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Instance({self.name!r} of {self.module.name!r})"
+
+
+class Module:
+    """A flat-or-hierarchical RTL netlist container."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.ports: Dict[str, ModulePort] = {}
+        self.nets: Dict[str, Net] = {}
+        self.components: Dict[str, Component] = {}
+        self.instances: Dict[str, Instance] = {}
+        #: free-form metadata (design description, stimulus hints, ...)
+        self.attributes: Dict[str, object] = {}
+
+    # ----------------------------------------------------------------- nets
+    def add_net(self, name: str, width: int) -> Net:
+        if name in self.nets:
+            raise ValueError(f"module {self.name!r}: duplicate net {name!r}")
+        net = Net(name, width)
+        self.nets[name] = net
+        return net
+
+    def get_net(self, name: str) -> Net:
+        return self.nets[name]
+
+    # ---------------------------------------------------------------- ports
+    def add_port(self, name: str, direction: PortDirection, net: Net) -> ModulePort:
+        if name in self.ports:
+            raise ValueError(f"module {self.name!r}: duplicate port {name!r}")
+        if net.name not in self.nets or self.nets[net.name] is not net:
+            raise ValueError(
+                f"module {self.name!r}: port {name!r} must be bound to one of the module's nets"
+            )
+        port = ModulePort(name=name, direction=direction, net=net)
+        self.ports[name] = port
+        if direction is PortDirection.INPUT:
+            if net.driver is not None:
+                raise ValueError(
+                    f"net {net.name!r} already has a driver; cannot use it as input port {name!r}"
+                )
+            net.driver = ("module", name)
+        return port
+
+    def add_input(self, name: str, width: int) -> Net:
+        """Create a net and expose it as a module input port; returns the net."""
+        net = self.add_net(name, width)
+        self.add_port(name, PortDirection.INPUT, net)
+        return net
+
+    def add_output(self, name: str, net: Net) -> ModulePort:
+        """Expose an existing (driven) net as a module output port."""
+        return self.add_port(name, PortDirection.OUTPUT, net)
+
+    @property
+    def input_ports(self) -> List[ModulePort]:
+        return [p for p in self.ports.values() if p.is_input]
+
+    @property
+    def output_ports(self) -> List[ModulePort]:
+        return [p for p in self.ports.values() if p.is_output]
+
+    # ----------------------------------------------------------- components
+    def add_component(self, component: Component) -> Component:
+        if component.name in self.components:
+            raise ValueError(
+                f"module {self.name!r}: duplicate component {component.name!r}"
+            )
+        self.components[component.name] = component
+        return component
+
+    def get_component(self, name: str) -> Component:
+        return self.components[name]
+
+    def remove_component(self, name: str) -> Component:
+        """Detach and return a component (used by optimization passes)."""
+        component = self.components.pop(name)
+        for port in component.ports.values():
+            net = port.net
+            if net is None:
+                continue
+            if port.is_output and net.driver == (component, port.name):
+                net.driver = None
+            elif port.is_input:
+                net.sinks = [s for s in net.sinks if s[0] is not component]
+            port.net = None
+        return component
+
+    # ------------------------------------------------------------ instances
+    def add_instance(self, name: str, module: "Module", connections: Mapping[str, Net]) -> Instance:
+        if name in self.instances:
+            raise ValueError(f"module {self.name!r}: duplicate instance {name!r}")
+        instance = Instance(name, module, connections)
+        self.instances[name] = instance
+        # record driver/sink relationships for validation purposes
+        for port_name, net in instance.connections.items():
+            child_port = module.ports[port_name]
+            if child_port.is_output:
+                if net.driver is not None:
+                    raise ValueError(
+                        f"net {net.name!r} already driven; instance {name!r} output "
+                        f"{port_name!r} cannot drive it too"
+                    )
+                net.driver = (instance, port_name)
+            else:
+                net.sinks.append((instance, port_name))
+        return instance
+
+    @property
+    def is_hierarchical(self) -> bool:
+        return bool(self.instances)
+
+    # --------------------------------------------------------------- queries
+    def iter_components(self) -> Iterable[Component]:
+        return self.components.values()
+
+    def sequential_components(self) -> List[Component]:
+        return [c for c in self.components.values() if c.is_sequential]
+
+    def combinational_components(self) -> List[Component]:
+        return [c for c in self.components.values() if not c.is_sequential]
+
+    def find_components(self, type_name: str) -> List[Component]:
+        return [c for c in self.components.values() if c.type_name == type_name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Module({self.name!r}, {len(self.components)} components, "
+            f"{len(self.nets)} nets, {len(self.instances)} instances)"
+        )

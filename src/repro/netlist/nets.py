@@ -1,0 +1,46 @@
+"""Nets: named multi-bit wires connecting component ports."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+
+class Net:
+    """A multi-bit wire in an RTL netlist.
+
+    A net has exactly one driver (a component output port or a module input
+    port) and any number of sinks.  Signal values are not stored on the net;
+    the simulator keeps its own value map keyed by net so that the netlist
+    itself stays immutable during simulation.
+    """
+
+    _ids = itertools.count()
+
+    __slots__ = ("name", "width", "uid", "driver", "sinks")
+
+    def __init__(self, name: str, width: int) -> None:
+        if width <= 0:
+            raise ValueError(f"net {name!r}: width must be positive, got {width}")
+        self.name = name
+        self.width = int(width)
+        self.uid = next(Net._ids)
+        #: the (component, port_name) pair or ("module", port_name) driving this net
+        self.driver: Optional[tuple] = None
+        #: list of (component, port_name) pairs reading this net
+        self.sinks: list = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Net({self.name!r}, width={self.width})"
+
+    def __hash__(self) -> int:
+        return self.uid
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __deepcopy__(self, memo: dict) -> "Net":
+        # Nets are identity objects shared between a module and its components;
+        # cloning passes (flatten, instrumentation) rebuild connectivity
+        # explicitly, so deep copies of referencing objects keep pointing here.
+        return self

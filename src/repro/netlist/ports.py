@@ -1,0 +1,48 @@
+"""Ports: named, directed connection points of components and modules."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.netlist.nets import Net
+
+
+class PortDirection(enum.Enum):
+    """Direction of a port as seen from its owner."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+@dataclass
+class Port:
+    """A directed, fixed-width connection point on a component.
+
+    ``net`` is ``None`` until the port is connected.  Output ports drive
+    their net; input ports read it.
+    """
+
+    name: str
+    direction: PortDirection
+    width: int
+    net: Optional[Net] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(
+                f"port {self.name!r}: width must be positive, got {self.width}"
+            )
+
+    @property
+    def is_input(self) -> bool:
+        return self.direction is PortDirection.INPUT
+
+    @property
+    def is_output(self) -> bool:
+        return self.direction is PortDirection.OUTPUT
+
+    @property
+    def connected(self) -> bool:
+        return self.net is not None

@@ -1,0 +1,372 @@
+"""Sequential (stateful) RTL components: registers, counters, memories.
+
+The cycle-accurate simulator drives sequential components with a two-phase
+protocol per clock cycle:
+
+1. combinational settle — :meth:`Component.evaluate` is called; for purely
+   registered outputs this only reads the current state,
+2. clock edge — :meth:`SequentialComponent.capture` latches the next state
+   from the component's input values, then :meth:`SequentialComponent.commit`
+   makes it current.
+
+Components whose outputs depend combinationally on their inputs *and* their
+state (asynchronous-read memories, register files) set ``has_comb_path`` so
+that the scheduler levelizes them with the combinational logic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.netlist.components import Component
+from repro.netlist.ports import Port
+from repro.netlist.signals import mask_value
+
+
+class SequentialComponent(Component):
+    """Base class for stateful components."""
+
+    is_sequential = True
+    has_comb_path = False
+
+    def reset(self) -> None:
+        """Return the component to its power-on/reset state."""
+        raise NotImplementedError
+
+    def capture(self, inputs: Mapping[str, int]) -> None:
+        """Sample inputs at the clock edge and compute the pending next state."""
+        raise NotImplementedError
+
+    def commit(self) -> None:
+        """Make the pending next state current (end of the clock edge)."""
+        raise NotImplementedError
+
+
+class Register(SequentialComponent):
+    """Edge-triggered register with optional clock enable and synchronous clear."""
+
+    type_name = "register"
+
+    def __init__(
+        self,
+        name: str,
+        width: int,
+        reset_value: int = 0,
+        has_enable: bool = False,
+        has_clear: bool = False,
+    ) -> None:
+        super().__init__(name)
+        self.width = width
+        self.reset_value = mask_value(reset_value, width)
+        self.has_enable = has_enable
+        self.has_clear = has_clear
+        self.params = {
+            "width": width,
+            "reset_value": self.reset_value,
+            "has_enable": has_enable,
+            "has_clear": has_clear,
+        }
+        self.add_input("d", width)
+        if has_enable:
+            self.add_input("en", 1)
+        if has_clear:
+            self.add_input("clear", 1)
+        self.add_output("q", width)
+        self._state = self.reset_value
+        self._pending = self.reset_value
+
+    def reset(self) -> None:
+        self._state = self.reset_value
+        self._pending = self.reset_value
+
+    @property
+    def value(self) -> int:
+        """Current stored value (useful for debugging and testbenches)."""
+        return self._state
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        return {"q": self._state}
+
+    def capture(self, inputs: Mapping[str, int]) -> None:
+        if self.has_clear and (inputs.get("clear", 0) & 1):
+            self._pending = self.reset_value
+        elif not self.has_enable or (inputs.get("en", 1) & 1):
+            self._pending = mask_value(inputs["d"], self.width)
+        else:
+            self._pending = self._state
+
+    def commit(self) -> None:
+        self._state = self._pending
+
+
+class Counter(SequentialComponent):
+    """Up-counter with enable and optional synchronous load and wrap limit."""
+
+    type_name = "counter"
+
+    def __init__(
+        self,
+        name: str,
+        width: int,
+        has_load: bool = False,
+        wrap_at: Optional[int] = None,
+    ) -> None:
+        super().__init__(name)
+        self.width = width
+        self.has_load = has_load
+        self.wrap_at = wrap_at
+        self.params = {"width": width, "has_load": has_load, "wrap_at": wrap_at}
+        self.add_input("en", 1)
+        if has_load:
+            self.add_input("load", 1)
+            self.add_input("d", width)
+        self.add_output("q", width)
+        self._state = 0
+        self._pending = 0
+
+    def reset(self) -> None:
+        self._state = 0
+        self._pending = 0
+
+    @property
+    def value(self) -> int:
+        return self._state
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        return {"q": self._state}
+
+    def capture(self, inputs: Mapping[str, int]) -> None:
+        if self.has_load and (inputs.get("load", 0) & 1):
+            self._pending = mask_value(inputs["d"], self.width)
+            return
+        if inputs.get("en", 0) & 1:
+            nxt = self._state + 1
+            if self.wrap_at is not None and nxt >= self.wrap_at:
+                nxt = 0
+            self._pending = mask_value(nxt, self.width)
+        else:
+            self._pending = self._state
+
+    def commit(self) -> None:
+        self._state = self._pending
+
+
+class Accumulator(SequentialComponent):
+    """Accumulating register: ``q <= q + d`` when enabled, cleared synchronously.
+
+    This is the storage element behind the paper's power aggregator: the
+    outputs of all hardware power models are summed into an accumulator that
+    holds the design's total power (energy) so far.
+    """
+
+    type_name = "accumulator"
+
+    def __init__(self, name: str, width: int) -> None:
+        super().__init__(name)
+        self.width = width
+        self.params = {"width": width}
+        self.add_input("d", width)
+        self.add_input("en", 1)
+        self.add_input("clear", 1)
+        self.add_output("q", width)
+        self._state = 0
+        self._pending = 0
+
+    def reset(self) -> None:
+        self._state = 0
+        self._pending = 0
+
+    @property
+    def value(self) -> int:
+        return self._state
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        return {"q": self._state}
+
+    def capture(self, inputs: Mapping[str, int]) -> None:
+        if inputs.get("clear", 0) & 1:
+            self._pending = 0
+        elif inputs.get("en", 0) & 1:
+            self._pending = mask_value(self._state + inputs["d"], self.width)
+        else:
+            self._pending = self._state
+
+    def commit(self) -> None:
+        self._state = self._pending
+
+
+class RegisterFile(SequentialComponent):
+    """Small multi-read-port register file with asynchronous reads.
+
+    Ports: ``we``/``waddr``/``wdata`` for the single write port and
+    ``raddr{i}``/``rdata{i}`` for each of ``n_read_ports`` read ports.
+    """
+
+    type_name = "regfile"
+    has_comb_path = True
+
+    def __init__(
+        self,
+        name: str,
+        width: int,
+        depth: int,
+        n_read_ports: int = 1,
+        initial: Optional[Sequence[int]] = None,
+    ) -> None:
+        super().__init__(name)
+        if depth < 1:
+            raise ValueError(f"register file depth must be >= 1, got {depth}")
+        self.width = width
+        self.depth = depth
+        self.n_read_ports = n_read_ports
+        self.addr_width = max(1, (depth - 1).bit_length())
+        self.params = {"width": width, "depth": depth, "n_read_ports": n_read_ports}
+        self.add_input("we", 1)
+        self.add_input("waddr", self.addr_width)
+        self.add_input("wdata", width)
+        for i in range(n_read_ports):
+            self.add_input(f"raddr{i}", self.addr_width)
+            self.add_output(f"rdata{i}", width)
+        self._initial = list(initial) if initial is not None else [0] * depth
+        if len(self._initial) != depth:
+            raise ValueError("initial contents length must equal depth")
+        self._state: List[int] = [mask_value(v, width) for v in self._initial]
+        self._pending_write: Optional[tuple] = None
+
+    def reset(self) -> None:
+        self._state = [mask_value(v, self.width) for v in self._initial]
+        self._pending_write = None
+
+    def read_word(self, addr: int) -> int:
+        """Backdoor read for testbenches and verification."""
+        return self._state[addr]
+
+    def write_word(self, addr: int, value: int) -> None:
+        """Backdoor write for testbench initialization."""
+        self._state[addr] = mask_value(value, self.width)
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for i in range(self.n_read_ports):
+            addr = inputs.get(f"raddr{i}", 0) % self.depth
+            out[f"rdata{i}"] = self._state[addr]
+        return out
+
+    def capture(self, inputs: Mapping[str, int]) -> None:
+        if inputs.get("we", 0) & 1:
+            addr = inputs.get("waddr", 0) % self.depth
+            self._pending_write = (addr, mask_value(inputs.get("wdata", 0), self.width))
+        else:
+            self._pending_write = None
+
+    def commit(self) -> None:
+        if self._pending_write is not None:
+            addr, value = self._pending_write
+            self._state[addr] = value
+            self._pending_write = None
+
+
+class Memory(SequentialComponent):
+    """Single-port RAM.  Reads are synchronous by default (registered output)."""
+
+    type_name = "memory"
+
+    def __init__(
+        self,
+        name: str,
+        width: int,
+        depth: int,
+        sync_read: bool = True,
+        initial: Optional[Sequence[int]] = None,
+    ) -> None:
+        super().__init__(name)
+        if depth < 1:
+            raise ValueError(f"memory depth must be >= 1, got {depth}")
+        self.width = width
+        self.depth = depth
+        self.sync_read = sync_read
+        self.addr_width = max(1, (depth - 1).bit_length())
+        self.params = {"width": width, "depth": depth, "sync_read": sync_read}
+        self.add_input("we", 1)
+        self.add_input("addr", self.addr_width)
+        self.add_input("wdata", width)
+        self.add_output("rdata", width)
+        self._initial = list(initial) if initial is not None else [0] * depth
+        if len(self._initial) != depth:
+            raise ValueError("initial contents length must equal depth")
+        self._state: List[int] = [mask_value(v, width) for v in self._initial]
+        self._read_reg = 0
+        self._pending_write: Optional[tuple] = None
+        self._pending_read = 0
+        if not sync_read:
+            # asynchronous read: output follows addr combinationally
+            self.has_comb_path = True
+
+    def reset(self) -> None:
+        self._state = [mask_value(v, self.width) for v in self._initial]
+        self._read_reg = 0
+        self._pending_write = None
+        self._pending_read = 0
+
+    def read_word(self, addr: int) -> int:
+        """Backdoor read for testbenches and verification."""
+        return self._state[addr]
+
+    def write_word(self, addr: int, value: int) -> None:
+        """Backdoor write for testbench initialization."""
+        self._state[addr] = mask_value(value, self.width)
+
+    def load(self, contents: Sequence[int], offset: int = 0) -> None:
+        """Backdoor-load a block of words starting at ``offset``."""
+        for i, value in enumerate(contents):
+            self.write_word(offset + i, value)
+
+    def monitored_ports(self) -> List[Port]:
+        # Power for memories is modelled from the access ports only (the
+        # storage array itself is covered by an analytic per-access model).
+        return list(self.ports.values())
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        if self.sync_read:
+            return {"rdata": self._read_reg}
+        addr = inputs.get("addr", 0) % self.depth
+        return {"rdata": self._state[addr]}
+
+    def capture(self, inputs: Mapping[str, int]) -> None:
+        addr = inputs.get("addr", 0) % self.depth
+        if inputs.get("we", 0) & 1:
+            self._pending_write = (addr, mask_value(inputs.get("wdata", 0), self.width))
+        else:
+            self._pending_write = None
+        # read-before-write semantics for the registered read port
+        self._pending_read = self._state[addr]
+
+    def commit(self) -> None:
+        if self.sync_read:
+            self._read_reg = self._pending_read
+        if self._pending_write is not None:
+            addr, value = self._pending_write
+            self._state[addr] = value
+            self._pending_write = None
+
+
+class ROM(Component):
+    """Read-only memory with combinational (asynchronous) read."""
+
+    type_name = "rom"
+    has_comb_path = True
+
+    def __init__(self, name: str, width: int, contents: Sequence[int]) -> None:
+        super().__init__(name)
+        if not contents:
+            raise ValueError("ROM contents must not be empty")
+        self.width = width
+        self.depth = len(contents)
+        self.addr_width = max(1, (self.depth - 1).bit_length())
+        self.params = {"width": width, "depth": self.depth}
+        self.contents = [mask_value(v, width) for v in contents]
+        self.add_input("addr", self.addr_width)
+        self.add_output("rdata", width)
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        return {"rdata": self.contents[inputs.get("addr", 0) % self.depth]}

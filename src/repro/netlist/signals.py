@@ -1,0 +1,116 @@
+"""Bit-vector value helpers.
+
+All signal values in the RTL IR and simulator are plain non-negative Python
+integers, interpreted as unsigned bit vectors of a given width.  Signed
+interpretation uses two's complement.  These helpers centralize masking,
+signed/unsigned conversion and bit-level manipulation so that every component
+implements its semantics consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+
+def mask_value(value: int, width: int) -> int:
+    """Truncate ``value`` to ``width`` bits (two's-complement wrap-around)."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    return value & ((1 << width) - 1)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret an unsigned ``width``-bit value as a two's-complement integer."""
+    value = mask_value(value, width)
+    sign_bit = 1 << (width - 1)
+    if value & sign_bit:
+        return value - (1 << width)
+    return value
+
+
+def from_signed(value: int, width: int) -> int:
+    """Encode a (possibly negative) integer as an unsigned ``width``-bit value."""
+    return mask_value(value, width)
+
+
+def sign_extend(value: int, from_width: int, to_width: int) -> int:
+    """Sign-extend ``value`` from ``from_width`` bits to ``to_width`` bits."""
+    if to_width < from_width:
+        raise ValueError(
+            f"cannot sign-extend from {from_width} bits down to {to_width} bits"
+        )
+    return from_signed(to_signed(value, from_width), to_width)
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in ``value``."""
+    if value < 0:
+        raise ValueError("popcount expects a non-negative integer")
+    return bin(value).count("1")
+
+
+def hamming_distance(a: int, b: int, width: int | None = None) -> int:
+    """Number of differing bits between ``a`` and ``b``.
+
+    If ``width`` is given, both values are first masked to that width; this is
+    the per-component transition count ``sum_i T(x_i)`` used by the
+    cycle-accurate power macromodels.
+    """
+    if width is not None:
+        a = mask_value(a, width)
+        b = mask_value(b, width)
+    return popcount(a ^ b)
+
+
+def bits_of(value: int, width: int) -> List[int]:
+    """Return the bits of ``value`` LSB-first as a list of 0/1 integers."""
+    value = mask_value(value, width)
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def value_from_bits(bits: Sequence[int]) -> int:
+    """Inverse of :func:`bits_of`: assemble an integer from LSB-first bits."""
+    value = 0
+    for i, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise ValueError(f"bit {i} is {bit!r}, expected 0 or 1")
+        value |= bit << i
+    return value
+
+
+def iter_bit_toggles(prev: int, curr: int, width: int) -> Iterator[int]:
+    """Yield per-bit toggle flags (0/1), LSB-first, between two values.
+
+    This is exactly the ``T(x_i)`` term of the linear power macromodel and of
+    the hardware power-model circuit (an XOR per monitored bit).
+    """
+    diff = mask_value(prev ^ curr, width)
+    for i in range(width):
+        yield (diff >> i) & 1
+
+
+def max_unsigned(width: int) -> int:
+    """Largest unsigned value representable in ``width`` bits."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    return (1 << width) - 1
+
+
+def min_signed(width: int) -> int:
+    """Smallest (most negative) signed value representable in ``width`` bits."""
+    return -(1 << (width - 1))
+
+
+def max_signed(width: int) -> int:
+    """Largest signed value representable in ``width`` bits."""
+    return (1 << (width - 1)) - 1
+
+
+def saturate(value: int, width: int, signed: bool) -> int:
+    """Clamp an integer into the representable range, returning the encoding."""
+    if signed:
+        lo, hi = min_signed(width), max_signed(width)
+        clamped = min(max(value, lo), hi)
+        return from_signed(clamped, width)
+    clamped = min(max(value, 0), max_unsigned(width))
+    return clamped

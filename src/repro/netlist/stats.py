@@ -1,0 +1,75 @@
+"""Netlist size statistics.
+
+These numbers drive the reporting in the benchmark harnesses (design size
+column of the Fig. 3 reproduction) and sanity checks on the instrumentation
+overhead (how much hardware power emulation adds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.netlist.module import Module
+from repro.netlist.visitor import walk_components
+
+
+@dataclass
+class ModuleStats:
+    """Aggregate size statistics for a module (hierarchy included)."""
+
+    name: str
+    n_components: int = 0
+    n_sequential: int = 0
+    n_combinational: int = 0
+    n_nets: int = 0
+    total_net_bits: int = 0
+    state_bits: int = 0
+    monitored_bits: int = 0
+    by_type: Dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary."""
+        lines = [
+            f"module {self.name}: {self.n_components} components "
+            f"({self.n_sequential} sequential, {self.n_combinational} combinational), "
+            f"{self.n_nets} nets / {self.total_net_bits} bits, "
+            f"{self.state_bits} state bits, {self.monitored_bits} power-monitored bits",
+        ]
+        for type_name in sorted(self.by_type):
+            lines.append(f"  {type_name:16s} x {self.by_type[type_name]}")
+        return "\n".join(lines)
+
+
+def _component_state_bits(component) -> int:
+    type_name = component.type_name
+    params = component.params
+    if type_name in ("register", "accumulator", "counter"):
+        return int(params.get("width", 0))
+    if type_name in ("memory", "regfile"):
+        return int(params.get("width", 0)) * int(params.get("depth", 0))
+    if type_name == "fsm":
+        return max(1, (int(params.get("n_states", 1)) - 1).bit_length())
+    return 0
+
+
+def module_stats(module: Module, recurse: bool = True) -> ModuleStats:
+    """Compute :class:`ModuleStats` for a module."""
+    stats = ModuleStats(name=module.name)
+    for _, component in walk_components(module, recurse=recurse):
+        stats.n_components += 1
+        if component.is_sequential:
+            stats.n_sequential += 1
+        else:
+            stats.n_combinational += 1
+        stats.by_type[component.type_name] = stats.by_type.get(component.type_name, 0) + 1
+        stats.state_bits += _component_state_bits(component)
+        stats.monitored_bits += component.monitored_bits()
+    stats.n_nets = len(module.nets)
+    stats.total_net_bits = sum(net.width for net in module.nets.values())
+    if recurse:
+        for instance in module.instances.values():
+            child = module_stats(instance.module, recurse=True)
+            stats.n_nets += child.n_nets
+            stats.total_net_bits += child.total_net_bits
+    return stats

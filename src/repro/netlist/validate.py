@@ -1,0 +1,124 @@
+"""Structural validation of RTL modules.
+
+Checks performed:
+
+* every component input port is connected to a net owned by the module,
+* every net has exactly one driver (component output, instance output or
+  module input),
+* no combinational cycles (through components with an input→output
+  combinational path),
+* module output ports are driven.
+
+Unconnected optional inputs and undriven nets that have no sinks are reported
+as warnings rather than errors.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.netlist.module import Module
+from repro.netlist.nets import Net
+
+
+class ValidationError(Exception):
+    """Raised by :func:`validate_module` when a structural check fails."""
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validation: hard errors and advisory warnings."""
+
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def validate_module(module: Module, raise_on_error: bool = True) -> ValidationReport:
+    """Run all structural checks on a flat or hierarchical module."""
+    report = ValidationReport()
+    _check_ports_connected(module, report)
+    _check_net_drivers(module, report)
+    _check_combinational_loops(module, report)
+    if raise_on_error and report.errors:
+        raise ValidationError(
+            f"module {module.name!r} failed validation:\n  " + "\n  ".join(report.errors)
+        )
+    return report
+
+
+def _check_ports_connected(module: Module, report: ValidationReport) -> None:
+    for component in module.components.values():
+        for port in component.ports.values():
+            if port.net is None:
+                kind = "input" if port.is_input else "output"
+                message = f"component {component.name!r}: unconnected {kind} port {port.name!r}"
+                if port.is_input:
+                    report.errors.append(message)
+                else:
+                    report.warnings.append(message)
+            elif port.net.name not in module.nets or module.nets[port.net.name] is not port.net:
+                report.errors.append(
+                    f"component {component.name!r}: port {port.name!r} is connected to net "
+                    f"{port.net.name!r} which does not belong to module {module.name!r}"
+                )
+    for port_name, mport in module.ports.items():
+        if mport.is_output and mport.net.driver is None:
+            report.errors.append(f"module output port {port_name!r} is undriven")
+
+
+def _check_net_drivers(module: Module, report: ValidationReport) -> None:
+    for net in module.nets.values():
+        if net.driver is None:
+            if net.sinks:
+                report.errors.append(
+                    f"net {net.name!r} has {len(net.sinks)} sink(s) but no driver"
+                )
+            else:
+                report.warnings.append(f"net {net.name!r} is dangling (no driver, no sinks)")
+        elif not net.sinks and not any(
+            p.net is net and p.is_output for p in module.ports.values()
+        ):
+            report.warnings.append(f"net {net.name!r} is driven but never read")
+
+
+def _check_combinational_loops(module: Module, report: ValidationReport) -> None:
+    """Kahn topological sort over components with combinational paths."""
+    comb = [c for c in module.components.values() if c.has_comb_path]
+    comb_by_net_out: Dict[Net, object] = {}
+    for component in comb:
+        for net in component.output_nets():
+            comb_by_net_out[net] = component
+
+    successors: Dict[object, List[object]] = {c: [] for c in comb}
+    indegree: Dict[object, int] = {c: 0 for c in comb}
+    for component in comb:
+        for net in component.input_nets():
+            producer = comb_by_net_out.get(net)
+            if producer is not None and producer is not component:
+                successors[producer].append(component)
+                indegree[component] += 1
+            elif producer is component:
+                report.errors.append(
+                    f"component {component.name!r} combinationally feeds itself"
+                )
+
+    queue = deque(c for c, d in indegree.items() if d == 0)
+    visited = 0
+    while queue:
+        current = queue.popleft()
+        visited += 1
+        for succ in successors[current]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                queue.append(succ)
+    if visited != len(comb):
+        stuck = sorted(c.name for c, d in indegree.items() if d > 0)
+        report.errors.append(
+            "combinational loop detected involving: " + ", ".join(stuck[:10])
+        )

@@ -1,0 +1,48 @@
+"""Netlist traversal utilities."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Tuple
+
+from repro.netlist.components import Component
+from repro.netlist.module import Instance, Module
+
+
+def walk_components(module: Module, recurse: bool = True) -> Iterator[Tuple[str, Component]]:
+    """Yield ``(hierarchical_path, component)`` pairs.
+
+    With ``recurse=True``, instances are descended into and paths are joined
+    with ``.`` — useful for reporting on hierarchical designs without
+    flattening them first.
+    """
+    for component in module.components.values():
+        yield component.name, component
+    if recurse:
+        for instance in module.instances.values():
+            for path, component in walk_components(instance.module, recurse=True):
+                yield f"{instance.name}.{path}", component
+
+
+def walk_instances(module: Module) -> Iterator[Tuple[str, Instance]]:
+    """Yield ``(hierarchical_path, instance)`` pairs, depth first."""
+    for instance in module.instances.values():
+        yield instance.name, instance
+        for path, child in walk_instances(instance.module):
+            yield f"{instance.name}.{path}", child
+
+
+def count_by_type(module: Module, recurse: bool = True) -> Dict[str, int]:
+    """Histogram of component type names."""
+    counts: Dict[str, int] = {}
+    for _, component in walk_components(module, recurse):
+        counts[component.type_name] = counts.get(component.type_name, 0) + 1
+    return counts
+
+
+def select_components(
+    module: Module,
+    predicate: Callable[[Component], bool],
+    recurse: bool = True,
+) -> List[Tuple[str, Component]]:
+    """Return components (with their hierarchical path) matching ``predicate``."""
+    return [(path, c) for path, c in walk_components(module, recurse) if predicate(c)]

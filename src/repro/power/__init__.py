@@ -1,0 +1,63 @@
+"""Power modeling and software power estimation.
+
+This package implements the characterization-based RTL power-estimation
+methodology the paper builds on (Section 2.1):
+
+* :mod:`repro.power.technology` — operating point (supply, clock) and unit
+  conversions,
+* :mod:`repro.power.macromodel` — cycle-accurate power macromodels, foremost
+  the linear transition-count regression model
+  ``Power = sum_i Coeff_i * T(x_i)``,
+* :mod:`repro.power.library` — the "power macromodel library" keyed by RTL
+  component type/shape, with analytic seed models and characterized models,
+* :mod:`repro.power.characterize` — characterization of macromodels against
+  gate-level reference implementations,
+* :mod:`repro.power.rtl_estimator` — the software RTL power estimator
+  (the algorithm inside NEC-RTpower / PowerTheater-class tools),
+* :mod:`repro.power.gate_estimator` — the much slower gate-level estimation
+  baseline,
+* :mod:`repro.power.commercial` — calibrated runtime models of the two
+  commercial tools used in the paper's Figure 3,
+* :mod:`repro.power.report` — power report data structures.
+"""
+
+from repro.power.technology import Technology, CB130M_TECHNOLOGY
+from repro.power.macromodel import (
+    PowerMacromodel,
+    LinearTransitionModel,
+    LUTPowerModel,
+    CharacterizationMetrics,
+)
+from repro.power.library import PowerModelLibrary, SeedModelBuilder, build_seed_library
+from repro.power.characterize import CharacterizationEngine, CharacterizationResult
+from repro.power.report import ComponentPower, PowerReport
+from repro.power.rtl_estimator import RTLPowerEstimator
+from repro.power.gate_estimator import GateLevelPowerEstimator
+from repro.power.commercial import (
+    CommercialToolModel,
+    POWERTHEATER,
+    NEC_RTPOWER,
+    calibrate_tool,
+)
+
+__all__ = [
+    "Technology",
+    "CB130M_TECHNOLOGY",
+    "PowerMacromodel",
+    "LinearTransitionModel",
+    "LUTPowerModel",
+    "CharacterizationMetrics",
+    "PowerModelLibrary",
+    "SeedModelBuilder",
+    "build_seed_library",
+    "CharacterizationEngine",
+    "CharacterizationResult",
+    "ComponentPower",
+    "PowerReport",
+    "RTLPowerEstimator",
+    "GateLevelPowerEstimator",
+    "CommercialToolModel",
+    "POWERTHEATER",
+    "NEC_RTPOWER",
+    "calibrate_tool",
+]

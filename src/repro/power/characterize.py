@@ -1,0 +1,232 @@
+"""Macromodel characterization against gate-level reference implementations.
+
+For a given RTL component the engine:
+
+1. technology-maps it to gates (:mod:`repro.gates.techmap`),
+2. applies training vector *pairs* spanning a range of toggle densities,
+3. measures the reference transition energy with the gate-level power
+   calculator,
+4. records the per-bit transition indicators ``T(x_i)`` of the component's
+   monitored ports for each pair, and
+5. solves the least-squares problem ``E ≈ base + sum_i coeff_i * T(x_i)``
+   (numpy ``lstsq``) to obtain the linear-transition macromodel, together
+   with goodness-of-fit metrics.
+
+This mirrors the characterization flow the paper's power-macromodel library
+is built with ([6], [8] in the paper).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.gates.gate_power import GatePowerCalculator
+from repro.gates.gatesim import GateLevelSimulator
+from repro.gates.techmap import TechnologyMapper
+from repro.netlist.components import Component
+from repro.power.macromodel import CharacterizationMetrics, LinearTransitionModel, LUTPowerModel
+from repro.power.technology import CB130M_TECHNOLOGY, Technology
+
+
+@dataclass
+class CharacterizationResult:
+    """A fitted model plus the data and metrics behind it."""
+
+    component_type: str
+    model: LinearTransitionModel
+    metrics: CharacterizationMetrics
+    #: reference energies (fJ) per training transition
+    reference_energies: List[float]
+    #: model-predicted energies per training transition
+    predicted_energies: List[float]
+
+
+class CharacterizationEngine:
+    """Fits linear-transition macromodels from gate-level simulations."""
+
+    def __init__(
+        self,
+        technology: Technology = CB130M_TECHNOLOGY,
+        mapper: Optional[TechnologyMapper] = None,
+        n_pairs: int = 120,
+        seed: int = 2005,
+        nonnegative: bool = True,
+    ) -> None:
+        self.technology = technology
+        self.mapper = mapper if mapper is not None else TechnologyMapper(technology.cell_library)
+        self.n_pairs = n_pairs
+        self.seed = seed
+        #: clamp negative fitted coefficients to zero (hardware-friendly)
+        self.nonnegative = nonnegative
+
+    # ------------------------------------------------------------------ API
+    def characterize(self, component: Component) -> CharacterizationResult:
+        """Fit a linear-transition model for one component."""
+        inputs_bits, energies = self._collect_training_data(component)
+        coefficients, base, predicted = self._fit(inputs_bits, energies)
+        port_widths = {p.name: p.width for p in component.monitored_ports()}
+        model = self._assemble_model(component, port_widths, coefficients, base)
+        metrics = self._metrics(energies, predicted)
+        model.metrics = metrics
+        return CharacterizationResult(
+            component_type=component.type_name,
+            model=model,
+            metrics=metrics,
+            reference_energies=list(energies),
+            predicted_energies=list(predicted),
+        )
+
+    def characterize_lut(self, component: Component, n_bins: int = 8) -> LUTPowerModel:
+        """Fit a LUT macromodel (toggle-density binned) for the ablation study."""
+        rng = random.Random(self.seed)
+        gate_netlist = self.mapper.map_component(component)
+        calculator = GatePowerCalculator(gate_netlist, self.technology.cell_library)
+        simulator = GateLevelSimulator(gate_netlist)
+        port_widths = {p.name: p.width for p in component.ports.values()}
+        input_ports = [p.name for p in component.input_ports]
+        output_ports = [p.name for p in component.output_ports]
+        in_bits = sum(port_widths[p] for p in input_ports)
+        out_bits = sum(port_widths[p] for p in output_ports) or 1
+
+        sums = [[0.0] * n_bins for _ in range(n_bins)]
+        counts = [[0] * n_bins for _ in range(n_bins)]
+        for _ in range(self.n_pairs):
+            first, second = self._vector_pair(component, rng)
+            energy = calculator.vector_pair_energy(simulator, first, second, port_widths).total_fj
+            prev_io = dict(first, **component.evaluate(first))
+            curr_io = dict(second, **component.evaluate(second))
+            in_density = self._density(input_ports, port_widths, prev_io, curr_io)
+            out_density = self._density(output_ports, port_widths, prev_io, curr_io)
+            row = min(n_bins - 1, int(in_density * n_bins))
+            col = min(n_bins - 1, int(out_density * n_bins))
+            sums[row][col] += energy
+            counts[row][col] += 1
+        table = [
+            [sums[r][c] / counts[r][c] if counts[r][c] else 0.0 for c in range(n_bins)]
+            for r in range(n_bins)
+        ]
+        self._fill_empty_bins(table, counts)
+        return LUTPowerModel(
+            component.type_name,
+            {p.name: p.width for p in component.monitored_ports()},
+            input_ports,
+            output_ports,
+            table,
+        )
+
+    # -------------------------------------------------------- training data
+    def _collect_training_data(self, component: Component) -> Tuple[np.ndarray, np.ndarray]:
+        rng = random.Random(self.seed)
+        gate_netlist = self.mapper.map_component(component)
+        calculator = GatePowerCalculator(gate_netlist, self.technology.cell_library)
+        simulator = GateLevelSimulator(gate_netlist)
+        port_widths = {p.name: p.width for p in component.ports.values()}
+        monitored = sorted(p.name for p in component.monitored_ports())
+
+        rows: List[List[int]] = []
+        energies: List[float] = []
+        for _ in range(self.n_pairs):
+            first, second = self._vector_pair(component, rng)
+            energy = calculator.vector_pair_energy(simulator, first, second, port_widths).total_fj
+            prev_io = dict(first, **component.evaluate(first))
+            curr_io = dict(second, **component.evaluate(second))
+            row: List[int] = []
+            for port in monitored:
+                width = port_widths[port]
+                toggles = prev_io.get(port, 0) ^ curr_io.get(port, 0)
+                row.extend((toggles >> i) & 1 for i in range(width))
+            rows.append(row)
+            energies.append(energy)
+        return np.array(rows, dtype=float), np.array(energies, dtype=float)
+
+    def _vector_pair(self, component: Component, rng: random.Random) -> Tuple[Dict[str, int], Dict[str, int]]:
+        """A training pair: a random vector and a perturbation of it.
+
+        The flip probability is drawn per pair so the training set covers the
+        whole toggle-density range (the regression otherwise extrapolates
+        badly at low activities).
+        """
+        first: Dict[str, int] = {}
+        second: Dict[str, int] = {}
+        flip_probability = rng.choice([0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0])
+        for port in component.input_ports:
+            value = rng.getrandbits(port.width)
+            flip_mask = 0
+            for bit in range(port.width):
+                if rng.random() < flip_probability:
+                    flip_mask |= 1 << bit
+            first[port.name] = value
+            second[port.name] = value ^ flip_mask
+        return first, second
+
+    # ------------------------------------------------------------- fitting
+    def _fit(self, features: np.ndarray, energies: np.ndarray):
+        n_samples, n_bits = features.shape
+        design = np.hstack([np.ones((n_samples, 1)), features])
+        solution, *_ = np.linalg.lstsq(design, energies, rcond=None)
+        base = float(solution[0])
+        coefficients = solution[1:]
+        if self.nonnegative:
+            coefficients = np.clip(coefficients, 0.0, None)
+            base = max(base, 0.0)
+        predicted = design @ np.concatenate([[base], coefficients])
+        return coefficients, base, predicted
+
+    def _assemble_model(
+        self,
+        component: Component,
+        port_widths: Mapping[str, int],
+        flat_coefficients: Sequence[float],
+        base: float,
+    ) -> LinearTransitionModel:
+        per_port: Dict[str, List[float]] = {}
+        index = 0
+        for port in sorted(port_widths):
+            width = port_widths[port]
+            per_port[port] = [float(c) for c in flat_coefficients[index:index + width]]
+            index += width
+        return LinearTransitionModel(component.type_name, port_widths, per_port, base)
+
+    @staticmethod
+    def _metrics(reference: np.ndarray, predicted: np.ndarray) -> CharacterizationMetrics:
+        reference = np.asarray(reference, dtype=float)
+        predicted = np.asarray(predicted, dtype=float)
+        residual = reference - predicted
+        ss_res = float(np.sum(residual**2))
+        ss_tot = float(np.sum((reference - reference.mean()) ** 2))
+        r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+        rmse = float(np.sqrt(np.mean(residual**2)))
+        spread = float(reference.max() - reference.min()) or 1.0
+        return CharacterizationMetrics(
+            n_samples=int(reference.size),
+            r_squared=r_squared,
+            nrmse=rmse / spread,
+            max_abs_error_fj=float(np.max(np.abs(residual))),
+            mean_energy_fj=float(reference.mean()),
+        )
+
+    @staticmethod
+    def _density(ports, widths, previous, current) -> float:
+        bits = sum(widths[p] for p in ports) or 1
+        toggles = 0
+        for port in ports:
+            toggles += bin(previous.get(port, 0) ^ current.get(port, 0)).count("1")
+        return toggles / bits
+
+    @staticmethod
+    def _fill_empty_bins(table, counts) -> None:
+        """Fill unobserved LUT bins with the nearest observed value."""
+        n = len(table)
+        observed = [(r, c) for r in range(n) for c in range(n) if counts[r][c]]
+        if not observed:
+            return
+        for r in range(n):
+            for c in range(n):
+                if counts[r][c]:
+                    continue
+                nearest = min(observed, key=lambda rc: abs(rc[0] - r) + abs(rc[1] - c))
+                table[r][c] = table[nearest[0]][nearest[1]]

@@ -1,0 +1,90 @@
+"""Calibrated runtime models of the commercial RTL power estimation tools.
+
+We obviously cannot run PowerTheater [1] or NEC's internal RTL power estimator
+[2]; what Figure 3 needs from them is their *execution time* on each
+benchmark.  Both tools implement the same algorithm as
+:class:`repro.power.rtl_estimator.RTLPowerEstimator` (per-cycle macromodel
+evaluation over every monitored signal), so their runtime is well described by
+
+    t = setup + n_cycles * (per_cycle_overhead + monitored_bits * per_bit_cycle)
+
+The default constants are anchored to the one absolute data point the paper
+gives (the introduction's MPEG4 run: 43 minutes for PowerTheater and
+55 minutes for the NEC tool on a 4-frame stimulus); the Fig. 3 harness
+re-anchors them at run time against our MPEG4 design via
+:func:`calibrate_tool`, so the reproduction tracks the paper's absolute scale
+even though our MPEG4 model is smaller than the authors' 1.25M-transistor RTL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CommercialToolModel:
+    """Throughput model of a software RTL power estimation tool."""
+
+    name: str
+    #: fixed cost: reading the design, building macromodel bindings, reporting
+    setup_time_s: float
+    #: per simulated cycle overhead (simulator kernel, scheduling)
+    per_cycle_s: float
+    #: per monitored signal bit per cycle (macromodel evaluation + statistics)
+    per_bit_cycle_s: float
+
+    def estimate_runtime_s(self, n_cycles: int, monitored_bits: int) -> float:
+        """Predicted wall-clock time to power-estimate ``n_cycles`` of stimulus."""
+        if n_cycles < 0 or monitored_bits < 0:
+            raise ValueError("cycle and bit counts must be non-negative")
+        return (
+            self.setup_time_s
+            + n_cycles * self.per_cycle_s
+            + n_cycles * monitored_bits * self.per_bit_cycle_s
+        )
+
+    def throughput_cycles_per_s(self, monitored_bits: int) -> float:
+        """Steady-state simulation throughput for a design of the given size."""
+        per_cycle = self.per_cycle_s + monitored_bits * self.per_bit_cycle_s
+        return 1.0 / per_cycle if per_cycle > 0 else float("inf")
+
+
+def calibrate_tool(
+    tool: CommercialToolModel,
+    n_cycles: int,
+    monitored_bits: int,
+    target_runtime_s: float,
+) -> CommercialToolModel:
+    """Return a copy of ``tool`` whose per-bit cost is scaled so that the given
+    workload takes exactly ``target_runtime_s``.
+
+    Used by the Fig. 3 harness to anchor both tools to the paper's MPEG4 data
+    point (43 min / 55 min) using *our* MPEG4 design's size and nominal
+    workload, preserving the paper's absolute time scale.
+    """
+    if n_cycles <= 0 or monitored_bits <= 0:
+        raise ValueError("calibration workload must have positive cycles and bits")
+    variable = target_runtime_s - tool.setup_time_s - n_cycles * tool.per_cycle_s
+    if variable <= 0:
+        raise ValueError(
+            f"target runtime {target_runtime_s}s is smaller than the tool's fixed costs"
+        )
+    per_bit_cycle = variable / (n_cycles * monitored_bits)
+    return replace(tool, per_bit_cycle_s=per_bit_cycle)
+
+
+#: Sequence Design PowerTheater [1]: larger setup cost, slightly faster kernel.
+POWERTHEATER = CommercialToolModel(
+    name="PowerTheater",
+    setup_time_s=25.0,
+    per_cycle_s=8.0e-6,
+    per_bit_cycle_s=6.5e-7,
+)
+
+#: NEC's internal RTL power estimator [2]: small setup, slower per-signal cost.
+NEC_RTPOWER = CommercialToolModel(
+    name="NEC-RTpower",
+    setup_time_s=8.0,
+    per_cycle_s=1.0e-5,
+    per_bit_cycle_s=8.3e-7,
+)

@@ -1,0 +1,86 @@
+"""Power report data structures shared by all estimators.
+
+Every estimator in the package — the software RTL estimator, the gate-level
+baseline, and the power-emulation platform readback — produces the same
+:class:`PowerReport`, which is what makes the accuracy comparisons in
+``benchmarks/bench_accuracy.py`` straightforward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class ComponentPower:
+    """Per-component energy/power results."""
+
+    name: str
+    component_type: str
+    energy_fj: float
+    average_power_mw: float
+
+    def __post_init__(self) -> None:
+        self.energy_fj = float(self.energy_fj)
+        self.average_power_mw = float(self.average_power_mw)
+
+
+@dataclass
+class PowerReport:
+    """Result of one power-estimation run."""
+
+    design: str
+    estimator: str
+    cycles: int
+    clock_mhz: float
+    total_energy_fj: float
+    average_power_mw: float
+    peak_power_mw: float = 0.0
+    components: Dict[str, ComponentPower] = field(default_factory=dict)
+    #: optional per-cycle (or per-strobe) total energy trace in fJ
+    cycle_energy_fj: List[float] = field(default_factory=list)
+    #: wall-clock time spent producing this report (the quantity Fig. 3 compares)
+    estimation_time_s: float = 0.0
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    # ---------------------------------------------------------------- views
+    def energy_by_type(self) -> Dict[str, float]:
+        """Aggregate energy per component type (adders vs. registers vs. ...)."""
+        totals: Dict[str, float] = {}
+        for component in self.components.values():
+            totals[component.component_type] = (
+                totals.get(component.component_type, 0.0) + component.energy_fj
+            )
+        return totals
+
+    def top_consumers(self, n: int = 10) -> List[ComponentPower]:
+        return sorted(self.components.values(), key=lambda c: c.energy_fj, reverse=True)[:n]
+
+    def component_share(self, name: str) -> float:
+        if self.total_energy_fj <= 0:
+            return 0.0
+        return self.components[name].energy_fj / self.total_energy_fj
+
+    def relative_error_to(self, reference: "PowerReport") -> float:
+        """Relative error of this report's average power against a reference."""
+        if reference.average_power_mw == 0:
+            return 0.0
+        return abs(self.average_power_mw - reference.average_power_mw) / reference.average_power_mw
+
+    def table(self, n: int = 15) -> str:
+        """Formatted per-component power table (largest consumers first)."""
+        lines = [
+            f"design {self.design} — {self.estimator}",
+            f"  cycles={self.cycles}  clock={self.clock_mhz:.0f} MHz  "
+            f"avg power={self.average_power_mw:.4f} mW  peak={self.peak_power_mw:.4f} mW  "
+            f"estimation time={self.estimation_time_s:.3f} s",
+            f"  {'component':32s} {'type':14s} {'energy (fJ)':>14s} {'power (mW)':>12s} {'share':>7s}",
+        ]
+        for component in self.top_consumers(n):
+            share = self.component_share(component.name)
+            lines.append(
+                f"  {component.name:32.32s} {component.component_type:14s} "
+                f"{component.energy_fj:14.1f} {component.average_power_mw:12.5f} {share:6.1%}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Software RTL power estimation.
+
+This is the baseline algorithm power emulation accelerates: simulate the
+design cycle by cycle, observe every RTL component's input/output values, and
+evaluate its power macromodel in software each cycle, accumulating energy per
+component.  Commercial tools such as PowerTheater and NEC's internal RTL power
+estimator implement exactly this loop (plus I/O and reporting); their absolute
+runtimes are modelled separately in :mod:`repro.power.commercial`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.netlist.components import Component
+from repro.netlist.module import Module
+from repro.power.library import PowerModelLibrary, build_seed_library
+from repro.power.macromodel import PowerMacromodel
+from repro.power.report import ComponentPower, PowerReport
+from repro.power.technology import CB130M_TECHNOLOGY, Technology
+from repro.sim.engine import SimulationObserver, Simulator
+from repro.sim.testbench import Testbench
+
+
+class _MacromodelObserver(SimulationObserver):
+    """Simulator observer that evaluates macromodels every cycle."""
+
+    def __init__(self, estimator: "RTLPowerEstimator") -> None:
+        self.estimator = estimator
+        self.energy_by_component: Dict[str, float] = {}
+        self.cycle_energy: List[float] = []
+        self._previous_io: Dict[Component, Dict[str, int]] = {}
+
+    def on_reset(self, simulator: Simulator) -> None:
+        self.energy_by_component = {c.name: 0.0 for c, _ in self.estimator.monitored}
+        self.cycle_energy = []
+        self._previous_io = {}
+
+    def on_cycle(self, simulator: Simulator, cycle: int) -> None:
+        total_this_cycle = 0.0
+        for component, model in self.estimator.monitored:
+            current = simulator.component_io_values(component)
+            previous = self._previous_io.get(component, current)
+            energy = model.evaluate(previous, current)
+            self._previous_io[component] = current
+            self.energy_by_component[component.name] += energy
+            total_this_cycle += energy
+        self.cycle_energy.append(total_this_cycle)
+
+
+class RTLPowerEstimator:
+    """Macromodel-based RTL power estimator (the software baseline)."""
+
+    name = "rtl-macromodel"
+
+    def __init__(
+        self,
+        module: Module,
+        library: Optional[PowerModelLibrary] = None,
+        technology: Technology = CB130M_TECHNOLOGY,
+    ) -> None:
+        if module.is_hierarchical:
+            raise ValueError(
+                f"module {module.name!r} is hierarchical; flatten() it before estimation"
+            )
+        self.module = module
+        self.technology = technology
+        self.library = library if library is not None else build_seed_library(technology)
+        #: (component, model) pairs for every component carrying a power model
+        self.monitored: List[tuple] = []
+        for component in module.components.values():
+            if not component.monitored_ports():
+                continue
+            self.monitored.append((component, self.library.lookup(component)))
+
+    # ------------------------------------------------------------------ API
+    def estimate(
+        self,
+        testbench: Testbench,
+        max_cycles: Optional[int] = None,
+        keep_cycle_trace: bool = True,
+    ) -> PowerReport:
+        """Run the testbench and return the power report."""
+        start = time.perf_counter()
+        simulator = Simulator(self.module)
+        observer = _MacromodelObserver(self)
+        observer.on_reset(simulator)
+        simulator.add_observer(observer)
+        simulation = simulator.run(testbench, max_cycles=max_cycles)
+        elapsed = time.perf_counter() - start
+        return self._build_report(observer, simulation.cycles, elapsed, keep_cycle_trace)
+
+    def model_for(self, component_name: str) -> PowerMacromodel:
+        """The macromodel assigned to a named component (for inspection/tests)."""
+        for component, model in self.monitored:
+            if component.name == component_name:
+                return model
+        raise KeyError(f"component {component_name!r} is not monitored")
+
+    # -------------------------------------------------------------- helpers
+    def _build_report(
+        self,
+        observer: _MacromodelObserver,
+        cycles: int,
+        elapsed_s: float,
+        keep_cycle_trace: bool,
+    ) -> PowerReport:
+        technology = self.technology
+        components: Dict[str, ComponentPower] = {}
+        total_energy = 0.0
+        for component, _ in self.monitored:
+            energy = observer.energy_by_component.get(component.name, 0.0)
+            total_energy += energy
+            components[component.name] = ComponentPower(
+                name=component.name,
+                component_type=component.type_name,
+                energy_fj=energy,
+                average_power_mw=technology.energy_to_power_mw(
+                    energy / cycles if cycles else 0.0
+                ),
+            )
+        average_power = technology.energy_to_power_mw(total_energy / cycles if cycles else 0.0)
+        peak_power = (
+            technology.energy_to_power_mw(max(observer.cycle_energy))
+            if observer.cycle_energy
+            else 0.0
+        )
+        return PowerReport(
+            design=self.module.name,
+            estimator=self.name,
+            cycles=cycles,
+            clock_mhz=technology.clock_mhz,
+            total_energy_fj=total_energy,
+            average_power_mw=average_power,
+            peak_power_mw=peak_power,
+            components=components,
+            cycle_energy_fj=list(observer.cycle_energy) if keep_cycle_trace else [],
+            estimation_time_s=elapsed_s,
+            notes={"n_monitored_components": len(self.monitored)},
+        )

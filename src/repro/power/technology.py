@@ -1,0 +1,61 @@
+"""Technology operating point and unit conversions.
+
+Energies inside the package are carried in femtojoules (fJ) per clock cycle
+(or per strobe period); powers are reported in milliwatts.  The conversion is
+``P[mW] = E[fJ/cycle] * f[MHz] * 1e-6`` since 1 fJ * 1 MHz = 1 nW = 1e-6 mW.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gates.cells import CB013_LIBRARY, StandardCellLibrary
+
+
+@dataclass(frozen=True)
+class Technology:
+    """An implementation technology / operating point."""
+
+    name: str
+    vdd_v: float
+    clock_mhz: float
+    cell_library: StandardCellLibrary = field(repr=False, default=CB013_LIBRARY)
+    #: per-bit energies (fJ) of storage elements, used by analytic models
+    register_clock_energy_fj: float = 1.2
+    register_data_energy_fj: float = 2.8
+    memory_read_energy_fj_per_bit: float = 6.0
+    memory_write_energy_fj_per_bit: float = 8.5
+    memory_leakage_fj_per_bit_cycle: float = 0.002
+
+    @property
+    def clock_period_ns(self) -> float:
+        return 1e3 / self.clock_mhz
+
+    def energy_to_power_mw(self, energy_fj_per_cycle: float) -> float:
+        """Convert an average per-cycle energy into average power (mW).
+
+        1 fJ/cycle at 1 MHz is 1 nW, i.e. 1e-6 mW.
+        """
+        return energy_fj_per_cycle * self.clock_mhz * 1e-6
+
+    def power_to_energy_fj(self, power_mw: float) -> float:
+        """Average per-cycle energy (fJ) corresponding to a power in mW."""
+        return power_mw / (self.clock_mhz * 1e-6)
+
+    def scaled(self, clock_mhz: float) -> "Technology":
+        """Same technology at a different clock frequency."""
+        return Technology(
+            name=self.name,
+            vdd_v=self.vdd_v,
+            clock_mhz=clock_mhz,
+            cell_library=self.cell_library,
+            register_clock_energy_fj=self.register_clock_energy_fj,
+            register_data_energy_fj=self.register_data_energy_fj,
+            memory_read_energy_fj_per_bit=self.memory_read_energy_fj_per_bit,
+            memory_write_energy_fj_per_bit=self.memory_write_energy_fj_per_bit,
+            memory_leakage_fj_per_bit_cycle=self.memory_leakage_fj_per_bit_cycle,
+        )
+
+
+#: default operating point mirroring the paper's CB130M 0.13 µm flow at 200 MHz
+CB130M_TECHNOLOGY = Technology(name="CB130M-synthetic", vdd_v=1.2, clock_mhz=200.0)

@@ -1,0 +1,38 @@
+"""Cycle-accurate RTL simulation.
+
+The simulator executes flat :class:`~repro.netlist.module.Module` objects one
+clock cycle at a time: combinational logic is levelized once and evaluated in
+topological order, then all sequential components capture and commit their
+next state.  Observers (signal traces, power estimators, the emulated power
+aggregator readback) hook into the end of the combinational settle phase of
+every cycle — exactly the instant at which the paper's power strobe samples
+component inputs/outputs.
+"""
+
+from repro.sim.scheduler import levelize, SchedulingError
+from repro.sim.engine import Simulator, SimulationResult, SimulationObserver
+from repro.sim.testbench import (
+    Testbench,
+    VectorTestbench,
+    CallbackTestbench,
+    RandomTestbench,
+)
+from repro.sim.trace import SignalTrace, NetStatistics, ComponentActivityTrace
+from repro.sim.waveform import Waveform, WaveformRecorder
+
+__all__ = [
+    "levelize",
+    "SchedulingError",
+    "Simulator",
+    "SimulationResult",
+    "SimulationObserver",
+    "Testbench",
+    "VectorTestbench",
+    "CallbackTestbench",
+    "RandomTestbench",
+    "SignalTrace",
+    "NetStatistics",
+    "ComponentActivityTrace",
+    "Waveform",
+    "WaveformRecorder",
+]

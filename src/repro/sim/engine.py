@@ -1,0 +1,210 @@
+"""The cycle-accurate simulation engine."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.netlist.module import Module
+from repro.netlist.nets import Net
+from repro.netlist.signals import mask_value
+from repro.sim.scheduler import Schedule, levelize
+
+
+class SimulationObserver:
+    """Hook interface invoked by the simulator.
+
+    ``on_cycle`` runs after the combinational settle of every cycle (i.e. with
+    all values for the current cycle stable, just before the clock edge) —
+    the same sampling instant as the paper's power strobe.
+    """
+
+    def on_reset(self, simulator: "Simulator") -> None:  # pragma: no cover - default no-op
+        return None
+
+    def on_cycle(self, simulator: "Simulator", cycle: int) -> None:
+        raise NotImplementedError
+
+    def on_finish(self, simulator: "Simulator") -> None:  # pragma: no cover - default no-op
+        return None
+
+
+@dataclass
+class SimulationResult:
+    """Summary of a testbench run."""
+
+    design: str
+    cycles: int
+    wall_time_s: float
+    #: values of module output ports at the final settled cycle
+    final_outputs: Dict[str, int] = field(default_factory=dict)
+    #: optional per-testbench payload (captured outputs, check counts, ...)
+    captured: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def cycles_per_second(self) -> float:
+        """Simulation throughput (simulated cycles per wall-clock second)."""
+        if self.wall_time_s <= 0:
+            return float("inf")
+        return self.cycles / self.wall_time_s
+
+
+class Simulator:
+    """Cycle-accurate simulator for a flat RTL module.
+
+    Typical use::
+
+        sim = Simulator(flatten(design))
+        sim.run(testbench)
+
+    or, for manual control::
+
+        sim.set_input("start", 1)
+        sim.step()
+        value = sim.get_output("done")
+    """
+
+    def __init__(self, module: Module, schedule: Optional[Schedule] = None) -> None:
+        self.module = module
+        self.schedule = schedule if schedule is not None else levelize(module)
+        self.values: Dict[Net, int] = {net: 0 for net in module.nets.values()}
+        self.cycle = 0
+        self.observers: List[SimulationObserver] = []
+        # Precompute port→net bindings once; evaluation is the hot loop.
+        self._io_bindings = {}
+        for component in module.components.values():
+            in_binding = [(p.name, p.net) for p in component.input_ports if p.net is not None]
+            out_binding = [(p.name, p.net) for p in component.output_ports if p.net is not None]
+            self._io_bindings[component] = (in_binding, out_binding)
+        self._input_nets = {name: port.net for name, port in module.ports.items() if port.is_input}
+        self._output_nets = {name: port.net for name, port in module.ports.items() if port.is_output}
+        self.reset()
+
+    # -------------------------------------------------------------- control
+    def add_observer(self, observer: SimulationObserver) -> SimulationObserver:
+        self.observers.append(observer)
+        return observer
+
+    def remove_observer(self, observer: SimulationObserver) -> None:
+        self.observers.remove(observer)
+
+    def reset(self) -> None:
+        """Reset all sequential state and zero all nets, then settle."""
+        for component in self.schedule.sequential:
+            component.reset()
+        for net in self.values:
+            self.values[net] = 0
+        self.cycle = 0
+        for observer in self.observers:
+            observer.on_reset(self)
+        self.settle()
+
+    # ------------------------------------------------------------------ I/O
+    def set_input(self, name: str, value: int) -> None:
+        """Drive a module input port (takes effect at the next settle)."""
+        net = self._input_nets[name]
+        self.values[net] = mask_value(value, net.width)
+
+    def set_inputs(self, inputs: Mapping[str, int]) -> None:
+        for name, value in inputs.items():
+            self.set_input(name, value)
+
+    def get_output(self, name: str) -> int:
+        """Read a module output port (value as of the last settle)."""
+        return self.values[self._output_nets[name]]
+
+    def get_outputs(self) -> Dict[str, int]:
+        return {name: self.values[net] for name, net in self._output_nets.items()}
+
+    def get_net(self, net: Net | str) -> int:
+        """Read any net by object or name."""
+        if isinstance(net, str):
+            net = self.module.nets[net]
+        return self.values[net]
+
+    def component_io_values(self, component) -> Dict[str, int]:
+        """Snapshot of a component's port values at the current settle.
+
+        This is what a power macromodel (software or emulated) observes.
+        """
+        in_binding, out_binding = self._io_bindings[component]
+        snapshot = {name: self.values[net] for name, net in in_binding}
+        snapshot.update({name: self.values[net] for name, net in out_binding})
+        return snapshot
+
+    # ------------------------------------------------------------ execution
+    def settle(self) -> None:
+        """Propagate combinational logic with the current inputs and state."""
+        values = self.values
+        bindings = self._io_bindings
+        for component in self.schedule.state_sources:
+            _, out_binding = bindings[component]
+            outputs = component.evaluate({})
+            for name, net in out_binding:
+                values[net] = outputs[name]
+        for component in self.schedule.ordered:
+            in_binding, out_binding = bindings[component]
+            inputs = {name: values[net] for name, net in in_binding}
+            outputs = component.evaluate(inputs)
+            for name, net in out_binding:
+                values[net] = outputs[name]
+
+    def clock_edge(self) -> None:
+        """Capture and commit the next state of every sequential component."""
+        values = self.values
+        bindings = self._io_bindings
+        for component in self.schedule.sequential:
+            in_binding, _ = bindings[component]
+            inputs = {name: values[net] for name, net in in_binding}
+            component.capture(inputs)
+        for component in self.schedule.sequential:
+            component.commit()
+
+    def step(self, inputs: Optional[Mapping[str, int]] = None, cycles: int = 1) -> None:
+        """Advance the simulation by ``cycles`` clock cycles.
+
+        Per cycle: apply inputs, settle combinational logic, notify observers,
+        then take the clock edge.
+        """
+        for _ in range(cycles):
+            if inputs:
+                self.set_inputs(inputs)
+            self.settle()
+            for observer in self.observers:
+                observer.on_cycle(self, self.cycle)
+            self.clock_edge()
+            self.cycle += 1
+
+    def run(self, testbench, max_cycles: Optional[int] = None) -> SimulationResult:
+        """Execute a testbench until it reports completion (or ``max_cycles``)."""
+        start = time.perf_counter()
+        testbench.bind(self)
+        limit = max_cycles if max_cycles is not None else testbench.max_cycles
+        while True:
+            if limit is not None and self.cycle >= limit:
+                break
+            stimulus = testbench.drive(self.cycle, self)
+            if stimulus:
+                self.set_inputs(stimulus)
+            self.settle()
+            for observer in self.observers:
+                observer.on_cycle(self, self.cycle)
+            testbench.check(self.cycle, self)
+            finished = testbench.finished(self.cycle, self)
+            self.clock_edge()
+            self.cycle += 1
+            if finished:
+                break
+        self.settle()
+        for observer in self.observers:
+            observer.on_finish(self)
+        wall = time.perf_counter() - start
+        result = SimulationResult(
+            design=self.module.name,
+            cycles=self.cycle,
+            wall_time_s=wall,
+            final_outputs=self.get_outputs(),
+            captured=testbench.captured(),
+        )
+        return result

@@ -1,0 +1,94 @@
+"""Combinational levelization (static scheduling) for the cycle simulator.
+
+A flat module's components are split into:
+
+* *state sources* — sequential components whose outputs depend only on their
+  internal state (registers, FSMs, synchronous-read memories); their outputs
+  are produced before any combinational evaluation,
+* *combinationally evaluated* components — everything with an input→output
+  combinational path, ordered topologically so a single pass per cycle
+  suffices.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.netlist.components import Component
+from repro.netlist.module import Module
+from repro.netlist.nets import Net
+
+
+class SchedulingError(Exception):
+    """Raised when the combinational network cannot be ordered (cycle present)."""
+
+
+@dataclass
+class Schedule:
+    """Static evaluation schedule for one module."""
+
+    #: sequential components with purely registered outputs, evaluated first
+    state_sources: List[Component] = field(default_factory=list)
+    #: combinational (and combinational-through sequential) components, in order
+    ordered: List[Component] = field(default_factory=list)
+    #: all sequential components (clocked at the end of the cycle)
+    sequential: List[Component] = field(default_factory=list)
+    #: logic depth (number of levels) of the combinational network
+    depth: int = 0
+
+
+def levelize(module: Module) -> Schedule:
+    """Build the static evaluation schedule for a flat module."""
+    if module.is_hierarchical:
+        raise SchedulingError(
+            f"module {module.name!r} is hierarchical; flatten() it before simulation"
+        )
+
+    schedule = Schedule()
+    comb: List[Component] = []
+    for component in module.components.values():
+        if component.is_sequential:
+            schedule.sequential.append(component)
+        if component.has_comb_path:
+            comb.append(component)
+        elif component.is_sequential or component.type_name == "constant":
+            schedule.state_sources.append(component)
+
+    # Map each net to the combinational component driving it (if any).
+    driven_by: Dict[Net, Component] = {}
+    for component in comb:
+        for net in component.output_nets():
+            driven_by[net] = component
+
+    successors: Dict[Component, List[Component]] = {c: [] for c in comb}
+    indegree: Dict[Component, int] = {c: 0 for c in comb}
+    for component in comb:
+        for net in component.input_nets():
+            producer = driven_by.get(net)
+            if producer is not None and producer is not component:
+                successors[producer].append(component)
+                indegree[component] += 1
+
+    level: Dict[Component, int] = {}
+    queue = deque(sorted((c for c, d in indegree.items() if d == 0), key=lambda c: c.name))
+    for component in queue:
+        level[component] = 0
+    while queue:
+        current = queue.popleft()
+        schedule.ordered.append(current)
+        for succ in successors[current]:
+            indegree[succ] -= 1
+            level[succ] = max(level.get(succ, 0), level[current] + 1)
+            if indegree[succ] == 0:
+                queue.append(succ)
+
+    if len(schedule.ordered) != len(comb):
+        unresolved = sorted(c.name for c, d in indegree.items() if d > 0)
+        raise SchedulingError(
+            "combinational loop detected; unresolved components: "
+            + ", ".join(unresolved[:10])
+        )
+    schedule.depth = (max(level.values()) + 1) if level else 0
+    return schedule

@@ -1,0 +1,151 @@
+"""Testbench abstractions for driving simulations and emulations.
+
+A testbench produces the input stimulus for a design cycle by cycle and can
+check outputs along the way.  The same testbench object drives
+
+* functional RTL simulation (:class:`repro.sim.engine.Simulator`),
+* software RTL power estimation (the estimator wraps a simulator),
+* the emulation platform model (:mod:`repro.core.emulator`), mirroring the
+  paper's setup where "the testbench can be executed within a simulator, or it
+  can be mapped to the FPGA platform along with the design itself".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+
+class Testbench:
+    """Base class: override :meth:`drive` and optionally :meth:`check`/:meth:`finished`."""
+
+    #: default cycle budget when the testbench has no natural termination
+    max_cycles: Optional[int] = None
+
+    def __init__(self, name: str = "testbench") -> None:
+        self.name = name
+        self._captured: Dict[str, object] = {}
+
+    def bind(self, simulator) -> None:
+        """Called once before the run starts; override to initialize memories etc."""
+        return None
+
+    def drive(self, cycle: int, simulator) -> Mapping[str, int]:
+        """Return the input values to apply at this cycle (may be empty)."""
+        return {}
+
+    def check(self, cycle: int, simulator) -> None:
+        """Inspect settled outputs; raise ``AssertionError`` on mismatch."""
+        return None
+
+    def finished(self, cycle: int, simulator) -> bool:
+        """Return True when the workload is complete (checked after settle)."""
+        return False
+
+    def captured(self) -> Dict[str, object]:
+        """Data captured during the run (results read from the DUT, errors, ...)."""
+        return dict(self._captured)
+
+    def capture(self, key: str, value) -> None:
+        self._captured[key] = value
+
+
+class VectorTestbench(Testbench):
+    """Applies a pre-computed list of input vectors, one per cycle."""
+
+    def __init__(
+        self,
+        vectors: Sequence[Mapping[str, int]],
+        name: str = "vectors",
+        hold_last: bool = False,
+        extra_cycles: int = 0,
+    ) -> None:
+        super().__init__(name)
+        self.vectors = [dict(v) for v in vectors]
+        self.hold_last = hold_last
+        self.extra_cycles = extra_cycles
+        self.max_cycles = len(self.vectors) + extra_cycles
+
+    def drive(self, cycle: int, simulator) -> Mapping[str, int]:
+        if cycle < len(self.vectors):
+            return self.vectors[cycle]
+        if self.hold_last and self.vectors:
+            return self.vectors[-1]
+        return {}
+
+    def finished(self, cycle: int, simulator) -> bool:
+        return cycle + 1 >= len(self.vectors) + self.extra_cycles
+
+
+class CallbackTestbench(Testbench):
+    """Wraps plain functions for quick ad-hoc testbenches."""
+
+    def __init__(
+        self,
+        drive_fn: Callable[[int, object], Mapping[str, int]],
+        n_cycles: int,
+        check_fn: Optional[Callable[[int, object], None]] = None,
+        name: str = "callback",
+    ) -> None:
+        super().__init__(name)
+        self._drive_fn = drive_fn
+        self._check_fn = check_fn
+        self.n_cycles = n_cycles
+        self.max_cycles = n_cycles
+
+    def drive(self, cycle: int, simulator) -> Mapping[str, int]:
+        return self._drive_fn(cycle, simulator)
+
+    def check(self, cycle: int, simulator) -> None:
+        if self._check_fn is not None:
+            self._check_fn(cycle, simulator)
+
+    def finished(self, cycle: int, simulator) -> bool:
+        return cycle + 1 >= self.n_cycles
+
+
+class RandomTestbench(Testbench):
+    """Drives uniformly random values on the named input ports every cycle.
+
+    Useful for power characterization and for stressing designs whose inputs
+    are free-running data streams.
+    """
+
+    def __init__(
+        self,
+        n_cycles: int,
+        input_widths: Optional[Mapping[str, int]] = None,
+        seed: int = 0,
+        hold: int = 1,
+        name: str = "random",
+    ) -> None:
+        super().__init__(name)
+        self.n_cycles = n_cycles
+        self.max_cycles = n_cycles
+        self.input_widths = dict(input_widths) if input_widths else None
+        self.seed = seed
+        #: apply a fresh random vector every ``hold`` cycles
+        self.hold = max(1, hold)
+        self._rng = random.Random(seed)
+        self._current: Dict[str, int] = {}
+
+    def bind(self, simulator) -> None:
+        if self.input_widths is None:
+            self.input_widths = {
+                name: port.width
+                for name, port in simulator.module.ports.items()
+                if port.is_input
+            }
+        self._rng = random.Random(self.seed)
+        self._current = {}
+
+    def drive(self, cycle: int, simulator) -> Mapping[str, int]:
+        if cycle % self.hold == 0 or not self._current:
+            self._current = {
+                name: self._rng.getrandbits(width)
+                for name, width in (self.input_widths or {}).items()
+            }
+        return self._current
+
+    def finished(self, cycle: int, simulator) -> bool:
+        return cycle + 1 >= self.n_cycles

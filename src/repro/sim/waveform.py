@@ -1,0 +1,65 @@
+"""Waveform capture (value-change recording) for selected nets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.netlist.nets import Net
+from repro.sim.engine import SimulationObserver, Simulator
+
+
+@dataclass
+class Waveform:
+    """Value changes of one net: a list of ``(cycle, new_value)`` events."""
+
+    net_name: str
+    width: int
+    changes: List[Tuple[int, int]] = field(default_factory=list)
+
+    def value_at(self, cycle: int) -> int:
+        """Value of the net at the given cycle (0 before the first change)."""
+        value = 0
+        for change_cycle, new_value in self.changes:
+            if change_cycle > cycle:
+                break
+            value = new_value
+        return value
+
+    def toggle_cycles(self) -> List[int]:
+        """Cycles at which the value changed (excluding the initial assignment)."""
+        return [cycle for cycle, _ in self.changes[1:]]
+
+    def __len__(self) -> int:
+        return len(self.changes)
+
+
+class WaveformRecorder(SimulationObserver):
+    """Observer storing value changes for a set of nets (all nets by default).
+
+    The recorded waveforms can be written out as a VCD file with
+    :func:`repro.vcd.writer.write_vcd` and re-analyzed with the VCD activity
+    counter — the classic software flow that power emulation accelerates.
+    """
+
+    def __init__(self, nets: Optional[Iterable[Net]] = None) -> None:
+        self._selected = list(nets) if nets is not None else None
+        self.waveforms: Dict[Net, Waveform] = {}
+        self.last_cycle = -1
+
+    def on_reset(self, simulator: Simulator) -> None:
+        nets = self._selected if self._selected is not None else list(simulator.module.nets.values())
+        self.waveforms = {net: Waveform(net.name, net.width) for net in nets}
+        self.last_cycle = -1
+
+    def on_cycle(self, simulator: Simulator, cycle: int) -> None:
+        if not self.waveforms:
+            self.on_reset(simulator)
+        for net, waveform in self.waveforms.items():
+            value = simulator.values[net]
+            if not waveform.changes or waveform.changes[-1][1] != value:
+                waveform.changes.append((cycle, value))
+        self.last_cycle = cycle
+
+    def by_name(self) -> Dict[str, Waveform]:
+        return {net.name: wf for net, wf in self.waveforms.items()}

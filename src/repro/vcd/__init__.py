@@ -1,0 +1,24 @@
+"""Value Change Dump (VCD) support.
+
+Software power-estimation flows typically dump switching activity to a VCD
+file during HDL simulation and post-process it; this package provides a
+writer (from recorded waveforms), a tolerant parser, and switching-activity
+counting from parsed dumps.  The power-emulation flow makes exactly this
+step unnecessary — the activity is reduced to power on the fly, in hardware —
+which is one source of its speedup.
+"""
+
+from repro.vcd.writer import write_vcd, vcd_string
+from repro.vcd.parser import parse_vcd, VCDSignal, VCDFile, VCDParseError
+from repro.vcd.activity import activity_from_vcd, ActivitySummary
+
+__all__ = [
+    "write_vcd",
+    "vcd_string",
+    "parse_vcd",
+    "VCDSignal",
+    "VCDFile",
+    "VCDParseError",
+    "activity_from_vcd",
+    "ActivitySummary",
+]

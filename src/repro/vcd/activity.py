@@ -1,0 +1,57 @@
+"""Switching-activity extraction from VCD dumps.
+
+This is the "offline" activity path of a conventional software power flow:
+simulate, dump VCD, then count toggles per signal.  It exists both as a
+baseline (its cost is part of what power emulation eliminates) and as a
+cross-check for the simulator's live :class:`repro.sim.trace.SignalTrace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.vcd.parser import VCDFile, VCDSignal, parse_vcd
+
+
+@dataclass
+class ActivitySummary:
+    """Per-signal toggle counts and densities derived from a VCD file."""
+
+    clock_period_ns: int
+    total_time_ns: int
+    toggles: Dict[str, int] = field(default_factory=dict)
+    widths: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_cycles(self) -> int:
+        if self.clock_period_ns <= 0:
+            return 0
+        return self.total_time_ns // self.clock_period_ns
+
+    def toggle_density(self, name: str) -> float:
+        """Average toggles per bit per clock cycle for the named signal."""
+        cycles = self.n_cycles
+        width = self.widths.get(name, 1)
+        if cycles == 0 or width == 0:
+            return 0.0
+        return self.toggles.get(name, 0) / (cycles * width)
+
+    def total_toggles(self) -> int:
+        return sum(self.toggles.values())
+
+
+def activity_from_vcd(
+    source: str | VCDFile,
+    clock_period_ns: int = 10,
+) -> ActivitySummary:
+    """Count switching activity in a VCD file (text or already parsed)."""
+    vcd = parse_vcd(source) if isinstance(source, str) else source
+    summary = ActivitySummary(
+        clock_period_ns=clock_period_ns, total_time_ns=vcd.end_time
+    )
+    for signal in vcd.signals.values():
+        key = signal.name
+        summary.toggles[key] = summary.toggles.get(key, 0) + signal.toggle_count()
+        summary.widths[key] = signal.width
+    return summary

@@ -1,0 +1,160 @@
+"""A tolerant VCD parser.
+
+Parses the subset of the VCD grammar emitted by common simulators (and by
+:mod:`repro.vcd.writer`): header sections, ``$var`` declarations with scoped
+names, ``$dumpvars`` blocks, timestamps and scalar/vector value changes.
+Unknown values (``x``/``z``) are mapped to 0, matching the two-valued
+simulation semantics used throughout the package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class VCDParseError(Exception):
+    """Raised on malformed VCD input."""
+
+
+@dataclass
+class VCDSignal:
+    """One declared signal and its value-change history (in VCD time units)."""
+
+    name: str
+    width: int
+    code: str
+    scope: str = ""
+    changes: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.scope}.{self.name}" if self.scope else self.name
+
+    def value_at(self, time: int) -> int:
+        value = 0
+        for change_time, new_value in self.changes:
+            if change_time > time:
+                break
+            value = new_value
+        return value
+
+    def toggle_count(self) -> int:
+        """Total number of bit toggles across the recorded changes."""
+        toggles = 0
+        previous = None
+        for _, value in self.changes:
+            if previous is not None:
+                toggles += bin(previous ^ value).count("1")
+            previous = value
+        return toggles
+
+
+@dataclass
+class VCDFile:
+    """Parsed VCD contents."""
+
+    timescale: str = "1 ns"
+    signals: Dict[str, VCDSignal] = field(default_factory=dict)
+    end_time: int = 0
+
+    def by_name(self) -> Dict[str, VCDSignal]:
+        return {signal.name: signal for signal in self.signals.values()}
+
+
+def _parse_vector(token: str) -> int:
+    value = 0
+    for char in token:
+        value <<= 1
+        if char == "1":
+            value |= 1
+        elif char in "0xXzZ":
+            pass
+        else:
+            raise VCDParseError(f"invalid vector digit {char!r}")
+    return value
+
+
+def parse_vcd(text: str) -> VCDFile:
+    """Parse VCD text into a :class:`VCDFile`."""
+    result = VCDFile()
+    tokens = text.split()
+    i = 0
+    scope_stack: List[str] = []
+    current_time = 0
+    in_definitions = True
+
+    while i < len(tokens):
+        token = tokens[i]
+        if token == "$timescale":
+            parts = []
+            i += 1
+            while i < len(tokens) and tokens[i] != "$end":
+                parts.append(tokens[i])
+                i += 1
+            result.timescale = " ".join(parts)
+        elif token == "$scope":
+            if i + 2 >= len(tokens):
+                raise VCDParseError("truncated $scope directive")
+            scope_stack.append(tokens[i + 2])
+            i += 2
+            while i < len(tokens) and tokens[i] != "$end":
+                i += 1
+        elif token == "$upscope":
+            if scope_stack:
+                scope_stack.pop()
+            while i < len(tokens) and tokens[i] != "$end":
+                i += 1
+        elif token == "$var":
+            if i + 4 >= len(tokens):
+                raise VCDParseError("truncated $var directive")
+            width = int(tokens[i + 2])
+            code = tokens[i + 3]
+            name = tokens[i + 4]
+            signal = VCDSignal(
+                name=name, width=width, code=code, scope=".".join(scope_stack)
+            )
+            result.signals[code] = signal
+            i += 4
+            while i < len(tokens) and tokens[i] != "$end":
+                i += 1
+        elif token == "$enddefinitions":
+            in_definitions = False
+            while i < len(tokens) and tokens[i] != "$end":
+                i += 1
+        elif token in ("$dumpvars", "$dumpall", "$dumpon", "$dumpoff", "$end"):
+            pass
+        elif token.startswith("$"):
+            # skip other sections ($date, $version, $comment ...) up to $end
+            while i < len(tokens) and tokens[i] != "$end":
+                i += 1
+        elif token.startswith("#"):
+            current_time = int(token[1:])
+            result.end_time = max(result.end_time, current_time)
+        elif not in_definitions:
+            if token[0] in "01xXzZ":
+                # scalar change like "1!" or "x!"
+                if len(token) < 2:
+                    raise VCDParseError("scalar change missing identifier")
+                value_char, code = token[0], token[1:]
+                value = 1 if value_char == "1" else 0
+                _append_change(result, code, current_time, value)
+            elif token[0] in "bB":
+                if i + 1 >= len(tokens):
+                    raise VCDParseError("vector change missing identifier")
+                value = _parse_vector(token[1:])
+                code = tokens[i + 1]
+                i += 1
+                _append_change(result, code, current_time, value)
+            elif token[0] in "rR":
+                # real values are not produced by our flows; skip value + id
+                i += 1
+        i += 1
+    return result
+
+
+def _append_change(result: VCDFile, code: str, time: int, value: int) -> None:
+    signal = result.signals.get(code)
+    if signal is None:
+        raise VCDParseError(f"value change references undeclared identifier {code!r}")
+    signal.changes.append((time, value))

@@ -1,0 +1,29 @@
+"""Shared pytest fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist import NetlistBuilder, flatten
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def simple_pipeline_module():
+    """A tiny 8-bit add-then-register pipeline used by many tests.
+
+    Inputs ``a``/``b``, output ``total`` = registered ``a + b`` (one cycle of
+    latency).
+    """
+    b = NetlistBuilder("simple_pipeline")
+    a = b.input("a", 8)
+    bb = b.input("b", 8)
+    total = b.add(a, bb, name="adder")
+    q = b.pipe(total, name="sum_reg")
+    b.output("total", q)
+    return b.build()
+
+
+@pytest.fixture
+def simple_pipeline_sim(simple_pipeline_module):
+    return Simulator(flatten(simple_pipeline_module))

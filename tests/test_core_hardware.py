@@ -1,0 +1,188 @@
+"""Tests for fixed-point quantization and the power-estimation hardware blocks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.aggregator import PowerAggregator
+from repro.core.fixedpoint import FixedPointFormat, quantize_coefficients
+from repro.core.power_model_hw import MONITOR_PREFIX, HardwarePowerModel
+from repro.core.strobe import PowerStrobeGenerator
+from repro.power.macromodel import LinearTransitionModel
+
+
+def clock(component, inputs):
+    component.capture(inputs)
+    component.commit()
+
+
+# ---------------------------------------------------------------- fixed point
+def test_fixed_point_round_trip_and_saturation():
+    fmt = FixedPointFormat(bits=8, lsb_fj=0.5)
+    assert fmt.max_code == 255
+    assert fmt.quantize(10.0) == 20
+    assert fmt.dequantize(20) == pytest.approx(10.0)
+    assert fmt.quantize(1e9) == 255        # saturates
+    assert fmt.quantize(-3.0) == 0         # negative clamps to zero
+    assert fmt.quantization_error_fj(10.1) <= 0.25 + 1e-12
+
+
+def test_fixed_point_for_coefficients():
+    fmt = FixedPointFormat.for_coefficients([0.5, 2.0, 8.0], bits=10)
+    assert fmt.quantize(8.0) == fmt.max_code
+    assert fmt.max_value_fj == pytest.approx(8.0)
+    codes = quantize_coefficients([0.5, 2.0, 8.0], fmt)
+    assert codes[2] == fmt.max_code
+    assert codes[0] < codes[1] < codes[2]
+
+
+def test_fixed_point_validation():
+    with pytest.raises(ValueError):
+        FixedPointFormat(bits=0, lsb_fj=1.0)
+    with pytest.raises(ValueError):
+        FixedPointFormat(bits=8, lsb_fj=0.0)
+
+
+@given(st.floats(min_value=0.0, max_value=100.0), st.integers(min_value=4, max_value=16))
+def test_fixed_point_error_bounded_by_half_lsb(value, bits):
+    fmt = FixedPointFormat.for_coefficients([100.0], bits=bits)
+    assert fmt.quantization_error_fj(value) <= fmt.lsb_fj / 2 + 1e-9
+
+
+# ---------------------------------------------------------------- strobe
+def test_strobe_period_one_always_fires():
+    strobe = PowerStrobeGenerator("s", period=1)
+    assert strobe.evaluate({})["strobe"] == 1
+    for _ in range(5):
+        clock(strobe, {"enable": 1})
+        assert strobe.evaluate({})["strobe"] == 1
+
+
+def test_strobe_period_n_duty_cycle():
+    period = 4
+    strobe = PowerStrobeGenerator("s", period=period)
+    fires = 0
+    for _ in range(4 * period):
+        clock(strobe, {"enable": 1})
+        fires += strobe.evaluate({})["strobe"]
+    assert fires == 4
+
+
+def test_strobe_disable_freezes():
+    strobe = PowerStrobeGenerator("s", period=2)
+    clock(strobe, {"enable": 0})
+    assert strobe.evaluate({})["strobe"] == 0
+    with pytest.raises(ValueError):
+        PowerStrobeGenerator("bad", period=0)
+
+
+# ---------------------------------------------------------------- aggregator
+def test_aggregator_accumulates_and_clears():
+    agg = PowerAggregator("a", n_inputs=3, input_width=16, total_width=32)
+    clock(agg, {"e0": 5, "e1": 7, "e2": 1, "clear": 0})
+    clock(agg, {"e0": 2, "e1": 0, "e2": 0, "clear": 0})
+    assert agg.value == 15
+    assert agg.evaluate({})["total"] == 15
+    clock(agg, {"e0": 9, "e1": 9, "e2": 9, "clear": 1})
+    assert agg.value == 0
+    with pytest.raises(ValueError):
+        PowerAggregator("bad", n_inputs=0)
+
+
+def test_aggregator_is_not_self_monitored():
+    agg = PowerAggregator("a", n_inputs=2)
+    assert agg.monitored_ports() == []
+
+
+# ------------------------------------------------------- hardware power model
+def make_model(width=4, coeff=2.0, base=1.0):
+    widths = {"a": width, "y": width}
+    coeffs = {"a": [coeff] * width, "y": [coeff] * width}
+    return LinearTransitionModel("thing", widths, coeffs, base_energy_fj=base)
+
+
+def test_hardware_model_matches_software_model_every_cycle():
+    model = make_model()
+    fmt = FixedPointFormat.for_coefficients([2.0, 1.0], bits=12)
+    hw = HardwarePowerModel("hw", model, fmt, energy_width=24)
+    prev = {"a": 0, "y": 0}
+    total_hw = 0.0
+    total_sw = 0.0
+    for current in [{"a": 0xF, "y": 0x3}, {"a": 0xF, "y": 0x3}, {"a": 0x0, "y": 0xC}]:
+        clock(hw, {MONITOR_PREFIX + "a": current["a"], MONITOR_PREFIX + "y": current["y"],
+                   "strobe": 1})
+        total_hw += hw.energy_fj_from_code(hw.evaluate({})["energy"])
+        total_sw += model.evaluate(prev, current)
+        prev = current
+    assert total_hw == pytest.approx(total_sw, rel=1e-3)
+
+
+def test_hardware_model_strobe_accumulation():
+    """With a strobe every 2 cycles the flushed energy covers both cycles."""
+    model = make_model()
+    fmt = FixedPointFormat.for_coefficients([2.0], bits=12)
+    hw = HardwarePowerModel("hw", model, fmt, energy_width=24)
+    # cycle 1: toggle all of a (no strobe)
+    clock(hw, {MONITOR_PREFIX + "a": 0xF, MONITOR_PREFIX + "y": 0, "strobe": 0})
+    assert hw.evaluate({})["energy"] == 0
+    # cycle 2: toggle y, strobe fires -> output covers both cycles
+    clock(hw, {MONITOR_PREFIX + "a": 0xF, MONITOR_PREFIX + "y": 0xF, "strobe": 1})
+    flushed = hw.energy_fj_from_code(hw.evaluate({})["energy"])
+    expected = model.evaluate({"a": 0, "y": 0}, {"a": 0xF, "y": 0}) + model.evaluate(
+        {"a": 0xF, "y": 0}, {"a": 0xF, "y": 0xF}
+    )
+    assert flushed == pytest.approx(expected, rel=1e-3)
+
+
+def test_hardware_model_sample_on_strobe_only_undersamples():
+    model = make_model(base=0.0)
+    fmt = FixedPointFormat.for_coefficients([2.0], bits=12)
+    exact = HardwarePowerModel("e", model, fmt)
+    literal = HardwarePowerModel("l", model, fmt, sample_on_strobe_only=True)
+    sequence = [
+        ({"a": 0xF, "y": 0xF}, 0),
+        ({"a": 0x0, "y": 0x0}, 1),
+        ({"a": 0xF, "y": 0xF}, 0),
+        ({"a": 0x0, "y": 0x0}, 1),
+    ]
+    energy_exact = 0.0
+    energy_literal = 0.0
+    for values, strobe in sequence:
+        inputs = {MONITOR_PREFIX + "a": values["a"], MONITOR_PREFIX + "y": values["y"],
+                  "strobe": strobe}
+        clock(exact, inputs)
+        clock(literal, inputs)
+        energy_exact += exact.energy_fj_from_code(exact.evaluate({})["energy"])
+        energy_literal += literal.energy_fj_from_code(literal.evaluate({})["energy"])
+    assert energy_literal < energy_exact
+
+
+def test_hardware_model_reset_and_introspection():
+    model = make_model()
+    fmt = FixedPointFormat.for_coefficients([2.0], bits=8)
+    hw = HardwarePowerModel("hw", model, fmt, monitored_component="the_adder")
+    assert hw.monitored_component == "the_adder"
+    assert hw.monitored_ports() == []
+    assert hw.max_cycle_energy_code() == hw.base_code + sum(hw.coefficient_codes)
+    clock(hw, {MONITOR_PREFIX + "a": 0xF, MONITOR_PREFIX + "y": 0xF, "strobe": 1})
+    assert hw.evaluate({})["energy"] > 0
+    hw.reset()
+    assert hw.evaluate({})["energy"] == 0
+
+
+def test_hardware_model_quantization_error_bounded():
+    """Emulated energy differs from the float model by at most n_bits/2 LSBs per cycle."""
+    model = make_model(width=8, coeff=1.37, base=0.61)
+    fmt = FixedPointFormat.for_coefficients(
+        [c for _, _, c in model.flat_coefficients()] + [model.base_energy_fj], bits=10
+    )
+    hw = HardwarePowerModel("hw", model, fmt)
+    prev = {"a": 0, "y": 0}
+    current = {"a": 0xA5, "y": 0x5A}
+    clock(hw, {MONITOR_PREFIX + "a": current["a"], MONITOR_PREFIX + "y": current["y"],
+               "strobe": 1})
+    hw_energy = hw.energy_fj_from_code(hw.evaluate({})["energy"])
+    sw_energy = model.evaluate(prev, current)
+    bound = (model.total_bits + 1) * fmt.lsb_fj / 2
+    assert abs(hw_energy - sw_energy) <= bound

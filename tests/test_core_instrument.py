@@ -1,0 +1,182 @@
+"""Tests for the instrumentation pass and the emulated-vs-software agreement.
+
+The key invariant of power emulation is checked here: the total power computed
+*inside the enhanced circuit* (by the inserted power models and aggregator)
+must match the software RTL power estimator evaluating the same macromodels,
+up to fixed-point quantization.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    InstrumentationConfig,
+    compare_reports,
+    instrument,
+)
+from repro.core.emulator import EmulationPlatform
+from repro.core.instrument import InstrumentationError
+from repro.netlist import NetlistBuilder, flatten, validate_module
+from repro.power import RTLPowerEstimator, build_seed_library
+from repro.sim import RandomTestbench, Simulator
+
+
+def build_datapath():
+    """Small mixed datapath: multiplier, adder, register, comparator."""
+    b = NetlistBuilder("dut")
+    a = b.input("a", 8)
+    x = b.input("x", 8)
+    product = b.mul(a, x, width_y=16, name="mult")
+    total = b.add(product, b.zext(a, 16), name="adder")
+    reg = b.pipe(total, name="out_reg")
+    lt, eq, gt = b.compare(reg, b.const(100, 16), name="cmp")
+    b.output("result", reg)
+    b.output("over", gt)
+    return b.build()
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_seed_library()
+
+
+@pytest.fixture(scope="module")
+def instrumented(library):
+    return instrument(build_datapath(), library)
+
+
+def test_instrumented_module_is_valid_rtl(instrumented):
+    report = validate_module(instrumented.module, raise_on_error=False)
+    assert report.ok, report.errors
+
+
+def test_instrumentation_inserts_expected_hardware(instrumented):
+    module = instrumented.module
+    hw_models = [c for c in module.components.values() if c.type_name == "power_model_hw"]
+    strobes = [c for c in module.components.values() if c.type_name == "power_strobe"]
+    aggregators = [c for c in module.components.values() if c.type_name == "power_aggregator"]
+    assert len(hw_models) == instrumented.n_power_models > 0
+    assert len(strobes) == 1
+    assert len(aggregators) == 1
+    assert "power_total" in module.ports
+    assert "power_strobe" in module.ports
+    # every monitored component got exactly one model
+    assert set(instrumented.model_map) == {
+        c.name
+        for c in flatten(build_datapath()).components.values()
+        if c.monitored_ports()
+    }
+    assert instrumented.monitored_bits > 0
+
+
+def test_original_module_untouched(library):
+    module = build_datapath()
+    n_before = len(flatten(module).components)
+    instrument(module, library)
+    assert len(flatten(module).components) == n_before
+
+
+def test_double_instrumentation_rejected(library, instrumented):
+    with pytest.raises(InstrumentationError, match="already contains"):
+        instrument(instrumented.module, library)
+
+
+def test_monitor_filter_limits_models(library):
+    config = InstrumentationConfig(
+        monitor_filter=lambda c: c.type_name == "multiplier"
+    )
+    design = instrument(build_datapath(), library, config)
+    assert design.n_power_models == 1
+    assert list(design.model_map) == ["mult"]
+
+
+def test_empty_monitor_set_rejected(library):
+    config = InstrumentationConfig(monitor_filter=lambda c: False)
+    with pytest.raises(InstrumentationError, match="no components eligible"):
+        instrument(build_datapath(), library, config)
+
+
+def test_emulated_total_matches_software_estimator(library):
+    """Core accuracy claim: in-circuit power == software macromodel power."""
+    module = build_datapath()
+    flat = flatten(module)
+    reference = RTLPowerEstimator(flat, library=library).estimate(
+        RandomTestbench(150, seed=42)
+    )
+    design = instrument(module, library, InstrumentationConfig(coefficient_bits=16))
+    simulator = Simulator(design.module)
+    simulator.run(RandomTestbench(150, seed=42))
+    emulated_energy = design.read_total_energy_fj(simulator)
+    assert emulated_energy == pytest.approx(reference.total_energy_fj, rel=0.01)
+
+
+def test_emulated_per_component_breakdown(library):
+    module = build_datapath()
+    flat = flatten(module)
+    reference = RTLPowerEstimator(flat, library=library).estimate(
+        RandomTestbench(100, seed=1)
+    )
+    design = instrument(module, library, InstrumentationConfig(coefficient_bits=16))
+    simulator = Simulator(design.module)
+    simulator.run(RandomTestbench(100, seed=1))
+    energies = design.component_energies_fj(simulator)
+    assert set(energies) == set(design.model_map)
+    for name, energy in energies.items():
+        assert energy == pytest.approx(reference.components[name].energy_fj, rel=0.02)
+    # per-component energies sum to the aggregator total
+    assert sum(energies.values()) == pytest.approx(
+        design.read_total_energy_fj(simulator), rel=0.01
+    )
+
+
+def test_coarser_quantization_increases_error(library):
+    module = build_datapath()
+    flat = flatten(module)
+    reference = RTLPowerEstimator(flat, library=library).estimate(
+        RandomTestbench(100, seed=3)
+    )
+    errors = {}
+    platform = EmulationPlatform()
+    for bits in (4, 16):
+        design = instrument(module, library, InstrumentationConfig(coefficient_bits=bits))
+        emulation = platform.run(design, RandomTestbench(100, seed=3))
+        accuracy = compare_reports(emulation.power_report, reference)
+        errors[bits] = abs(accuracy.relative_error)
+    assert errors[16] <= errors[4]
+    assert errors[16] < 0.01
+
+
+def test_strobe_period_preserves_total_energy(library):
+    """Accumulate-every-cycle models lose only the unflushed tail for period > 1.
+
+    With a strobe period of N the models still observe every cycle; the only
+    energy missing from the aggregator at the end of a run is whatever was
+    accumulated since the last strobe (at most ~N+1 cycles' worth).
+    """
+    module = build_datapath()
+    n_cycles = 120
+    period = 4
+    totals = {}
+    for p in (1, period):
+        design = instrument(
+            module, library, InstrumentationConfig(strobe_period=p, coefficient_bits=16)
+        )
+        simulator = Simulator(design.module)
+        simulator.run(RandomTestbench(n_cycles, seed=9))
+        totals[p] = design.read_total_energy_fj(simulator)
+    assert totals[period] <= totals[1] * 1.001
+    # boundary loss is bounded by roughly (period + 1) / n_cycles of the total
+    assert totals[period] >= totals[1] * (1.0 - (period + 2) / n_cycles)
+
+
+def test_readback_requires_per_component_totals(library):
+    config = InstrumentationConfig(per_component_totals=False)
+    design = instrument(build_datapath(), library, config)
+    simulator = Simulator(design.module)
+    simulator.run(RandomTestbench(10, seed=0))
+    assert design.accumulator_map == {}
+    with pytest.raises(KeyError):
+        design.read_component_energy_fj(simulator, "mult")
+    # total power is still available
+    assert design.read_total_energy_fj(simulator) >= 0.0

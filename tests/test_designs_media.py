@@ -1,0 +1,160 @@
+"""Tests for the media designs (DCT, IDCT, Ispq, MPEG4) and the design registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.designs import dct, idct, ispq, mpeg4, stimuli, transform
+from repro.designs.registry import FIGURE3_ORDER, all_designs, figure3_designs, get_design
+from repro.netlist import flatten, module_stats, validate_module
+from repro.sim import Simulator
+
+
+# -------------------------------------------------------------- transform math
+def test_integer_dct_tracks_floating_point_reference():
+    block = [p - 128 for p in stimuli.random_pixel_block(seed=7)]
+    fixed = transform.reference_transform(block, forward=True)
+    exact = stimuli.reference_dct2d(block)
+    for fx, ex in zip(fixed, exact):
+        assert abs(fx - ex) <= max(4, abs(ex) * 0.05)
+
+
+def test_integer_idct_tracks_floating_point_reference():
+    coefficients = stimuli.random_coefficient_block(seed=3)
+    fixed = transform.reference_transform(coefficients, forward=False)
+    exact = stimuli.reference_idct2d(coefficients)
+    for fx, ex in zip(fixed, exact):
+        assert abs(fx - ex) <= max(4, abs(ex) * 0.05)
+
+
+def test_dct_idct_round_trip_recovers_block():
+    block = [p - 128 for p in stimuli.random_pixel_block(seed=11)]
+    forward = transform.reference_transform(block, forward=True)
+    recovered = transform.reference_transform(forward, forward=False)
+    for original, back in zip(block, recovered):
+        assert abs(original - back) <= 8  # two fixed-point passes of rounding
+
+
+# ------------------------------------------------------------------ DCT / IDCT
+def test_dct_engine_matches_reference():
+    module = dct.build()
+    assert validate_module(module, raise_on_error=False).ok
+    sim = Simulator(flatten(module))
+    result = sim.run(dct.testbench(n_blocks=1, seed=1))
+    assert result.captured["blocks_checked"] == 1
+
+
+def test_idct_engine_matches_reference():
+    module = idct.build()
+    sim = Simulator(flatten(module))
+    result = sim.run(idct.testbench(n_blocks=1, seed=5))
+    assert result.captured["blocks_checked"] == 1
+
+
+def test_transform_engine_multiple_blocks():
+    module = dct.build()
+    sim = Simulator(flatten(module))
+    result = sim.run(dct.testbench(n_blocks=2, seed=3))
+    assert result.captured["blocks_checked"] == 2
+    assert result.cycles > transform.cycles_per_block()
+
+
+def test_transform_zero_block_gives_zero_output():
+    module = idct.build()
+    sim = Simulator(flatten(module))
+    tb = transform.TransformTestbench([[0] * 64], forward=False)
+    result = sim.run(tb)
+    assert result.captured["blocks_checked"] == 1
+    assert transform.reference_transform([0] * 64, forward=False) == [0] * 64
+
+
+# ----------------------------------------------------------------------- Ispq
+def test_ispq_engine_matches_reference():
+    module = ispq.build()
+    assert validate_module(module, raise_on_error=False).ok
+    sim = Simulator(flatten(module))
+    result = sim.run(ispq.testbench(n_blocks=2, seed=4, qp=10))
+    assert result.captured["blocks_checked"] == 2
+
+
+def test_ispq_reference_properties():
+    assert ispq.reference_dequant([0] * 64, 12) == [0] * 64
+    out = ispq.reference_dequant([5, -5, 1, -1], 10)
+    assert out[0] == -out[1] and out[2] == -out[3]
+    # saturation at +/-2047
+    assert ispq.reference_dequant([2000], 31) == [2047]
+    assert ispq.reference_dequant([-2000], 31) == [-2047]
+
+
+def test_ispq_zero_qp():
+    module = ispq.build()
+    sim = Simulator(flatten(module))
+    blocks = [stimuli.random_coefficient_block(seed=1)]
+    result = sim.run(ispq.IspqTestbench(blocks, qp=0))
+    assert result.captured["blocks_checked"] == 1
+
+
+# ---------------------------------------------------------------------- MPEG4
+def test_mpeg4_decodes_block_against_reference():
+    module = mpeg4.build()
+    assert validate_module(module, raise_on_error=False).ok
+    sim = Simulator(flatten(module))
+    result = sim.run(mpeg4.testbench(n_blocks=1, seed=1))
+    assert result.captured["blocks_checked"] == 1
+
+
+def test_mpeg4_reference_pipeline_stages_compose():
+    symbols = [3] * 64          # all-zero levels
+    prediction = list(range(64))
+    decoded = mpeg4.reference_decode_block(symbols, prediction, qp=8)
+    assert decoded == [max(0, min(255, p)) for p in prediction]
+
+
+def test_mpeg4_testbench_validation():
+    with pytest.raises(ValueError):
+        mpeg4.Mpeg4Testbench([[3] * 64], [], qp=8)
+    with pytest.raises(ValueError):
+        mpeg4.Mpeg4Testbench([[3] * 64] * 7, [[0] * 64] * 7, qp=8)
+
+
+def test_mpeg4_is_the_largest_design():
+    sizes = {}
+    for name in ("Ispq", "Vld", "MPEG4"):
+        design = get_design(name)
+        sizes[name] = module_stats(design.build()).monitored_bits
+    assert sizes["MPEG4"] > sizes["Ispq"]
+    assert sizes["MPEG4"] > sizes["Vld"]
+
+
+# -------------------------------------------------------------------- registry
+def test_registry_contains_figure3_designs():
+    designs = all_designs()
+    assert set(FIGURE3_ORDER) <= set(designs)
+    assert "binary_search" in designs
+    ordered = figure3_designs()
+    assert [d.name for d in ordered] == FIGURE3_ORDER
+    for design in ordered:
+        assert design.nominal_cycles > design.scaled_cycles > 0
+        assert design.in_figure3
+
+
+def test_registry_unknown_design():
+    with pytest.raises(KeyError, match="unknown design"):
+        get_design("NotADesign")
+
+
+def test_registry_builds_and_validates_every_design():
+    for design in all_designs().values():
+        module = design.build()
+        report = validate_module(module, raise_on_error=False)
+        assert report.ok, f"{design.name}: {report.errors[:3]}"
+
+
+def test_registry_mpeg4_has_largest_nominal_workload_cost():
+    """Cost (monitored bits x nominal cycles) must increase towards MPEG4."""
+    costs = {}
+    for design in figure3_designs():
+        bits = module_stats(design.build()).monitored_bits
+        costs[design.name] = bits * design.nominal_cycles
+    assert max(costs, key=costs.get) == "MPEG4"
+    assert costs["MPEG4"] > 5 * costs["Bubble_Sort"]

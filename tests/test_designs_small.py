@@ -1,0 +1,163 @@
+"""Tests for the smaller benchmark designs (binary search, bubble sort, filter, VLD)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.designs import binary_search, bubble_sort, hvpeakf, stimuli, vld
+from repro.netlist import flatten, module_stats, validate_module
+from repro.sim import Simulator
+
+
+# -------------------------------------------------------------- binary search
+def test_binary_search_builds_valid_rtl():
+    module = binary_search.build()
+    assert validate_module(module, raise_on_error=False).ok
+    stats = module_stats(module)
+    assert stats.by_type.get("fsm") == 1
+    assert stats.by_type.get("rom") == 1
+
+
+def test_binary_search_testbench_passes():
+    module = binary_search.build()
+    sim = Simulator(flatten(module))
+    result = sim.run(binary_search.testbench(n_searches=6, module=module))
+    assert result.captured["searches_checked"] == 6
+
+
+def test_binary_search_finds_every_table_entry():
+    table = stimuli.random_sorted_array(32, seed=9)
+    module = binary_search.build(depth=32, table=table)
+    sim = Simulator(flatten(module))
+    keys = table[::4] + [table[0], table[-1]]
+    tb = binary_search.BinarySearchTestbench(module, keys)
+    result = sim.run(tb)
+    assert result.captured["searches_checked"] == len(keys)
+
+
+def test_binary_search_rejects_bad_table():
+    with pytest.raises(ValueError):
+        binary_search.build(depth=8, table=[1, 2, 3])
+
+
+# ---------------------------------------------------------------- bubble sort
+def test_bubble_sort_sorts_random_data():
+    module = bubble_sort.build(depth=16)
+    sim = Simulator(flatten(module))
+    result = sim.run(bubble_sort.testbench(depth=16, seed=3))
+    assert result.captured["sorted"] == sorted(result.captured["sorted"])
+    assert result.captured["swaps"] > 0
+
+
+def test_bubble_sort_already_sorted_makes_no_swaps():
+    module = bubble_sort.build(depth=8)
+    sim = Simulator(flatten(module))
+    data = list(range(8))
+    result = sim.run(bubble_sort.BubbleSortTestbench(data))
+    assert result.captured["sorted"] == data
+    assert result.captured["swaps"] == 0
+
+
+def test_bubble_sort_reverse_sorted_worst_case():
+    module = bubble_sort.build(depth=8)
+    sim = Simulator(flatten(module))
+    data = list(range(8))[::-1]
+    result = sim.run(bubble_sort.BubbleSortTestbench(data))
+    assert result.captured["sorted"] == sorted(data)
+    assert result.captured["swaps"] == 8 * 7 // 2
+
+
+def test_bubble_sort_cycle_model_is_conservative():
+    module = bubble_sort.build(depth=12)
+    sim = Simulator(flatten(module))
+    data = stimuli.random_array(12, seed=1)
+    result = sim.run(bubble_sort.BubbleSortTestbench(data))
+    assert result.cycles <= bubble_sort.cycles_per_sort(12)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(st.integers(0, 0xFFFF), min_size=8, max_size=8))
+def test_bubble_sort_property(data):
+    module = bubble_sort.build(depth=8)
+    sim = Simulator(flatten(module))
+    result = sim.run(bubble_sort.BubbleSortTestbench(data))
+    assert result.captured["sorted"] == sorted(data)
+
+
+# -------------------------------------------------------------- peaking filter
+def test_hvpeakf_matches_reference():
+    module = hvpeakf.build()
+    sim = Simulator(flatten(module))
+    result = sim.run(hvpeakf.testbench(n_pixels=200, seed=1))
+    assert result.captured["pixels_checked"] == 200
+
+
+def test_hvpeakf_flat_input_passes_through():
+    """A constant image has no high-frequency content: output equals input."""
+    pixels = [100] * 50
+    expected = hvpeakf.reference_filter(pixels)
+    assert expected[5:] == [100] * 45
+    module = hvpeakf.build()
+    sim = Simulator(flatten(module))
+    result = sim.run(hvpeakf.PeakingFilterTestbench(pixels))
+    assert result.captured["pixels_checked"] == 50
+
+
+def test_hvpeakf_reference_sharpens_edges():
+    pixels = [50] * 10 + [200] * 10
+    out = hvpeakf.reference_filter(pixels)
+    # overshoot just after the edge, undershoot just before it
+    assert max(out) > 200
+    assert min(out[5:]) < 50
+
+
+def test_hvpeakf_reference_clamps():
+    assert all(0 <= y <= 255 for y in hvpeakf.reference_filter([0, 255] * 20))
+
+
+# ------------------------------------------------------------------------ VLD
+def test_vld_code_table_is_consistent():
+    table = stimuli.vld_decode_table()
+    assert len(table) == 256
+    # prefix 1xxxxxxx -> symbol 0, length 1
+    assert table[0b10000000] == (1 << 8) | 0
+    # prefix 01xxxxxx -> symbol 1, length 2
+    assert table[0b01000000] == (2 << 8) | 1
+    # all-zero prefix is the EOB marker
+    assert table[0] == 0
+
+
+def test_vld_encode_reference_roundtrip():
+    symbols = [0, 3, 7, 1, 2, 2, 5]
+    words = stimuli.vld_encode(symbols)
+    assert stimuli.vld_reference_decode(words) == symbols
+
+
+def test_vld_hardware_decodes_stream():
+    module = vld.build()
+    sim = Simulator(flatten(module))
+    result = sim.run(vld.testbench(n_symbols=60, seed=2))
+    assert result.captured["decoded"] is not None
+
+
+def test_vld_empty_stream_terminates_immediately():
+    module = vld.build()
+    sim = Simulator(flatten(module))
+    tb = vld.VldTestbench([])
+    result = sim.run(tb)
+    assert result.final_outputs["count"] == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.integers(0, stimuli.VLD_MAX_SYMBOL), min_size=1, max_size=40))
+def test_vld_encode_decode_property(symbols):
+    words = stimuli.vld_encode(symbols)
+    assert stimuli.vld_reference_decode(words) == symbols
+
+
+def test_vld_symbol_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        stimuli.vld_encode_symbol(stimuli.VLD_MAX_SYMBOL + 1)

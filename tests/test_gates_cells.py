@@ -1,0 +1,65 @@
+"""Tests for the synthetic standard-cell library."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.gates.cells import CB013_LIBRARY, StandardCellLibrary
+
+
+def test_library_has_expected_cells():
+    for name in ["INV", "NAND2", "NOR2", "XOR2", "XNOR2", "MUX2", "XOR3", "MAJ3", "AOI21"]:
+        assert name in CB013_LIBRARY
+
+
+def test_cell_lookup_error_mentions_available():
+    with pytest.raises(KeyError, match="NAND2"):
+        CB013_LIBRARY.cell("NAND99")
+
+
+def test_cell_truth_tables():
+    lib = CB013_LIBRARY
+    for a, b in itertools.product((0, 1), repeat=2):
+        assert lib.cell("NAND2").evaluate([a, b]) == 1 - (a & b)
+        assert lib.cell("NOR2").evaluate([a, b]) == 1 - (a | b)
+        assert lib.cell("XOR2").evaluate([a, b]) == a ^ b
+        assert lib.cell("XNOR2").evaluate([a, b]) == 1 - (a ^ b)
+    for a, b, c in itertools.product((0, 1), repeat=3):
+        assert lib.cell("XOR3").evaluate([a, b, c]) == (a ^ b ^ c)
+        assert lib.cell("MAJ3").evaluate([a, b, c]) == (1 if a + b + c >= 2 else 0)
+        assert lib.cell("MUX2").evaluate([a, b, c]) == (b if c else a)
+        assert lib.cell("AOI21").evaluate([a, b, c]) == 1 - ((a & b) | c)
+        assert lib.cell("OAI21").evaluate([a, b, c]) == 1 - ((a | b) & c)
+
+
+def test_cell_input_count_checked():
+    with pytest.raises(ValueError):
+        CB013_LIBRARY.cell("NAND2").evaluate([1])
+
+
+def test_cell_costs_are_ordered_sensibly():
+    lib = CB013_LIBRARY
+    # an XOR2 is bigger and more power hungry than an inverter
+    assert lib.cell("XOR2").area_um2 > lib.cell("INV").area_um2
+    assert lib.cell("XOR2").intrinsic_energy_fj > lib.cell("INV").intrinsic_energy_fj
+    # all costs are positive
+    for cell in lib.cells.values():
+        assert cell.area_um2 > 0
+        assert cell.input_cap_ff > 0
+        assert cell.intrinsic_energy_fj > 0
+        assert cell.leakage_nw > 0
+
+
+def test_switching_energy_formula():
+    lib = CB013_LIBRARY
+    assert lib.switching_energy_fj(0.0) == 0.0
+    assert lib.switching_energy_fj(10.0) == pytest.approx(0.5 * 10.0 * 1.2 * 1.2)
+
+
+def test_custom_library_constants():
+    lib = StandardCellLibrary("mini", {"INV": CB013_LIBRARY.cell("INV")}, vdd_v=1.0)
+    assert lib.switching_energy_fj(2.0) == pytest.approx(1.0)
+    assert "INV" in lib
+    assert "NAND2" not in lib

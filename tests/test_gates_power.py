@@ -1,0 +1,115 @@
+"""Tests for gate-level simulation details and power computation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gates import (
+    GateLevelSimulator,
+    GatePowerCalculator,
+    TechnologyMapper,
+)
+from repro.gates.gate_netlist import GateNetlist, bit_net
+from repro.gates.cells import CB013_LIBRARY
+from repro.netlist.components import Adder, Multiplier
+
+MAPPER = TechnologyMapper()
+
+
+def test_gatesim_detects_combinational_cycle():
+    netlist = GateNetlist("cyclic")
+    netlist.add_input("a")
+    inv = CB013_LIBRARY.cell("INV")
+    and2 = CB013_LIBRARY.cell("AND2")
+    netlist.add_gate(and2, ["a", "loop"], "x")
+    netlist.add_gate(inv, ["x"], "loop")
+    with pytest.raises(ValueError, match="cycle"):
+        GateLevelSimulator(netlist)
+
+
+def test_alias_cycle_detected():
+    netlist = GateNetlist("aliascycle")
+    netlist.add_alias("p", "q")
+    netlist.add_alias("q", "p")
+    netlist.add_input("a")
+    netlist.add_gate(CB013_LIBRARY.cell("INV"), ["p"], "y")
+    with pytest.raises(ValueError, match="alias cycle"):
+        GateLevelSimulator(netlist).evaluate({"a": 1})
+
+
+def test_zero_transition_zero_energy():
+    adder = Adder("a", 8)
+    netlist = MAPPER.map_component(adder)
+    calc = GatePowerCalculator(netlist)
+    sim = GateLevelSimulator(netlist)
+    widths = {"a": 8, "b": 8, "y": 8}
+    energies = calc.run_vector_sequence(
+        [{"a": 12, "b": 7}, {"a": 12, "b": 7}, {"a": 12, "b": 7}], widths, sim
+    )
+    assert len(energies) == 2
+    assert energies[0].total_fj == 0.0
+    assert energies[1].total_fj == 0.0
+
+
+def test_more_toggles_more_energy():
+    adder = Adder("a", 8)
+    netlist = MAPPER.map_component(adder)
+    calc = GatePowerCalculator(netlist)
+    widths = {"a": 8, "b": 8, "y": 8}
+    quiet = calc.run_vector_sequence([{"a": 0, "b": 0}, {"a": 1, "b": 0}], widths)
+    busy = calc.run_vector_sequence([{"a": 0, "b": 0}, {"a": 0xFF, "b": 0xFF}], widths)
+    assert busy[0].total_fj > quiet[0].total_fj > 0.0
+    assert busy[0].n_toggled_nets > quiet[0].n_toggled_nets
+
+
+def test_multiplier_consumes_more_than_adder():
+    widths = {"a": 8, "b": 8, "y": 16}
+    vectors = [{"a": 0, "b": 0}, {"a": 0xAA, "b": 0x55}, {"a": 0x55, "b": 0xAA}]
+    add_netlist = MAPPER.map_component(Adder("a", 8))
+    mul_netlist = MAPPER.map_component(Multiplier("m", 8))
+    add_energy = sum(
+        e.total_fj
+        for e in GatePowerCalculator(add_netlist).run_vector_sequence(
+            vectors, {"a": 8, "b": 8, "y": 8}
+        )
+    )
+    mul_energy = sum(
+        e.total_fj
+        for e in GatePowerCalculator(mul_netlist).run_vector_sequence(vectors, widths)
+    )
+    assert mul_energy > 3 * add_energy
+
+
+def test_vector_pair_energy_and_leakage():
+    adder = Adder("a", 8)
+    netlist = MAPPER.map_component(adder)
+    calc = GatePowerCalculator(netlist)
+    sim = GateLevelSimulator(netlist)
+    widths = {"a": 8, "b": 8, "y": 8}
+    energy = calc.vector_pair_energy(sim, {"a": 0, "b": 0}, {"a": 255, "b": 255}, widths)
+    assert energy.total_fj > 0
+    assert energy.switching_fj > 0
+    assert energy.internal_fj > 0
+    assert calc.leakage_power_nw() > 0
+    assert calc.area_um2() == netlist.total_area_um2()
+
+
+def test_energy_breakdown_consistency():
+    netlist = MAPPER.map_component(Adder("a", 4))
+    calc = GatePowerCalculator(netlist)
+    widths = {"a": 4, "b": 4, "y": 4}
+    energies = calc.run_vector_sequence([{"a": 0, "b": 0}, {"a": 0xF, "b": 0xF}], widths)
+    e = energies[0]
+    assert e.total_fj == pytest.approx(e.switching_fj + e.internal_fj)
+
+
+def test_bit_net_naming_and_snapshot():
+    assert bit_net("data", 3) == "data[3]"
+    netlist = MAPPER.map_component(Adder("a", 4))
+    sim = GateLevelSimulator(netlist)
+    sim.evaluate_ports({"a": 5, "b": 3}, {"a": 4, "b": 4, "y": 4})
+    snap = sim.snapshot()
+    assert snap["a[0]"] == 1 and snap["a[1]"] == 0
+    # snapshot is an independent copy
+    snap["a[0]"] = 0
+    assert sim.values["a[0]"] == 1

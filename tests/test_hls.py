@@ -1,0 +1,245 @@
+"""Tests for the behavioral-synthesis substrate (DFG, scheduling, binding, datapath)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hls import (
+    DFGError,
+    DataflowGraph,
+    alap_schedule,
+    allocate,
+    asap_schedule,
+    bind,
+    list_schedule,
+    synthesize,
+)
+from repro.netlist import flatten, validate_module
+from repro.netlist.signals import from_signed, to_signed
+from repro.sim import Simulator
+
+
+def build_fir4():
+    """4-tap FIR-like kernel: y = c0*x0 + c1*x1 + c2*x2 + c3*x3 (16-bit)."""
+    g = DataflowGraph("fir4")
+    taps = [3, -5, 7, 11]
+    accumulator = None
+    for i, coeff in enumerate(taps):
+        x = g.input(f"x{i}", 8)
+        c = g.const(coeff, 8, name=f"c{i}")
+        product = g.mul(x, c, width=16, name=f"p{i}")
+        accumulator = product if accumulator is None else g.add(
+            accumulator, product, width=16, name=f"s{i}"
+        )
+    g.output("y", accumulator)
+    return g, taps
+
+
+def fir4_reference(values, taps):
+    return sum(to_signed(v, 8) * c for v, c in zip(values, taps))
+
+
+def build_butterfly():
+    """DCT-style butterfly: sums/differences then scaling by shifts."""
+    g = DataflowGraph("butterfly")
+    a = g.input("a", 12)
+    b = g.input("b", 12)
+    s = g.add(a, b, width=13, name="s")
+    d = g.sub(a, b, width=13, name="d")
+    g.output("sum_out", g.asr(s, 1, name="sh_s"))
+    g.output("diff_out", g.asr(d, 1, name="sh_d"))
+    return g
+
+
+# ----------------------------------------------------------------------- DFG
+def test_dfg_construction_and_validation():
+    g, _ = build_fir4()
+    g.validate()
+    assert len(g.inputs) == 4
+    assert len(g.operations) == 7  # 4 muls + 3 adds
+    assert set(g.outputs) == {"y"}
+
+
+def test_dfg_errors():
+    g = DataflowGraph("bad")
+    with pytest.raises(DFGError):
+        g.add("missing", "alsomissing")
+    with pytest.raises(DFGError):
+        g._add("bogus_op", 8)
+    a = g.input("a", 8)
+    with pytest.raises(DFGError):
+        g.input("a", 8)
+    with pytest.raises(DFGError):
+        g.output("y", "nope")
+    empty = DataflowGraph("empty")
+    with pytest.raises(DFGError):
+        empty.validate()
+
+
+def test_dfg_reference_evaluation():
+    g, taps = build_fir4()
+    values = [10, 250, 3, 128]
+    expected = fir4_reference(values, taps)
+    result = g.evaluate({f"x{i}": v for i, v in enumerate(values)})
+    assert to_signed(result["y"], 16) == expected
+
+
+# ----------------------------------------------------------------- scheduling
+def test_asap_respects_dependencies():
+    g, _ = build_fir4()
+    schedule = asap_schedule(g)
+    schedule.verify_dependencies()
+    # products can all go in step 0; the chained adds serialize
+    assert schedule.start_step["p0"] == 0
+    assert schedule.start_step["s1"] == 1
+    assert schedule.start_step["s3"] == 3
+    assert schedule.n_steps == 4
+
+
+def test_alap_pushes_late_and_respects_bound():
+    g, _ = build_fir4()
+    asap = asap_schedule(g)
+    alap = alap_schedule(g)
+    for name in asap.start_step:
+        assert alap.start_step[name] >= asap.start_step[name]
+    alap.verify_dependencies()
+    with pytest.raises(ValueError):
+        alap_schedule(g, latency_bound=2)
+
+
+def test_list_schedule_respects_resource_constraints():
+    g, _ = build_fir4()
+    schedule = list_schedule(g, {"multiplier": 1, "alu": 1})
+    schedule.verify_dependencies()
+    concurrency = schedule.max_concurrency()
+    assert concurrency["multiplier"] == 1
+    assert concurrency["alu"] == 1
+    # serializing 4 multiplications on one unit takes at least 4 steps
+    assert schedule.n_steps >= 4
+    unconstrained = asap_schedule(g)
+    assert schedule.n_steps >= unconstrained.n_steps
+
+
+def test_schedule_concurrency_profile():
+    g, _ = build_fir4()
+    schedule = asap_schedule(g)
+    assert schedule.max_concurrency()["multiplier"] == 4
+    assert len(schedule.operations_in_step(0)) == 4
+
+
+# ---------------------------------------------------------- allocation/binding
+def test_allocation_matches_concurrency():
+    g, _ = build_fir4()
+    schedule = list_schedule(g, {"multiplier": 2, "alu": 1})
+    allocation = allocate(g, schedule)
+    assert len(allocation.shared_units["multiplier"]) == 2
+    assert len(allocation.shared_units["alu"]) == 1
+    assert allocation.shared_widths["multiplier"] >= 16
+    assert "multiplier" in allocation.summary()
+
+
+def test_binding_units_never_double_booked():
+    g, _ = build_fir4()
+    schedule = list_schedule(g, {"multiplier": 2, "alu": 1})
+    allocation = allocate(g, schedule)
+    binding = bind(g, schedule, allocation)
+    for step in range(schedule.n_steps):
+        used = [binding.unit_of[n.name] for n in schedule.operations_in_step(step)]
+        assert len(used) == len(set(used))
+
+
+def test_register_binding_left_edge_no_overlap():
+    g, _ = build_fir4()
+    schedule = asap_schedule(g)
+    allocation = allocate(g, schedule)
+    binding = bind(g, schedule, allocation)
+    # values sharing a register never have overlapping lifetimes
+    for reg, values in binding.register_values.items():
+        for i, first in enumerate(values):
+            for second in values[i + 1:]:
+                assert not binding.lifetimes[first].overlaps(binding.lifetimes[second])
+    # sharing happened: fewer registers than values
+    assert binding.n_registers <= len(g.operations)
+
+
+# -------------------------------------------------------------- datapath gen
+def run_kernel(module, inputs, output_names, max_cycles=100):
+    """Pulse start, wait for done, return outputs."""
+    sim = Simulator(flatten(module))
+    sim.set_inputs(inputs)
+    sim.set_input("start", 1)
+    sim.step()
+    sim.set_input("start", 0)
+    for _ in range(max_cycles):
+        sim.settle()
+        if sim.get_output("done"):
+            break
+        sim.step()
+    else:
+        raise AssertionError("kernel did not finish")
+    return {name: sim.get_output(name) for name in output_names}
+
+
+def test_synthesized_fir_matches_reference():
+    g, taps = build_fir4()
+    result = synthesize(g, resource_constraints={"multiplier": 1, "alu": 1})
+    validate_module(result.module)
+    rng = random.Random(0)
+    for _ in range(10):
+        values = [rng.getrandbits(8) for _ in range(4)]
+        outputs = run_kernel(result.module, {f"x{i}": v for i, v in enumerate(values)}, ["y"])
+        assert to_signed(outputs["y"], 16) == fir4_reference(values, taps)
+
+
+def test_synthesized_fir_parallel_matches_reference():
+    g, taps = build_fir4()
+    result = synthesize(g)  # unconstrained: 4 multipliers in parallel
+    assert len(result.allocation.shared_units["multiplier"]) == 4
+    values = [255, 1, 77, 200]
+    outputs = run_kernel(result.module, {f"x{i}": v for i, v in enumerate(values)}, ["y"])
+    assert to_signed(outputs["y"], 16) == fir4_reference(values, taps)
+
+
+def test_resource_sharing_reduces_multipliers():
+    g, _ = build_fir4()
+    shared = synthesize(g, resource_constraints={"multiplier": 1, "alu": 1})
+    parallel = synthesize(g)
+    n_shared = len([c for c in shared.module.components.values() if c.type_name == "multiplier"])
+    n_parallel = len([c for c in parallel.module.components.values() if c.type_name == "multiplier"])
+    assert n_shared == 1
+    assert n_parallel == 4
+    assert shared.latency_cycles > parallel.latency_cycles
+
+
+def test_butterfly_kernel_with_shifts():
+    g = build_butterfly()
+    result = synthesize(g, resource_constraints={"alu": 1})
+    for a, b in [(100, 50), (2047, 2047), (0, 1), (1024, 4000)]:
+        outputs = run_kernel(result.module, {"a": a, "b": b}, ["sum_out", "diff_out"])
+        reference = g.evaluate({"a": a, "b": b})
+        assert outputs["sum_out"] == reference["sum_out"]
+        assert outputs["diff_out"] == reference["diff_out"]
+
+
+def test_hls_result_summary_and_restart():
+    g = build_butterfly()
+    result = synthesize(g)
+    assert "HLS" in result.summary()
+    assert result.latency_cycles >= 2
+    # the generated design can be restarted for a second computation
+    outputs1 = run_kernel(result.module, {"a": 10, "b": 3}, ["sum_out"])
+    outputs2 = run_kernel(result.module, {"a": 20, "b": 6}, ["sum_out"])
+    assert outputs1["sum_out"] == g.evaluate({"a": 10, "b": 3})["sum_out"]
+    assert outputs2["sum_out"] == g.evaluate({"a": 20, "b": 6})["sum_out"]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(0, 255), min_size=4, max_size=4))
+def test_synthesized_fir_property(values):
+    g, taps = build_fir4()
+    result = synthesize(g, resource_constraints={"multiplier": 2, "alu": 1})
+    outputs = run_kernel(result.module, {f"x{i}": v for i, v in enumerate(values)}, ["y"])
+    assert to_signed(outputs["y"], 16) == fir4_reference(values, taps)

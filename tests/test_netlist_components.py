@@ -1,0 +1,212 @@
+"""Unit and property tests for combinational RTL components."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netlist.components import (
+    AbsoluteValue,
+    Adder,
+    AddSub,
+    Comparator,
+    Concat,
+    Constant,
+    Decoder,
+    Extend,
+    LogicOp,
+    Multiplier,
+    Mux,
+    NotOp,
+    ReduceOp,
+    Saturator,
+    ShifterConst,
+    ShifterVar,
+    Slice,
+    Subtractor,
+)
+from repro.netlist.nets import Net
+from repro.netlist.signals import from_signed, mask_value, to_signed
+
+WORD = st.integers(min_value=0, max_value=0xFFFF)
+
+
+def test_adder_basic_and_carry():
+    add = Adder("a0", 8, with_carry_out=True)
+    out = add.evaluate({"a": 200, "b": 100})
+    assert out["y"] == (300 & 0xFF)
+    assert out["cout"] == 1
+    out = add.evaluate({"a": 1, "b": 2})
+    assert out == {"y": 3, "cout": 0}
+
+
+def test_adder_with_carry_in():
+    add = Adder("a1", 4, with_carry_in=True)
+    assert add.evaluate({"a": 7, "b": 7, "cin": 1})["y"] == 15
+
+
+def test_subtractor_wraps_and_borrows():
+    sub = Subtractor("s0", 8, with_borrow_out=True)
+    out = sub.evaluate({"a": 5, "b": 10})
+    assert out["y"] == mask_value(-5, 8)
+    assert out["borrow"] == 1
+
+
+def test_addsub_selects_operation():
+    addsub = AddSub("as0", 8)
+    assert addsub.evaluate({"a": 9, "b": 4, "sub": 0})["y"] == 13
+    assert addsub.evaluate({"a": 9, "b": 4, "sub": 1})["y"] == 5
+
+
+def test_multiplier_unsigned_and_signed():
+    mul = Multiplier("m0", 8)
+    assert mul.evaluate({"a": 15, "b": 17})["y"] == 255
+    smul = Multiplier("m1", 8, signed=True, width_y=16)
+    result = smul.evaluate({"a": from_signed(-3, 8), "b": from_signed(5, 8)})["y"]
+    assert to_signed(result, 16) == -15
+
+
+def test_comparator_unsigned_and_signed():
+    cmp_u = Comparator("c0", 8)
+    assert cmp_u.evaluate({"a": 3, "b": 7}) == {"lt": 1, "eq": 0, "gt": 0}
+    cmp_s = Comparator("c1", 8, signed=True)
+    assert cmp_s.evaluate({"a": from_signed(-1, 8), "b": 0}) == {"lt": 1, "eq": 0, "gt": 0}
+
+
+def test_absolute_value():
+    absval = AbsoluteValue("abs", 8)
+    assert absval.evaluate({"a": from_signed(-17, 8)})["y"] == 17
+    assert absval.evaluate({"a": 17})["y"] == 17
+
+
+def test_saturator_signed():
+    sat = Saturator("sat", 16, 8, signed=True)
+    assert to_signed(sat.evaluate({"a": from_signed(1000, 16)})["y"], 8) == 127
+    assert to_signed(sat.evaluate({"a": from_signed(-1000, 16)})["y"], 8) == -128
+    assert to_signed(sat.evaluate({"a": from_signed(-5, 16)})["y"], 8) == -5
+
+
+def test_shifter_const_directions():
+    shl = ShifterConst("shl", 8, 2, "left")
+    assert shl.evaluate({"a": 0b1011})["y"] == 0b101100
+    shr = ShifterConst("shr", 8, 1, "right")
+    assert shr.evaluate({"a": 0b1011})["y"] == 0b101
+    sra = ShifterConst("sra", 8, 2, "right", arithmetic=True)
+    assert sra.evaluate({"a": from_signed(-8, 8)})["y"] == from_signed(-2, 8)
+
+
+def test_shifter_var():
+    barrel = ShifterVar("b0", 16, 4, "left")
+    assert barrel.evaluate({"a": 1, "amount": 5})["y"] == 32
+    barrel_r = ShifterVar("b1", 16, 4, "right")
+    assert barrel_r.evaluate({"a": 0x8000, "amount": 15})["y"] == 1
+
+
+def test_shifter_rejects_bad_direction():
+    with pytest.raises(ValueError):
+        ShifterConst("bad", 8, 1, "up")
+
+
+def test_mux_selects_and_clamps():
+    mux = Mux("m", 8, 3)
+    values = {"d0": 10, "d1": 20, "d2": 30}
+    assert mux.evaluate({**values, "sel": 1})["y"] == 20
+    # out-of-range select clamps to the last input
+    assert mux.evaluate({**values, "sel": 3})["y"] == 30
+
+
+def test_logic_ops():
+    for op, expected in [
+        ("and", 0b1000), ("or", 0b1110), ("xor", 0b0110),
+        ("nand", 0b0111), ("nor", 0b0001), ("xnor", 0b1001),
+    ]:
+        gate = LogicOp(f"g_{op}", op, 4)
+        assert gate.evaluate({"a": 0b1100, "b": 0b1010})["y"] == expected
+
+
+def test_not_and_reduce():
+    inv = NotOp("inv", 4)
+    assert inv.evaluate({"a": 0b1010})["y"] == 0b0101
+    assert ReduceOp("r_or", "or", 4).evaluate({"a": 0})["y"] == 0
+    assert ReduceOp("r_or2", "or", 4).evaluate({"a": 2})["y"] == 1
+    assert ReduceOp("r_and", "and", 4).evaluate({"a": 0xF})["y"] == 1
+    assert ReduceOp("r_xor", "xor", 4).evaluate({"a": 0b0111})["y"] == 1
+
+
+def test_concat_slice_extend():
+    cat = Concat("cat", [4, 4])
+    assert cat.evaluate({"i0": 0xA, "i1": 0x5})["y"] == 0x5A
+    sl = Slice("sl", 8, 7, 4)
+    assert sl.evaluate({"a": 0x5A})["y"] == 0x5
+    zext = Extend("z", 4, 8, signed=False)
+    assert zext.evaluate({"a": 0xF})["y"] == 0x0F
+    sext = Extend("s", 4, 8, signed=True)
+    assert sext.evaluate({"a": 0xF})["y"] == 0xFF
+
+
+def test_slice_bounds_checked():
+    with pytest.raises(ValueError):
+        Slice("bad", 8, 8, 0)
+    with pytest.raises(ValueError):
+        Slice("bad2", 8, 3, 5)
+
+
+def test_constant_and_decoder():
+    const = Constant("c", 8, 0x1FF)
+    assert const.evaluate({})["y"] == 0xFF
+    assert const.monitored_ports() == []
+    dec = Decoder("d", 3)
+    assert dec.evaluate({"a": 5})["y"] == 1 << 5
+
+
+def test_port_connection_width_check():
+    add = Adder("a", 8)
+    with pytest.raises(ValueError):
+        add.connect("a", Net("n", 4))
+
+
+def test_double_driver_rejected():
+    add1 = Adder("a1", 8)
+    add2 = Adder("a2", 8)
+    net = Net("shared", 8)
+    add1.connect("y", net)
+    with pytest.raises(ValueError):
+        add2.connect("y", net)
+
+
+def test_macromodel_key_distinguishes_widths():
+    assert Adder("x", 8).macromodel_key() != Adder("y", 16).macromodel_key()
+    assert Adder("x", 8).macromodel_key() == Adder("z", 8).macromodel_key()
+
+
+@given(WORD, WORD)
+def test_adder_matches_python_addition(a, b):
+    add = Adder("a", 16)
+    assert add.evaluate({"a": a, "b": b})["y"] == (a + b) & 0xFFFF
+
+
+@given(WORD, WORD)
+def test_subtractor_matches_python(a, b):
+    sub = Subtractor("s", 16)
+    assert sub.evaluate({"a": a, "b": b})["y"] == (a - b) & 0xFFFF
+
+
+@given(WORD, WORD)
+def test_signed_multiplier_matches_python(a, b):
+    mul = Multiplier("m", 16, signed=True)
+    expected = to_signed(a, 16) * to_signed(b, 16)
+    assert to_signed(mul.evaluate({"a": a, "b": b})["y"], 32) == expected
+
+
+@given(WORD, st.integers(min_value=0, max_value=15))
+def test_variable_shift_matches_python(a, amount):
+    shifter = ShifterVar("v", 16, 4, "right")
+    assert shifter.evaluate({"a": a, "amount": amount})["y"] == a >> amount
+
+
+@given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+def test_concat_then_slice_recovers_parts(lo, hi):
+    cat = Concat("cat", [8, 8])
+    combined = cat.evaluate({"i0": lo, "i1": hi})["y"]
+    assert Slice("s_lo", 16, 7, 0).evaluate({"a": combined})["y"] == lo
+    assert Slice("s_hi", 16, 15, 8).evaluate({"a": combined})["y"] == hi

@@ -1,0 +1,223 @@
+"""Tests for Module, NetlistBuilder, flatten, validation and stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist import (
+    Adder,
+    NetlistBuilder,
+    ValidationError,
+    flatten,
+    module_stats,
+    validate_module,
+)
+from repro.netlist.module import Module
+from repro.netlist.ports import PortDirection
+from repro.netlist.visitor import count_by_type, select_components, walk_components
+from repro.sim import Simulator
+
+
+def build_adder_module(name="add8"):
+    b = NetlistBuilder(name)
+    a = b.input("a", 8)
+    bb = b.input("b", 8)
+    y = b.add(a, bb, name="the_adder")
+    b.output("y", y)
+    return b.build()
+
+
+def test_builder_creates_valid_module():
+    module = build_adder_module()
+    report = validate_module(module)
+    assert report.ok
+    assert set(module.ports) == {"a", "b", "y"}
+    assert "the_adder" in module.components
+
+
+def test_builder_duplicate_names_rejected():
+    b = NetlistBuilder("dup")
+    b.input("a", 8)
+    with pytest.raises(ValueError):
+        b.input("a", 8)
+    module = Module("m")
+    module.add_component(Adder("x", 8))
+    with pytest.raises(ValueError):
+        module.add_component(Adder("x", 8))
+
+
+def test_builder_const_operands():
+    b = NetlistBuilder("c")
+    a = b.input("a", 8)
+    y = b.add(a, 3)
+    b.output("y", y)
+    sim = Simulator(flatten(b.build()))
+    sim.set_input("a", 10)
+    sim.settle()
+    assert sim.get_output("y") == 13
+
+
+def test_builder_integer_only_operands_rejected():
+    b = NetlistBuilder("c")
+    with pytest.raises(ValueError):
+        b.add(1, 2)
+
+
+def test_builder_resize_and_mux():
+    b = NetlistBuilder("m")
+    sel = b.input("sel", 1)
+    a = b.input("a", 4)
+    c = b.input("c", 8)
+    y = b.mux(sel, a, c)
+    b.output("y", y)
+    sim = Simulator(flatten(b.build()))
+    sim.set_inputs({"sel": 0, "a": 0xF, "c": 0xAB})
+    sim.settle()
+    assert sim.get_output("y") == 0x0F
+    sim.set_input("sel", 1)
+    sim.settle()
+    assert sim.get_output("y") == 0xAB
+
+
+def test_validate_detects_unconnected_input():
+    module = Module("broken")
+    module.add_component(Adder("a", 8))
+    report = validate_module(module, raise_on_error=False)
+    assert not report.ok
+    with pytest.raises(ValidationError):
+        validate_module(module)
+
+
+def test_validate_detects_combinational_loop():
+    b = NetlistBuilder("loop")
+    a = b.input("a", 8)
+    # create the loop by manually connecting an adder's output back to its input
+    loop_net = b.module.add_net("loop", 8)
+    adder = Adder("looping", 8)
+    b.module.add_component(adder)
+    adder.connect("a", a)
+    adder.connect("b", loop_net)
+    adder.connect("y", loop_net)
+    report = validate_module(b.build(), raise_on_error=False)
+    assert any("feeds itself" in e or "loop" in e for e in report.errors)
+
+
+def test_flatten_single_level_hierarchy():
+    child = build_adder_module("child")
+    parent = Module("parent")
+    a = parent.add_input("a", 8)
+    b = parent.add_input("b", 8)
+    result = parent.add_net("result", 8)
+    parent.add_instance("u0", child, {"a": a, "b": b, "y": result})
+    parent.add_output("y", result)
+
+    flat = flatten(parent)
+    assert not flat.is_hierarchical
+    assert "u0.the_adder" in flat.components
+    sim = Simulator(flat)
+    sim.set_inputs({"a": 20, "b": 22})
+    sim.settle()
+    assert sim.get_output("y") == 42
+
+
+def test_flatten_two_levels_and_shared_child():
+    leaf = build_adder_module("leaf")
+    mid = Module("mid")
+    a = mid.add_input("a", 8)
+    b = mid.add_input("b", 8)
+    s1 = mid.add_net("s1", 8)
+    mid.add_instance("inner", leaf, {"a": a, "b": b, "y": s1})
+    mid.add_output("y", s1)
+
+    top = Module("top")
+    x = top.add_input("x", 8)
+    y = top.add_input("y", 8)
+    z = top.add_input("z", 8)
+    t1 = top.add_net("t1", 8)
+    t2 = top.add_net("t2", 8)
+    top.add_instance("left", mid, {"a": x, "b": y, "y": t1})
+    top.add_instance("right", leaf, {"a": t1, "b": z, "y": t2})
+    top.add_output("out", t2)
+
+    flat = flatten(top)
+    validate_module(flat)
+    sim = Simulator(flat)
+    sim.set_inputs({"x": 1, "y": 2, "z": 3})
+    sim.settle()
+    assert sim.get_output("out") == 6
+    # instance paths are prefixed
+    assert "left.inner.the_adder" in flat.components
+    assert "right.the_adder" in flat.components
+
+
+def test_flatten_always_returns_new_module():
+    module = build_adder_module()
+    flat = flatten(module)
+    assert flat is not module
+    assert flat.components["the_adder"] is not module.components["the_adder"]
+
+
+def test_flatten_preserves_memory_contents():
+    b = NetlistBuilder("memmod")
+    addr = b.input("addr", 3)
+    zero = b.const(0, 1)
+    zero8 = b.const(0, 8)
+    rdata = b.memory("mem", 8, 8, we=zero, addr=addr, wdata=zero8,
+                     sync_read=False, initial=[7, 6, 5, 4, 3, 2, 1, 0])
+    b.output("rdata", rdata)
+    flat = flatten(b.build())
+    sim = Simulator(flat)
+    sim.set_input("addr", 2)
+    sim.settle()
+    assert sim.get_output("rdata") == 5
+
+
+def test_instance_connection_checks():
+    child = build_adder_module("child")
+    parent = Module("p")
+    a = parent.add_input("a", 8)
+    bad = parent.add_net("bad", 4)
+    with pytest.raises(ValueError):
+        parent.add_instance("u0", child, {"a": a, "b": bad, "y": parent.add_net("y", 8)})
+    with pytest.raises(ValueError):
+        parent.add_instance("u1", child, {"nonexistent": a})
+
+
+def test_visitor_and_stats():
+    module = build_adder_module()
+    counts = count_by_type(module)
+    assert counts == {"adder": 1}
+    found = select_components(module, lambda c: c.type_name == "adder")
+    assert len(found) == 1 and found[0][0] == "the_adder"
+
+    stats = module_stats(module)
+    assert stats.n_components == 1
+    assert stats.n_combinational == 1
+    assert stats.monitored_bits == 24  # a(8) + b(8) + y(8)
+    assert "adder" in stats.summary()
+
+
+def test_stats_hierarchical():
+    child = build_adder_module("child")
+    parent = Module("parent")
+    a = parent.add_input("a", 8)
+    b = parent.add_input("b", 8)
+    r = parent.add_net("r", 8)
+    parent.add_instance("u0", child, {"a": a, "b": b, "y": r})
+    parent.add_output("y", r)
+    stats = module_stats(parent)
+    assert stats.n_components == 1
+    assert stats.by_type["adder"] == 1
+    paths = [p for p, _ in walk_components(parent)]
+    assert "u0.the_adder" in paths
+
+
+def test_module_port_direction_and_remove_component():
+    module = build_adder_module()
+    assert module.ports["a"].direction is PortDirection.INPUT
+    assert module.ports["y"].direction is PortDirection.OUTPUT
+    removed = module.remove_component("the_adder")
+    assert removed.name == "the_adder"
+    assert all(p.net is None for p in removed.ports.values())
+    report = validate_module(module, raise_on_error=False)
+    assert not report.ok  # output port now undriven

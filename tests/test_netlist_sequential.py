@@ -1,0 +1,194 @@
+"""Unit tests for sequential components and the FSM controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist.fsm import FSMController, Guard
+from repro.netlist.sequential import (
+    Accumulator,
+    Counter,
+    Memory,
+    Register,
+    RegisterFile,
+    ROM,
+)
+
+
+def clock(component, inputs):
+    """Helper: run one capture/commit edge with the given inputs."""
+    component.capture(inputs)
+    component.commit()
+
+
+def test_register_basic():
+    reg = Register("r", 8, reset_value=5)
+    assert reg.evaluate({})["q"] == 5
+    clock(reg, {"d": 42})
+    assert reg.evaluate({})["q"] == 42
+    reg.reset()
+    assert reg.value == 5
+
+
+def test_register_enable_and_clear():
+    reg = Register("r", 8, has_enable=True, has_clear=True)
+    clock(reg, {"d": 7, "en": 0, "clear": 0})
+    assert reg.value == 0
+    clock(reg, {"d": 7, "en": 1, "clear": 0})
+    assert reg.value == 7
+    clock(reg, {"d": 9, "en": 1, "clear": 1})
+    assert reg.value == 0
+
+
+def test_counter_counts_loads_and_wraps():
+    counter = Counter("c", 4, has_load=True, wrap_at=10)
+    for _ in range(9):
+        clock(counter, {"en": 1, "load": 0, "d": 0})
+    assert counter.value == 9
+    clock(counter, {"en": 1, "load": 0, "d": 0})
+    assert counter.value == 0
+    clock(counter, {"en": 0, "load": 1, "d": 7})
+    assert counter.value == 7
+    clock(counter, {"en": 0, "load": 0, "d": 0})
+    assert counter.value == 7
+
+
+def test_accumulator():
+    acc = Accumulator("acc", 8)
+    clock(acc, {"d": 10, "en": 1, "clear": 0})
+    clock(acc, {"d": 20, "en": 1, "clear": 0})
+    assert acc.value == 30
+    clock(acc, {"d": 99, "en": 0, "clear": 0})
+    assert acc.value == 30
+    clock(acc, {"d": 0, "en": 0, "clear": 1})
+    assert acc.value == 0
+
+
+def test_accumulator_wraps_at_width():
+    acc = Accumulator("acc", 8)
+    clock(acc, {"d": 200, "en": 1, "clear": 0})
+    clock(acc, {"d": 100, "en": 1, "clear": 0})
+    assert acc.value == (300 & 0xFF)
+
+
+def test_register_file_read_write():
+    rf = RegisterFile("rf", 16, 8, n_read_ports=2)
+    clock(rf, {"we": 1, "waddr": 3, "wdata": 0xABC, "raddr0": 0, "raddr1": 0})
+    out = rf.evaluate({"raddr0": 3, "raddr1": 0})
+    assert out["rdata0"] == 0xABC
+    assert out["rdata1"] == 0
+    rf.write_word(5, 77)
+    assert rf.read_word(5) == 77
+
+
+def test_register_file_rejects_bad_initial():
+    with pytest.raises(ValueError):
+        RegisterFile("rf", 8, 4, initial=[1, 2])
+
+
+def test_memory_sync_read_is_registered():
+    mem = Memory("m", 8, 16, sync_read=True, initial=list(range(16)))
+    # before any clock edge the read register holds 0
+    assert mem.evaluate({"addr": 5, "we": 0, "wdata": 0})["rdata"] == 0
+    clock(mem, {"addr": 5, "we": 0, "wdata": 0})
+    assert mem.evaluate({"addr": 9, "we": 0, "wdata": 0})["rdata"] == 5
+
+
+def test_memory_async_read_and_write():
+    mem = Memory("m", 8, 16, sync_read=False)
+    assert mem.has_comb_path is True
+    clock(mem, {"addr": 2, "we": 1, "wdata": 0x5A})
+    assert mem.evaluate({"addr": 2, "we": 0, "wdata": 0})["rdata"] == 0x5A
+
+
+def test_memory_read_before_write_semantics():
+    mem = Memory("m", 8, 4, sync_read=True, initial=[1, 2, 3, 4])
+    clock(mem, {"addr": 1, "we": 1, "wdata": 99})
+    # the read port captured the OLD value at address 1
+    assert mem.evaluate({"addr": 0, "we": 0, "wdata": 0})["rdata"] == 2
+    assert mem.read_word(1) == 99
+
+
+def test_memory_backdoor_load():
+    mem = Memory("m", 16, 8)
+    mem.load([10, 20, 30], offset=2)
+    assert mem.read_word(2) == 10
+    assert mem.read_word(4) == 30
+
+
+def test_rom_lookup():
+    rom = ROM("rom", 8, [3, 1, 4, 1, 5, 9, 2, 6])
+    assert rom.evaluate({"addr": 4})["rdata"] == 5
+    assert rom.evaluate({"addr": 12})["rdata"] == 5  # address wraps modulo depth
+    with pytest.raises(ValueError):
+        ROM("empty", 8, [])
+
+
+def test_fsm_transitions_and_outputs():
+    fsm = FSMController(
+        "ctrl",
+        states=["IDLE", "RUN", "DONE"],
+        inputs={"start": 1, "count": 4},
+        outputs={"busy": 1, "finish": 1},
+        moore_outputs={"RUN": {"busy": 1}, "DONE": {"finish": 1}},
+    )
+    fsm.when("IDLE", "RUN", start=1)
+    fsm.add_transition("RUN", "DONE", [Guard("count", ">=", 3)])
+    fsm.otherwise("DONE", "IDLE")
+
+    assert fsm.state == "IDLE"
+    assert fsm.evaluate({}) == {"busy": 0, "finish": 0}
+    clock(fsm, {"start": 0, "count": 0})
+    assert fsm.state == "IDLE"
+    clock(fsm, {"start": 1, "count": 0})
+    assert fsm.state == "RUN"
+    assert fsm.evaluate({})["busy"] == 1
+    clock(fsm, {"start": 0, "count": 2})
+    assert fsm.state == "RUN"
+    clock(fsm, {"start": 0, "count": 3})
+    assert fsm.state == "DONE"
+    assert fsm.evaluate({})["finish"] == 1
+    clock(fsm, {"start": 0, "count": 0})
+    assert fsm.state == "IDLE"
+
+
+def test_fsm_transition_priority():
+    fsm = FSMController(
+        "p", states=["A", "B", "C"], inputs={"x": 2}, outputs={"o": 1}
+    )
+    fsm.when("A", "B", x=1)
+    fsm.otherwise("A", "C")
+    clock(fsm, {"x": 1})
+    assert fsm.state == "B"
+    fsm.reset()
+    clock(fsm, {"x": 2})
+    assert fsm.state == "C"
+
+
+def test_fsm_validation_errors():
+    with pytest.raises(ValueError):
+        FSMController("empty", states=[], inputs={}, outputs={})
+    fsm = FSMController("f", states=["A"], inputs={"x": 1}, outputs={"y": 1})
+    with pytest.raises(ValueError):
+        fsm.when("A", "MISSING", x=1)
+    with pytest.raises(ValueError):
+        fsm.add_transition("A", "A", [Guard("unknown", "==", 1)])
+    with pytest.raises(ValueError):
+        Guard("x", "~", 1)
+
+
+def test_fsm_reachable_states():
+    fsm = FSMController(
+        "r", states=["A", "B", "ORPHAN"], inputs={"x": 1}, outputs={"y": 1}
+    )
+    fsm.when("A", "B", x=1)
+    assert fsm.reachable_states() == ["A", "B"]
+
+
+def test_fsm_signed_guard():
+    fsm = FSMController(
+        "s", states=["A", "B"], inputs={"delta": 8}, outputs={"y": 1}
+    )
+    fsm.add_transition("A", "B", [Guard("delta", "<", 0, signed=True)])
+    clock(fsm, {"delta": 0x80})  # -128 signed
+    assert fsm.state == "B"

@@ -1,0 +1,102 @@
+"""Unit and property tests for bit-vector helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netlist.signals import (
+    bits_of,
+    from_signed,
+    hamming_distance,
+    iter_bit_toggles,
+    mask_value,
+    max_signed,
+    max_unsigned,
+    min_signed,
+    popcount,
+    saturate,
+    sign_extend,
+    to_signed,
+    value_from_bits,
+)
+
+
+def test_mask_value_truncates():
+    assert mask_value(0x1FF, 8) == 0xFF
+    assert mask_value(-1, 4) == 0xF
+    assert mask_value(0, 1) == 0
+
+
+def test_mask_value_rejects_nonpositive_width():
+    with pytest.raises(ValueError):
+        mask_value(1, 0)
+
+
+def test_signed_round_trip_examples():
+    assert to_signed(0xFF, 8) == -1
+    assert to_signed(0x7F, 8) == 127
+    assert from_signed(-1, 8) == 0xFF
+    assert from_signed(-128, 8) == 0x80
+
+
+def test_sign_extend():
+    assert sign_extend(0b1000, 4, 8) == 0b11111000
+    assert sign_extend(0b0111, 4, 8) == 0b00000111
+    with pytest.raises(ValueError):
+        sign_extend(1, 8, 4)
+
+
+def test_popcount_and_hamming():
+    assert popcount(0b1011) == 3
+    assert hamming_distance(0b1010, 0b0101, 4) == 4
+    assert hamming_distance(5, 5) == 0
+    with pytest.raises(ValueError):
+        popcount(-1)
+
+
+def test_bits_round_trip():
+    assert bits_of(0b1101, 4) == [1, 0, 1, 1]
+    assert value_from_bits([1, 0, 1, 1]) == 0b1101
+    with pytest.raises(ValueError):
+        value_from_bits([0, 2])
+
+
+def test_iter_bit_toggles():
+    toggles = list(iter_bit_toggles(0b1100, 0b1010, 4))
+    assert toggles == [0, 1, 1, 0]
+
+
+def test_range_helpers():
+    assert max_unsigned(8) == 255
+    assert min_signed(8) == -128
+    assert max_signed(8) == 127
+
+
+def test_saturate():
+    assert saturate(300, 8, signed=False) == 255
+    assert saturate(-5, 8, signed=False) == 0
+    assert saturate(200, 8, signed=True) == 0x7F
+    assert saturate(-200, 8, signed=True) == 0x80
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31), st.integers(min_value=1, max_value=32))
+def test_signed_round_trip_property(value, width):
+    encoded = from_signed(value, width)
+    assert 0 <= encoded < (1 << width)
+    decoded = to_signed(encoded, width)
+    assert from_signed(decoded, width) == encoded
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=1, max_value=32))
+def test_bits_round_trip_property(value, width):
+    value = mask_value(value, width)
+    assert value_from_bits(bits_of(value, width)) == value
+
+
+@given(
+    st.integers(min_value=0, max_value=2**24 - 1),
+    st.integers(min_value=0, max_value=2**24 - 1),
+)
+def test_hamming_is_popcount_of_xor(a, b):
+    assert hamming_distance(a, b) == popcount(a ^ b)

@@ -1,0 +1,73 @@
+"""Tests for the characterization engine (gate-level regression fitting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist.components import Adder, LogicOp, Multiplier, Mux
+from repro.power import CharacterizationEngine
+from repro.power.macromodel import LinearTransitionModel, LUTPowerModel
+
+
+@pytest.fixture(scope="module")
+def engine():
+    # a modest number of training pairs keeps the suite fast while giving
+    # stable fits for the small components used here
+    return CharacterizationEngine(n_pairs=80, seed=7)
+
+
+@pytest.fixture(scope="module")
+def adder_result(engine):
+    return engine.characterize(Adder("a", 8))
+
+
+def test_characterized_adder_fits_well(adder_result):
+    assert isinstance(adder_result.model, LinearTransitionModel)
+    assert adder_result.metrics.r_squared > 0.8
+    assert adder_result.metrics.nrmse < 0.2
+    assert adder_result.metrics.n_samples == 80
+    assert len(adder_result.reference_energies) == 80
+
+
+def test_characterized_coefficients_nonnegative(adder_result):
+    for _, _, value in adder_result.model.flat_coefficients():
+        assert value >= 0.0
+    assert adder_result.model.base_energy_fj >= 0.0
+
+
+def test_characterized_model_tracks_activity(adder_result):
+    model = adder_result.model
+    quiet = model.evaluate({"a": 0, "b": 0, "y": 0}, {"a": 0, "b": 0, "y": 0})
+    busy = model.evaluate({"a": 0, "b": 0, "y": 0}, {"a": 0xFF, "b": 0xFF, "y": 0xFF})
+    assert busy > quiet
+
+
+def test_characterized_metrics_attached_to_model(adder_result):
+    assert adder_result.model.metrics is adder_result.metrics
+    assert "R2=" in adder_result.metrics.summary()
+
+
+def test_xor_gate_characterization(engine):
+    result = engine.characterize(LogicOp("x", "xor", 8))
+    assert result.metrics.r_squared > 0.7
+    # an 8-bit XOR's total energy is far below an 8-bit adder's
+    adder = engine.characterize(Adder("a2", 8))
+    assert result.model.max_energy_fj() < adder.model.max_energy_fj()
+
+
+def test_multiplier_characterization_energy_scale(engine):
+    small_engine = CharacterizationEngine(n_pairs=50, seed=3)
+    mul = small_engine.characterize(Multiplier("m", 6))
+    add = small_engine.characterize(Adder("a", 6))
+    assert mul.metrics.mean_energy_fj > add.metrics.mean_energy_fj
+    assert mul.metrics.r_squared > 0.6
+
+
+def test_lut_characterization(engine):
+    lut = engine.characterize_lut(Mux("m", 8, 4), n_bins=4)
+    assert isinstance(lut, LUTPowerModel)
+    quiet = lut.evaluate({"d0": 0, "d1": 0, "d2": 0, "d3": 0, "sel": 0, "y": 0},
+                         {"d0": 0, "d1": 0, "d2": 0, "d3": 0, "sel": 0, "y": 0})
+    busy = lut.evaluate({"d0": 0, "d1": 0, "d2": 0, "d3": 0, "sel": 0, "y": 0},
+                        {"d0": 255, "d1": 255, "d2": 255, "d3": 255, "sel": 3, "y": 255})
+    assert busy >= quiet >= 0.0

@@ -1,0 +1,161 @@
+"""Tests for macromodels, the model library and the seed builder."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netlist.components import Adder, Constant, LogicOp, Multiplier, Mux
+from repro.netlist.fsm import FSMController
+from repro.netlist.sequential import Accumulator, Memory, Register
+from repro.power import (
+    CB130M_TECHNOLOGY,
+    LinearTransitionModel,
+    LUTPowerModel,
+    PowerModelLibrary,
+    SeedModelBuilder,
+    build_seed_library,
+)
+
+
+def make_adder_model(width=4, coeff=2.0, base=1.0):
+    widths = {"a": width, "b": width, "y": width}
+    coeffs = {p: [coeff] * width for p in widths}
+    return LinearTransitionModel("adder", widths, coeffs, base_energy_fj=base)
+
+
+def test_linear_model_counts_toggles():
+    model = make_adder_model()
+    prev = {"a": 0b0000, "b": 0b0000, "y": 0b0000}
+    curr = {"a": 0b1111, "b": 0b0000, "y": 0b1111}
+    # 8 toggling bits * 2.0 + base 1.0
+    assert model.evaluate(prev, curr) == pytest.approx(17.0)
+    assert model.evaluate(curr, curr) == pytest.approx(1.0)
+
+
+def test_linear_model_width_mismatch_rejected():
+    with pytest.raises(ValueError):
+        LinearTransitionModel("adder", {"a": 4}, {"a": [1.0, 2.0]})
+
+
+def test_flat_coefficients_canonical_order():
+    model = make_adder_model(width=2)
+    flat = model.flat_coefficients()
+    assert [(p, b) for p, b, _ in flat] == [
+        ("a", 0), ("a", 1), ("b", 0), ("b", 1), ("y", 0), ("y", 1)
+    ]
+    rebuilt = model.with_coefficients([v for _, _, v in flat])
+    assert rebuilt.coefficients == model.coefficients
+    with pytest.raises(ValueError):
+        model.with_coefficients([1.0])
+
+
+def test_model_scale_and_max_energy():
+    model = make_adder_model(width=4, coeff=2.0, base=1.0)
+    scaled = model.scale(0.5)
+    assert scaled.base_energy_fj == pytest.approx(0.5)
+    assert scaled.coefficients["a"][0] == pytest.approx(1.0)
+    assert model.max_energy_fj() == pytest.approx(1.0 + 12 * 2.0)
+
+
+def test_average_power_conversion():
+    model = make_adder_model()
+    assert model.average_power_mw(0.0, 0, 200.0) == 0.0
+    # 100 fJ over 10 cycles at 200 MHz -> 10 fJ/cycle * 200e6 = 2e-6 W = 0.002 mW
+    assert model.average_power_mw(100.0, 10, 200.0) == pytest.approx(0.002)
+
+
+def test_lut_model_binning():
+    widths = {"a": 4, "y": 4}
+    table = [[1.0, 2.0], [3.0, 4.0]]
+    model = LUTPowerModel("thing", widths, ["a"], ["y"], table)
+    quiet = model.evaluate({"a": 0, "y": 0}, {"a": 0, "y": 0})
+    busy = model.evaluate({"a": 0, "y": 0}, {"a": 0xF, "y": 0xF})
+    assert quiet == 1.0
+    assert busy == 4.0
+    with pytest.raises(ValueError):
+        LUTPowerModel("bad", widths, ["a"], ["y"], [[1.0], [2.0, 3.0]])
+
+
+def test_seed_builder_covers_all_component_types():
+    builder = SeedModelBuilder(CB130M_TECHNOLOGY)
+    components = [
+        Adder("a", 8),
+        Multiplier("m", 8),
+        Mux("x", 8, 4),
+        LogicOp("l", "xor", 8),
+        Register("r", 16),
+        Accumulator("acc", 16),
+        Memory("mem", 8, 64),
+        FSMController("f", ["A", "B"], {"go": 1}, {"done": 1}),
+    ]
+    for component in components:
+        model = builder.build(component)
+        assert model.total_bits == component.monitored_bits()
+        assert model.max_energy_fj() > 0
+
+
+def test_seed_builder_constant_has_empty_model():
+    model = SeedModelBuilder().build(Constant("c", 8, 3))
+    assert model.total_bits == 0
+    assert model.evaluate({}, {}) == 0.0
+
+
+def test_seed_models_scale_sensibly():
+    builder = SeedModelBuilder()
+    add8 = builder.build(Adder("a8", 8))
+    add16 = builder.build(Adder("a16", 16))
+    mul8 = builder.build(Multiplier("m8", 8))
+    # wider adder has a larger worst-case energy; multiplier beats adder
+    assert add16.max_energy_fj() > add8.max_energy_fj()
+    assert mul8.max_energy_fj() > add8.max_energy_fj()
+    # register base term (clock power) is nonzero even with no data activity
+    reg = builder.build(Register("r", 8))
+    assert reg.evaluate({"d": 0, "q": 0}, {"d": 0, "q": 0}) > 0
+
+
+def test_library_caching_and_sharing():
+    library = build_seed_library()
+    a1 = Adder("one", 8)
+    a2 = Adder("two", 8)
+    a3 = Adder("three", 16)
+    m1 = library.lookup(a1)
+    m2 = library.lookup(a2)
+    m3 = library.lookup(a3)
+    assert m1 is m2          # same shape -> shared model
+    assert m3 is not m1      # different width -> different model
+    assert library.misses == 2 and library.hits == 1
+    assert len(library) == 2
+    assert "adder" in library.summary()
+
+
+def test_library_without_provider_raises():
+    library = PowerModelLibrary(name="empty")
+    with pytest.raises(KeyError, match="no power model"):
+        library.lookup(Adder("a", 8))
+    library.add(Adder("a", 8), make_adder_model(8))
+    assert library.has(Adder("b", 8))
+
+
+@given(
+    st.integers(min_value=0, max_value=0xF),
+    st.integers(min_value=0, max_value=0xF),
+    st.integers(min_value=0, max_value=0xF),
+)
+def test_linear_model_energy_monotone_in_toggles(a_prev, a_curr, extra):
+    """Toggling strictly more bits never decreases energy (non-negative coeffs)."""
+    model = make_adder_model(width=4, coeff=1.5, base=0.0)
+    prev = {"a": a_prev, "b": 0, "y": 0}
+    curr = {"a": a_curr, "b": 0, "y": 0}
+    more = {"a": a_curr, "b": extra, "y": 0}
+    assert model.evaluate(prev, more) >= model.evaluate(prev, curr)
+
+
+@given(st.integers(min_value=0, max_value=0xFF), st.integers(min_value=0, max_value=0xFF))
+def test_linear_model_symmetric_in_direction(prev, curr):
+    """E(prev->curr) == E(curr->prev): only the XOR matters."""
+    widths = {"a": 8}
+    model = LinearTransitionModel("wire", widths, {"a": [0.7] * 8}, 0.1)
+    assert model.evaluate({"a": prev}, {"a": curr}) == pytest.approx(
+        model.evaluate({"a": curr}, {"a": prev})
+    )

@@ -1,0 +1,212 @@
+"""Detailed tests for reports, accuracy helpers, synthesis cost models and the
+emulation time model — the pieces the benchmark harnesses lean on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    InstrumentationConfig,
+    ResourceEstimate,
+    SynthesisEstimator,
+    compare_reports,
+    instrument,
+)
+from repro.core.emulator import EmulationPlatform, EmulationTimeBreakdown, HostInterface
+from repro.core.fpga import VIRTEX2_DEVICES
+from repro.netlist import NetlistBuilder, flatten
+from repro.netlist.components import Adder, Comparator, LogicOp, Multiplier, Mux
+from repro.netlist.fsm import FSMController
+from repro.netlist.sequential import Accumulator, Memory, Register, RegisterFile, ROM, Counter
+from repro.power import CB130M_TECHNOLOGY, RTLPowerEstimator, build_seed_library
+from repro.power.report import ComponentPower, PowerReport
+from repro.sim import RandomTestbench
+
+
+# ----------------------------------------------------------------- PowerReport
+def make_report(name="dut", estimator="test", powers=(("a", "adder", 100.0), ("m", "multiplier", 300.0))):
+    components = {
+        n: ComponentPower(name=n, component_type=t, energy_fj=e,
+                          average_power_mw=e * 1e-4)
+        for n, t, e in powers
+    }
+    total = sum(c.energy_fj for c in components.values())
+    return PowerReport(
+        design=name, estimator=estimator, cycles=10, clock_mhz=200.0,
+        total_energy_fj=total, average_power_mw=total * 1e-4,
+        components=components, cycle_energy_fj=[total / 10.0] * 10,
+    )
+
+
+def test_power_report_views():
+    report = make_report()
+    assert report.energy_by_type() == {"adder": 100.0, "multiplier": 300.0}
+    assert report.top_consumers(1)[0].name == "m"
+    assert report.component_share("m") == pytest.approx(0.75)
+    assert "dut" in report.table()
+    empty = PowerReport(design="x", estimator="e", cycles=0, clock_mhz=200.0,
+                        total_energy_fj=0.0, average_power_mw=0.0)
+    assert empty.component_share("anything") == 0.0 if "anything" in empty.components else True
+    assert empty.relative_error_to(empty) == 0.0
+
+
+def test_compare_reports_totals_and_components():
+    reference = make_report()
+    test = make_report(powers=(("a", "adder", 110.0), ("m", "multiplier", 290.0)))
+    accuracy = compare_reports(test, reference)
+    assert accuracy.relative_error == pytest.approx(0.0, abs=1e-9)
+    assert accuracy.per_component_relative_error["a"] == pytest.approx(0.1)
+    assert accuracy.per_component_relative_error["m"] == pytest.approx(-1.0 / 30.0)
+    assert accuracy.percent_error == pytest.approx(100 * accuracy.relative_error)
+    assert "vs" in accuracy.summary()
+
+
+def test_compare_reports_ignores_unknown_components():
+    reference = make_report()
+    test = make_report(powers=(("a", "adder", 100.0),))
+    accuracy = compare_reports(test, reference)
+    assert "m" not in accuracy.per_component_relative_error
+
+
+# ------------------------------------------------------------------- synthesis
+def test_synthesis_costs_reflect_component_structure():
+    estimator = SynthesisEstimator()
+    adder = estimator.estimate_component(Adder("a", 16))
+    mult_hard = estimator.estimate_component(Multiplier("m", 16))
+    mult_soft = SynthesisEstimator(use_hard_multipliers=False).estimate_component(
+        Multiplier("m2", 16)
+    )
+    mux = estimator.estimate_component(Mux("x", 16, 4))
+    logic = estimator.estimate_component(LogicOp("l", "and", 16))
+    register = estimator.estimate_component(Register("r", 16))
+    counter = estimator.estimate_component(Counter("c", 16))
+    small_memory = estimator.estimate_component(Memory("sm", 8, 32))
+    big_memory = estimator.estimate_component(Memory("bm", 16, 1024))
+    regfile = estimator.estimate_component(RegisterFile("rf", 16, 16, n_read_ports=2))
+    rom = estimator.estimate_component(ROM("rom", 16, list(range(2048))))
+    fsm = estimator.estimate_component(
+        FSMController("f", ["A", "B", "C"], {"x": 1}, {"y": 2})
+    )
+    assert mult_hard.multipliers == 1 and mult_hard.luts < 10
+    assert mult_soft.multipliers == 0 and mult_soft.luts > 100
+    assert adder.luts > logic.luts
+    assert mux.luts > logic.luts
+    assert register.ffs == 16 and counter.ffs == 16
+    assert small_memory.bram_kbits == 0 and small_memory.luts > 0
+    assert big_memory.bram_kbits >= 18
+    assert rom.bram_kbits >= 18
+    assert regfile.luts > 0
+    assert fsm.ffs >= 2 and fsm.luts > 0
+
+
+def test_synthesis_timing_model_monotone_in_depth():
+    estimator = SynthesisEstimator()
+    assert estimator.achievable_clock_mhz(2) > estimator.achievable_clock_mhz(10)
+    assert estimator.achievable_clock_mhz(1) < 600
+
+
+def test_power_hardware_costs_scale_with_monitored_bits():
+    estimator = SynthesisEstimator()
+    library = build_seed_library()
+    fmt_bits = InstrumentationConfig().coefficient_bits
+    from repro.core.fixedpoint import FixedPointFormat
+    from repro.core.power_model_hw import HardwarePowerModel
+
+    fmt = FixedPointFormat(bits=fmt_bits, lsb_fj=0.1)
+    small = HardwarePowerModel("s", library.lookup(Adder("a", 8)), fmt)
+    large = HardwarePowerModel("l", library.lookup(Multiplier("m", 16)), fmt)
+    assert estimator.estimate_component(large).luts > estimator.estimate_component(small).luts
+    assert estimator.estimate_component(large).ffs > estimator.estimate_component(small).ffs
+
+
+def test_resource_estimate_infinite_overhead_for_new_resource():
+    base = ResourceEstimate(luts=100, ffs=10)
+    enhanced = ResourceEstimate(luts=150, ffs=20, multipliers=1)
+    overhead = enhanced.overhead_relative_to(base)
+    assert overhead["multipliers"] == float("inf")
+    assert overhead["bram_kbits"] == 0.0
+
+
+# -------------------------------------------------------------- emulation time
+def build_tiny_design():
+    b = NetlistBuilder("tiny")
+    a = b.input("a", 8)
+    c = b.input("c", 8)
+    b.output("y", b.pipe(b.add(a, c)))
+    return b.build()
+
+
+def test_emulation_time_breakdown_components():
+    breakdown = EmulationTimeBreakdown(download_s=1.0, execute_s=0.5, stimulus_s=2.0,
+                                       readback_s=0.1)
+    assert breakdown.total_s == pytest.approx(3.6)
+    assert set(breakdown.as_dict()) == {"download_s", "execute_s", "stimulus_s",
+                                        "readback_s", "total_s"}
+
+
+def test_emulation_time_scales_with_workload_and_clock():
+    library = build_seed_library()
+    design = instrument(build_tiny_design(), library)
+    platform = EmulationPlatform(device=VIRTEX2_DEVICES["XC2V1000"])
+    short = platform.run(design, RandomTestbench(20, seed=1), workload_cycles=1_000_000)
+    design2 = instrument(build_tiny_design(), library)
+    long = platform.run(design2, RandomTestbench(20, seed=1), workload_cycles=100_000_000)
+    assert long.time_breakdown.execute_s == pytest.approx(
+        100 * short.time_breakdown.execute_s
+    )
+    assert long.time_breakdown.download_s == pytest.approx(short.time_breakdown.download_s)
+
+
+def test_larger_bitstream_longer_download():
+    library = build_seed_library()
+    host = HostInterface()
+    small_dev = VIRTEX2_DEVICES["XC2V250"]
+    large_dev = VIRTEX2_DEVICES["XC2V8000"]
+    design = instrument(build_tiny_design(), library)
+    t_small = EmulationPlatform(device=small_dev, host=host).run(
+        design, RandomTestbench(10, seed=0)
+    ).time_breakdown.download_s
+    design2 = instrument(build_tiny_design(), library)
+    t_large = EmulationPlatform(device=large_dev, host=host).run(
+        design2, RandomTestbench(10, seed=0)
+    ).time_breakdown.download_s
+    assert t_large > t_small
+
+
+def test_readback_cost_scales_with_per_component_totals():
+    library = build_seed_library()
+    with_totals = instrument(build_tiny_design(), library,
+                             InstrumentationConfig(per_component_totals=True))
+    without_totals = instrument(build_tiny_design(), library,
+                                InstrumentationConfig(per_component_totals=False))
+    platform = EmulationPlatform()
+    r1 = platform.run(with_totals, RandomTestbench(10, seed=0))
+    r2 = platform.run(without_totals, RandomTestbench(10, seed=0))
+    assert r1.time_breakdown.readback_s > r2.time_breakdown.readback_s
+
+
+# ------------------------------------------------------------ estimator extras
+def test_estimator_respects_max_cycles():
+    library = build_seed_library()
+    module = flatten(build_tiny_design())
+    estimator = RTLPowerEstimator(module, library=library)
+    report = estimator.estimate(RandomTestbench(1000, seed=2), max_cycles=50)
+    assert report.cycles == 50
+    assert len(report.cycle_energy_fj) == 50
+
+
+def test_estimator_cycle_trace_optional():
+    library = build_seed_library()
+    module = flatten(build_tiny_design())
+    report = RTLPowerEstimator(module, library=library).estimate(
+        RandomTestbench(20, seed=2), keep_cycle_trace=False
+    )
+    assert report.cycle_energy_fj == []
+    assert report.total_energy_fj > 0
+
+
+def test_technology_constants_are_sane():
+    tech = CB130M_TECHNOLOGY
+    assert tech.vdd_v == pytest.approx(1.2)
+    assert tech.cell_library.feature_nm == 130
+    assert tech.memory_write_energy_fj_per_bit > tech.memory_read_energy_fj_per_bit > 0

@@ -1,0 +1,200 @@
+"""Tests for the cycle-accurate simulator, scheduler, testbenches and traces."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist import NetlistBuilder, flatten
+from repro.sim import (
+    CallbackTestbench,
+    ComponentActivityTrace,
+    RandomTestbench,
+    SchedulingError,
+    SignalTrace,
+    Simulator,
+    VectorTestbench,
+    WaveformRecorder,
+    levelize,
+)
+
+
+def build_counter_module(width=8, limit=10):
+    """Counter that counts up to ``limit`` then asserts done and stops."""
+    b = NetlistBuilder("counting")
+    start = b.input("start", 1)
+    count = b.counter("cnt", width)
+    lt, eq, gt = b.compare(count, limit)
+    running = b.and_(start, lt)
+    b.drive("cnt", en=running)
+    b.output("count", count)
+    b.output("done", b.or_(eq, gt))
+    return b.build()
+
+
+def build_mac_module():
+    """Multiply-accumulate pipeline: acc += a*b each cycle when en=1."""
+    b = NetlistBuilder("mac")
+    a = b.input("a", 8)
+    x = b.input("x", 8)
+    en = b.input("en", 1)
+    product = b.mul(a, x)
+    acc = b.accumulator("acc", 24)
+    b.drive("acc", d=b.zext(product, 24), en=en, clear=b.const(0, 1))
+    b.output("acc", acc)
+    return b.build()
+
+
+def test_schedule_levelization_and_depth():
+    module = flatten(build_counter_module())
+    schedule = levelize(module)
+    assert schedule.depth >= 2
+    assert len(schedule.sequential) == 1
+    # every combinational component appears exactly once
+    assert len(schedule.ordered) == len(set(schedule.ordered))
+
+
+def test_levelize_rejects_hierarchy():
+    from repro.netlist.module import Module
+
+    child = build_counter_module()
+    parent = Module("p")
+    s = parent.add_input("start", 1)
+    c = parent.add_net("count", 8)
+    d = parent.add_net("done", 1)
+    parent.add_instance("u", child, {"start": s, "count": c, "done": d})
+    with pytest.raises(SchedulingError):
+        levelize(parent)
+
+
+def test_counter_design_runs_to_done():
+    sim = Simulator(flatten(build_counter_module()))
+    sim.set_input("start", 1)
+    cycles = 0
+    while not sim.get_output("done") and cycles < 50:
+        sim.step()
+        sim.settle()
+        cycles += 1
+    assert sim.get_output("done") == 1
+    assert sim.get_output("count") == 10
+    assert cycles == 10
+
+
+def test_simulator_reset_restores_state():
+    sim = Simulator(flatten(build_counter_module()))
+    sim.set_input("start", 1)
+    sim.step(cycles=5)
+    sim.settle()
+    assert sim.get_output("count") == 5
+    sim.reset()
+    assert sim.get_output("count") == 0
+    assert sim.cycle == 0
+
+
+def test_mac_pipeline_accumulates():
+    sim = Simulator(flatten(build_mac_module()))
+    pairs = [(3, 4), (5, 6), (7, 8)]
+    for a, x in pairs:
+        sim.step({"a": a, "x": x, "en": 1})
+    sim.settle()
+    assert sim.get_output("acc") == sum(a * x for a, x in pairs)
+
+
+def test_vector_testbench_and_result():
+    module = flatten(build_mac_module())
+    sim = Simulator(module)
+    vectors = [{"a": i, "x": 2, "en": 1} for i in range(10)]
+    result = sim.run(VectorTestbench(vectors))
+    assert result.cycles == 10
+    assert result.final_outputs["acc"] == sum(2 * i for i in range(10))
+    assert result.cycles_per_second > 0
+
+
+def test_callback_testbench_checks():
+    module = flatten(build_counter_module())
+    sim = Simulator(module)
+    seen = []
+
+    def drive(cycle, s):
+        return {"start": 1}
+
+    def check(cycle, s):
+        seen.append(s.get_output("count"))
+
+    sim.run(CallbackTestbench(drive, n_cycles=5, check_fn=check))
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_random_testbench_is_deterministic():
+    module = flatten(build_mac_module())
+    r1 = Simulator(flatten(build_mac_module())).run(RandomTestbench(50, seed=7))
+    r2 = Simulator(module).run(RandomTestbench(50, seed=7))
+    assert r1.final_outputs == r2.final_outputs
+
+
+def test_signal_trace_counts_toggles():
+    module = flatten(build_counter_module())
+    sim = Simulator(module)
+    trace = sim.add_observer(SignalTrace())
+    sim.set_input("start", 1)
+    sim.step(cycles=12)
+    stats = trace.by_name()
+    # counter bit 0 toggles every cycle while counting
+    assert stats["cnt_q"].toggles >= 10
+    assert 0.0 <= stats["cnt_q"].toggle_density <= 1.0
+    assert trace.total_toggles() > 0
+    assert len(trace.densest(3)) == 3
+
+
+def test_component_activity_trace():
+    module = flatten(build_mac_module())
+    sim = Simulator(module)
+    multiplier = next(c for c in module.components.values() if c.type_name == "multiplier")
+    trace = sim.add_observer(ComponentActivityTrace([multiplier]))
+    sim.step({"a": 0xFF, "x": 0xFF, "en": 1})
+    sim.step({"a": 0x00, "x": 0x00, "en": 1})
+    counts = trace.transition_counts(multiplier)
+    assert counts[0] == 0
+    assert counts[1] > 0
+    assert len(trace.history[multiplier]) == 2
+
+
+def test_waveform_recorder_and_value_at():
+    module = flatten(build_counter_module())
+    sim = Simulator(module)
+    recorder = sim.add_observer(WaveformRecorder())
+    sim.set_input("start", 1)
+    sim.step(cycles=4)
+    wf = recorder.by_name()["cnt_q"]
+    assert wf.value_at(0) == 0
+    assert wf.value_at(3) == 3
+    assert len(wf.toggle_cycles()) >= 3
+
+
+def test_get_net_by_name_and_component_io_values():
+    module = flatten(build_mac_module())
+    sim = Simulator(module)
+    sim.step({"a": 3, "x": 5, "en": 1})
+    sim.settle()
+    mul = next(c for c in module.components.values() if c.type_name == "multiplier")
+    snapshot = sim.component_io_values(mul)
+    assert snapshot["a"] == 3 and snapshot["b"] == 5 and snapshot["y"] == 15
+    assert sim.get_net("acc_q") == 15
+
+
+def test_observer_removal():
+    sim = Simulator(flatten(build_counter_module()))
+    trace = sim.add_observer(SignalTrace())
+    sim.remove_observer(trace)
+    sim.step(cycles=3)
+    assert trace.cycles == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 255), st.integers(0, 255)), min_size=1, max_size=20))
+def test_mac_matches_python_reference(pairs):
+    sim = Simulator(flatten(build_mac_module()))
+    for a, x in pairs:
+        sim.step({"a": a, "x": x, "en": 1})
+    sim.settle()
+    assert sim.get_output("acc") == sum(a * x for a, x in pairs) & (2**24 - 1)

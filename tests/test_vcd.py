@@ -1,0 +1,101 @@
+"""Tests for the VCD writer, parser and activity counter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist import NetlistBuilder, flatten
+from repro.sim import Simulator, SignalTrace, WaveformRecorder
+from repro.vcd import (
+    VCDParseError,
+    activity_from_vcd,
+    parse_vcd,
+    vcd_string,
+)
+from repro.vcd.writer import _identifier
+
+
+def build_toggler():
+    b = NetlistBuilder("toggler")
+    d = b.input("d", 4)
+    q = b.pipe(d, name="r0")
+    b.output("q", q)
+    return b.build()
+
+
+def run_and_dump(n_cycles=8):
+    module = flatten(build_toggler())
+    sim = Simulator(module)
+    recorder = sim.add_observer(WaveformRecorder())
+    trace = sim.add_observer(SignalTrace())
+    for cycle in range(n_cycles):
+        sim.step({"d": (0xF if cycle % 2 else 0x0)})
+    text = vcd_string(recorder.by_name(), module_name="toggler", clock_period_ns=10)
+    return text, trace
+
+
+def test_identifier_generation_unique():
+    ids = {_identifier(i) for i in range(500)}
+    assert len(ids) == 500
+    assert _identifier(0) == "!"
+    with pytest.raises(ValueError):
+        _identifier(-1)
+
+
+def test_vcd_round_trip_structure():
+    text, _ = run_and_dump()
+    vcd = parse_vcd(text)
+    names = {s.name for s in vcd.signals.values()}
+    # output port "q" aliases the register's net, so the dumped signal is r0_q
+    assert {"d", "r0_q"} <= names
+    assert vcd.end_time > 0
+    by_name = vcd.by_name()
+    assert by_name["d"].width == 4
+    assert by_name["d"].scope == "toggler"
+
+
+def test_vcd_activity_matches_signal_trace():
+    text, trace = run_and_dump()
+    summary = activity_from_vcd(text, clock_period_ns=10)
+    live = trace.by_name()
+    # toggle counts from the VCD must equal the live trace for every signal
+    for name in ("d", "r0_q"):
+        assert summary.toggles[name] == live[name].toggles
+    assert summary.total_toggles() > 0
+    assert 0.0 <= summary.toggle_density("d") <= 1.0
+
+
+def test_vcd_value_at_and_toggle_count():
+    text, _ = run_and_dump()
+    vcd = parse_vcd(text)
+    d = vcd.by_name()["d"]
+    assert d.value_at(0) == 0
+    assert d.value_at(10_000) in (0x0, 0xF)
+    assert d.toggle_count() > 0
+
+
+def test_parser_rejects_malformed_input():
+    with pytest.raises(VCDParseError):
+        parse_vcd("$var wire 8 ! sig $end $enddefinitions $end #0 b1z1 @")
+    with pytest.raises(VCDParseError):
+        parse_vcd("$enddefinitions $end #0 1%")
+
+
+def test_parser_tolerates_unknown_sections():
+    text = (
+        "$date today $end\n$version tool $end\n$comment hello $end\n"
+        "$timescale 1 ps $end\n"
+        "$scope module top $end\n$var wire 1 ! clk $end\n$upscope $end\n"
+        "$enddefinitions $end\n#0\n$dumpvars\n0!\n$end\n#5\n1!\n#10\n0!\n"
+    )
+    vcd = parse_vcd(text)
+    assert vcd.timescale == "1 ps"
+    clk = vcd.by_name()["clk"]
+    assert clk.toggle_count() == 2
+    assert vcd.end_time == 10
+
+
+def test_activity_summary_cycle_count():
+    text, _ = run_and_dump(n_cycles=8)
+    summary = activity_from_vcd(text, clock_period_ns=10)
+    assert summary.n_cycles >= 8
