@@ -1,0 +1,93 @@
+"""Simulation throughput: compiled vs interpreter backend (cycles/sec).
+
+The compiled backend is the repo's Verilator-style move: the levelized
+schedule is code-generated once per module into slot-indexed straight-line
+Python (see :mod:`repro.sim.compiled`), so every benchmark, characterization
+sweep and Fig. 3 study that is gated on ``Simulator.settle()`` gets the
+speedup for free.  This harness measures simulated-cycles-per-second for both
+backends on every Figure 3 design plus the paper's headline case — the
+*instrumented* MPEG-4 netlist — and records the numbers in
+``benchmark.extra_info`` so the perf trajectory (``BENCH_*.json``) captures
+the speedup over time.  Writes ``benchmarks/results/sim_throughput.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.core import InstrumentationConfig
+from repro.core.instrument import instrument
+from repro.designs.registry import FIGURE3_ORDER, build_flat, get_design
+from repro.power import build_seed_library
+from repro.sim import Simulator
+
+#: design -> (interp cycles/s, compiled cycles/s, speedup, cycles)
+_ROWS = {}
+
+
+def _format_table() -> str:
+    lines = [
+        "Simulation throughput — interpreter vs compiled backend",
+        "",
+        f"{'design':24s} {'cycles':>8s} {'interp c/s':>12s} {'compiled c/s':>14s} {'speedup':>9s}",
+    ]
+    for name, (interp_cps, compiled_cps, speedup, cycles) in _ROWS.items():
+        lines.append(
+            f"{name:24s} {cycles:>8d} {interp_cps:>12,.0f} {compiled_cps:>14,.0f} "
+            f"{speedup:>8.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def _record(benchmark, name, interp, compiled):
+    speedup = compiled.cycles_per_second / interp.cycles_per_second
+    _ROWS[name] = (
+        interp.cycles_per_second,
+        compiled.cycles_per_second,
+        speedup,
+        compiled.cycles,
+    )
+    benchmark.extra_info.update(
+        {
+            "cycles": compiled.cycles,
+            "interp_cycles_per_s": round(interp.cycles_per_second, 1),
+            "compiled_cycles_per_s": round(compiled.cycles_per_second, 1),
+            "speedup": round(speedup, 2),
+        }
+    )
+    return speedup
+
+
+@pytest.mark.parametrize("design_name", FIGURE3_ORDER)
+def test_sim_throughput(benchmark, design_name):
+    design = get_design(design_name)
+    module = build_flat(design_name)
+    interp = Simulator(module, backend="interp").run(design.testbench())
+    compiled = benchmark.pedantic(
+        lambda: Simulator(module, backend="compiled").run(design.testbench()),
+        rounds=3,
+        iterations=1,
+    )
+    _record(benchmark, design_name, interp, compiled)
+    # same workload, same results — throughput comparison is apples-to-apples
+    assert compiled.cycles == interp.cycles
+    assert compiled.final_outputs == interp.final_outputs
+
+
+def test_instrumented_mpeg4_throughput(benchmark):
+    """Acceptance: >=5x simulated-cycles/sec on the instrumented MPEG-4 netlist."""
+    library = build_seed_library()
+    design = get_design("MPEG4")
+    instrumented = instrument(design.build(), library, InstrumentationConfig())
+    module = instrumented.module
+    interp = Simulator(module, backend="interp").run(design.testbench())
+    compiled = benchmark.pedantic(
+        lambda: Simulator(module, backend="compiled").run(design.testbench()),
+        rounds=3,
+        iterations=1,
+    )
+    speedup = _record(benchmark, "MPEG4 (instrumented)", interp, compiled)
+    write_result("sim_throughput.txt", _format_table())
+    assert compiled.final_outputs == interp.final_outputs
+    assert speedup >= 5.0

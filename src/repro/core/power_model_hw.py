@@ -69,6 +69,30 @@ class HardwarePowerModel(SequentialComponent):
         ]
         self.base_code: int = fmt.quantize(model.base_energy_fj)
 
+        # Per-port lookup tables mapping an 8-bit toggle pattern to the sum of
+        # the selected coefficient codes, so `capture` costs one table read per
+        # toggled byte instead of one add per toggled bit.  Entries are
+        # (port_name, monitor_input_name, value_mask, chunk_tables).
+        self._chunked: List[Tuple[str, str, int, List[List[int]]]] = []
+        index = 0
+        for port_name in sorted(self.port_widths):
+            width = self.port_widths[port_name]
+            coeffs = self.coefficient_codes[index : index + width]
+            index += width
+            tables: List[List[int]] = []
+            for base in range(0, width, 8):
+                chunk = coeffs[base : base + 8]
+                table = [0] * 256
+                for pattern in range(1, 256):
+                    low = (pattern & -pattern).bit_length() - 1
+                    table[pattern] = table[pattern & (pattern - 1)] + (
+                        chunk[low] if low < len(chunk) else 0
+                    )
+                tables.append(table)
+            self._chunked.append(
+                (port_name, MONITOR_PREFIX + port_name, (1 << width) - 1, tables)
+            )
+
         self.params = {
             "monitored_bits": model.total_bits,
             "coefficient_bits": fmt.bits,
@@ -123,18 +147,17 @@ class HardwarePowerModel(SequentialComponent):
             self._pending_output = 0
             return
         cycle_energy = self.base_code
+        previous = self._previous
         new_previous: Dict[str, int] = {}
-        index = 0
-        for port_name in sorted(self.port_widths):
-            width = self.port_widths[port_name]
-            current = mask_value(inputs.get(MONITOR_PREFIX + port_name, 0), width)
-            toggles = self._previous[port_name] ^ current
+        for port_name, in_name, value_mask, tables in self._chunked:
+            current = inputs.get(in_name, 0) & value_mask
+            toggles = previous[port_name] ^ current
             new_previous[port_name] = current
-            if toggles:
-                for bit in range(width):
-                    if (toggles >> bit) & 1:
-                        cycle_energy += self.coefficient_codes[index + bit]
-            index += width
+            chunk = 0
+            while toggles:
+                cycle_energy += tables[chunk][toggles & 255]
+                toggles >>= 8
+                chunk += 1
         accumulated = self._accumulated + cycle_energy
         if strobe:
             self._pending_output = mask_value(accumulated, self.energy_width)

@@ -204,3 +204,28 @@ def get_design(name: str) -> BenchmarkDesign:
 def figure3_designs() -> List[BenchmarkDesign]:
     """The seven designs of the paper's Figure 3, in plot order."""
     return [get_design(name) for name in FIGURE3_ORDER]
+
+
+#: design name -> flattened module, shared per process (see build_flat)
+_FLAT_CACHE: Dict[str, Module] = {}
+
+
+def build_flat(name: str) -> Module:
+    """Build + flatten a registry design once per process and cache it.
+
+    Registry designs are re-simulated dozens of times across the benchmark
+    suite; reusing one flat module lets the simulator's per-module schedule
+    and code-generation caches hit instead of re-elaborating every time.
+
+    The returned module is *shared*: sequential state lives on its component
+    objects, so do not drive two concurrently-active simulators with it.
+    Constructing a :class:`~repro.sim.engine.Simulator` resets all state, so
+    strictly sequential runs (e.g. benchmarking one backend after another)
+    are safe.  Callers that need isolated state should use
+    ``flatten(get_design(name).build())`` instead.
+    """
+    if name not in _FLAT_CACHE:
+        from repro.netlist.flatten import flatten
+
+        _FLAT_CACHE[name] = flatten(get_design(name).build())
+    return _FLAT_CACHE[name]

@@ -1,18 +1,80 @@
-"""Levelized gate-level simulation.
+"""Levelized, compiled gate-level simulation.
 
 Two-valued (0/1), cycle-less evaluation: each call settles the combinational
 gate network for one input vector.  Consecutive vectors yield per-net toggle
 information which the power calculator converts into switching energy — this
 is the "gate-level implementation" reference used to characterize RTL power
 macromodels, and the engine behind the slow gate-level estimation baseline.
+
+Like the RTL simulator's compiled backend, the gate network is lowered once
+per simulator into slot-indexed straight-line Python: every net gets a dense
+integer slot (aliases share the slot of the net they resolve to, so alias
+propagation disappears entirely) and each gate of the levelized order becomes
+one inline boolean expression.  Standard cells are recognized by their
+function object and fused; unknown cells fall back to a bound
+``CellType.evaluate`` call, so custom libraries keep working.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Mapping, Optional, Sequence
+from collections.abc import MutableMapping
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
+from repro.gates import cells as _cells
 from repro.gates.gate_netlist import GateInstance, GateNetlist, bit_net
+
+#: expression template per standard-cell function; inputs are 0/1 so every
+#: template already produces a 0/1 result (no trailing ``& 1`` needed)
+_CELL_EXPRS: Dict[object, str] = {
+    _cells._inv: "1 - {0}",
+    _cells._buf: "{0}",
+    _cells._nand2: "1 - ({0} & {1})",
+    _cells._nand3: "1 - ({0} & {1} & {2})",
+    _cells._nor2: "1 - ({0} | {1})",
+    _cells._nor3: "1 - ({0} | {1} | {2})",
+    _cells._and2: "{0} & {1}",
+    _cells._and3: "{0} & {1} & {2}",
+    _cells._or2: "{0} | {1}",
+    _cells._or3: "{0} | {1} | {2}",
+    _cells._xor2: "{0} ^ {1}",
+    _cells._xnor2: "1 - ({0} ^ {1})",
+    _cells._mux2: "{1} if {2} else {0}",
+    _cells._aoi21: "1 - (({0} & {1}) | {2})",
+    _cells._oai21: "1 - (({0} | {1}) & {2})",
+    _cells._maj3: "1 if {0} + {1} + {2} >= 2 else 0",
+    _cells._xor3: "{0} ^ {1} ^ {2}",
+}
+
+
+class GateValues(MutableMapping):
+    """Live, name-keyed mapping view over the gate simulator's slot list.
+
+    Reads and writes go straight through to the slots, so forcing a net with
+    ``sim.values["w3"] = 1`` behaves exactly like it did when ``values`` was
+    a plain dict.  Aliased names share one slot with their resolved source.
+    """
+
+    __slots__ = ("_slots", "_v")
+
+    def __init__(self, slots: Dict[str, int], values: List[int]) -> None:
+        self._slots = slots
+        self._v = values
+
+    def __getitem__(self, net: str) -> int:
+        return self._v[self._slots[net]]
+
+    def __setitem__(self, net: str, value: int) -> None:
+        self._v[self._slots[net]] = value & 1
+
+    def __delitem__(self, net: str) -> None:
+        raise TypeError("net values cannot be deleted")
+
+    def __iter__(self):
+        return iter(self._slots)
+
+    def __len__(self) -> int:
+        return len(self._slots)
 
 
 class GateLevelSimulator:
@@ -21,8 +83,34 @@ class GateLevelSimulator:
     def __init__(self, netlist: GateNetlist) -> None:
         self.netlist = netlist
         self._order = self._levelize(netlist)
-        self._alias_cache: Dict[str, str] = {}
-        self.values: Dict[str, int] = {}
+        self._resolved: Dict[str, str] = {}
+        resolver = _build_alias_resolver(netlist)
+        # Dense slots; an alias is the same wire as its resolved source, so it
+        # shares the source's slot and needs no propagation pass.
+        self._slots: Dict[str, int] = {}
+        for net in netlist.all_nets():
+            self._resolved[net] = resolver(net)
+        for net in netlist.all_nets():
+            source = self._resolved[net]
+            if source not in self._slots:
+                self._slots[source] = len(self._slots)
+            self._slots.setdefault(net, self._slots[source])
+        self._snap_pairs: List[Tuple[str, int]] = sorted(self._slots.items())
+        self._const_pairs: List[Tuple[int, int]] = [
+            (self._slots[net], value & 1) for net, value in netlist.constants.items()
+        ]
+        self._input_pairs: List[Tuple[str, int]] = [
+            (net, self._slots[net]) for net in netlist.primary_inputs
+        ]
+        self._output_triples: List[Tuple[str, int, int]] = []
+        for net in netlist.primary_outputs:
+            port, index = _split_bit_net(net)
+            self._output_triples.append((port, index, self._slots[self._resolved[net]]))
+        self._fn = self._compile()
+        self._n_slots = max(self._slots.values()) + 1 if self._slots else 0
+        self._v: List[int] = [0] * self._n_slots
+        #: live name-keyed view over the slots (reads and writes pass through)
+        self.values = GateValues(self._slots, self._v)
         self.reset()
 
     # ---------------------------------------------------------------- setup
@@ -57,39 +145,63 @@ class GateLevelSimulator:
             )
         return order
 
+    def _compile(self) -> Callable[[List[int]], None]:
+        """Lower the levelized gate order into one straight-line function."""
+        env: Dict[str, object] = {}
+        lines = ["def _evaluate(v):"]
+        body: List[str] = []
+        for i, gate in enumerate(self._order):
+            operands = [
+                f"v[{self._slots[self._resolved.get(net, net)]}]" for net in gate.inputs
+            ]
+            out = self._slots[self._resolved.get(gate.output, gate.output)]
+            template = _CELL_EXPRS.get(gate.cell.function)
+            if template is not None and gate.cell.n_inputs == len(operands):
+                body.append(f"v[{out}] = {template.format(*operands)}")
+            else:
+                name = f"_g{i}"
+                env[name] = gate.cell.evaluate
+                body.append(f"v[{out}] = {name}(({', '.join(operands)},))")
+        if not body:
+            body.append("pass")
+        lines.extend("    " + line for line in body)
+        namespace = dict(env)
+        namespace["__builtins__"] = {}
+        exec(compile("\n".join(lines), f"<gatesim:{self.netlist.name}>", "exec"), namespace)
+        return namespace["_evaluate"]
+
     # ------------------------------------------------------------- controls
     def reset(self) -> None:
         """Zero every net (and re-apply constants)."""
-        self.values = {net: 0 for net in self.netlist.all_nets()}
-        self.values.update(self.netlist.constants)
+        self._v[:] = [0] * self._n_slots
+        for slot, value in self._const_pairs:
+            self._v[slot] = value
 
     def resolve(self, net: str) -> str:
         """Follow alias chains to the net that actually carries the value."""
-        if net not in self._alias_cache:
-            seen = set()
-            current = net
-            while current in self.netlist.aliases:
-                if current in seen:
-                    raise ValueError(f"alias cycle through net {current!r}")
-                seen.add(current)
-                current = self.netlist.aliases[current]
-            self._alias_cache[net] = current
-        return self._alias_cache[net]
+        resolved = self._resolved.get(net)
+        if resolved is None:
+            resolved = _build_alias_resolver(self.netlist)(net)
+            self._resolved[net] = resolved
+        return resolved
 
     # ------------------------------------------------------------ execution
-    def evaluate(self, input_bits: Mapping[str, int]) -> Dict[str, int]:
-        """Settle the network for one vector of primary-input bit values."""
-        values = self.values
-        values.update(self.netlist.constants)
-        for net in self.netlist.primary_inputs:
-            values[net] = input_bits.get(net, 0) & 1
-        for gate in self._order:
-            operands = [values[self.resolve(net)] for net in gate.inputs]
-            values[gate.output] = gate.cell.evaluate(operands)
-        # propagate alias targets so that aliased nets read correctly
-        for alias in self.netlist.aliases:
-            values[alias] = values[self.resolve(alias)]
-        return values
+    def _settle(self, input_bits: Mapping[str, int]) -> None:
+        v = self._v
+        for slot, value in self._const_pairs:
+            v[slot] = value
+        get = input_bits.get
+        for net, slot in self._input_pairs:
+            v[slot] = get(net, 0) & 1
+        self._fn(v)
+
+    def evaluate(self, input_bits: Mapping[str, int]) -> "GateValues":
+        """Settle the network for one vector of primary-input bit values.
+
+        Returns the live :class:`GateValues` view of the settled net values.
+        """
+        self._settle(input_bits)
+        return self.values
 
     def evaluate_ports(self, port_values: Mapping[str, int],
                        port_widths: Mapping[str, int]) -> Dict[str, int]:
@@ -99,17 +211,17 @@ class GateLevelSimulator:
             width = port_widths.get(port, 1)
             for i in range(width):
                 input_bits[bit_net(port, i)] = (value >> i) & 1
-        values = self.evaluate(input_bits)
+        self._settle(input_bits)
+        v = self._v
         outputs: Dict[str, int] = {}
-        for net in self.netlist.primary_outputs:
-            port, index = _split_bit_net(net)
-            outputs.setdefault(port, 0)
-            outputs[port] |= (values[net] & 1) << index
+        for port, index, slot in self._output_triples:
+            outputs[port] = outputs.get(port, 0) | (v[slot] << index)
         return outputs
 
     def snapshot(self) -> Dict[str, int]:
         """Copy of the current net values (for toggle counting across vectors)."""
-        return dict(self.values)
+        v = self._v
+        return {net: v[slot] for net, slot in self._snap_pairs}
 
 
 def _build_alias_resolver(netlist: GateNetlist):

@@ -3,13 +3,17 @@
 The simulator executes flat :class:`~repro.netlist.module.Module` objects one
 clock cycle at a time: combinational logic is levelized once and evaluated in
 topological order, then all sequential components capture and commit their
-next state.  Observers (signal traces, power estimators, the emulated power
+next state.  Two backends execute that schedule — the default ``"compiled"``
+backend code-generates it into slot-indexed straight-line Python once per
+module (:mod:`repro.sim.compiled`), while ``"interp"`` is the reference
+interpreter kept as the correctness oracle and benchmark baseline.  Observers (signal traces, power estimators, the emulated power
 aggregator readback) hook into the end of the combinational settle phase of
 every cycle — exactly the instant at which the paper's power strobe samples
 component inputs/outputs.
 """
 
-from repro.sim.scheduler import levelize, SchedulingError
+from repro.sim.scheduler import levelize, schedule_for, SchedulingError
+from repro.sim.compiled import CompiledProgram, compile_module
 from repro.sim.engine import Simulator, SimulationResult, SimulationObserver
 from repro.sim.testbench import (
     Testbench,
@@ -22,7 +26,10 @@ from repro.sim.waveform import Waveform, WaveformRecorder
 
 __all__ = [
     "levelize",
+    "schedule_for",
     "SchedulingError",
+    "CompiledProgram",
+    "compile_module",
     "Simulator",
     "SimulationResult",
     "SimulationObserver",

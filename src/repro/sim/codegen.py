@@ -1,0 +1,872 @@
+"""Slot-indexed code generation for the compiled simulation backend.
+
+:func:`generate_source` lowers a levelized :class:`~repro.sim.scheduler.Schedule`
+into the source of two plain Python functions over a flat list ``v`` of net
+values ("slots"):
+
+* ``_settle(v)`` — the entire combinational schedule as straight-line code,
+  state-source outputs first, then every levelized component in topological
+  order,
+* ``_clock_edge(v)`` — sequential capture followed by commit, without any
+  per-cycle dict construction for the common storage elements.
+
+Simple components (adders, muxes, logic gates, comparators, shifters, slices,
+ROMs, registers, counters, ...) are fused into masked integer expressions that
+read and write slots directly.  Complex components (FSM controllers, hardware
+power models, anything user-defined) fall back to a pre-bound
+``evaluate``/``capture`` call fed by an inline dict literal over slot reads —
+so any component that simulates on the interpreter also simulates compiled,
+just with less of the speedup.
+
+Fusion keys off the concrete component class (not ``type_name``), so a
+subclass with an overridden ``evaluate`` is never fused incorrectly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.netlist.nets import Net
+
+# Dispatch tables are built lazily: the power-estimation component classes
+# live in repro.core, which itself imports repro.sim, and resolving them at
+# import time would create a cycle.  By the time a module is compiled (first
+# Simulator construction) every involved module is importable.
+_TABLES: Optional[tuple] = None
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+def _signed(expr: str, width: int) -> str:
+    """Branchless two's-complement reinterpretation of a masked value."""
+    sign = 1 << (width - 1)
+    return f"(({expr} ^ {sign}) - {sign})"
+
+
+class SourceEmitter:
+    """Accumulates generated lines plus the exec environment they reference."""
+
+    def __init__(self, slot_of: Dict[Net, int]) -> None:
+        self.slot_of = slot_of
+        self.env: Dict[str, object] = {}
+        self.lines: List[str] = []
+        self.n_fused = 0
+        self.n_fallback = 0
+        self._uid = 0
+
+    # ------------------------------------------------------------- plumbing
+    def uid(self) -> int:
+        self._uid += 1
+        return self._uid
+
+    def emit(self, line: str, indent: int = 0) -> None:
+        self.lines.append("    " * indent + line)
+
+    def bind(self, name: str, obj: object) -> str:
+        self.env[name] = obj
+        return name
+
+    # ------------------------------------------------------- port accessors
+    def req(self, component, port_name: str) -> Optional[str]:
+        """Slot expression for a *required* input; None when unconnected.
+
+        A ``None`` makes the caller fall back to the generic ``evaluate``
+        path, which reproduces the interpreter's ``KeyError`` semantics for
+        unconnected required inputs.
+        """
+        port = component.ports.get(port_name)
+        if port is None or port.net is None:
+            return None
+        return f"v[{self.slot_of[port.net]}]"
+
+    def opt(self, component, port_name: str, default: int = 0) -> str:
+        """Slot expression for an ``inputs.get(name, default)`` input."""
+        expr = self.req(component, port_name)
+        return str(default) if expr is None else expr
+
+    def out(self, component, port_name: str) -> Optional[int]:
+        """Slot of a component output, or None when unconnected."""
+        port = component.ports.get(port_name)
+        if port is None or port.net is None:
+            return None
+        return self.slot_of[port.net]
+
+    def connected_outputs(self, component) -> List[Tuple[str, int]]:
+        return [
+            (p.name, self.slot_of[p.net])
+            for p in component.output_ports
+            if p.net is not None
+        ]
+
+    def connected_inputs(self, component) -> List[Tuple[str, int]]:
+        return [
+            (p.name, self.slot_of[p.net])
+            for p in component.input_ports
+            if p.net is not None
+        ]
+
+    # ------------------------------------------------------------ fallbacks
+    def fallback_evaluate(self, component, empty_inputs: bool = False) -> None:
+        """Generic path: bound ``evaluate`` call fed by an inline dict literal."""
+        outs = self.connected_outputs(component)
+        if not outs:
+            return
+        uid = self.uid()
+        name = self.bind(f"_ev{uid}", component.evaluate)
+        if empty_inputs:
+            args = "{}"
+        else:
+            items = ", ".join(
+                f"{port!r}: v[{slot}]" for port, slot in self.connected_inputs(component)
+            )
+            args = "{" + items + "}"
+        self.emit(f"_o = {name}({args})")
+        for port, slot in outs:
+            self.emit(f"v[{slot}] = _o[{port!r}]")
+        self.n_fallback += 1
+
+    def fallback_capture(self, component) -> None:
+        uid = self.uid()
+        name = self.bind(f"_cap{uid}", component.capture)
+        items = ", ".join(
+            f"{port!r}: v[{slot}]" for port, slot in self.connected_inputs(component)
+        )
+        self.emit(f"{name}({{{items}}})")
+        self.n_fallback += 1
+
+
+# ---------------------------------------------------------------------------
+# Combinational (levelized) component emitters.  Each returns True when it
+# fused the component; False defers to the generic fallback.
+# ---------------------------------------------------------------------------
+
+
+def _emit_adder(em: SourceEmitter, c) -> bool:
+    a, b = em.req(c, "a"), em.req(c, "b")
+    if a is None or b is None:
+        return False
+    terms = f"{a} + {b}"
+    if c.with_carry_in:
+        cin = em.opt(c, "cin", 0)
+        if cin != "0":
+            terms += f" + {cin}"
+    y, cout = em.out(c, "y"), em.out(c, "cout") if c.with_carry_out else None
+    mask = _mask(c.width)
+    if cout is not None:
+        em.emit(f"_t = {terms}")
+        if y is not None:
+            em.emit(f"v[{y}] = _t & {mask}")
+        em.emit(f"v[{cout}] = (_t >> {c.width}) & 1")
+    elif y is not None:
+        em.emit(f"v[{y}] = ({terms}) & {mask}")
+    return True
+
+
+def _emit_subtractor(em: SourceEmitter, c) -> bool:
+    a, b = em.req(c, "a"), em.req(c, "b")
+    if a is None or b is None:
+        return False
+    y = em.out(c, "y")
+    borrow = em.out(c, "borrow") if c.with_borrow_out else None
+    mask = _mask(c.width)
+    if borrow is not None:
+        em.emit(f"_t = {a} - {b}")
+        if y is not None:
+            em.emit(f"v[{y}] = _t & {mask}")
+        em.emit(f"v[{borrow}] = 1 if _t < 0 else 0")
+    elif y is not None:
+        em.emit(f"v[{y}] = ({a} - {b}) & {mask}")
+    return True
+
+
+def _emit_addsub(em: SourceEmitter, c) -> bool:
+    a, b, sub = em.req(c, "a"), em.req(c, "b"), em.req(c, "sub")
+    if a is None or b is None or sub is None:
+        return False
+    y = em.out(c, "y")
+    if y is not None:
+        mask = _mask(c.width)
+        em.emit(f"v[{y}] = (({a} - {b}) if {sub} & 1 else ({a} + {b})) & {mask}")
+    return True
+
+
+def _emit_multiplier(em: SourceEmitter, c) -> bool:
+    a, b = em.req(c, "a"), em.req(c, "b")
+    if a is None or b is None:
+        return False
+    y = em.out(c, "y")
+    if y is None:
+        return True
+    mask = _mask(c.width_y)
+    if c.signed:
+        a = _signed(a, c.width_a)
+        b = _signed(b, c.width_b)
+    em.emit(f"v[{y}] = ({a} * {b}) & {mask}")
+    return True
+
+
+def _emit_comparator(em: SourceEmitter, c) -> bool:
+    a, b = em.req(c, "a"), em.req(c, "b")
+    if a is None or b is None:
+        return False
+    if c.signed:
+        a = _signed(a, c.width)
+        b = _signed(b, c.width)
+    em.emit(f"_a = {a}")
+    em.emit(f"_b = {b}")
+    for port, op in (("lt", "<"), ("eq", "=="), ("gt", ">")):
+        slot = em.out(c, port)
+        if slot is not None:
+            em.emit(f"v[{slot}] = 1 if _a {op} _b else 0")
+    return True
+
+
+def _emit_absval(em: SourceEmitter, c) -> bool:
+    a = em.req(c, "a")
+    if a is None:
+        return False
+    y = em.out(c, "y")
+    if y is not None:
+        # |to_signed(a)| <= 2^(width-1) always fits the unsigned output range.
+        em.emit(f"_t = {_signed(a, c.width)}")
+        em.emit(f"v[{y}] = -_t if _t < 0 else _t")
+    return True
+
+
+def _emit_saturator(em: SourceEmitter, c) -> bool:
+    a = em.req(c, "a")
+    if a is None:
+        return False
+    y = em.out(c, "y")
+    if y is None:
+        return True
+    if c.signed:
+        lo = -(1 << (c.width_out - 1))
+        hi = (1 << (c.width_out - 1)) - 1
+        mask = _mask(c.width_out)
+        lo_enc = lo & mask
+        em.emit(f"_t = {_signed(a, c.width_in)}")
+        em.emit(f"v[{y}] = {lo_enc} if _t < {lo} else ({hi} if _t > {hi} else _t & {mask})")
+    else:
+        hi = _mask(c.width_out)
+        em.emit(f"v[{y}] = {a} if {a} <= {hi} else {hi}")
+    return True
+
+
+def _emit_shifter_const(em: SourceEmitter, c) -> bool:
+    a = em.req(c, "a")
+    if a is None:
+        return False
+    y = em.out(c, "y")
+    if y is None:
+        return True
+    mask = _mask(c.width)
+    if c.direction == "left":
+        em.emit(f"v[{y}] = ({a} << {c.amount}) & {mask}")
+    elif c.arithmetic:
+        em.emit(f"v[{y}] = ({_signed(a, c.width)} >> {c.amount}) & {mask}")
+    else:
+        em.emit(f"v[{y}] = {a} >> {c.amount}")
+    return True
+
+
+def _emit_shifter_var(em: SourceEmitter, c) -> bool:
+    a, amount = em.req(c, "a"), em.req(c, "amount")
+    if a is None or amount is None:
+        return False
+    y = em.out(c, "y")
+    if y is None:
+        return True
+    mask = _mask(c.width)
+    if c.direction == "left":
+        em.emit(f"v[{y}] = ({a} << {amount}) & {mask}")
+    elif c.arithmetic:
+        em.emit(f"v[{y}] = ({_signed(a, c.width)} >> {amount}) & {mask}")
+    else:
+        em.emit(f"v[{y}] = {a} >> {amount}")
+    return True
+
+
+def _emit_mux(em: SourceEmitter, c) -> bool:
+    sel = em.req(c, "sel")
+    if sel is None:
+        return False
+    data_slots = []
+    for i in range(c.n_inputs):
+        expr = em.req(c, f"d{i}")
+        if expr is None:
+            return False
+        data_slots.append(em.slot_of[c.ports[f"d{i}"].net])
+    y = em.out(c, "y")
+    if y is None:
+        return True
+    uid = em.uid()
+    table = em.bind(f"_mx{uid}", tuple(data_slots))
+    last = c.n_inputs - 1
+    em.emit(f"_s = {sel}")
+    em.emit(f"if _s > {last}: _s = {last}")
+    em.emit(f"v[{y}] = v[{table}[_s]]")
+    return True
+
+
+_LOGIC_EXPRS = {
+    "and": "{a} & {b}",
+    "or": "{a} | {b}",
+    "xor": "{a} ^ {b}",
+    "nand": "({a} & {b}) ^ {m}",
+    "nor": "({a} | {b}) ^ {m}",
+    "xnor": "({a} ^ {b}) ^ {m}",
+}
+
+
+def _emit_logic(em: SourceEmitter, c) -> bool:
+    a, b = em.req(c, "a"), em.req(c, "b")
+    if a is None or b is None:
+        return False
+    y = em.out(c, "y")
+    if y is not None:
+        expr = _LOGIC_EXPRS[c.op].format(a=a, b=b, m=_mask(c.width))
+        em.emit(f"v[{y}] = {expr}")
+    return True
+
+
+def _emit_not(em: SourceEmitter, c) -> bool:
+    a = em.req(c, "a")
+    if a is None:
+        return False
+    y = em.out(c, "y")
+    if y is not None:
+        em.emit(f"v[{y}] = {a} ^ {_mask(c.width)}")
+    return True
+
+
+def _emit_reduce(em: SourceEmitter, c) -> bool:
+    a = em.req(c, "a")
+    if a is None:
+        return False
+    y = em.out(c, "y")
+    if y is None:
+        return True
+    if c.op == "and":
+        em.emit(f"v[{y}] = 1 if {a} == {_mask(c.width)} else 0")
+    elif c.op == "or":
+        em.emit(f"v[{y}] = 1 if {a} else 0")
+    else:
+        em.emit(f"v[{y}] = ({a}).bit_count() & 1")
+    return True
+
+
+def _emit_concat(em: SourceEmitter, c) -> bool:
+    parts = []
+    shift = 0
+    for i, width in enumerate(c.widths):
+        expr = em.req(c, f"i{i}")
+        if expr is None:
+            return False
+        parts.append(expr if shift == 0 else f"({expr} << {shift})")
+        shift += width
+    y = em.out(c, "y")
+    if y is not None:
+        em.emit(f"v[{y}] = " + " | ".join(parts))
+    return True
+
+
+def _emit_slice(em: SourceEmitter, c) -> bool:
+    a = em.req(c, "a")
+    if a is None:
+        return False
+    y = em.out(c, "y")
+    if y is not None:
+        shifted = a if c.low == 0 else f"({a} >> {c.low})"
+        em.emit(f"v[{y}] = {shifted} & {_mask(c.width_out)}")
+    return True
+
+
+def _emit_extend(em: SourceEmitter, c) -> bool:
+    a = em.req(c, "a")
+    if a is None:
+        return False
+    y = em.out(c, "y")
+    if y is not None:
+        if c.signed:
+            em.emit(f"v[{y}] = {_signed(a, c.width_in)} & {_mask(c.width_out)}")
+        else:
+            em.emit(f"v[{y}] = {a}")
+    return True
+
+
+def _emit_decoder(em: SourceEmitter, c) -> bool:
+    a = em.req(c, "a")
+    if a is None:
+        return False
+    y = em.out(c, "y")
+    if y is not None:
+        em.emit(f"v[{y}] = 1 << {a}")
+    return True
+
+
+def _emit_rom(em: SourceEmitter, c) -> bool:
+    y = em.out(c, "rdata")
+    if y is not None:
+        uid = em.uid()
+        contents = em.bind(f"_rom{uid}", c.contents)
+        addr = em.opt(c, "addr", 0)
+        em.emit(f"v[{y}] = {contents}[{addr} % {c.depth}]")
+    return True
+
+
+def _emit_regfile_read(em: SourceEmitter, c) -> bool:
+    uid = em.uid()
+    state = em.bind(f"_c{uid}", c)
+    for i in range(c.n_read_ports):
+        slot = em.out(c, f"rdata{i}")
+        if slot is not None:
+            addr = em.opt(c, f"raddr{i}", 0)
+            em.emit(f"v[{slot}] = {state}._state[{addr} % {c.depth}]")
+    return True
+
+
+def _emit_memory_async_read(em: SourceEmitter, c) -> bool:
+    if c.sync_read:
+        return False
+    slot = em.out(c, "rdata")
+    if slot is not None:
+        uid = em.uid()
+        state = em.bind(f"_c{uid}", c)
+        addr = em.opt(c, "addr", 0)
+        em.emit(f"v[{slot}] = {state}._state[{addr} % {c.depth}]")
+    return True
+
+
+# ---------------------------------------------------------------------------
+# State-source emitters (outputs produced before combinational evaluation).
+# ---------------------------------------------------------------------------
+
+
+def _emit_state_register_like(em: SourceEmitter, c) -> bool:
+    slot = em.out(c, "q")
+    if slot is not None:
+        uid = em.uid()
+        obj = em.bind(f"_c{uid}", c)
+        em.emit(f"v[{slot}] = {obj}._state")
+    return True
+
+
+def _emit_state_constant(em: SourceEmitter, c) -> bool:
+    slot = em.out(c, "y")
+    if slot is not None:
+        em.emit(f"v[{slot}] = {c.value}")
+    return True
+
+
+def _emit_state_memory(em: SourceEmitter, c) -> bool:
+    if not c.sync_read:
+        return False
+    slot = em.out(c, "rdata")
+    if slot is not None:
+        uid = em.uid()
+        obj = em.bind(f"_c{uid}", c)
+        em.emit(f"v[{slot}] = {obj}._read_reg")
+    return True
+
+
+def _emit_state_fsm(em: SourceEmitter, c) -> bool:
+    from repro.netlist.signals import mask_value
+
+    outs = em.connected_outputs(c)
+    if not outs:
+        return True
+    table = {
+        state: tuple(
+            mask_value(assigns.get(port, 0), c.output_widths[port]) for port, _ in outs
+        )
+        for state, assigns in c.moore_outputs.items()
+    }
+    uid = em.uid()
+    obj = em.bind(f"_c{uid}", c)
+    tbl = em.bind(f"_ft{uid}", table)
+    em.emit(f"_o = {tbl}[{obj}._state]")
+    for index, (_, slot) in enumerate(outs):
+        em.emit(f"v[{slot}] = _o[{index}]")
+    return True
+
+
+def _emit_state_power_model(em: SourceEmitter, c) -> bool:
+    slot = em.out(c, "energy")
+    if slot is not None:
+        uid = em.uid()
+        obj = em.bind(f"_c{uid}", c)
+        em.emit(f"v[{slot}] = {obj}._output")
+    return True
+
+
+def _emit_state_aggregator(em: SourceEmitter, c) -> bool:
+    slot = em.out(c, "total")
+    if slot is not None:
+        uid = em.uid()
+        obj = em.bind(f"_c{uid}", c)
+        em.emit(f"v[{slot}] = {obj}._total")
+    return True
+
+
+def _emit_state_strobe(em: SourceEmitter, c) -> bool:
+    slot = em.out(c, "strobe")
+    if slot is not None:
+        uid = em.uid()
+        obj = em.bind(f"_c{uid}", c)
+        em.emit(f"v[{slot}] = {obj}._strobe")
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Sequential capture emitters (clock edge, before commit).
+# ---------------------------------------------------------------------------
+
+
+def _emit_capture_register(em: SourceEmitter, c) -> bool:
+    d = em.req(c, "d")
+    if d is None:
+        return False
+    uid = em.uid()
+    obj = em.bind(f"_c{uid}", c)
+    clr = em.req(c, "clear") if c.has_clear else None
+    # an unconnected enable defaults to 1 in Register.capture
+    en = em.req(c, "en") if c.has_enable else None
+    if clr is not None and en is not None:
+        em.emit(f"if {clr} & 1:")
+        em.emit(f"{obj}._pending = {c.reset_value}", indent=1)
+        em.emit(f"elif {en} & 1:")
+        em.emit(f"{obj}._pending = {d}", indent=1)
+        em.emit("else:")
+        em.emit(f"{obj}._pending = {obj}._state", indent=1)
+    elif clr is not None:
+        em.emit(f"{obj}._pending = {c.reset_value} if {clr} & 1 else {d}")
+    elif en is not None:
+        em.emit(f"{obj}._pending = {d} if {en} & 1 else {obj}._state")
+    else:
+        em.emit(f"{obj}._pending = {d}")
+    return True
+
+
+def _emit_capture_counter(em: SourceEmitter, c) -> bool:
+    load = em.req(c, "load") if c.has_load else None
+    if load is not None and em.req(c, "d") is None:
+        return False
+    en = em.req(c, "en")
+    uid = em.uid()
+    obj = em.bind(f"_c{uid}", c)
+    indent = 0
+    if load is not None:
+        em.emit(f"if {load} & 1:")
+        em.emit(f"{obj}._pending = {em.req(c, 'd')}", indent=1)
+        em.emit(f"elif ({en} & 1):" if en is not None else "elif 0:")
+        indent = 1
+    elif en is not None:
+        em.emit(f"if {en} & 1:")
+        indent = 1
+    if en is not None or load is not None:
+        em.emit(f"_t = {obj}._state + 1", indent=indent)
+        if c.wrap_at is not None:
+            em.emit(f"if _t >= {c.wrap_at}: _t = 0", indent=indent)
+        em.emit(f"{obj}._pending = _t & {_mask(c.width)}", indent=indent)
+        em.emit("else:", indent=indent - 1)
+        em.emit(f"{obj}._pending = {obj}._state", indent=indent)
+    else:
+        # en unconnected (reads as 0) and no load: the counter never moves
+        em.emit(f"{obj}._pending = {obj}._state")
+    return True
+
+
+def _emit_capture_accumulator(em: SourceEmitter, c) -> bool:
+    d = em.req(c, "d")
+    en = em.req(c, "en")
+    if en is not None and d is None:
+        return False
+    uid = em.uid()
+    obj = em.bind(f"_c{uid}", c)
+    clr = em.req(c, "clear")
+    add = f"({obj}._state + {d}) & {_mask(c.width)}"
+    if clr is not None and en is not None:
+        em.emit(f"if {clr} & 1:")
+        em.emit(f"{obj}._pending = 0", indent=1)
+        em.emit(f"elif {en} & 1:")
+        em.emit(f"{obj}._pending = {add}", indent=1)
+        em.emit("else:")
+        em.emit(f"{obj}._pending = {obj}._state", indent=1)
+    elif clr is not None:
+        em.emit(f"{obj}._pending = 0 if {clr} & 1 else {obj}._state")
+    elif en is not None:
+        em.emit(f"{obj}._pending = {add} if {en} & 1 else {obj}._state")
+    else:
+        em.emit(f"{obj}._pending = {obj}._state")
+    return True
+
+
+def _emit_capture_memory(em: SourceEmitter, c) -> bool:
+    uid = em.uid()
+    obj = em.bind(f"_c{uid}", c)
+    addr = em.opt(c, "addr", 0)
+    we = em.req(c, "we")
+    wdata = em.opt(c, "wdata", 0)
+    em.emit(f"_t = {addr} % {c.depth}")
+    if we is not None:
+        em.emit(f"{obj}._pending_write = (_t, {wdata}) if {we} & 1 else None")
+    else:
+        em.emit(f"{obj}._pending_write = None")
+    em.emit(f"{obj}._pending_read = {obj}._state[_t]")
+    return True
+
+
+def _emit_capture_regfile(em: SourceEmitter, c) -> bool:
+    uid = em.uid()
+    obj = em.bind(f"_c{uid}", c)
+    we = em.req(c, "we")
+    if we is None:
+        em.emit(f"{obj}._pending_write = None")
+    else:
+        waddr = em.opt(c, "waddr", 0)
+        wdata = em.opt(c, "wdata", 0)
+        em.emit(
+            f"{obj}._pending_write = ({waddr} % {c.depth}, {wdata}) if {we} & 1 else None"
+        )
+    return True
+
+
+def _emit_capture_aggregator(em: SourceEmitter, c) -> bool:
+    uid = em.uid()
+    obj = em.bind(f"_c{uid}", c)
+    terms = [em.req(c, f"e{i}") for i in range(c.n_inputs)]
+    total = " + ".join(t for t in terms if t is not None) or "0"
+    clr = em.req(c, "clear")
+    add = f"({obj}._total + {total}) & {_mask(c.total_width)}"
+    if clr is not None:
+        em.emit(f"if {clr} & 1:")
+        em.emit(f"{obj}._pending = 0", indent=1)
+        em.emit("else:")
+        em.emit(f"{obj}._pending = {add}", indent=1)
+    else:
+        em.emit(f"{obj}._pending = {add}")
+    return True
+
+
+def _emit_capture_power_model(em: SourceEmitter, c) -> bool:
+    """Fully inline the hardware power model's toggle-counting capture.
+
+    Reads monitored slots directly (they carry already-masked values) and
+    charges energy via the model's per-byte coefficient tables, with a fixed
+    number of table reads per port unrolled at compile time.
+    """
+    if c.sample_on_strobe_only:
+        return False  # paper-literal sampling stays on the reference capture
+    uid = em.uid()
+    obj = em.bind(f"_c{uid}", c)
+    strobe = em.opt(c, "strobe", 0)
+    em.emit(f"_e = {c.base_code}")
+    em.emit(f"_p = {obj}._previous")
+    em.emit("_np = {}")
+    for port_name, in_name, _, tables in c._chunked:
+        cur = em.opt(c, in_name, 0)
+        em.emit(f"_t = _p[{port_name!r}] ^ {cur}")
+        em.emit(f"_np[{port_name!r}] = {cur}")
+        reads = []
+        for chunk, table in enumerate(tables):
+            tname = em.bind(f"_tb{uid}_{em.uid()}", table)
+            if chunk == 0:
+                index = "_t" if len(tables) == 1 else "_t & 255"
+            else:
+                index = f"(_t >> {8 * chunk}) & 255"
+            reads.append(f"{tname}[{index}]")
+        em.emit("if _t:")
+        em.emit("_e += " + " + ".join(reads), indent=1)
+    em.emit(f"_a = {obj}._accumulated + _e")
+    em.emit(f"if {strobe} & 1:")
+    em.emit(f"{obj}._pending_output = _a & {_mask(c.energy_width)}", indent=1)
+    em.emit(f"{obj}._pending_accumulated = 0", indent=1)
+    em.emit("else:")
+    em.emit(f"{obj}._pending_output = 0", indent=1)
+    em.emit(f"{obj}._pending_accumulated = _a", indent=1)
+    em.emit(f"{obj}._pending_previous = _np")
+    return True
+
+
+def _emit_capture_strobe(em: SourceEmitter, c) -> bool:
+    uid = em.uid()
+    obj = em.bind(f"_c{uid}", c)
+    # an unconnected enable defaults to 1 in PowerStrobeGenerator.capture
+    en = em.req(c, "enable")
+    indent = 0
+    if en is not None:
+        em.emit(f"if {en} & 1:")
+        indent = 1
+    if c.period == 1:
+        em.emit(f"{obj}._pending_count = 0", indent=indent)
+        em.emit(f"{obj}._pending_strobe = 1", indent=indent)
+    else:
+        em.emit(f"_t = {obj}._count + 1", indent=indent)
+        em.emit(f"if _t >= {c.period}: _t = 0", indent=indent)
+        em.emit(f"{obj}._pending_count = _t", indent=indent)
+        em.emit(
+            f"{obj}._pending_strobe = 1 if _t == {c.period - 1} else 0", indent=indent
+        )
+    if en is not None:
+        em.emit("else:")
+        em.emit(f"{obj}._pending_count = {obj}._count", indent=1)
+        em.emit(f"{obj}._pending_strobe = 0", indent=1)
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Commit emitters: inline the trivial commits, bound-method call otherwise.
+# ---------------------------------------------------------------------------
+
+
+def _commit_state(em: SourceEmitter, c) -> None:
+    uid = em.uid()
+    obj = em.bind(f"_c{uid}", c)
+    em.emit(f"{obj}._state = {obj}._pending")
+
+
+def _commit_aggregator(em: SourceEmitter, c) -> None:
+    uid = em.uid()
+    obj = em.bind(f"_c{uid}", c)
+    em.emit(f"{obj}._total = {obj}._pending")
+
+
+def _commit_power_model(em: SourceEmitter, c) -> None:
+    uid = em.uid()
+    obj = em.bind(f"_c{uid}", c)
+    em.emit(f"{obj}._previous = {obj}._pending_previous")
+    em.emit(f"{obj}._accumulated = {obj}._pending_accumulated")
+    em.emit(f"{obj}._output = {obj}._pending_output")
+
+
+def _commit_strobe(em: SourceEmitter, c) -> None:
+    uid = em.uid()
+    obj = em.bind(f"_c{uid}", c)
+    em.emit(f"{obj}._count = {obj}._pending_count")
+    em.emit(f"{obj}._strobe = {obj}._pending_strobe")
+
+
+def _commit_generic(em: SourceEmitter, c) -> None:
+    uid = em.uid()
+    name = em.bind(f"_cm{uid}", c.commit)
+    em.emit(f"{name}()")
+
+
+def _tables() -> tuple:
+    """Lazily resolved class-keyed dispatch tables (avoids import cycles)."""
+    global _TABLES
+    if _TABLES is not None:
+        return _TABLES
+
+    from repro.core.aggregator import PowerAggregator
+    from repro.core.power_model_hw import HardwarePowerModel
+    from repro.core.strobe import PowerStrobeGenerator
+    from repro.netlist import components as comps
+    from repro.netlist import sequential as seq
+    from repro.netlist.fsm import FSMController
+
+    comb = {
+        comps.Adder: _emit_adder,
+        comps.Subtractor: _emit_subtractor,
+        comps.AddSub: _emit_addsub,
+        comps.Multiplier: _emit_multiplier,
+        comps.Comparator: _emit_comparator,
+        comps.AbsoluteValue: _emit_absval,
+        comps.Saturator: _emit_saturator,
+        comps.ShifterConst: _emit_shifter_const,
+        comps.ShifterVar: _emit_shifter_var,
+        comps.Mux: _emit_mux,
+        comps.LogicOp: _emit_logic,
+        comps.NotOp: _emit_not,
+        comps.ReduceOp: _emit_reduce,
+        comps.Concat: _emit_concat,
+        comps.Slice: _emit_slice,
+        comps.Extend: _emit_extend,
+        comps.Decoder: _emit_decoder,
+        seq.ROM: _emit_rom,
+        seq.RegisterFile: _emit_regfile_read,
+        seq.Memory: _emit_memory_async_read,
+    }
+    state = {
+        seq.Register: _emit_state_register_like,
+        seq.Counter: _emit_state_register_like,
+        seq.Accumulator: _emit_state_register_like,
+        seq.Memory: _emit_state_memory,
+        comps.Constant: _emit_state_constant,
+        FSMController: _emit_state_fsm,
+        HardwarePowerModel: _emit_state_power_model,
+        PowerAggregator: _emit_state_aggregator,
+        PowerStrobeGenerator: _emit_state_strobe,
+    }
+    capture = {
+        seq.Register: _emit_capture_register,
+        seq.Counter: _emit_capture_counter,
+        seq.Accumulator: _emit_capture_accumulator,
+        seq.Memory: _emit_capture_memory,
+        seq.RegisterFile: _emit_capture_regfile,
+        HardwarePowerModel: _emit_capture_power_model,
+        PowerAggregator: _emit_capture_aggregator,
+        PowerStrobeGenerator: _emit_capture_strobe,
+    }
+    commit = {
+        seq.Register: _commit_state,
+        seq.Counter: _commit_state,
+        seq.Accumulator: _commit_state,
+        PowerAggregator: _commit_aggregator,
+        FSMController: _commit_state,
+        HardwarePowerModel: _commit_power_model,
+        PowerStrobeGenerator: _commit_strobe,
+    }
+    _TABLES = (comb, state, capture, commit)
+    return _TABLES
+
+
+def generate_source(
+    module, schedule, slot_of: Dict[Net, int]
+) -> Tuple[str, Dict[str, object], int, int]:
+    """Generate ``_settle``/``_clock_edge`` source for a levelized module.
+
+    Returns ``(source, env, n_fused, n_fallback)`` where ``env`` holds the
+    objects (components, bound methods, lookup tables) the source refers to.
+    """
+    comb_table, state_table, capture_table, commit_table = _tables()
+    em = SourceEmitter(slot_of)
+
+    lines: List[str] = ["def _settle(v):"]
+    em.lines = body = []
+    for component in schedule.state_sources:
+        emitter = state_table.get(type(component))
+        if emitter is None or not emitter(em, component):
+            em.fallback_evaluate(component, empty_inputs=True)
+        else:
+            em.n_fused += 1
+    for component in schedule.ordered:
+        emitter = comb_table.get(type(component))
+        if emitter is None or not emitter(em, component):
+            em.fallback_evaluate(component)
+        else:
+            em.n_fused += 1
+    if not body:
+        body.append("pass")
+    lines.extend("    " + line for line in body)
+
+    lines.append("")
+    lines.append("def _clock_edge(v):")
+    em.lines = body = []
+    for component in schedule.sequential:
+        emitter = capture_table.get(type(component))
+        if emitter is None or not emitter(em, component):
+            em.fallback_capture(component)
+        else:
+            em.n_fused += 1
+    for component in schedule.sequential:
+        committer = commit_table.get(type(component), _commit_generic)
+        committer(em, component)
+    if not body:
+        body.append("pass")
+    lines.extend("    " + line for line in body)
+
+    return "\n".join(lines) + "\n", em.env, em.n_fused, em.n_fallback

@@ -1,4 +1,26 @@
-"""The cycle-accurate simulation engine."""
+"""The cycle-accurate simulation engine.
+
+Two backends execute the same levelized schedule with identical observable
+behaviour:
+
+* ``"compiled"`` (default) — the Verilator-style fast path: every net gets a
+  dense integer slot in a flat value list and the whole schedule is
+  code-generated once per module into straight-line, allocation-free Python
+  (:mod:`repro.sim.compiled`).  Simple components are fused into masked
+  integer expressions; complex ones fall back to pre-bound
+  ``evaluate``/``capture`` calls.  If code generation fails for any reason
+  the simulator silently falls back to the interpreter.
+* ``"interp"`` — the original reference interpreter: per component and per
+  cycle, a ``{port_name: value}`` dict is built and the virtual
+  ``Component.evaluate`` is invoked.  It is kept both as the correctness
+  oracle for the compiled backend (see the cross-backend parity tests) and as
+  the baseline for the throughput benchmarks.
+
+The public API is backend-agnostic: ``set_input``/``get_output``/``get_net``,
+``component_io_values`` and ``Simulator.values`` (a Net-keyed mapping) work
+identically on both, so instrumentation observers, power estimators, traces
+and the emulation platform run unchanged — just faster.
+"""
 
 from __future__ import annotations
 
@@ -9,7 +31,8 @@ from typing import Dict, List, Mapping, Optional
 from repro.netlist.module import Module
 from repro.netlist.nets import Net
 from repro.netlist.signals import mask_value
-from repro.sim.scheduler import Schedule, levelize
+from repro.sim.compiled import SlotValues, try_compile
+from repro.sim.scheduler import Schedule, schedule_for
 
 
 class SimulationObserver:
@@ -45,6 +68,8 @@ class SimulationResult:
     @property
     def cycles_per_second(self) -> float:
         """Simulation throughput (simulated cycles per wall-clock second)."""
+        if self.cycles == 0:
+            return 0.0
         if self.wall_time_s <= 0:
             return float("inf")
         return self.cycles / self.wall_time_s
@@ -63,22 +88,62 @@ class Simulator:
         sim.set_input("start", 1)
         sim.step()
         value = sim.get_output("done")
+
+    ``backend`` selects the execution strategy (see the module docstring);
+    the resolved choice is recorded in ``Simulator.backend``.
     """
 
-    def __init__(self, module: Module, schedule: Optional[Schedule] = None) -> None:
+    def __init__(
+        self,
+        module: Module,
+        schedule: Optional[Schedule] = None,
+        backend: str = "compiled",
+    ) -> None:
+        if backend not in ("compiled", "interp"):
+            raise ValueError(
+                f"unknown backend {backend!r}; expected 'compiled' or 'interp'"
+            )
         self.module = module
-        self.schedule = schedule if schedule is not None else levelize(module)
-        self.values: Dict[Net, int] = {net: 0 for net in module.nets.values()}
+        self.schedule = schedule if schedule is not None else schedule_for(module)
         self.cycle = 0
         self.observers: List[SimulationObserver] = []
-        # Precompute port→net bindings once; evaluation is the hot loop.
+
+        program = try_compile(module, self.schedule) if backend == "compiled" else None
+        if program is not None:
+            self.backend = "compiled"
+            self._program = program
+            self._v: Optional[List[int]] = [0] * program.n_slots
+            #: Net-keyed mapping over the slot list (same API as the dict)
+            self.values = SlotValues(program.slot_of, self._v)
+            slot_of = program.slot_of
+            key = slot_of.__getitem__
+        else:
+            self.backend = "interp"
+            self._program = None
+            self._v = None
+            self.values = {net: 0 for net in module.nets.values()}
+
+            def key(net: Net) -> Net:
+                return net
+
+        #: slot list (compiled) or the Net-keyed dict (interp) — both support
+        #: subscripting by the keys stored in the precomputed bindings below,
+        #: which is all the hot accessors need.
+        self._store = self._v if program is not None else self.values
+        # Precompute port->key bindings once; evaluation is the hot loop.
         self._io_bindings = {}
         for component in module.components.values():
-            in_binding = [(p.name, p.net) for p in component.input_ports if p.net is not None]
-            out_binding = [(p.name, p.net) for p in component.output_ports if p.net is not None]
+            in_binding = [(p.name, key(p.net)) for p in component.input_ports if p.net is not None]
+            out_binding = [(p.name, key(p.net)) for p in component.output_ports if p.net is not None]
             self._io_bindings[component] = (in_binding, out_binding)
-        self._input_nets = {name: port.net for name, port in module.ports.items() if port.is_input}
-        self._output_nets = {name: port.net for name, port in module.ports.items() if port.is_output}
+        self._input_keys = {
+            name: (key(port.net), port.net.width)
+            for name, port in module.ports.items()
+            if port.is_input
+        }
+        self._output_keys = {
+            name: key(port.net) for name, port in module.ports.items() if port.is_output
+        }
         self.reset()
 
     # -------------------------------------------------------------- control
@@ -93,8 +158,11 @@ class Simulator:
         """Reset all sequential state and zero all nets, then settle."""
         for component in self.schedule.sequential:
             component.reset()
-        for net in self.values:
-            self.values[net] = 0
+        if self._v is not None:
+            self._v[:] = [0] * len(self._v)
+        else:
+            for net in self.values:
+                self.values[net] = 0
         self.cycle = 0
         for observer in self.observers:
             observer.on_reset(self)
@@ -103,8 +171,15 @@ class Simulator:
     # ------------------------------------------------------------------ I/O
     def set_input(self, name: str, value: int) -> None:
         """Drive a module input port (takes effect at the next settle)."""
-        net = self._input_nets[name]
-        self.values[net] = mask_value(value, net.width)
+        try:
+            key, width = self._input_keys[name]
+        except KeyError:
+            valid = ", ".join(sorted(self._input_keys)) or "<none>"
+            raise KeyError(
+                f"module {self.module.name!r} has no input port {name!r}; "
+                f"valid input ports: {valid}"
+            ) from None
+        self._store[key] = mask_value(value, width)
 
     def set_inputs(self, inputs: Mapping[str, int]) -> None:
         for name, value in inputs.items():
@@ -112,10 +187,19 @@ class Simulator:
 
     def get_output(self, name: str) -> int:
         """Read a module output port (value as of the last settle)."""
-        return self.values[self._output_nets[name]]
+        try:
+            key = self._output_keys[name]
+        except KeyError:
+            valid = ", ".join(sorted(self._output_keys)) or "<none>"
+            raise KeyError(
+                f"module {self.module.name!r} has no output port {name!r}; "
+                f"valid output ports: {valid}"
+            ) from None
+        return self._store[key]
 
     def get_outputs(self) -> Dict[str, int]:
-        return {name: self.values[net] for name, net in self._output_nets.items()}
+        store = self._store
+        return {name: store[key] for name, key in self._output_keys.items()}
 
     def get_net(self, net: Net | str) -> int:
         """Read any net by object or name."""
@@ -129,13 +213,18 @@ class Simulator:
         This is what a power macromodel (software or emulated) observes.
         """
         in_binding, out_binding = self._io_bindings[component]
-        snapshot = {name: self.values[net] for name, net in in_binding}
-        snapshot.update({name: self.values[net] for name, net in out_binding})
+        store = self._store
+        snapshot = {name: store[key] for name, key in in_binding}
+        snapshot.update({name: store[key] for name, key in out_binding})
         return snapshot
 
     # ------------------------------------------------------------ execution
     def settle(self) -> None:
         """Propagate combinational logic with the current inputs and state."""
+        program = self._program
+        if program is not None:
+            program.settle(self._v)
+            return
         values = self.values
         bindings = self._io_bindings
         for component in self.schedule.state_sources:
@@ -152,6 +241,10 @@ class Simulator:
 
     def clock_edge(self) -> None:
         """Capture and commit the next state of every sequential component."""
+        program = self._program
+        if program is not None:
+            program.clock_edge(self._v)
+            return
         values = self.values
         bindings = self._io_bindings
         for component in self.schedule.sequential:
@@ -171,8 +264,9 @@ class Simulator:
             if inputs:
                 self.set_inputs(inputs)
             self.settle()
-            for observer in self.observers:
-                observer.on_cycle(self, self.cycle)
+            if self.observers:
+                for observer in self.observers:
+                    observer.on_cycle(self, self.cycle)
             self.clock_edge()
             self.cycle += 1
 
@@ -188,8 +282,9 @@ class Simulator:
             if stimulus:
                 self.set_inputs(stimulus)
             self.settle()
-            for observer in self.observers:
-                observer.on_cycle(self, self.cycle)
+            if self.observers:
+                for observer in self.observers:
+                    observer.on_cycle(self, self.cycle)
             testbench.check(self.cycle, self)
             finished = testbench.finished(self.cycle, self)
             self.clock_edge()
