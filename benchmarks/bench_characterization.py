@@ -10,13 +10,10 @@ Writes ``benchmarks/results/characterization.txt``.
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
-from repro.gates import GatePowerCalculator, GateLevelSimulator, TechnologyMapper
 from repro.netlist.components import Adder, Comparator, LogicOp, Multiplier, Mux, ShifterVar
-from repro.power import CharacterizationEngine
+from repro.power import CharacterizationEngine, holdout_error
 
 _COMPONENTS = [
     ("adder16", lambda: Adder("adder16", 16)),
@@ -30,27 +27,6 @@ _COMPONENTS = [
 _ROWS = {}
 
 
-def _holdout_error(component, model, seed=99, n_pairs=40):
-    """Average relative error of the model on a fresh (non-training) vector set."""
-    mapper = TechnologyMapper()
-    netlist = mapper.map_component(component)
-    calculator = GatePowerCalculator(netlist)
-    simulator = GateLevelSimulator(netlist)
-    widths = {p.name: p.width for p in component.ports.values()}
-    rng = random.Random(seed)
-    total_ref = 0.0
-    total_model = 0.0
-    for _ in range(n_pairs):
-        first = {p.name: rng.getrandbits(p.width) for p in component.input_ports}
-        second = {p.name: rng.getrandbits(p.width) for p in component.input_ports}
-        reference = calculator.vector_pair_energy(simulator, first, second, widths).total_fj
-        prev_io = dict(first, **component.evaluate(first))
-        curr_io = dict(second, **component.evaluate(second))
-        total_ref += reference
-        total_model += model.evaluate(prev_io, curr_io)
-    return abs(total_model - total_ref) / total_ref if total_ref else 0.0
-
-
 @pytest.mark.parametrize("label,factory", _COMPONENTS)
 def test_characterization_fidelity(benchmark, label, factory):
     component = factory()
@@ -58,8 +34,8 @@ def test_characterization_fidelity(benchmark, label, factory):
 
     result = benchmark.pedantic(engine.characterize, args=(component,), rounds=1, iterations=1)
     lut_model = engine.characterize_lut(factory(), n_bins=6)
-    holdout_linear = _holdout_error(factory(), result.model)
-    holdout_lut = _holdout_error(factory(), lut_model)
+    holdout_linear = holdout_error(factory(), result.model)
+    holdout_lut = holdout_error(factory(), lut_model)
 
     _ROWS[label] = {
         "r_squared": result.metrics.r_squared,

@@ -1,0 +1,97 @@
+"""Sharded, cached Figure 3 harness: shard parity, cache economics, scaling.
+
+The Fig. 3 study is embarrassingly parallel across designs, so
+:mod:`repro.bench.shard` computes one design per process-pool worker and
+:mod:`repro.bench.cache` persists finished rows keyed by (design, config,
+code fingerprint).  This harness checks the moving parts end to end:
+
+* a pool-sharded run produces bit-identical rows to the serial path,
+* a repeat run against a warm cache costs ~nothing (every row a disk hit),
+* the serial-vs-sharded wall times are reported for the scaling trend.
+
+Scaling is reported, not asserted: near-linear scaling to N workers needs
+N idle cores and per-design work that dominates worker startup; single-core
+CI boxes (and this container) run the pool serially by necessity.
+Writes ``benchmarks/results/fig3_sharding.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import Fig3Study, ResultCache, StudyConfig, run_sharded
+from repro.designs.registry import FIGURE3_ORDER
+
+from conftest import write_result
+
+#: small design subset keeps the pool demonstration fast on 1-core runners
+_SHARD_DESIGNS = ["Bubble_Sort", "HVPeakF", "Ispq", "Vld"]
+
+
+def test_fig3_sharded_matches_serial(benchmark, tmp_path):
+    serial = run_sharded(_SHARD_DESIGNS, n_workers=1)
+    sharded = benchmark.pedantic(
+        run_sharded, args=(_SHARD_DESIGNS,), kwargs={"n_workers": 2}, rounds=1, iterations=1
+    )
+    assert sharded.n_workers == 2
+    for name in _SHARD_DESIGNS:
+        ours, theirs = serial.rows[name], sharded.rows[name]
+        # modeled quantities are deterministic; measured wall-clocks are not
+        assert ours.monitored_bits == theirs.monitored_bits
+        assert ours.nominal_cycles == theirs.nominal_cycles
+        assert ours.time_nec_s == theirs.time_nec_s
+        assert ours.time_powertheater_s == theirs.time_powertheater_s
+        assert ours.time_emulation_s == theirs.time_emulation_s
+        assert ours.average_power_mw == theirs.average_power_mw
+        assert ours.emulated_power_mw == theirs.emulated_power_mw
+    benchmark.extra_info.update(
+        {
+            "serial_s": round(serial.wall_time_s, 2),
+            "sharded_2w_s": round(sharded.wall_time_s, 2),
+            "scaling_2w": round(serial.wall_time_s / sharded.wall_time_s, 2),
+        }
+    )
+
+    lines = [
+        "Sharded Fig. 3 harness — pool parity and scaling trend",
+        "",
+        f"designs: {', '.join(_SHARD_DESIGNS)}",
+        f"serial wall time:     {serial.wall_time_s:8.2f} s",
+        f"2-worker wall time:   {sharded.wall_time_s:8.2f} s "
+        f"(x{serial.wall_time_s / sharded.wall_time_s:.2f})",
+        "",
+        "per-design serial compute times:",
+    ]
+    for (name, _), seconds in serial.task_times_s.items():
+        lines.append(f"  {name:12s} {seconds:6.2f} s")
+    lines += [
+        "",
+        "note: near-linear scaling to N workers requires N idle cores and",
+        "per-design work >> worker startup; pool parity above is asserted,",
+        "the scaling factor is environment-dependent and only reported.",
+    ]
+    write_result("fig3_sharding.txt", "\n".join(lines))
+
+
+def test_fig3_cache_makes_repeat_runs_free(tmp_path):
+    cache = ResultCache(str(tmp_path), namespace="fig3")
+    config = StudyConfig()
+
+    cold = Fig3Study(config=config, cache=cache)
+    start = time.perf_counter()
+    cold_rows = cold.ensure_all()
+    cold_s = time.perf_counter() - start
+    assert not any(cold.cache_hits.values())
+
+    warm = Fig3Study(config=config, cache=cache)
+    start = time.perf_counter()
+    warm_rows = warm.ensure_all()
+    warm_s = time.perf_counter() - start
+    assert all(warm.cache_hits[name] for name in FIGURE3_ORDER)
+    assert warm_s < cold_s * 0.25, (
+        f"cached repeat run should be ~free: cold {cold_s:.2f}s vs warm {warm_s:.2f}s"
+    )
+    for before, after in zip(cold_rows, warm_rows):
+        assert before.design == after.design
+        assert before.time_emulation_s == after.time_emulation_s
+        assert before.monitored_bits == after.monitored_bits

@@ -1,38 +1,35 @@
 """Shared infrastructure for the benchmark harnesses.
 
-The central piece is :class:`Fig3Study`, which reproduces the paper's Figure 3
-study design by design: run the software RTL power estimator and the full
-power-emulation flow on the scaled workload, evaluate the calibrated
-commercial-tool runtime models and the emulation-platform time model at the
-*nominal* (paper-scale) workload, and derive the execution-time and speedup
-series.  Results are cached per session so the execution-time, speedup and
-intro benches share one computation, and every harness writes its reproduced
-table under ``benchmarks/results/``.
+The Figure 3 study itself lives in the library (:mod:`repro.bench.fig3`) so
+that benchmark harnesses, examples, the ``python -m repro.bench.fig3`` CLI and
+process-pool shard workers all share one implementation.  This conftest wires
+it into pytest: one session-scoped study whose results are shared by the
+execution-time, speedup and intro harnesses, with optional sharding and
+on-disk result caching controlled by environment variables:
+
+* ``REPRO_FIG3_WORKERS=N``   — shard the study over N worker processes
+  (default 0: serial in-process),
+* ``REPRO_FIG3_CACHE=DIR``   — serve/persist per-design rows from an on-disk
+  cache under DIR, keyed by (design, config, code fingerprint); a repeat
+  benchmark run of unchanged code is then ~free (default: disabled, so the
+  measured wall-clock numbers in the reproduced tables stay honest).
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
 
 import pytest
 
-from repro.core import InstrumentationConfig, PowerEmulationFlow, compare_reports
-from repro.core.emulator import EmulationPlatform, HostInterface
-from repro.designs.registry import FIGURE3_ORDER, get_design
-from repro.netlist import flatten, module_stats
-from repro.power import (
-    NEC_RTPOWER,
-    POWERTHEATER,
-    RTLPowerEstimator,
-    build_seed_library,
-    calibrate_tool,
+from repro.bench.cache import ResultCache
+from repro.bench.fig3 import (  # noqa: F401  (re-exported for the harnesses)
+    PAPER_MPEG4_NEC_S,
+    PAPER_MPEG4_POWERTHEATER_S,
+    Fig3Row,
+    Fig3Study,
+    StudyConfig,
 )
-
-#: paper-reported MPEG4 data point used to anchor the commercial-tool models
-PAPER_MPEG4_POWERTHEATER_S = 43 * 60.0
-PAPER_MPEG4_NEC_S = 55 * 60.0
+from repro.power import build_seed_library
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -47,120 +44,12 @@ def write_result(filename: str, text: str) -> str:
     return path
 
 
-@dataclass
-class Fig3Row:
-    """One design's worth of Figure 3 data."""
-
-    design: str
-    monitored_bits: int
-    nominal_cycles: int
-    executed_cycles: int
-    #: modeled software-tool runtimes at the nominal workload (seconds)
-    time_nec_s: float
-    time_powertheater_s: float
-    #: modeled power-emulation runtime at the nominal workload (seconds)
-    time_emulation_s: float
-    #: measured wall-clock of our own software RTL estimator on the scaled workload
-    measured_software_s: float
-    #: measured wall-clock of the emulated (host) functional simulation
-    measured_emulation_host_s: float
-    average_power_mw: float
-    emulated_power_mw: float
-    accuracy_error: float
-    device: str
-    emulation_clock_mhz: float
-    lut_overhead: float
-    ff_overhead: float
-
-    @property
-    def speedup_nec(self) -> float:
-        return self.time_nec_s / self.time_emulation_s
-
-    @property
-    def speedup_powertheater(self) -> float:
-        return self.time_powertheater_s / self.time_emulation_s
-
-
-class Fig3Study:
-    """Computes and caches the per-design Figure 3 data."""
-
-    def __init__(self) -> None:
-        self.library = build_seed_library()
-        self.config = InstrumentationConfig(coefficient_bits=12)
-        # The paper measured testbench simulation + FPGA execution; we model the
-        # testbench as streamed from the host at a realistic link rate.
-        self.platform = EmulationPlatform(host=HostInterface(stimulus_cycles_per_s=5e6))
-        self.flow = PowerEmulationFlow(
-            library=self.library, config=self.config, platform=self.platform
-        )
-        self.rows: Dict[str, Fig3Row] = {}
-        self._tools = None
-
-    # ------------------------------------------------------------ calibration
-    def calibrated_tools(self):
-        """NEC-RTpower / PowerTheater anchored to the paper's MPEG4 data point."""
-        if self._tools is None:
-            mpeg4 = get_design("MPEG4")
-            bits = module_stats(mpeg4.build()).monitored_bits
-            self._tools = (
-                calibrate_tool(NEC_RTPOWER, mpeg4.nominal_cycles, bits, PAPER_MPEG4_NEC_S),
-                calibrate_tool(POWERTHEATER, mpeg4.nominal_cycles, bits,
-                               PAPER_MPEG4_POWERTHEATER_S),
-            )
-        return self._tools
-
-    # ----------------------------------------------------------------- compute
-    def compute(self, design_name: str) -> Fig3Row:
-        """Run the study for one design (cached)."""
-        if design_name in self.rows:
-            return self.rows[design_name]
-        design = get_design(design_name)
-        module = design.build()
-        nec, powertheater = self.calibrated_tools()
-
-        reference = RTLPowerEstimator(flatten(module), library=self.library).estimate(
-            design.testbench()
-        )
-        report = self.flow.run(
-            module,
-            design.testbench(),
-            workload_cycles=design.nominal_cycles,
-            testbench_on_fpga=False,
-        )
-        accuracy = compare_reports(report.power_report, reference)
-        bits = report.instrumented.monitored_bits
-        row = Fig3Row(
-            design=design_name,
-            monitored_bits=bits,
-            nominal_cycles=design.nominal_cycles,
-            executed_cycles=report.emulation.executed_cycles,
-            time_nec_s=nec.estimate_runtime_s(design.nominal_cycles, bits),
-            time_powertheater_s=powertheater.estimate_runtime_s(design.nominal_cycles, bits),
-            time_emulation_s=report.emulation_time_s,
-            measured_software_s=reference.estimation_time_s,
-            measured_emulation_host_s=report.emulation.host_simulation_s,
-            average_power_mw=reference.average_power_mw,
-            emulated_power_mw=report.power_report.average_power_mw,
-            accuracy_error=accuracy.relative_error,
-            device=report.emulation.device.name,
-            emulation_clock_mhz=report.emulation.emulation_clock_mhz,
-            lut_overhead=report.instrumentation_overhead["luts"],
-            ff_overhead=report.instrumentation_overhead["ffs"],
-        )
-        self.rows[design_name] = row
-        return row
-
-    def ensure_all(self) -> List[Fig3Row]:
-        return [self.compute(name) for name in FIGURE3_ORDER]
-
-    @property
-    def complete(self) -> bool:
-        return all(name in self.rows for name in FIGURE3_ORDER)
-
-
 @pytest.fixture(scope="session")
 def fig3_study() -> Fig3Study:
-    return Fig3Study()
+    n_workers = int(os.environ.get("REPRO_FIG3_WORKERS", "0"))
+    cache_dir = os.environ.get("REPRO_FIG3_CACHE", "")
+    cache = ResultCache(cache_dir, namespace="fig3") if cache_dir else None
+    return Fig3Study(cache=cache, n_workers=n_workers)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,34 @@
+"""Benchmark-study infrastructure: sharding and result caching.
+
+The paper's Figure 3 study — and most of this repo's benchmark harnesses —
+computes one independent result per design: run the software RTL power
+estimator and the full power-emulation flow, evaluate the calibrated tool and
+platform time models, derive execution times and speedups.  That workload is
+embarrassingly parallel across designs, so this package provides:
+
+* :mod:`repro.bench.fig3` — the per-design Figure 3 study itself
+  (:class:`~repro.bench.fig3.Fig3Study`), importable by benchmarks, examples
+  and process-pool workers alike, plus a small CLI
+  (``python -m repro.bench.fig3 --workers 4``),
+* :mod:`repro.bench.shard` — a process-pool shard runner that computes one
+  design per worker,
+* :mod:`repro.bench.cache` — an on-disk JSON result cache keyed by
+  ``(design, library, config, code fingerprint)``; the fingerprint hashes the
+  ``repro`` package sources, so editing the code invalidates stale results
+  while repeat runs of unchanged code are served from disk (~free).
+"""
+
+from repro.bench.cache import ResultCache, code_fingerprint
+from repro.bench.fig3 import Fig3Row, Fig3Study, StudyConfig
+from repro.bench.shard import ShardOutcome, run_sharded, run_study_tasks
+
+__all__ = [
+    "ResultCache",
+    "code_fingerprint",
+    "Fig3Row",
+    "Fig3Study",
+    "StudyConfig",
+    "ShardOutcome",
+    "run_sharded",
+    "run_study_tasks",
+]

@@ -1,0 +1,103 @@
+"""On-disk result cache for benchmark studies.
+
+Entries are small JSON files in a cache directory, named by the SHA-256 of a
+canonical key.  Every key embeds a *code fingerprint* — a hash over the
+``repro`` package sources — so results computed by an older version of the
+code can never be served for the current one: editing any ``.py`` file under
+``repro/`` silently invalidates the whole cache, while repeat runs of
+unchanged code hit disk instead of recomputing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+_CODE_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over every ``.py`` source file of the ``repro`` package.
+
+    Computed once per process (a few milliseconds); cache keys embed it so
+    results are keyed to the exact code that produced them.
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        digest = hashlib.sha256()
+        for dirpath, dirnames, filenames in sorted(os.walk(root)):
+            dirnames.sort()
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                digest.update(os.path.relpath(path, root).encode())
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+        _CODE_FINGERPRINT = digest.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+class ResultCache:
+    """JSON file cache keyed by hashed, code-fingerprinted key dicts."""
+
+    def __init__(self, directory: str, namespace: str = "bench") -> None:
+        self.directory = os.path.abspath(directory)
+        self.namespace = namespace
+
+    # ------------------------------------------------------------------ keys
+    def key(self, **parts) -> str:
+        """Hash a key from JSON-serializable parts (+ the code fingerprint)."""
+        payload = dict(parts)
+        payload["__code__"] = code_fingerprint()
+        payload["__namespace__"] = self.namespace
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{self.namespace}-{key}.json")
+
+    # ------------------------------------------------------------------- I/O
+    def get(self, key: str) -> Optional[Dict]:
+        """The cached value for ``key``, or None on miss/corruption."""
+        try:
+            with open(self._path(key)) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key: str, value: Dict) -> None:
+        """Atomically persist ``value`` (a JSON-serializable dict)."""
+        os.makedirs(self.directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(value, handle, sort_keys=True)
+            os.replace(tmp_path, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete this namespace's entries; returns the number removed."""
+        removed = 0
+        if not os.path.isdir(self.directory):
+            return removed
+        prefix = f"{self.namespace}-"
+        for name in os.listdir(self.directory):
+            if name.startswith(prefix) and name.endswith(".json"):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

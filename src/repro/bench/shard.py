@@ -1,0 +1,112 @@
+"""Process-pool sharding for per-design benchmark studies.
+
+The Figure 3 study is embarrassingly parallel: every design's row is computed
+independently.  :func:`run_sharded` fans the requested designs out over a
+``ProcessPoolExecutor`` (one design per task), with each worker process
+holding a lazily constructed study of its own — the seed library and tool
+calibration are built once per worker, then amortized over every design that
+worker computes.
+
+Completed rows are written to the shared on-disk cache (when one is
+configured) from the parent process, so a repeat run — even a serial one —
+is served from disk.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.cache import ResultCache
+from repro.bench.fig3 import Fig3Row, StudyConfig
+
+#: per-worker-process study, keyed by config (workers reuse calibration)
+_WORKER_STUDIES: Dict[StudyConfig, object] = {}
+
+
+def _compute_row_payload(design_name: str, config: StudyConfig) -> Dict[str, object]:
+    """Worker entry point: one design's Fig3 row as a plain dict."""
+    from repro.bench.fig3 import Fig3Study
+
+    study = _WORKER_STUDIES.get(config)
+    if study is None:
+        study = Fig3Study(config=config)
+        _WORKER_STUDIES[config] = study
+    return study.compute(design_name).to_dict()
+
+
+#: one shard task: a design name plus the study configuration to run it under
+StudyTask = Tuple[str, StudyConfig]
+
+
+@dataclass
+class ShardOutcome:
+    """Rows plus scheduling metadata from one sharded run."""
+
+    #: (design, config) -> computed row
+    task_rows: Dict[StudyTask, Fig3Row]
+    n_workers: int
+    wall_time_s: float
+    #: per-task wall time as observed from the parent (queue + compute)
+    task_times_s: Dict[StudyTask, float] = field(default_factory=dict)
+
+    @property
+    def rows(self) -> Dict[str, Fig3Row]:
+        """Design-keyed view (single-config runs)."""
+        return {design: row for (design, _), row in self.task_rows.items()}
+
+
+def run_study_tasks(
+    tasks: List[StudyTask],
+    n_workers: int = 2,
+    cache: Optional[ResultCache] = None,
+) -> ShardOutcome:
+    """Compute one study row per ``(design, config)`` task across a pool.
+
+    ``n_workers <= 1`` (or a single task) degrades to in-process serial
+    execution — same results, no pool overhead.  Rows are persisted to
+    ``cache`` as they arrive.
+    """
+    start = time.perf_counter()
+    task_rows: Dict[StudyTask, Fig3Row] = {}
+    task_times: Dict[StudyTask, float] = {}
+
+    def collect(task: StudyTask, payload: Dict[str, object], t0: float) -> None:
+        task_rows[task] = row = Fig3Row.from_dict(payload)
+        task_times[task] = time.perf_counter() - t0
+        # persist immediately so completed work survives a later task failing
+        if cache is not None:
+            design, config = task
+            cache.put(cache.key(design=design, config=config.as_key()), row.to_dict())
+
+    if n_workers <= 1 or len(tasks) <= 1:
+        for task in tasks:
+            t0 = time.perf_counter()
+            collect(task, _compute_row_payload(*task), t0)
+    else:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = {task: pool.submit(_compute_row_payload, *task) for task in tasks}
+            for task, future in futures.items():
+                t0 = time.perf_counter()
+                collect(task, future.result(), t0)
+
+    return ShardOutcome(
+        task_rows=task_rows,
+        n_workers=n_workers,
+        wall_time_s=time.perf_counter() - start,
+        task_times_s=task_times,
+    )
+
+
+def run_sharded(
+    design_names: List[str],
+    n_workers: int = 2,
+    config: StudyConfig = StudyConfig(),
+    cache: Optional[ResultCache] = None,
+) -> ShardOutcome:
+    """Single-config convenience wrapper over :func:`run_study_tasks`."""
+    return run_study_tasks(
+        [(name, config) for name in design_names], n_workers=n_workers, cache=cache
+    )

@@ -16,8 +16,12 @@ introduction.
 from repro.gates.cells import CellType, StandardCellLibrary, CB013_LIBRARY
 from repro.gates.gate_netlist import GateInstance, GateNetlist
 from repro.gates.techmap import TechnologyMapper, TechmapError
-from repro.gates.gatesim import GateLevelSimulator
-from repro.gates.gate_power import GatePowerCalculator, GateTransitionEnergy
+from repro.gates.gatesim import GateLevelSimulator, GateProgram, compile_gate_netlist
+from repro.gates.gate_power import (
+    BatchTransitionEnergy,
+    GatePowerCalculator,
+    GateTransitionEnergy,
+)
 
 __all__ = [
     "CellType",
@@ -28,6 +32,9 @@ __all__ = [
     "TechnologyMapper",
     "TechmapError",
     "GateLevelSimulator",
+    "GateProgram",
+    "compile_gate_netlist",
     "GatePowerCalculator",
+    "BatchTransitionEnergy",
     "GateTransitionEnergy",
 ]

@@ -9,7 +9,9 @@ values that the macromodel characterization engine regresses against.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.gates.cells import CB013_LIBRARY, StandardCellLibrary
 from repro.gates.gate_netlist import GateNetlist
@@ -29,6 +31,26 @@ class GateTransitionEnergy:
         return self.switching_fj + self.internal_fj
 
 
+@dataclass
+class BatchTransitionEnergy:
+    """Per-lane energy breakdown of ``n_lanes`` independent transitions."""
+
+    #: (n_lanes,) switching energy per lane
+    switching_fj: np.ndarray
+    #: (n_lanes,) cell-internal energy per lane
+    internal_fj: np.ndarray
+    #: (n_lanes,) number of toggled physical nets per lane
+    n_toggled_nets: np.ndarray
+
+    @property
+    def total_fj(self) -> np.ndarray:
+        return self.switching_fj + self.internal_fj
+
+    @property
+    def n_lanes(self) -> int:
+        return self.switching_fj.shape[0]
+
+
 class GatePowerCalculator:
     """Computes dynamic energy and leakage for a gate netlist."""
 
@@ -46,6 +68,8 @@ class GatePowerCalculator:
             for net in netlist.all_nets()
             if net not in netlist.aliases and net not in netlist.constants
         ]
+        #: lazily built per-slot weight vectors for the batched energy path
+        self._slot_weights: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
     # -------------------------------------------------------------- dynamic
     def transition_energy(
@@ -80,6 +104,65 @@ class GatePowerCalculator:
         simulator.evaluate_ports(second_ports, port_widths)
         after = simulator.snapshot()
         return self.transition_energy(before, after)
+
+    # ---------------------------------------------------------------- batched
+    def _weights(self, simulator: GateLevelSimulator) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-slot (physical-mask, switching, internal) weight vectors.
+
+        One matrix-vector product against a lane-array toggle matrix then
+        yields every lane's transition energy at once — the vectorized form of
+        the per-net loop in :meth:`transition_energy`.
+        """
+        if self._slot_weights is None:
+            slots = simulator.program.slots
+            n_slots = simulator.program.n_slots
+            phys = np.zeros(n_slots, dtype=bool)
+            w_switch = np.zeros(n_slots, dtype=np.float64)
+            w_internal = np.zeros(n_slots, dtype=np.float64)
+            for net in self._physical_nets:
+                slot = slots[net]
+                phys[slot] = True
+                w_switch[slot] += self.library.switching_energy_fj(
+                    self.loads_ff.get(net, 0.0)
+                )
+                cell = self._driver_cell.get(net)
+                if cell is not None:
+                    w_internal[slot] += cell.intrinsic_energy_fj
+            self._slot_weights = (phys, w_switch, w_internal)
+        return self._slot_weights
+
+    def transition_energy_batch(
+        self,
+        simulator: GateLevelSimulator,
+        before: np.ndarray,
+        after: np.ndarray,
+    ) -> BatchTransitionEnergy:
+        """Per-lane energies between two ``(n_slots, n_lanes)`` snapshots."""
+        phys, w_switch, w_internal = self._weights(simulator)
+        diff = (before != after) & phys[:, None]
+        return BatchTransitionEnergy(
+            switching_fj=w_switch @ diff,
+            internal_fj=w_internal @ diff,
+            n_toggled_nets=diff.sum(axis=0),
+        )
+
+    def vector_pair_energy_batch(
+        self,
+        simulator: GateLevelSimulator,
+        first_ports: Mapping[str, np.ndarray],
+        second_ports: Mapping[str, np.ndarray],
+        port_widths: Mapping[str, int],
+    ) -> BatchTransitionEnergy:
+        """Vectorized :meth:`vector_pair_energy`: ``n_lanes`` pairs in one pass.
+
+        Each mapping holds ``(n_lanes,)`` arrays of port values; lane ``i`` of
+        the result is the energy of applying ``first[i]`` then ``second[i]``.
+        """
+        simulator.evaluate_ports_batch(first_ports, port_widths)
+        before = simulator.snapshot_batch()
+        simulator.evaluate_ports_batch(second_ports, port_widths)
+        after = simulator.snapshot_batch()
+        return self.transition_energy_batch(simulator, before, after)
 
     def run_vector_sequence(
         self,

@@ -7,25 +7,46 @@ is the "gate-level implementation" reference used to characterize RTL power
 macromodels, and the engine behind the slow gate-level estimation baseline.
 
 Like the RTL simulator's compiled backend, the gate network is lowered once
-per simulator into slot-indexed straight-line Python: every net gets a dense
-integer slot (aliases share the slot of the net they resolve to, so alias
-propagation disappears entirely) and each gate of the levelized order becomes
-one inline boolean expression.  Standard cells are recognized by their
-function object and fused; unknown cells fall back to a bound
-``CellType.evaluate`` call, so custom libraries keep working.
+into slot-indexed straight-line Python: every net gets a dense integer slot
+(aliases share the slot of the net they resolve to, so alias propagation
+disappears entirely) and each gate of the levelized order becomes one inline
+boolean expression.  Standard cells are recognized by their function object
+and fused; unknown cells fall back to a bound ``CellType.evaluate`` call, so
+custom libraries keep working.
+
+Two execution modes share the lowering:
+
+* *scalar* — one input vector at a time over a flat ``List[int]`` slot list
+  (the original path, still the default),
+* *batch* — ``n_lanes`` independent input vectors at once over a
+  ``(n_slots, n_lanes)`` NumPy array; every fused gate becomes one elementwise
+  array expression, so hundreds of characterization stimuli settle in a single
+  pass (see :meth:`GateLevelSimulator.settle_batch`).
+
+Lowering is cached *across simulator instances*: compiled programs are keyed
+on a structural fingerprint of the netlist (gates, aliases, constants, I/O),
+so characterizing the same component type twice — or re-running a holdout
+evaluation on a freshly technology-mapped copy — reuses the levelization and
+both compiled functions instead of recompiling.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from collections.abc import MutableMapping
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
 
 from repro.gates import cells as _cells
 from repro.gates.gate_netlist import GateInstance, GateNetlist, bit_net
 
 #: expression template per standard-cell function; inputs are 0/1 so every
-#: template already produces a 0/1 result (no trailing ``& 1`` needed)
+#: template already produces a 0/1 result (no trailing ``& 1`` needed).
+#: Every template except the two conditional ones is a pure elementwise
+#: integer expression, so it is valid for both the scalar slot list and the
+#: batch (NumPy lane-array) execution modes.
 _CELL_EXPRS: Dict[object, str] = {
     _cells._inv: "1 - {0}",
     _cells._buf: "{0}",
@@ -45,6 +66,24 @@ _CELL_EXPRS: Dict[object, str] = {
     _cells._maj3: "1 if {0} + {1} + {2} >= 2 else 0",
     _cells._xor3: "{0} ^ {1} ^ {2}",
 }
+
+#: batch overrides for the templates that use Python conditionals
+_CELL_EXPRS_BATCH: Dict[object, str] = {
+    _cells._mux2: "_where({2} != 0, {1}, {0})",
+    _cells._maj3: "({0} + {1} + {2} >= 2) * 1",
+}
+
+#: dtype of the batch lane arrays; gate values are 0/1 so one byte suffices
+LANE_DTYPE = np.int8
+
+
+def _lanewise_cell(evaluate: Callable, columns: Tuple[np.ndarray, ...]) -> np.ndarray:
+    """Lane-by-lane fallback for cells without an elementwise template."""
+    n = columns[0].shape[0]
+    out = np.empty(n, dtype=LANE_DTYPE)
+    for lane in range(n):
+        out[lane] = evaluate(tuple(int(c[lane]) for c in columns))
+    return out
 
 
 class GateValues(MutableMapping):
@@ -77,98 +116,203 @@ class GateValues(MutableMapping):
         return len(self._slots)
 
 
+@dataclass
+class GateProgram:
+    """The compiled, shareable form of one gate netlist's levelized order.
+
+    Everything here is a pure function of the netlist *structure*, so one
+    program serves every :class:`GateLevelSimulator` built over a structurally
+    identical netlist (see :func:`netlist_fingerprint`); per-simulator state
+    is just the slot value list.
+    """
+
+    n_slots: int
+    #: net name -> dense slot (aliases share their source's slot)
+    slots: Dict[str, int]
+    #: net name -> resolved source name
+    resolved: Dict[str, str]
+    #: levelized gate order (kept for introspection and the batch compile)
+    order: List[GateInstance]
+    #: scalar settle function over the flat slot list
+    fn: Callable[[List[int]], None]
+    snap_pairs: List[Tuple[str, int]]
+    const_pairs: List[Tuple[int, int]]
+    input_pairs: List[Tuple[str, int]]
+    output_triples: List[Tuple[str, int, int]]
+    #: strong refs to the cell objects the fingerprint identifies by id()
+    cells: Tuple[object, ...] = ()
+    #: lazily compiled batch settle function over a (n_slots, n_lanes) array
+    _batch_fn: Optional[Callable[[np.ndarray], None]] = field(default=None, repr=False)
+
+    @property
+    def batch_fn(self) -> Callable[[np.ndarray], None]:
+        if self._batch_fn is None:
+            self._batch_fn = _compile_settle(self.order, self.slots, self.resolved,
+                                             batch=True)
+        return self._batch_fn
+
+
+def netlist_fingerprint(netlist: GateNetlist) -> tuple:
+    """Structural identity of a gate netlist (the program-cache key).
+
+    Cell types are identified by ``id``; cached programs keep strong
+    references to the cell objects so an id can never be recycled while the
+    entry is alive.
+    """
+    return (
+        tuple((id(g.cell), g.output, tuple(g.inputs)) for g in netlist.gates),
+        tuple(sorted(netlist.aliases.items())),
+        tuple(sorted(netlist.constants.items())),
+        tuple(netlist.primary_inputs),
+        tuple(netlist.primary_outputs),
+    )
+
+
+#: fingerprint -> GateProgram; bounded FIFO so pathological sweeps over many
+#: distinct structures cannot grow it without limit
+_PROGRAM_CACHE: Dict[tuple, GateProgram] = {}
+_PROGRAM_CACHE_MAX = 256
+
+
+def _levelize(netlist: GateNetlist, resolve: Callable[[str], str]) -> List[GateInstance]:
+    producers: Dict[str, GateInstance] = {g.output: g for g in netlist.gates}
+
+    indegree: Dict[GateInstance, int] = {}
+    successors: Dict[GateInstance, List[GateInstance]] = {g: [] for g in netlist.gates}
+    for gate in netlist.gates:
+        count = 0
+        for net in gate.inputs:
+            source = producers.get(resolve(net))
+            if source is not None and source is not gate:
+                successors[source].append(gate)
+                count += 1
+        indegree[gate] = count
+
+    order: List[GateInstance] = []
+    queue = deque(g for g in netlist.gates if indegree[g] == 0)
+    while queue:
+        gate = queue.popleft()
+        order.append(gate)
+        for succ in successors[gate]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                queue.append(succ)
+    if len(order) != len(netlist.gates):
+        raise ValueError(
+            f"gate netlist {netlist.name!r} contains a combinational cycle"
+        )
+    return order
+
+
+def _compile_settle(
+    order: List[GateInstance],
+    slots: Dict[str, int],
+    resolved: Dict[str, str],
+    batch: bool,
+) -> Callable:
+    """Lower the levelized gate order into one straight-line function.
+
+    With ``batch=True`` the generated function receives a ``(n_slots,
+    n_lanes)`` NumPy array and each gate is an elementwise row expression;
+    otherwise it receives the flat scalar slot list.
+    """
+    env: Dict[str, object] = {}
+    name = "_evaluate_batch" if batch else "_evaluate"
+    lines = [f"def {name}(v):"]
+    body: List[str] = []
+    for i, gate in enumerate(order):
+        operands = [f"v[{slots[resolved.get(net, net)]}]" for net in gate.inputs]
+        out = slots[resolved.get(gate.output, gate.output)]
+        template = _CELL_EXPRS.get(gate.cell.function)
+        if batch and gate.cell.function in _CELL_EXPRS_BATCH:
+            template = _CELL_EXPRS_BATCH[gate.cell.function]
+        if template is not None and gate.cell.n_inputs == len(operands):
+            body.append(f"v[{out}] = {template.format(*operands)}")
+        elif batch:
+            fn_name = f"_g{i}"
+            env[fn_name] = gate.cell.evaluate
+            env["_lw"] = _lanewise_cell
+            body.append(f"v[{out}] = _lw({fn_name}, ({', '.join(operands)},))")
+        else:
+            fn_name = f"_g{i}"
+            env[fn_name] = gate.cell.evaluate
+            body.append(f"v[{out}] = {fn_name}(({', '.join(operands)},))")
+    if not body:
+        body.append("pass")
+    lines.extend("    " + line for line in body)
+    namespace = dict(env)
+    if batch:
+        namespace["_where"] = np.where
+    namespace["__builtins__"] = {}
+    exec(compile("\n".join(lines), f"<gatesim:{name}>", "exec"), namespace)
+    return namespace[name]
+
+
+def compile_gate_netlist(netlist: GateNetlist) -> GateProgram:
+    """Levelize + compile ``netlist`` (cached across simulator instances)."""
+    key = netlist_fingerprint(netlist)
+    program = _PROGRAM_CACHE.get(key)
+    if program is not None:
+        return program
+
+    resolver = _build_alias_resolver(netlist)
+    resolved: Dict[str, str] = {net: resolver(net) for net in netlist.all_nets()}
+    order = _levelize(netlist, resolver)
+
+    # Dense slots; an alias is the same wire as its resolved source, so it
+    # shares the source's slot and needs no propagation pass.
+    slots: Dict[str, int] = {}
+    for net in netlist.all_nets():
+        source = resolved[net]
+        if source not in slots:
+            slots[source] = len(slots)
+        slots.setdefault(net, slots[source])
+
+    output_triples: List[Tuple[str, int, int]] = []
+    for net in netlist.primary_outputs:
+        port, index = _split_bit_net(net)
+        output_triples.append((port, index, slots[resolved[net]]))
+
+    program = GateProgram(
+        n_slots=(max(slots.values()) + 1 if slots else 0),
+        slots=slots,
+        resolved=resolved,
+        order=order,
+        fn=_compile_settle(order, slots, resolved, batch=False),
+        snap_pairs=sorted(slots.items()),
+        const_pairs=[(slots[n], v & 1) for n, v in netlist.constants.items()],
+        input_pairs=[(n, slots[n]) for n in netlist.primary_inputs],
+        output_triples=output_triples,
+        cells=tuple({id(g.cell): g.cell for g in netlist.gates}.values()),
+    )
+    if len(_PROGRAM_CACHE) >= _PROGRAM_CACHE_MAX:
+        _PROGRAM_CACHE.pop(next(iter(_PROGRAM_CACHE)))
+    _PROGRAM_CACHE[key] = program
+    return program
+
+
 class GateLevelSimulator:
-    """Evaluates a :class:`GateNetlist` one input vector at a time."""
+    """Evaluates a :class:`GateNetlist` one input vector (or lane batch) at a time."""
 
     def __init__(self, netlist: GateNetlist) -> None:
         self.netlist = netlist
-        self._order = self._levelize(netlist)
-        self._resolved: Dict[str, str] = {}
-        resolver = _build_alias_resolver(netlist)
-        # Dense slots; an alias is the same wire as its resolved source, so it
-        # shares the source's slot and needs no propagation pass.
-        self._slots: Dict[str, int] = {}
-        for net in netlist.all_nets():
-            self._resolved[net] = resolver(net)
-        for net in netlist.all_nets():
-            source = self._resolved[net]
-            if source not in self._slots:
-                self._slots[source] = len(self._slots)
-            self._slots.setdefault(net, self._slots[source])
-        self._snap_pairs: List[Tuple[str, int]] = sorted(self._slots.items())
-        self._const_pairs: List[Tuple[int, int]] = [
-            (self._slots[net], value & 1) for net, value in netlist.constants.items()
-        ]
-        self._input_pairs: List[Tuple[str, int]] = [
-            (net, self._slots[net]) for net in netlist.primary_inputs
-        ]
-        self._output_triples: List[Tuple[str, int, int]] = []
-        for net in netlist.primary_outputs:
-            port, index = _split_bit_net(net)
-            self._output_triples.append((port, index, self._slots[self._resolved[net]]))
-        self._fn = self._compile()
-        self._n_slots = max(self._slots.values()) + 1 if self._slots else 0
+        self.program = compile_gate_netlist(netlist)
+        program = self.program
+        self._slots = program.slots
+        self._resolved = program.resolved
+        self._order = program.order
+        self._snap_pairs = program.snap_pairs
+        self._const_pairs = program.const_pairs
+        self._input_pairs = program.input_pairs
+        self._output_triples = program.output_triples
+        self._fn = program.fn
+        self._n_slots = program.n_slots
         self._v: List[int] = [0] * self._n_slots
         #: live name-keyed view over the slots (reads and writes pass through)
         self.values = GateValues(self._slots, self._v)
+        #: batch lane array, allocated on first batch call (n_slots, n_lanes)
+        self._bv: Optional[np.ndarray] = None
         self.reset()
-
-    # ---------------------------------------------------------------- setup
-    @staticmethod
-    def _levelize(netlist: GateNetlist) -> List[GateInstance]:
-        producers: Dict[str, GateInstance] = {g.output: g for g in netlist.gates}
-        resolved_alias = _build_alias_resolver(netlist)
-
-        indegree: Dict[GateInstance, int] = {}
-        successors: Dict[GateInstance, List[GateInstance]] = {g: [] for g in netlist.gates}
-        for gate in netlist.gates:
-            count = 0
-            for net in gate.inputs:
-                source = producers.get(resolved_alias(net))
-                if source is not None and source is not gate:
-                    successors[source].append(gate)
-                    count += 1
-            indegree[gate] = count
-
-        order: List[GateInstance] = []
-        queue = deque(g for g in netlist.gates if indegree[g] == 0)
-        while queue:
-            gate = queue.popleft()
-            order.append(gate)
-            for succ in successors[gate]:
-                indegree[succ] -= 1
-                if indegree[succ] == 0:
-                    queue.append(succ)
-        if len(order) != len(netlist.gates):
-            raise ValueError(
-                f"gate netlist {netlist.name!r} contains a combinational cycle"
-            )
-        return order
-
-    def _compile(self) -> Callable[[List[int]], None]:
-        """Lower the levelized gate order into one straight-line function."""
-        env: Dict[str, object] = {}
-        lines = ["def _evaluate(v):"]
-        body: List[str] = []
-        for i, gate in enumerate(self._order):
-            operands = [
-                f"v[{self._slots[self._resolved.get(net, net)]}]" for net in gate.inputs
-            ]
-            out = self._slots[self._resolved.get(gate.output, gate.output)]
-            template = _CELL_EXPRS.get(gate.cell.function)
-            if template is not None and gate.cell.n_inputs == len(operands):
-                body.append(f"v[{out}] = {template.format(*operands)}")
-            else:
-                name = f"_g{i}"
-                env[name] = gate.cell.evaluate
-                body.append(f"v[{out}] = {name}(({', '.join(operands)},))")
-        if not body:
-            body.append("pass")
-        lines.extend("    " + line for line in body)
-        namespace = dict(env)
-        namespace["__builtins__"] = {}
-        exec(compile("\n".join(lines), f"<gatesim:{self.netlist.name}>", "exec"), namespace)
-        return namespace["_evaluate"]
 
     # ------------------------------------------------------------- controls
     def reset(self) -> None:
@@ -176,6 +320,7 @@ class GateLevelSimulator:
         self._v[:] = [0] * self._n_slots
         for slot, value in self._const_pairs:
             self._v[slot] = value
+        self._bv = None
 
     def resolve(self, net: str) -> str:
         """Follow alias chains to the net that actually carries the value."""
@@ -185,7 +330,7 @@ class GateLevelSimulator:
             self._resolved[net] = resolved
         return resolved
 
-    # ------------------------------------------------------------ execution
+    # ------------------------------------------------------ scalar execution
     def _settle(self, input_bits: Mapping[str, int]) -> None:
         v = self._v
         for slot, value in self._const_pairs:
@@ -222,6 +367,67 @@ class GateLevelSimulator:
         """Copy of the current net values (for toggle counting across vectors)."""
         v = self._v
         return {net: v[slot] for net, slot in self._snap_pairs}
+
+    # ------------------------------------------------------- batch execution
+    def _lane_array(self, n_lanes: int) -> np.ndarray:
+        if n_lanes < 1:
+            raise ValueError(f"batch evaluation needs n_lanes >= 1, got {n_lanes}")
+        if self._bv is None or self._bv.shape[1] != n_lanes:
+            self._bv = np.zeros((self._n_slots, n_lanes), dtype=LANE_DTYPE)
+        return self._bv
+
+    def settle_batch(self, input_bits: Mapping[str, np.ndarray], n_lanes: int) -> np.ndarray:
+        """Settle ``n_lanes`` independent input vectors in one vectorized pass.
+
+        ``input_bits`` maps primary-input bit-net names to ``(n_lanes,)``
+        integer arrays of 0/1 values.  Returns the live ``(n_slots, n_lanes)``
+        lane array (row ``slots[net]`` holds that net's per-lane values).
+        """
+        v = self._lane_array(n_lanes)
+        for slot, value in self._const_pairs:
+            v[slot] = value
+        get = input_bits.get
+        zero = 0
+        for net, slot in self._input_pairs:
+            bits = get(net, zero)
+            v[slot] = bits & 1 if isinstance(bits, int) else np.asarray(bits) & 1
+        self.program.batch_fn(v)
+        return v
+
+    def evaluate_ports_batch(
+        self,
+        port_values: Mapping[str, np.ndarray],
+        port_widths: Mapping[str, int],
+    ) -> Dict[str, np.ndarray]:
+        """Batched :meth:`evaluate_ports`: port arrays in, port arrays out.
+
+        ``port_values`` maps RTL port names to ``(n_lanes,)`` integer arrays;
+        the return maps each output port to an ``(n_lanes,)`` ``int64`` array.
+        """
+        arrays = {p: np.asarray(a, dtype=np.int64) for p, a in port_values.items()}
+        if not arrays:
+            raise ValueError("evaluate_ports_batch needs at least one input port array")
+        n_lanes = next(iter(arrays.values())).shape[0]
+        input_bits: Dict[str, np.ndarray] = {}
+        for port, value in arrays.items():
+            width = port_widths.get(port, 1)
+            for i in range(width):
+                input_bits[bit_net(port, i)] = (value >> i) & 1
+        v = self.settle_batch(input_bits, n_lanes)
+        outputs: Dict[str, np.ndarray] = {}
+        for port, index, slot in self._output_triples:
+            bits = v[slot].astype(np.int64) << index
+            if port in outputs:
+                outputs[port] |= bits
+            else:
+                outputs[port] = bits
+        return outputs
+
+    def snapshot_batch(self) -> np.ndarray:
+        """Copy of the ``(n_slots, n_lanes)`` lane array after a batch settle."""
+        if self._bv is None:
+            raise RuntimeError("no batch settle has run yet; call settle_batch first")
+        return self._bv.copy()
 
 
 def _build_alias_resolver(netlist: GateNetlist):

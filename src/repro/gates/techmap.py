@@ -45,13 +45,39 @@ class TechnologyMapper:
             "extend": self._map_extend,
             "decoder": self._map_decoder,
         }
+        # Every dispatch handler is a pure function of the component's type,
+        # params and port shapes, so structurally identical components map to
+        # identical netlists; caching saves re-mapping (and, downstream,
+        # re-levelizing/compiling) when the same component shape is
+        # characterized repeatedly.  Entries are shared and must be treated
+        # as read-only by callers.
+        self._map_cache: Dict[tuple, GateNetlist] = {}
 
     # ------------------------------------------------------------------ API
     def can_map(self, component: Component) -> bool:
         return component.type_name in self._dispatch
 
+    @staticmethod
+    def _component_key(component: Component) -> Optional[tuple]:
+        """Hashable mapping-cache key, or None when params aren't freezable."""
+
+        def freeze(value):
+            if isinstance(value, (list, tuple)):
+                return tuple(freeze(v) for v in value)
+            return value
+
+        ports = tuple(
+            (p.name, p.width, p.direction.value) for p in component.ports.values()
+        )
+        try:
+            params = tuple(sorted((k, freeze(v)) for k, v in component.params.items()))
+            hash(params)
+        except TypeError:
+            return None
+        return (type(component), component.type_name, component.name, params, ports)
+
     def map_component(self, component: Component) -> GateNetlist:
-        """Return the gate netlist implementing ``component``."""
+        """Return the gate netlist implementing ``component`` (cached by shape)."""
         handler = self._dispatch.get(component.type_name)
         if handler is None:
             raise TechmapError(
@@ -59,6 +85,9 @@ class TechnologyMapper:
                 f"({component.name!r}); sequential/storage components use analytic "
                 "power models instead"
             )
+        key = self._component_key(component)
+        if key is not None and key in self._map_cache:
+            return self._map_cache[key]
         netlist = GateNetlist(f"{component.type_name}_{component.name}")
         for port in component.input_ports:
             for i in range(port.width):
@@ -67,6 +96,10 @@ class TechnologyMapper:
         for port in component.output_ports:
             for i in range(port.width):
                 netlist.add_output(bit_net(port.name, i))
+        if key is not None:
+            if len(self._map_cache) >= 256:
+                self._map_cache.pop(next(iter(self._map_cache)))
+            self._map_cache[key] = netlist
         return netlist
 
     # -------------------------------------------------------------- helpers

@@ -29,7 +29,12 @@ from repro.power.macromodel import (
     CharacterizationMetrics,
 )
 from repro.power.library import PowerModelLibrary, SeedModelBuilder, build_seed_library
-from repro.power.characterize import CharacterizationEngine, CharacterizationResult
+from repro.power.characterize import (
+    CharacterizationEngine,
+    CharacterizationResult,
+    generate_training_pairs,
+    holdout_error,
+)
 from repro.power.report import ComponentPower, PowerReport
 from repro.power.rtl_estimator import RTLPowerEstimator
 from repro.power.gate_estimator import GateLevelPowerEstimator
@@ -52,6 +57,8 @@ __all__ = [
     "build_seed_library",
     "CharacterizationEngine",
     "CharacterizationResult",
+    "generate_training_pairs",
+    "holdout_error",
     "ComponentPower",
     "PowerReport",
     "RTLPowerEstimator",

@@ -3,22 +3,29 @@
 For a given RTL component the engine:
 
 1. technology-maps it to gates (:mod:`repro.gates.techmap`),
-2. applies training vector *pairs* spanning a range of toggle densities,
-3. measures the reference transition energy with the gate-level power
-   calculator,
-4. records the per-bit transition indicators ``T(x_i)`` of the component's
-   monitored ports for each pair, and
+2. generates training vector *pairs* spanning a range of toggle densities —
+   all ``n_pairs`` of them at once, as NumPy lane arrays (seed-stable),
+3. measures the reference transition energies with the gate-level power
+   calculator — one lane-vectorized settle per vector set instead of one
+   simulator call per pair,
+4. extracts the per-bit transition indicators ``T(x_i)`` of the component's
+   monitored ports for every pair with vectorized bit-unpacking, and
 5. solves the least-squares problem ``E ≈ base + sum_i coeff_i * T(x_i)``
    (numpy ``lstsq``) to obtain the linear-transition macromodel, together
    with goodness-of-fit metrics.
 
 This mirrors the characterization flow the paper's power-macromodel library
 is built with ([6], [8] in the paper).
+
+``CharacterizationEngine(batch=False)`` opts out of lane vectorization and
+runs the same training pairs one at a time through the scalar gate-level
+simulator; both paths consume identical stimuli and reference the same
+gate-level implementation, so they fit the same model (the batch path is an
+optimization, not a semantic change — see the lane-parity tests).
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -30,6 +37,185 @@ from repro.gates.techmap import TechnologyMapper
 from repro.netlist.components import Component
 from repro.power.macromodel import CharacterizationMetrics, LinearTransitionModel, LUTPowerModel
 from repro.power.technology import CB130M_TECHNOLOGY, Technology
+
+#: per-pair flip probabilities; drawn per pair so the training set covers the
+#: whole toggle-density range (the regression otherwise extrapolates badly at
+#: low activities)
+FLIP_PROBABILITIES = (0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0)
+
+#: int64 bit-packing bound: ports wider than this cannot be held in one lane
+MAX_LANE_PORT_WIDTH = 62
+
+
+def _pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack an ``(n, width)`` 0/1 matrix into ``(n,)`` port-value arrays.
+
+    Values up to :data:`MAX_LANE_PORT_WIDTH` bits pack into int64 lanes (the
+    batch gate-simulation form); wider ports pack into exact Python ints in an
+    object array, which the scalar pair loop consumes unchanged.
+    """
+    width = bits.shape[1]
+    if width > MAX_LANE_PORT_WIDTH:
+        out = np.empty(bits.shape[0], dtype=object)
+        for index, row in enumerate(bits):
+            value = 0
+            for bit in range(width):
+                if row[bit]:
+                    value |= 1 << bit
+            out[index] = value
+        return out
+    weights = np.left_shift(np.int64(1), np.arange(width, dtype=np.int64))
+    return bits.astype(np.int64) @ weights
+
+
+def _unpack_bits(values: np.ndarray, width: int) -> np.ndarray:
+    """Unpack ``(n,)`` int values into an ``(n, width)`` 0/1 matrix."""
+    unpacked = (values[:, None] >> np.arange(width, dtype=np.int64)) & 1
+    return unpacked.astype(np.int64)
+
+
+def _popcount(values: np.ndarray, width: int) -> np.ndarray:
+    """Per-lane population count of ``width``-bit values."""
+    if values.dtype != object and hasattr(np, "bitwise_count"):
+        return np.bitwise_count(values.astype(np.uint64)).astype(np.int64)
+    return _unpack_bits(values, width).sum(axis=1)
+
+
+def _lane_packable(port_widths: Mapping[str, int]) -> bool:
+    """True when every port fits an int64 lane (the batch path's precondition)."""
+    return all(width <= MAX_LANE_PORT_WIDTH for width in port_widths.values())
+
+
+def generate_training_pairs(
+    component: Component, n_pairs: int, seed: int
+) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+    """All training pairs for one component, as per-port lane arrays.
+
+    Each pair is a random vector and a perturbation of it whose per-pair flip
+    probability is drawn from :data:`FLIP_PROBABILITIES`.  The same ``seed``
+    always yields the same pairs, and both the batch and the scalar
+    characterization paths consume exactly these stimuli — which is what makes
+    them parity-comparable.
+    """
+    if n_pairs < 1:
+        raise ValueError(f"characterization needs n_pairs >= 1, got {n_pairs}")
+    rng = np.random.default_rng(seed)
+    probabilities = rng.choice(FLIP_PROBABILITIES, size=n_pairs)
+    firsts: Dict[str, np.ndarray] = {}
+    seconds: Dict[str, np.ndarray] = {}
+    for port in component.input_ports:
+        bits = rng.integers(0, 2, size=(n_pairs, port.width), dtype=np.int64)
+        flips = rng.random((n_pairs, port.width)) < probabilities[:, None]
+        firsts[port.name] = _pack_bits(bits)
+        seconds[port.name] = _pack_bits(bits ^ flips)
+    return firsts, seconds
+
+
+def holdout_error(
+    component: Component,
+    model,
+    seed: int = 99,
+    n_pairs: int = 40,
+    technology: Technology = CB130M_TECHNOLOGY,
+    mapper: Optional[TechnologyMapper] = None,
+    batch: bool = True,
+) -> float:
+    """Average relative error of ``model`` on a fresh (non-training) vector set.
+
+    Maps the component to gates, applies ``n_pairs`` independent uniform
+    random vector pairs (not perturbation pairs — holdout stresses the model
+    away from the training distribution), and compares the summed model
+    energy against the summed gate-level reference energy.
+    """
+    if n_pairs < 1:
+        raise ValueError(f"holdout evaluation needs n_pairs >= 1, got {n_pairs}")
+    mapper = mapper if mapper is not None else TechnologyMapper(technology.cell_library)
+    netlist = mapper.map_component(component)
+    calculator = GatePowerCalculator(netlist, technology.cell_library)
+    simulator = GateLevelSimulator(netlist)
+    widths = {p.name: p.width for p in component.ports.values()}
+
+    rng = np.random.default_rng(seed)
+    firsts = {
+        p.name: _pack_bits(rng.integers(0, 2, size=(n_pairs, p.width), dtype=np.int64))
+        for p in component.input_ports
+    }
+    seconds = {
+        p.name: _pack_bits(rng.integers(0, 2, size=(n_pairs, p.width), dtype=np.int64))
+        for p in component.input_ports
+    }
+    energies, prev_io, curr_io = _run_pairs(
+        component, simulator, calculator, widths, firsts, seconds, batch=batch
+    )
+    total_reference = float(energies.sum())
+    total_model = 0.0
+    for lane in range(n_pairs):
+        previous = {p: int(a[lane]) for p, a in prev_io.items()}
+        current = {p: int(a[lane]) for p, a in curr_io.items()}
+        total_model += model.evaluate(previous, current)
+    if total_reference == 0.0:
+        return 0.0
+    return abs(total_model - total_reference) / total_reference
+
+
+def _run_pairs(
+    component: Component,
+    simulator: GateLevelSimulator,
+    calculator: GatePowerCalculator,
+    port_widths: Mapping[str, int],
+    firsts: Mapping[str, np.ndarray],
+    seconds: Mapping[str, np.ndarray],
+    batch: bool,
+) -> Tuple[np.ndarray, Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+    """Reference energies and full I/O values for every training pair.
+
+    Returns ``(energies, prev_io, curr_io)`` where ``energies`` is the
+    ``(n_pairs,)`` gate-level transition energy vector and the I/O mappings
+    hold per-port ``(n_pairs,)`` value arrays (inputs and simulated outputs).
+    The gate-level implementation is the single source of output values on
+    both paths, so ``batch`` only changes speed, never results.  The one
+    known batch precondition — every port must fit an int64 lane — is checked
+    explicitly; components with wider ports take the scalar loop (exact
+    Python-int arithmetic), and any other batch failure propagates loudly
+    rather than silently degrading.
+    """
+    if batch and _lane_packable(port_widths) and firsts:
+        out_first = simulator.evaluate_ports_batch(firsts, port_widths)
+        before = simulator.snapshot_batch()
+        out_second = simulator.evaluate_ports_batch(seconds, port_widths)
+        after = simulator.snapshot_batch()
+        energies = calculator.transition_energy_batch(simulator, before, after)
+        return (
+            energies.total_fj,
+            {**dict(firsts), **out_first},
+            {**dict(seconds), **out_second},
+        )
+
+    n_pairs = next(iter(firsts.values())).shape[0] if firsts else 0
+    energies = np.empty(n_pairs, dtype=np.float64)
+    prev_cols: Dict[str, List[int]] = {p: [] for p in port_widths}
+    curr_cols: Dict[str, List[int]] = {p: [] for p in port_widths}
+    for lane in range(n_pairs):
+        first = {p: int(a[lane]) for p, a in firsts.items()}
+        second = {p: int(a[lane]) for p, a in seconds.items()}
+        out_first = dict(simulator.evaluate_ports(first, port_widths))
+        before = simulator.snapshot()
+        out_second = dict(simulator.evaluate_ports(second, port_widths))
+        after = simulator.snapshot()
+        energies[lane] = calculator.transition_energy(before, after).total_fj
+        for port, value in {**first, **out_first}.items():
+            prev_cols[port].append(value)
+        for port, value in {**second, **out_second}.items():
+            curr_cols[port].append(value)
+    def column(values: List[int]) -> np.ndarray:
+        try:
+            return np.asarray(values, dtype=np.int64)
+        except OverflowError:  # >63-bit port values stay exact Python ints
+            return np.array(values, dtype=object)
+
+    prev_io = {p: column(v) for p, v in prev_cols.items() if v}
+    curr_io = {p: column(v) for p, v in curr_cols.items() if v}
+    return energies, prev_io, curr_io
 
 
 @dataclass
@@ -55,13 +241,19 @@ class CharacterizationEngine:
         n_pairs: int = 120,
         seed: int = 2005,
         nonnegative: bool = True,
+        batch: bool = True,
     ) -> None:
+        if n_pairs < 1:
+            raise ValueError(f"characterization needs n_pairs >= 1, got {n_pairs}")
         self.technology = technology
         self.mapper = mapper if mapper is not None else TechnologyMapper(technology.cell_library)
         self.n_pairs = n_pairs
         self.seed = seed
         #: clamp negative fitted coefficients to zero (hardware-friendly)
         self.nonnegative = nonnegative
+        #: lane-vectorize the gate-level reference simulation (opt-out flag;
+        #: the scalar path consumes identical stimuli and fits the same model)
+        self.batch = batch
 
     # ------------------------------------------------------------------ API
     def characterize(self, component: Component) -> CharacterizationResult:
@@ -82,34 +274,26 @@ class CharacterizationEngine:
 
     def characterize_lut(self, component: Component, n_bins: int = 8) -> LUTPowerModel:
         """Fit a LUT macromodel (toggle-density binned) for the ablation study."""
-        rng = random.Random(self.seed)
-        gate_netlist = self.mapper.map_component(component)
-        calculator = GatePowerCalculator(gate_netlist, self.technology.cell_library)
-        simulator = GateLevelSimulator(gate_netlist)
+        if n_bins < 1:
+            raise ValueError(f"LUT characterization needs n_bins >= 1, got {n_bins}")
         port_widths = {p.name: p.width for p in component.ports.values()}
         input_ports = [p.name for p in component.input_ports]
         output_ports = [p.name for p in component.output_ports]
-        in_bits = sum(port_widths[p] for p in input_ports)
-        out_bits = sum(port_widths[p] for p in output_ports) or 1
 
-        sums = [[0.0] * n_bins for _ in range(n_bins)]
-        counts = [[0] * n_bins for _ in range(n_bins)]
-        for _ in range(self.n_pairs):
-            first, second = self._vector_pair(component, rng)
-            energy = calculator.vector_pair_energy(simulator, first, second, port_widths).total_fj
-            prev_io = dict(first, **component.evaluate(first))
-            curr_io = dict(second, **component.evaluate(second))
-            in_density = self._density(input_ports, port_widths, prev_io, curr_io)
-            out_density = self._density(output_ports, port_widths, prev_io, curr_io)
-            row = min(n_bins - 1, int(in_density * n_bins))
-            col = min(n_bins - 1, int(out_density * n_bins))
-            sums[row][col] += energy
-            counts[row][col] += 1
-        table = [
-            [sums[r][c] / counts[r][c] if counts[r][c] else 0.0 for c in range(n_bins)]
-            for r in range(n_bins)
-        ]
-        self._fill_empty_bins(table, counts)
+        energies, prev_io, curr_io = self._simulate_training_pairs(component)
+        in_density = self._density(input_ports, port_widths, prev_io, curr_io)
+        out_density = self._density(output_ports, port_widths, prev_io, curr_io)
+        rows = np.minimum(n_bins - 1, (in_density * n_bins).astype(np.int64))
+        cols = np.minimum(n_bins - 1, (out_density * n_bins).astype(np.int64))
+
+        sums = np.zeros((n_bins, n_bins), dtype=np.float64)
+        counts = np.zeros((n_bins, n_bins), dtype=np.int64)
+        np.add.at(sums, (rows, cols), energies)
+        np.add.at(counts, (rows, cols), 1)
+        with np.errstate(invalid="ignore"):
+            means = np.where(counts > 0, sums / np.maximum(counts, 1), 0.0)
+        table = [[float(means[r, c]) for c in range(n_bins)] for r in range(n_bins)]
+        self._fill_empty_bins(table, counts.tolist())
         return LUTPowerModel(
             component.type_name,
             {p.name: p.width for p in component.monitored_ports()},
@@ -119,49 +303,34 @@ class CharacterizationEngine:
         )
 
     # -------------------------------------------------------- training data
-    def _collect_training_data(self, component: Component) -> Tuple[np.ndarray, np.ndarray]:
-        rng = random.Random(self.seed)
+    def _simulate_training_pairs(
+        self, component: Component
+    ) -> Tuple[np.ndarray, Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+        """Generate, simulate and collect all ``n_pairs`` training pairs."""
+        firsts, seconds = generate_training_pairs(component, self.n_pairs, self.seed)
         gate_netlist = self.mapper.map_component(component)
         calculator = GatePowerCalculator(gate_netlist, self.technology.cell_library)
         simulator = GateLevelSimulator(gate_netlist)
         port_widths = {p.name: p.width for p in component.ports.values()}
+        return _run_pairs(
+            component, simulator, calculator, port_widths, firsts, seconds,
+            batch=self.batch,
+        )
+
+    def _collect_training_data(self, component: Component) -> Tuple[np.ndarray, np.ndarray]:
+        energies, prev_io, curr_io = self._simulate_training_pairs(component)
+        port_widths = {p.name: p.width for p in component.ports.values()}
         monitored = sorted(p.name for p in component.monitored_ports())
-
-        rows: List[List[int]] = []
-        energies: List[float] = []
-        for _ in range(self.n_pairs):
-            first, second = self._vector_pair(component, rng)
-            energy = calculator.vector_pair_energy(simulator, first, second, port_widths).total_fj
-            prev_io = dict(first, **component.evaluate(first))
-            curr_io = dict(second, **component.evaluate(second))
-            row: List[int] = []
-            for port in monitored:
-                width = port_widths[port]
-                toggles = prev_io.get(port, 0) ^ curr_io.get(port, 0)
-                row.extend((toggles >> i) & 1 for i in range(width))
-            rows.append(row)
-            energies.append(energy)
-        return np.array(rows, dtype=float), np.array(energies, dtype=float)
-
-    def _vector_pair(self, component: Component, rng: random.Random) -> Tuple[Dict[str, int], Dict[str, int]]:
-        """A training pair: a random vector and a perturbation of it.
-
-        The flip probability is drawn per pair so the training set covers the
-        whole toggle-density range (the regression otherwise extrapolates
-        badly at low activities).
-        """
-        first: Dict[str, int] = {}
-        second: Dict[str, int] = {}
-        flip_probability = rng.choice([0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0])
-        for port in component.input_ports:
-            value = rng.getrandbits(port.width)
-            flip_mask = 0
-            for bit in range(port.width):
-                if rng.random() < flip_probability:
-                    flip_mask |= 1 << bit
-            first[port.name] = value
-            second[port.name] = value ^ flip_mask
-        return first, second
+        columns = []
+        for port in monitored:
+            toggles = prev_io.get(port, 0) ^ curr_io.get(port, 0)
+            columns.append(_unpack_bits(toggles, port_widths[port]))
+        features = (
+            np.concatenate(columns, axis=1).astype(np.float64)
+            if columns
+            else np.zeros((self.n_pairs, 0), dtype=np.float64)
+        )
+        return features, energies
 
     # ------------------------------------------------------------- fitting
     def _fit(self, features: np.ndarray, energies: np.ndarray):
@@ -210,11 +379,16 @@ class CharacterizationEngine:
         )
 
     @staticmethod
-    def _density(ports, widths, previous, current) -> float:
+    def _density(ports, widths, previous, current) -> np.ndarray:
+        """Per-lane toggle density over a set of ports (vectorized)."""
         bits = sum(widths[p] for p in ports) or 1
-        toggles = 0
+        n_lanes = next(iter(previous.values())).shape[0] if previous else 0
+        toggles = np.zeros(n_lanes, dtype=np.int64)
         for port in ports:
-            toggles += bin(previous.get(port, 0) ^ current.get(port, 0)).count("1")
+            if port not in previous and port not in current:
+                continue
+            xor = previous.get(port, 0) ^ current.get(port, 0)
+            toggles += _popcount(np.asarray(xor), widths[port])
         return toggles / bits
 
     @staticmethod

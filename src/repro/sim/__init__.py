@@ -14,6 +14,12 @@ component inputs/outputs.
 
 from repro.sim.scheduler import levelize, schedule_for, SchedulingError
 from repro.sim.compiled import CompiledProgram, compile_module
+from repro.sim.batch import (
+    BatchCompilationError,
+    BatchProgram,
+    BatchSimulator,
+    compile_module_batch,
+)
 from repro.sim.engine import Simulator, SimulationResult, SimulationObserver
 from repro.sim.testbench import (
     Testbench,
@@ -30,6 +36,10 @@ __all__ = [
     "SchedulingError",
     "CompiledProgram",
     "compile_module",
+    "BatchCompilationError",
+    "BatchProgram",
+    "BatchSimulator",
+    "compile_module_batch",
     "Simulator",
     "SimulationResult",
     "SimulationObserver",

@@ -1,0 +1,1294 @@
+"""Lane-vectorized batch simulation: N independent stimuli per pass.
+
+The paper's characterization library and Monte-Carlo style sweeps run the
+*same* netlist over many independent stimulus vectors.  PR 1's slot-indexed
+compiled programs are shape-stable — every cycle executes the same
+straight-line slot reads/writes — so this module lowers the same levelized
+schedule a second time into *lane* form: the value store becomes one
+``(n_slots, n_lanes)`` int64 NumPy array whose row ``i`` holds net ``i``'s
+value in every lane, and every fused component becomes one masked elementwise
+array expression.  One ``settle``/``clock_edge`` pass then advances all
+``n_lanes`` independent simulations at once.
+
+Sequential state is also lane-vectorized: registers, counters, accumulators
+and the power-estimation components keep ``(n_lanes,)`` state arrays in small
+holder objects bound into the generated code; memories and register files
+keep ``(depth, n_lanes)`` storage with fancy-indexed reads and masked-scatter
+writes, and FSM controllers keep per-lane state-index arrays with their
+transition table unrolled into priority-ordered masked selects.  Components
+that cannot be expressed as elementwise array code — subclassed or
+user-defined types, and the ``sample_on_strobe_only`` power model — fall
+back to a *lane-aware scalar* path: the component's own scalar
+``evaluate``/``capture``/``commit`` runs once per lane with its private
+per-lane state snapshot swapped in, so exotic components stay exactly as
+correct as on the scalar backends, just without the speedup.  Modules with
+nets wider than :data:`MAX_LANE_WIDTH` bits drop every component onto that
+path (over an object-dtype store), so batch execution never changes
+results — only speed.
+"""
+
+from __future__ import annotations
+
+import copy
+import weakref
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.netlist.module import Module
+from repro.netlist.nets import Net
+from repro.sim.codegen import SourceEmitter, _mask, _signed
+from repro.sim.scheduler import Schedule, module_mutation_key, schedule_for
+
+#: widest net (in bits) representable in an int64 lane with headroom for the
+#: +1-bit carry of fused adders; wider modules use the object-dtype lane store
+#: with every component on the lane-scalar path
+MAX_LANE_WIDTH = 60
+
+
+class BatchCompilationError(Exception):
+    """Raised when a module cannot be lowered to lane-vectorized code."""
+
+
+def _popcount_u64(values: np.ndarray) -> np.ndarray:
+    """Vectorized population count (used by parity-reduce)."""
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(values.astype(np.uint64)).astype(np.int64)
+    x = values.astype(np.uint64)
+    x = x - ((x >> np.uint64(1)) & np.uint64(0x5555555555555555))
+    x = (x & np.uint64(0x3333333333333333)) + ((x >> np.uint64(2)) & np.uint64(0x3333333333333333))
+    x = (x + (x >> np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+    return ((x * np.uint64(0x0101010101010101)) >> np.uint64(56)).astype(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# Per-lane state holders for fused sequential components.
+# ---------------------------------------------------------------------------
+
+
+class LaneState:
+    """(n_lanes,) state/pending arrays for a register-like component."""
+
+    __slots__ = ("state", "pending", "_n", "_reset_value")
+
+    def __init__(self, n_lanes: int, reset_value: int = 0) -> None:
+        self._n = n_lanes
+        self._reset_value = reset_value
+        self.reset()
+
+    def reset(self) -> None:
+        self.state = np.full(self._n, self._reset_value, dtype=np.int64)
+        self.pending = self.state.copy()
+
+
+class LanePairState:
+    """Two named (n_lanes,) state/pending array pairs (strobe, aggregator)."""
+
+    __slots__ = ("a", "b", "pending_a", "pending_b", "_n", "_reset_a", "_reset_b")
+
+    def __init__(self, n_lanes: int, reset_a: int = 0, reset_b: int = 0) -> None:
+        self._n = n_lanes
+        self._reset_a = reset_a
+        self._reset_b = reset_b
+        self.reset()
+
+    def reset(self) -> None:
+        self.a = np.full(self._n, self._reset_a, dtype=np.int64)
+        self.b = np.full(self._n, self._reset_b, dtype=np.int64)
+        self.pending_a = self.a.copy()
+        self.pending_b = self.b.copy()
+
+
+class LanePowerState:
+    """Per-lane state of a fused :class:`HardwarePowerModel`."""
+
+    __slots__ = ("prev", "pending_prev", "accumulated", "output",
+                 "pending_accumulated", "pending_output", "_n", "_n_ports")
+
+    def __init__(self, n_lanes: int, n_ports: int) -> None:
+        self._n = n_lanes
+        self._n_ports = n_ports
+        self.reset()
+
+    def reset(self) -> None:
+        zeros = lambda: np.zeros(self._n, dtype=np.int64)  # noqa: E731
+        self.prev = [zeros() for _ in range(self._n_ports)]
+        self.pending_prev = [zeros() for _ in range(self._n_ports)]
+        self.accumulated = zeros()
+        self.output = zeros()
+        self.pending_accumulated = zeros()
+        self.pending_output = zeros()
+
+
+class LaneMemoryState:
+    """Per-lane storage array of a fused memory / register file.
+
+    ``mem`` is ``(depth, n_lanes)``: column ``i`` is lane ``i``'s private copy
+    of the storage contents; committed writes are a boolean-masked scatter
+    (one write per lane at most, and lanes are distinct columns, so scattered
+    writes can never collide).
+    """
+
+    __slots__ = ("mem", "read_reg", "pending_read", "w_en", "w_addr", "w_data",
+                 "_n", "_initial")
+
+    def __init__(self, n_lanes: int, initial) -> None:
+        self._n = n_lanes
+        self._initial = np.asarray(initial, dtype=np.int64)
+        self.reset()
+
+    def reset(self) -> None:
+        self.mem = np.tile(self._initial[:, None], (1, self._n))
+        self.read_reg = np.zeros(self._n, dtype=np.int64)
+        self.pending_read = np.zeros(self._n, dtype=np.int64)
+        self.w_en = np.zeros(self._n, dtype=np.int64)
+        self.w_addr = np.zeros(self._n, dtype=np.int64)
+        self.w_data = np.zeros(self._n, dtype=np.int64)
+
+
+class LaneFSMState:
+    """Per-lane state-index array of a fused :class:`FSMController`."""
+
+    __slots__ = ("state", "pending", "_n", "_reset_index")
+
+    def __init__(self, n_lanes: int, reset_index: int) -> None:
+        self._n = n_lanes
+        self._reset_index = reset_index
+        self.reset()
+
+    def reset(self) -> None:
+        self.state = np.full(self._n, self._reset_index, dtype=np.int64)
+        self.pending = self.state.copy()
+
+
+class LaneComponent:
+    """Lane-aware scalar fallback: per-lane evaluate/capture with private state.
+
+    The component's own scalar methods execute once per lane; for sequential
+    components each lane owns a snapshot of the component's underscore state
+    attributes (the repo-wide idiom: mutable simulation state lives in
+    ``_``-prefixed attributes), swapped in before and re-captured after every
+    lane, so N lanes behave exactly like N independent scalar simulations.
+    """
+
+    def __init__(self, component, n_lanes: int) -> None:
+        self.component = component
+        self.n_lanes = n_lanes
+        self.in_pairs: List[Tuple[str, int]] = []
+        self.out_pairs: List[Tuple[str, int]] = []
+        self.sequential = bool(component.is_sequential)
+        self.lane_states: Optional[List[Dict[str, object]]] = None
+
+    def bind(self, slot_of: Dict[Net, int]) -> None:
+        component = self.component
+        self.in_pairs = [
+            (p.name, slot_of[p.net]) for p in component.input_ports if p.net is not None
+        ]
+        self.out_pairs = [
+            (p.name, slot_of[p.net]) for p in component.output_ports if p.net is not None
+        ]
+
+    # ----------------------------------------------------------- lane state
+    def _snapshot_isolated(self) -> Dict[str, object]:
+        """Initial per-lane state: deep-copied so lanes share no mutable
+        containers, however deeply nested a user component's state is."""
+        return {
+            key: copy.deepcopy(value)
+            for key, value in self.component.__dict__.items()
+            if key.startswith("_")
+        }
+
+    def reset(self) -> None:
+        if self.sequential:
+            self.component.reset()
+            self.lane_states = [self._snapshot_isolated() for _ in range(self.n_lanes)]
+
+    # ------------------------------------------------------------ execution
+    def evaluate(self, v: np.ndarray) -> None:
+        """Combinational settle contribution, lane by lane."""
+        component = self.component
+        attrs = component.__dict__
+        states = self.lane_states
+        evaluate = component.evaluate
+        for lane in range(self.n_lanes):
+            if states is not None:
+                attrs.update(states[lane])
+            outputs = evaluate({name: int(v[slot, lane]) for name, slot in self.in_pairs})
+            for name, slot in self.out_pairs:
+                v[slot, lane] = outputs[name]
+
+    def state_outputs(self, v: np.ndarray) -> None:
+        """State-source outputs (evaluate with empty inputs), lane by lane."""
+        component = self.component
+        attrs = component.__dict__
+        states = self.lane_states
+        evaluate = component.evaluate
+        for lane in range(self.n_lanes):
+            if states is not None:
+                attrs.update(states[lane])
+            outputs = evaluate({})
+            for name, slot in self.out_pairs:
+                v[slot, lane] = outputs[name]
+
+    def clock_edge(self, v: np.ndarray) -> None:
+        """Per-lane capture + commit (nets are not touched, so interleaving
+        capture/commit per lane is equivalent to the two-phase scalar order).
+
+        The post-edge re-snapshot shares container refs with the component:
+        in-place container mutations (e.g. a memory write) already happened on
+        this lane's own containers, and containers *replaced* during
+        capture/commit are freshly created — so lanes stay disjoint without
+        per-edge container copies.
+        """
+        component = self.component
+        attrs = component.__dict__
+        states = self.lane_states
+        in_pairs = self.in_pairs
+        capture = component.capture
+        commit = component.commit
+        for lane in range(self.n_lanes):
+            attrs.update(states[lane])
+            capture({name: int(v[slot, lane]) for name, slot in in_pairs})
+            commit()
+            states[lane] = {k: val for k, val in attrs.items() if k[0] == "_"}
+
+
+# ---------------------------------------------------------------------------
+# Batch emitters.  Expressions operate on v rows ((n_lanes,) views); writing
+# through ``v[slot] = ...`` copies into the row, so row targets never alias.
+# Holder-attribute targets rebind references instead — any RHS that could be
+# a bare row view gets ``+ 0`` appended to force a fresh array.
+# ---------------------------------------------------------------------------
+
+
+def _b_adder(em: SourceEmitter, c, holders=None) -> bool:
+    a, b = em.req(c, "a"), em.req(c, "b")
+    if a is None or b is None:
+        return False
+    terms = f"{a} + {b}"
+    if c.with_carry_in:
+        cin = em.opt(c, "cin", 0)
+        if cin != "0":
+            terms += f" + {cin}"
+    y = em.out(c, "y")
+    cout = em.out(c, "cout") if c.with_carry_out else None
+    mask = _mask(c.width)
+    if cout is not None:
+        em.emit(f"_t = {terms}")
+        if y is not None:
+            em.emit(f"v[{y}] = _t & {mask}")
+        em.emit(f"v[{cout}] = (_t >> {c.width}) & 1")
+    elif y is not None:
+        em.emit(f"v[{y}] = ({terms}) & {mask}")
+    return True
+
+
+def _b_subtractor(em: SourceEmitter, c, holders=None) -> bool:
+    a, b = em.req(c, "a"), em.req(c, "b")
+    if a is None or b is None:
+        return False
+    y = em.out(c, "y")
+    borrow = em.out(c, "borrow") if c.with_borrow_out else None
+    mask = _mask(c.width)
+    if borrow is not None:
+        em.emit(f"_t = {a} - {b}")
+        if y is not None:
+            em.emit(f"v[{y}] = _t & {mask}")
+        em.emit(f"v[{borrow}] = _t < 0")
+    elif y is not None:
+        em.emit(f"v[{y}] = ({a} - {b}) & {mask}")
+    return True
+
+
+def _b_addsub(em: SourceEmitter, c, holders=None) -> bool:
+    a, b, sub = em.req(c, "a"), em.req(c, "b"), em.req(c, "sub")
+    if a is None or b is None or sub is None:
+        return False
+    y = em.out(c, "y")
+    if y is not None:
+        mask = _mask(c.width)
+        em.emit(f"v[{y}] = _where({sub} & 1, {a} - {b}, {a} + {b}) & {mask}")
+    return True
+
+
+def _b_multiplier(em: SourceEmitter, c, holders=None) -> bool:
+    if c.width_a + c.width_b > MAX_LANE_WIDTH + 2:
+        return False  # product could overflow an int64 lane
+    a, b = em.req(c, "a"), em.req(c, "b")
+    if a is None or b is None:
+        return False
+    y = em.out(c, "y")
+    if y is None:
+        return True
+    mask = _mask(c.width_y)
+    if c.signed:
+        a = _signed(a, c.width_a)
+        b = _signed(b, c.width_b)
+    em.emit(f"v[{y}] = ({a} * {b}) & {mask}")
+    return True
+
+
+def _b_comparator(em: SourceEmitter, c, holders=None) -> bool:
+    a, b = em.req(c, "a"), em.req(c, "b")
+    if a is None or b is None:
+        return False
+    if c.signed:
+        a = _signed(a, c.width)
+        b = _signed(b, c.width)
+    em.emit(f"_a = {a}")
+    em.emit(f"_b = {b}")
+    for port, op in (("lt", "<"), ("eq", "=="), ("gt", ">")):
+        slot = em.out(c, port)
+        if slot is not None:
+            em.emit(f"v[{slot}] = _a {op} _b")
+    return True
+
+
+def _b_absval(em: SourceEmitter, c, holders=None) -> bool:
+    a = em.req(c, "a")
+    if a is None:
+        return False
+    y = em.out(c, "y")
+    if y is not None:
+        em.emit(f"v[{y}] = _abs({_signed(a, c.width)})")
+    return True
+
+
+def _b_saturator(em: SourceEmitter, c, holders=None) -> bool:
+    a = em.req(c, "a")
+    if a is None:
+        return False
+    y = em.out(c, "y")
+    if y is None:
+        return True
+    if c.signed:
+        lo = -(1 << (c.width_out - 1))
+        hi = (1 << (c.width_out - 1)) - 1
+        mask = _mask(c.width_out)
+        lo_enc = lo & mask
+        em.emit(f"_t = {_signed(a, c.width_in)}")
+        em.emit(f"v[{y}] = _where(_t < {lo}, {lo_enc}, _where(_t > {hi}, {hi}, _t & {mask}))")
+    else:
+        hi = _mask(c.width_out)
+        em.emit(f"v[{y}] = _minimum({a}, {hi})")
+    return True
+
+
+def _b_shifter_const(em: SourceEmitter, c, holders=None) -> bool:
+    if c.direction == "left" and c.width + c.amount > MAX_LANE_WIDTH + 2:
+        return False
+    if c.direction != "left" and c.amount > 62:
+        return False
+    a = em.req(c, "a")
+    if a is None:
+        return False
+    y = em.out(c, "y")
+    if y is None:
+        return True
+    mask = _mask(c.width)
+    if c.direction == "left":
+        em.emit(f"v[{y}] = ({a} << {c.amount}) & {mask}")
+    elif c.arithmetic:
+        em.emit(f"v[{y}] = ({_signed(a, c.width)} >> {c.amount}) & {mask}")
+    else:
+        em.emit(f"v[{y}] = {a} >> {c.amount}")
+    return True
+
+
+def _b_shifter_var(em: SourceEmitter, c, holders=None) -> bool:
+    amount_port = c.ports.get("amount")
+    if amount_port is None:
+        return False
+    max_amount = (1 << amount_port.width) - 1
+    if c.direction == "left" and c.width + max_amount > MAX_LANE_WIDTH + 2:
+        return False
+    if max_amount > 62:
+        return False  # numpy shifts past the word size are undefined
+    a, amount = em.req(c, "a"), em.req(c, "amount")
+    if a is None or amount is None:
+        return False
+    y = em.out(c, "y")
+    if y is None:
+        return True
+    mask = _mask(c.width)
+    if c.direction == "left":
+        em.emit(f"v[{y}] = ({a} << {amount}) & {mask}")
+    elif c.arithmetic:
+        em.emit(f"v[{y}] = ({_signed(a, c.width)} >> {amount}) & {mask}")
+    else:
+        em.emit(f"v[{y}] = {a} >> {amount}")
+    return True
+
+
+def _b_mux(em: SourceEmitter, c, holders=None) -> bool:
+    sel = em.req(c, "sel")
+    if sel is None:
+        return False
+    rows = []
+    for i in range(c.n_inputs):
+        expr = em.req(c, f"d{i}")
+        if expr is None:
+            return False
+        rows.append(expr)
+    y = em.out(c, "y")
+    if y is None:
+        return True
+    if c.n_inputs == 2:
+        em.emit(f"v[{y}] = _where({sel} & 1, {rows[1]}, {rows[0]})")
+    else:
+        em.emit(f"_s = _minimum({sel}, {c.n_inputs - 1})")
+        em.emit(f"v[{y}] = _stack(({', '.join(rows)}))[_s, _lidx]")
+    return True
+
+
+_B_LOGIC_EXPRS = {
+    "and": "{a} & {b}",
+    "or": "{a} | {b}",
+    "xor": "{a} ^ {b}",
+    "nand": "({a} & {b}) ^ {m}",
+    "nor": "({a} | {b}) ^ {m}",
+    "xnor": "({a} ^ {b}) ^ {m}",
+}
+
+
+def _b_logic(em: SourceEmitter, c, holders=None) -> bool:
+    a, b = em.req(c, "a"), em.req(c, "b")
+    if a is None or b is None:
+        return False
+    y = em.out(c, "y")
+    if y is not None:
+        em.emit(f"v[{y}] = {_B_LOGIC_EXPRS[c.op].format(a=a, b=b, m=_mask(c.width))}")
+    return True
+
+
+def _b_not(em: SourceEmitter, c, holders=None) -> bool:
+    a = em.req(c, "a")
+    if a is None:
+        return False
+    y = em.out(c, "y")
+    if y is not None:
+        em.emit(f"v[{y}] = {a} ^ {_mask(c.width)}")
+    return True
+
+
+def _b_reduce(em: SourceEmitter, c, holders=None) -> bool:
+    a = em.req(c, "a")
+    if a is None:
+        return False
+    y = em.out(c, "y")
+    if y is None:
+        return True
+    if c.op == "and":
+        em.emit(f"v[{y}] = {a} == {_mask(c.width)}")
+    elif c.op == "or":
+        em.emit(f"v[{y}] = {a} != 0")
+    else:
+        em.emit(f"v[{y}] = _popcount({a}) & 1")
+    return True
+
+
+def _b_concat(em: SourceEmitter, c, holders=None) -> bool:
+    parts = []
+    shift = 0
+    for i, width in enumerate(c.widths):
+        expr = em.req(c, f"i{i}")
+        if expr is None:
+            return False
+        parts.append(expr if shift == 0 else f"({expr} << {shift})")
+        shift += width
+    y = em.out(c, "y")
+    if y is not None:
+        em.emit(f"v[{y}] = " + " | ".join(parts))
+    return True
+
+
+def _b_slice(em: SourceEmitter, c, holders=None) -> bool:
+    a = em.req(c, "a")
+    if a is None:
+        return False
+    y = em.out(c, "y")
+    if y is not None:
+        shifted = a if c.low == 0 else f"({a} >> {c.low})"
+        em.emit(f"v[{y}] = {shifted} & {_mask(c.width_out)}")
+    return True
+
+
+def _b_extend(em: SourceEmitter, c, holders=None) -> bool:
+    a = em.req(c, "a")
+    if a is None:
+        return False
+    y = em.out(c, "y")
+    if y is not None:
+        if c.signed:
+            em.emit(f"v[{y}] = {_signed(a, c.width_in)} & {_mask(c.width_out)}")
+        else:
+            em.emit(f"v[{y}] = {a}")
+    return True
+
+
+def _b_decoder(em: SourceEmitter, c, holders=None) -> bool:
+    a = em.req(c, "a")
+    if a is None:
+        return False
+    y = em.out(c, "y")
+    if y is not None:
+        em.emit(f"v[{y}] = _one << {a}")
+    return True
+
+
+def _b_rom(em: SourceEmitter, c, holders=None) -> bool:
+    y = em.out(c, "rdata")
+    if y is not None:
+        uid = em.uid()
+        contents = em.bind(f"_rom{uid}", np.asarray(c.contents, dtype=np.int64))
+        addr = em.opt(c, "addr", 0)
+        em.emit(f"v[{y}] = {contents}[{addr} % {c.depth}]")
+    return True
+
+
+def _lane_addr(expr: str, depth: int) -> str:
+    """Per-lane address expression, coerced to an array even when constant."""
+    return f"(_lidx * 0 + ({expr}) % {depth})"
+
+
+def _b_regfile_read(em: SourceEmitter, c, holders) -> bool:
+    name = em.bind(f"_s{em.uid()}", holders[c])
+    for i in range(c.n_read_ports):
+        slot = em.out(c, f"rdata{i}")
+        if slot is not None:
+            addr = em.opt(c, f"raddr{i}", 0)
+            em.emit(f"v[{slot}] = {name}.mem[{_lane_addr(addr, c.depth)}, _lidx]")
+    return True
+
+
+def _b_memory_async_read(em: SourceEmitter, c, holders) -> bool:
+    if c.sync_read:
+        return False
+    slot = em.out(c, "rdata")
+    if slot is not None:
+        name = em.bind(f"_s{em.uid()}", holders[c])
+        addr = em.opt(c, "addr", 0)
+        em.emit(f"v[{slot}] = {name}.mem[{_lane_addr(addr, c.depth)}, _lidx]")
+    return True
+
+
+# --------------------------------------------------------- state sources
+
+
+def _b_state_register_like(em: SourceEmitter, c, holders) -> bool:
+    slot = em.out(c, "q")
+    if slot is not None:
+        name = em.bind(f"_s{em.uid()}", holders[c])
+        em.emit(f"v[{slot}] = {name}.state")
+    return True
+
+
+def _b_state_constant(em: SourceEmitter, c, holders) -> bool:
+    slot = em.out(c, "y")
+    if slot is not None:
+        em.emit(f"v[{slot}] = {c.value}")
+    return True
+
+
+def _b_state_memory(em: SourceEmitter, c, holders) -> bool:
+    if not c.sync_read:
+        return False
+    slot = em.out(c, "rdata")
+    if slot is not None:
+        name = em.bind(f"_s{em.uid()}", holders[c])
+        em.emit(f"v[{slot}] = {name}.read_reg")
+    return True
+
+
+def _b_state_fsm(em: SourceEmitter, c, holders) -> bool:
+    from repro.netlist.signals import mask_value
+
+    outs = em.connected_outputs(c)
+    if not outs:
+        return True
+    name = em.bind(f"_s{em.uid()}", holders[c])
+    for port, slot in outs:
+        table = [
+            mask_value(c.moore_outputs.get(state, {}).get(port, 0), c.output_widths[port])
+            for state in c.states
+        ]
+        tname = em.bind(f"_ft{em.uid()}", np.asarray(table, dtype=np.int64))
+        em.emit(f"v[{slot}] = {tname}[{name}.state]")
+    return True
+
+
+def _b_state_power_model(em: SourceEmitter, c, holders) -> bool:
+    slot = em.out(c, "energy")
+    if slot is not None:
+        name = em.bind(f"_s{em.uid()}", holders[c])
+        em.emit(f"v[{slot}] = {name}.output")
+    return True
+
+
+def _b_state_aggregator(em: SourceEmitter, c, holders) -> bool:
+    slot = em.out(c, "total")
+    if slot is not None:
+        name = em.bind(f"_s{em.uid()}", holders[c])
+        em.emit(f"v[{slot}] = {name}.a")
+    return True
+
+
+def _b_state_strobe(em: SourceEmitter, c, holders) -> bool:
+    slot = em.out(c, "strobe")
+    if slot is not None:
+        name = em.bind(f"_s{em.uid()}", holders[c])
+        em.emit(f"v[{slot}] = {name}.b")
+    return True
+
+
+# --------------------------------------------------------------- captures
+
+
+def _b_capture_register(em: SourceEmitter, c, holders) -> bool:
+    d = em.req(c, "d")
+    if d is None:
+        return False
+    s = em.bind(f"_s{em.uid()}", holders[c])
+    clr = em.req(c, "clear") if c.has_clear else None
+    en = em.req(c, "en") if c.has_enable else None
+    if clr is not None and en is not None:
+        em.emit(
+            f"{s}.pending = _where({clr} & 1, {c.reset_value}, "
+            f"_where({en} & 1, {d}, {s}.state))"
+        )
+    elif clr is not None:
+        em.emit(f"{s}.pending = _where({clr} & 1, {c.reset_value}, {d})")
+    elif en is not None:
+        em.emit(f"{s}.pending = _where({en} & 1, {d}, {s}.state)")
+    else:
+        em.emit(f"{s}.pending = {d} + 0")
+    return True
+
+
+def _b_capture_counter(em: SourceEmitter, c, holders) -> bool:
+    load = em.req(c, "load") if c.has_load else None
+    d = em.req(c, "d") if c.has_load else None
+    if load is not None and d is None:
+        return False
+    en = em.req(c, "en")
+    s = em.bind(f"_s{em.uid()}", holders[c])
+    if en is None and load is None:
+        # en unconnected (reads as 0) and no load: the counter never moves
+        em.emit(f"{s}.pending = {s}.state + 0")
+        return True
+    em.emit(f"_t = {s}.state + 1")
+    if c.wrap_at is not None:
+        em.emit(f"_t = _where(_t >= {c.wrap_at}, 0, _t)")
+    em.emit(f"_t = _t & {_mask(c.width)}")
+    counted = f"_where({en} & 1, _t, {s}.state)" if en is not None else f"{s}.state + 0"
+    if load is not None:
+        em.emit(f"{s}.pending = _where({load} & 1, {d} & {_mask(c.width)}, {counted})")
+    else:
+        em.emit(f"{s}.pending = {counted}")
+    return True
+
+
+def _b_capture_accumulator(em: SourceEmitter, c, holders) -> bool:
+    d = em.req(c, "d")
+    en = em.req(c, "en")
+    if en is not None and d is None:
+        return False
+    s = em.bind(f"_s{em.uid()}", holders[c])
+    clr = em.req(c, "clear")
+    add = f"({s}.state + {d}) & {_mask(c.width)}"
+    if clr is not None and en is not None:
+        em.emit(f"{s}.pending = _where({clr} & 1, 0, _where({en} & 1, {add}, {s}.state))")
+    elif clr is not None:
+        em.emit(f"{s}.pending = _where({clr} & 1, 0, {s}.state)")
+    elif en is not None:
+        em.emit(f"{s}.pending = _where({en} & 1, {add}, {s}.state)")
+    else:
+        em.emit(f"{s}.pending = {s}.state + 0")
+    return True
+
+
+def _b_capture_aggregator(em: SourceEmitter, c, holders) -> bool:
+    s = em.bind(f"_s{em.uid()}", holders[c])
+    terms = [em.req(c, f"e{i}") for i in range(c.n_inputs)]
+    total = " + ".join(t for t in terms if t is not None) or "0"
+    clr = em.req(c, "clear")
+    add = f"({s}.a + {total}) & {_mask(c.total_width)}"
+    if clr is not None:
+        em.emit(f"{s}.pending_a = _where({clr} & 1, 0, {add})")
+    else:
+        em.emit(f"{s}.pending_a = {add}")
+    return True
+
+
+def _b_capture_fsm(em: SourceEmitter, c, holders) -> bool:
+    s = em.bind(f"_s{em.uid()}", holders[c])
+    em.emit(f"_st = {s}.state")
+    em.emit("_pend = _st + 0")
+    em.emit("_open = _st >= 0")  # all-True: no transition matched yet
+    for transition in c.transitions:
+        src = c.state_index[transition.source]
+        tgt = c.state_index[transition.target]
+        conds = [f"(_st == {src})", "_open"]
+        for guard in transition.guards:
+            expr = em.req(c, guard.signal)
+            if expr is None:
+                expr = "0"  # unconnected status input reads as 0
+            if guard.signed:
+                expr = _signed(expr, c.input_widths[guard.signal])
+            conds.append(f"(({expr}) {guard.op} {guard.value})")
+        em.emit(f"_c = {' & '.join(conds)}")
+        em.emit(f"_pend = _where(_c, {tgt}, _pend)")
+        em.emit("_open = _open & ~_c")
+    em.emit(f"{s}.pending = _pend")
+    return True
+
+
+def _b_capture_memory(em: SourceEmitter, c, holders) -> bool:
+    s = em.bind(f"_s{em.uid()}", holders[c])
+    addr = em.opt(c, "addr", 0)
+    we = em.req(c, "we")
+    wdata = em.opt(c, "wdata", 0)
+    em.emit(f"_ad = {_lane_addr(addr, c.depth)}")
+    em.emit(f"{s}.w_addr = _ad")
+    em.emit(f"{s}.w_en = {we} & 1" if we is not None else f"{s}.w_en = _ad * 0")
+    em.emit(f"{s}.w_data = _ad * 0 + ({wdata})")
+    # read-before-write semantics for the registered read port
+    em.emit(f"{s}.pending_read = {s}.mem[_ad, _lidx]")
+    return True
+
+
+def _b_capture_regfile(em: SourceEmitter, c, holders) -> bool:
+    s = em.bind(f"_s{em.uid()}", holders[c])
+    we = em.req(c, "we")
+    waddr = em.opt(c, "waddr", 0)
+    wdata = em.opt(c, "wdata", 0)
+    em.emit(f"_ad = {_lane_addr(waddr, c.depth)}")
+    em.emit(f"{s}.w_addr = _ad")
+    em.emit(f"{s}.w_en = {we} & 1" if we is not None else f"{s}.w_en = _ad * 0")
+    em.emit(f"{s}.w_data = _ad * 0 + ({wdata})")
+    return True
+
+
+def _b_capture_power_model(em: SourceEmitter, c, holders) -> bool:
+    if c.sample_on_strobe_only:
+        return False  # paper-literal sampling stays on the lane-scalar path
+    uid = em.uid()
+    s = em.bind(f"_s{uid}", holders[c])
+    strobe = em.opt(c, "strobe", 0)
+    em.emit(f"_e = {c.base_code}")
+    for index, (port_name, in_name, _, tables) in enumerate(c._chunked):
+        cur = em.opt(c, in_name, 0)
+        em.emit(f"_t = {s}.prev[{index}] ^ {cur}")
+        em.emit(f"{s}.pending_prev[{index}] = {cur} + 0")
+        for chunk, table in enumerate(tables):
+            tname = em.bind(f"_tb{uid}_{em.uid()}", np.asarray(table, dtype=np.int64))
+            if chunk == 0:
+                index_expr = "_t" if len(tables) == 1 else "_t & 255"
+            else:
+                index_expr = f"(_t >> {8 * chunk}) & 255"
+            # table[0] is always 0, so charging untoggled lanes adds nothing —
+            # the vectorized form of the scalar emitter's `if _t:` guard
+            em.emit(f"_e = _e + {tname}[{index_expr}]")
+    em.emit(f"_a = {s}.accumulated + _e")
+    em.emit(f"_sb = {strobe} & 1")
+    em.emit(f"{s}.pending_output = _where(_sb, _a & {_mask(c.energy_width)}, 0)")
+    em.emit(f"{s}.pending_accumulated = _where(_sb, 0, _a)")
+    return True
+
+
+def _b_capture_strobe(em: SourceEmitter, c, holders) -> bool:
+    s = em.bind(f"_s{em.uid()}", holders[c])
+    en = em.req(c, "enable")
+    if c.period == 1:
+        count, strobe = "0", "1"
+    else:
+        em.emit(f"_t = {s}.a + 1")
+        em.emit(f"_t = _where(_t >= {c.period}, 0, _t)")
+        count, strobe = "_t", f"(_t == {c.period - 1}) * 1"
+    if en is not None:
+        em.emit(f"_en = {en} & 1")
+        em.emit(f"{s}.pending_a = _where(_en, {count}, {s}.a)")
+        em.emit(f"{s}.pending_b = _where(_en, {strobe}, 0)")
+    else:
+        # an unconnected enable defaults to 1 in PowerStrobeGenerator.capture
+        em.emit(f"{s}.pending_a = {count} + {s}.a * 0")
+        em.emit(f"{s}.pending_b = {strobe} + {s}.b * 0")
+    return True
+
+
+# ---------------------------------------------------------------- commits
+
+
+def _b_commit_state(em: SourceEmitter, c, holders) -> None:
+    s = em.bind(f"_s{em.uid()}", holders[c])
+    em.emit(f"{s}.state = {s}.pending")
+
+
+def _b_commit_aggregator(em: SourceEmitter, c, holders) -> None:
+    s = em.bind(f"_s{em.uid()}", holders[c])
+    em.emit(f"{s}.a = {s}.pending_a")
+
+
+def _b_commit_strobe(em: SourceEmitter, c, holders) -> None:
+    s = em.bind(f"_s{em.uid()}", holders[c])
+    em.emit(f"{s}.a = {s}.pending_a")
+    em.emit(f"{s}.b = {s}.pending_b")
+
+
+def _b_commit_memory(em: SourceEmitter, c, holders) -> None:
+    s = em.bind(f"_s{em.uid()}", holders[c])
+    if c.sync_read:
+        em.emit(f"{s}.read_reg = {s}.pending_read")
+    if c.ports["we"].net is not None:
+        em.emit(f"_msk = {s}.w_en != 0")
+        em.emit(f"{s}.mem[{s}.w_addr[_msk], _lidx[_msk]] = {s}.w_data[_msk]")
+
+
+def _b_commit_regfile(em: SourceEmitter, c, holders) -> None:
+    s = em.bind(f"_s{em.uid()}", holders[c])
+    if c.ports["we"].net is not None:
+        em.emit(f"_msk = {s}.w_en != 0")
+        em.emit(f"{s}.mem[{s}.w_addr[_msk], _lidx[_msk]] = {s}.w_data[_msk]")
+
+
+def _b_commit_power_model(em: SourceEmitter, c, holders) -> None:
+    s = em.bind(f"_s{em.uid()}", holders[c])
+    em.emit(f"{s}.prev = {s}.pending_prev")
+    em.emit(f"{s}.pending_prev = list({s}.prev)")
+    em.emit(f"{s}.accumulated = {s}.pending_accumulated")
+    em.emit(f"{s}.output = {s}.pending_output")
+
+
+_BATCH_TABLES: Optional[tuple] = None
+
+
+def _batch_tables() -> tuple:
+    """Lazily resolved class-keyed dispatch tables (avoids import cycles)."""
+    global _BATCH_TABLES
+    if _BATCH_TABLES is not None:
+        return _BATCH_TABLES
+
+    from repro.core.aggregator import PowerAggregator
+    from repro.core.power_model_hw import HardwarePowerModel
+    from repro.core.strobe import PowerStrobeGenerator
+    from repro.netlist import components as comps
+    from repro.netlist import sequential as seq
+    from repro.netlist.fsm import FSMController
+
+    comb = {
+        comps.Adder: _b_adder,
+        comps.Subtractor: _b_subtractor,
+        comps.AddSub: _b_addsub,
+        comps.Multiplier: _b_multiplier,
+        comps.Comparator: _b_comparator,
+        comps.AbsoluteValue: _b_absval,
+        comps.Saturator: _b_saturator,
+        comps.ShifterConst: _b_shifter_const,
+        comps.ShifterVar: _b_shifter_var,
+        comps.Mux: _b_mux,
+        comps.LogicOp: _b_logic,
+        comps.NotOp: _b_not,
+        comps.ReduceOp: _b_reduce,
+        comps.Concat: _b_concat,
+        comps.Slice: _b_slice,
+        comps.Extend: _b_extend,
+        comps.Decoder: _b_decoder,
+        seq.ROM: _b_rom,
+        seq.RegisterFile: _b_regfile_read,
+        seq.Memory: _b_memory_async_read,
+    }
+    state = {
+        seq.Register: _b_state_register_like,
+        seq.Counter: _b_state_register_like,
+        seq.Accumulator: _b_state_register_like,
+        seq.Memory: _b_state_memory,
+        comps.Constant: _b_state_constant,
+        FSMController: _b_state_fsm,
+        HardwarePowerModel: _b_state_power_model,
+        PowerAggregator: _b_state_aggregator,
+        PowerStrobeGenerator: _b_state_strobe,
+    }
+    capture = {
+        seq.Register: _b_capture_register,
+        seq.Counter: _b_capture_counter,
+        seq.Accumulator: _b_capture_accumulator,
+        seq.Memory: _b_capture_memory,
+        seq.RegisterFile: _b_capture_regfile,
+        FSMController: _b_capture_fsm,
+        HardwarePowerModel: _b_capture_power_model,
+        PowerAggregator: _b_capture_aggregator,
+        PowerStrobeGenerator: _b_capture_strobe,
+    }
+    commit = {
+        seq.Register: _b_commit_state,
+        seq.Counter: _b_commit_state,
+        seq.Accumulator: _b_commit_state,
+        seq.Memory: _b_commit_memory,
+        seq.RegisterFile: _b_commit_regfile,
+        FSMController: _b_commit_state,
+        HardwarePowerModel: _b_commit_power_model,
+        PowerAggregator: _b_commit_aggregator,
+        PowerStrobeGenerator: _b_commit_strobe,
+    }
+
+    def make_holder(component):
+        if isinstance(component, seq.Register):
+            return lambda n: LaneState(n, component.reset_value)
+        if isinstance(component, (seq.Counter, seq.Accumulator)):
+            return lambda n: LaneState(n, 0)
+        if isinstance(component, (seq.Memory, seq.RegisterFile)):
+            return lambda n: LaneMemoryState(n, component._initial)
+        if isinstance(component, FSMController):
+            reset_index = component.state_index[component.reset_state]
+            return lambda n: LaneFSMState(n, reset_index)
+        if isinstance(component, PowerAggregator):
+            return lambda n: LanePairState(n, 0, 0)
+        if isinstance(component, PowerStrobeGenerator):
+            strobe0 = 1 if component.period == 1 else 0
+            return lambda n: LanePairState(n, 0, strobe0)
+        if isinstance(component, HardwarePowerModel):
+            return lambda n: LanePowerState(n, len(component._chunked))
+        return None
+
+
+    _BATCH_TABLES = (comb, state, capture, commit, make_holder)
+    return _BATCH_TABLES
+
+
+# ---------------------------------------------------------------------------
+# Program compilation.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BatchProgram:
+    """The lane-vectorized executable form of one module's schedule."""
+
+    n_slots: int
+    n_lanes: int
+    slot_of: Dict[Net, int]
+    dtype: object
+    settle: Callable[[np.ndarray], None]
+    clock_edge: Callable[[np.ndarray], None]
+    source: str
+    n_fused: int
+    n_fallback: int
+    #: per-lane state holders for fused sequential components
+    holders: Dict[object, object] = None  # type: ignore[assignment]
+    #: lane-scalar fallback wrappers (state reset goes through these)
+    lane_components: List[LaneComponent] = None  # type: ignore[assignment]
+
+    def reset_state(self) -> None:
+        """Return every lane of every sequential component to its reset state."""
+        for holder in self.holders.values():
+            holder.reset()
+        for lane_component in self.lane_components:
+            lane_component.reset()
+
+
+def _generate_batch_source(
+    module: Module,
+    schedule: Schedule,
+    slot_of: Dict[Net, int],
+    n_lanes: int,
+    force_fallback: bool,
+) -> Tuple[str, Dict[str, object], int, int, Dict[object, object], List[LaneComponent]]:
+    comb_table, state_table, capture_table, commit_table, make_holder = _batch_tables()
+    if force_fallback:
+        comb_table = state_table = capture_table = {}
+        commit_table = {}
+    em = SourceEmitter(slot_of)
+
+    holders: Dict[object, object] = {}
+    lane_components: Dict[object, LaneComponent] = {}
+
+    def holder_for(component):
+        if component not in holders:
+            factory = make_holder(component) if not force_fallback else None
+            if factory is None:
+                return None
+            holders[component] = factory(n_lanes)
+        return holders[component]
+
+    def lane_component_for(component) -> LaneComponent:
+        if component not in lane_components:
+            wrapper = LaneComponent(component, n_lanes)
+            wrapper.bind(slot_of)
+            lane_components[component] = wrapper
+        return lane_components[component]
+
+    class _Holders:
+        def __getitem__(self, component):
+            holder = holder_for(component)
+            if holder is None:
+                raise KeyError(component)
+            return holder
+
+    holder_map = _Holders()
+
+    def emit_fallback(component, method: str) -> None:
+        wrapper = lane_component_for(component)
+        name = em.bind(f"_lc{em.uid()}", wrapper)
+        em.emit(f"{name}.{method}(v)")
+        em.n_fallback += 1
+
+    # Decide each sequential component's mode up front with a capture dry run:
+    # a component whose capture cannot fuse must also keep its state outputs
+    # (and any combinational path) on the lane-scalar path, so per-lane holder
+    # state and the component's own scalar state never mix.
+    fallback_sequential = set()
+    scratch = SourceEmitter(slot_of)
+    for component in schedule.sequential:
+        emitter = capture_table.get(type(component))
+        fused = False
+        if emitter is not None:
+            scratch.lines = []
+            try:
+                fused = emitter(scratch, component, holder_map)
+            except KeyError:
+                fused = False
+        if not fused:
+            fallback_sequential.add(component)
+
+    lines: List[str] = ["def _settle(v):"]
+    em.lines = body = []
+    for component in schedule.state_sources:
+        emitter = state_table.get(type(component))
+        done = False
+        if component not in fallback_sequential and emitter is not None:
+            try:
+                done = emitter(em, component, holder_map)
+            except KeyError:
+                done = False
+        if done:
+            em.n_fused += 1
+        else:
+            emit_fallback(component, "state_outputs")
+    for component in schedule.ordered:
+        emitter = comb_table.get(type(component))
+        if (
+            component not in fallback_sequential
+            and emitter is not None
+            and emitter(em, component, holder_map)
+        ):
+            em.n_fused += 1
+        else:
+            emit_fallback(component, "evaluate")
+    if not body:
+        body.append("pass")
+    lines.extend("    " + line for line in body)
+
+    lines.append("")
+    lines.append("def _clock_edge(v):")
+    em.lines = body = []
+    fused_sequential = []
+    for component in schedule.sequential:
+        if component in fallback_sequential:
+            # per-lane capture+commit in one pass; nets are never written by
+            # commits, so this is equivalent to the two-phase scalar order
+            emit_fallback(component, "clock_edge")
+            continue
+        done = capture_table[type(component)](em, component, holder_map)
+        assert done, f"capture dry run and emission disagree for {component!r}"
+        em.n_fused += 1
+        fused_sequential.append(component)
+    for component in fused_sequential:
+        commit_table.get(type(component), _b_commit_state)(em, component, holder_map)
+    if not body:
+        body.append("pass")
+    lines.extend("    " + line for line in body)
+
+    source = "\n".join(lines) + "\n"
+    return source, em.env, em.n_fused, em.n_fallback, holders, list(lane_components.values())
+
+
+#: module -> (mutation_key, n_lanes, schedule, program)
+_BATCH_CACHE: "weakref.WeakKeyDictionary[Module, tuple]" = weakref.WeakKeyDictionary()
+
+
+def compile_module_batch(
+    module: Module, n_lanes: int, schedule: Optional[Schedule] = None
+) -> BatchProgram:
+    """Compile ``module`` into a lane-vectorized :class:`BatchProgram` (cached).
+
+    The program owns per-lane sequential state, so — like the scalar
+    ``Simulator`` over a shared module — only one :class:`BatchSimulator`
+    should actively drive a given module at a time.
+    """
+    if n_lanes < 1:
+        raise ValueError(f"batch compilation needs n_lanes >= 1, got {n_lanes}")
+    if schedule is None:
+        schedule = schedule_for(module)
+    key = module_mutation_key(module)
+    cached = _BATCH_CACHE.get(module)
+    if cached is not None and cached[0] == key and cached[1] == n_lanes and cached[2] is schedule:
+        return cached[3]
+
+    max_width = max((net.width for net in module.nets.values()), default=0)
+    force_fallback = max_width > MAX_LANE_WIDTH
+    dtype = object if force_fallback else np.int64
+
+    slot_of = {net: slot for slot, net in enumerate(module.nets.values())}
+    try:
+        source, env, n_fused, n_fallback, holders, lane_comps = _generate_batch_source(
+            module, schedule, slot_of, n_lanes, force_fallback
+        )
+        code = compile(source, f"<batch:{module.name}>", "exec")
+        namespace = dict(env)
+        namespace.update(
+            _where=np.where,
+            _minimum=np.minimum,
+            _abs=np.abs,
+            _stack=np.stack,
+            _popcount=_popcount_u64,
+            _one=np.int64(1),
+            _lidx=np.arange(n_lanes),
+        )
+        namespace["__builtins__"] = {"list": list}
+        exec(code, namespace)
+    except Exception as error:
+        raise BatchCompilationError(
+            f"failed to batch-compile module {module.name!r}: {error}"
+        ) from error
+
+    program = BatchProgram(
+        n_slots=len(module.nets),
+        n_lanes=n_lanes,
+        slot_of=slot_of,
+        dtype=dtype,
+        settle=namespace["_settle"],
+        clock_edge=namespace["_clock_edge"],
+        source=source,
+        n_fused=n_fused,
+        n_fallback=n_fallback,
+        holders=holders,
+        lane_components=lane_comps,
+    )
+    try:
+        _BATCH_CACHE[module] = (key, n_lanes, schedule, program)
+    except TypeError:  # pragma: no cover - unweakrefable module subclass
+        pass
+    return program
+
+
+# ---------------------------------------------------------------------------
+# The batch simulator.
+# ---------------------------------------------------------------------------
+
+ArrayLike = Union[int, Sequence[int], np.ndarray]
+
+
+class BatchSimulator:
+    """Cycle-accurate simulation of ``n_lanes`` independent stimulus lanes.
+
+    The API mirrors :class:`~repro.sim.engine.Simulator` but every value is an
+    ``(n_lanes,)`` array: ``set_input`` accepts a scalar (broadcast to all
+    lanes) or a per-lane array, ``get_output``/``get_net`` return per-lane
+    arrays.  Lane ``i`` behaves exactly like a scalar simulation driven with
+    lane ``i``'s inputs — components the batch code generator cannot fuse run
+    their scalar ``evaluate``/``capture`` per lane with private per-lane
+    state (see :class:`LaneComponent`), so results never depend on lane count.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        n_lanes: int,
+        schedule: Optional[Schedule] = None,
+    ) -> None:
+        if n_lanes < 1:
+            raise ValueError(f"BatchSimulator needs n_lanes >= 1, got {n_lanes}")
+        self.module = module
+        self.n_lanes = n_lanes
+        self.schedule = schedule if schedule is not None else schedule_for(module)
+        self.program = compile_module_batch(module, n_lanes, self.schedule)
+        self.cycle = 0
+        self._v = np.zeros((self.program.n_slots, n_lanes), dtype=self.program.dtype)
+        slot_of = self.program.slot_of
+        self._input_keys = {
+            name: (slot_of[port.net], port.net.width)
+            for name, port in module.ports.items()
+            if port.is_input
+        }
+        self._output_keys = {
+            name: slot_of[port.net] for name, port in module.ports.items() if port.is_output
+        }
+        self.reset()
+
+    # -------------------------------------------------------------- control
+    def reset(self) -> None:
+        """Reset all per-lane sequential state, zero all nets, then settle."""
+        self.program.reset_state()
+        self._v[:] = 0
+        self.cycle = 0
+        self.settle()
+
+    # ------------------------------------------------------------------ I/O
+    def _coerce(self, value: ArrayLike, width: int) -> ArrayLike:
+        mask = (1 << width) - 1
+        if isinstance(value, (int, np.integer)):
+            return int(value) & mask
+        array = np.asarray(value)
+        if array.shape != (self.n_lanes,):
+            raise ValueError(
+                f"per-lane input must have shape ({self.n_lanes},), got {array.shape}"
+            )
+        if self.program.dtype is object:
+            return np.array([int(x) & mask for x in array], dtype=object)
+        return array.astype(np.int64) & mask
+
+    def set_input(self, name: str, value: ArrayLike) -> None:
+        """Drive a module input: one scalar for all lanes, or a per-lane array."""
+        try:
+            slot, width = self._input_keys[name]
+        except KeyError:
+            valid = ", ".join(sorted(self._input_keys)) or "<none>"
+            raise KeyError(
+                f"module {self.module.name!r} has no input port {name!r}; "
+                f"valid input ports: {valid}"
+            ) from None
+        self._v[slot] = self._coerce(value, width)
+
+    def set_inputs(self, inputs: Mapping[str, ArrayLike]) -> None:
+        for name, value in inputs.items():
+            self.set_input(name, value)
+
+    def get_output(self, name: str) -> np.ndarray:
+        """Per-lane values of a module output port (as of the last settle)."""
+        try:
+            slot = self._output_keys[name]
+        except KeyError:
+            valid = ", ".join(sorted(self._output_keys)) or "<none>"
+            raise KeyError(
+                f"module {self.module.name!r} has no output port {name!r}; "
+                f"valid output ports: {valid}"
+            ) from None
+        return self._v[slot].copy()
+
+    def get_outputs(self) -> Dict[str, np.ndarray]:
+        return {name: self._v[slot].copy() for name, slot in self._output_keys.items()}
+
+    def get_net(self, net: Union[Net, str]) -> np.ndarray:
+        """Per-lane values of any net, by object or name."""
+        if isinstance(net, str):
+            net = self.module.nets[net]
+        return self._v[self.program.slot_of[net]].copy()
+
+    # ------------------------------------------------------------ execution
+    def settle(self) -> None:
+        """Propagate combinational logic in every lane."""
+        self.program.settle(self._v)
+
+    def clock_edge(self) -> None:
+        """Capture and commit the next sequential state in every lane."""
+        self.program.clock_edge(self._v)
+
+    def step(self, inputs: Optional[Mapping[str, ArrayLike]] = None, cycles: int = 1) -> None:
+        """Advance all lanes by ``cycles`` clock cycles."""
+        for _ in range(cycles):
+            if inputs:
+                self.set_inputs(inputs)
+            self.settle()
+            self.clock_edge()
+            self.cycle += 1

@@ -1,0 +1,136 @@
+"""Tests for the benchmark-study infrastructure (repro.bench).
+
+Covers the on-disk result cache (keying, code fingerprinting, atomicity),
+the library-form Figure 3 study, and the process-pool shard runner's parity
+with serial execution.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    Fig3Row,
+    Fig3Study,
+    ResultCache,
+    StudyConfig,
+    code_fingerprint,
+    run_sharded,
+    run_study_tasks,
+)
+
+_CHEAP_DESIGNS = ["Bubble_Sort", "HVPeakF"]
+
+
+# ----------------------------------------------------------------- cache
+
+
+def test_result_cache_roundtrip(tmp_path):
+    cache = ResultCache(str(tmp_path), namespace="t")
+    key = cache.key(design="X", config={"bits": 12})
+    assert cache.get(key) is None
+    cache.put(key, {"value": 1.5})
+    assert cache.get(key) == {"value": 1.5}
+    assert cache.clear() == 1
+    assert cache.get(key) is None
+
+
+def test_result_cache_key_depends_on_parts_and_namespace(tmp_path):
+    cache = ResultCache(str(tmp_path), namespace="a")
+    other = ResultCache(str(tmp_path), namespace="b")
+    assert cache.key(design="X") != cache.key(design="Y")
+    assert cache.key(design="X", config={"bits": 12}) != cache.key(
+        design="X", config={"bits": 8}
+    )
+    assert cache.key(design="X") != other.key(design="X")
+
+
+def test_result_cache_survives_corruption(tmp_path):
+    cache = ResultCache(str(tmp_path), namespace="t")
+    key = cache.key(design="X")
+    cache.put(key, {"ok": True})
+    with open(cache._path(key), "w") as handle:
+        handle.write("{not json")
+    assert cache.get(key) is None
+
+
+def test_code_fingerprint_stable_and_hexadecimal():
+    first = code_fingerprint()
+    assert first == code_fingerprint()
+    assert len(first) == 64
+    int(first, 16)
+
+
+# ------------------------------------------------------------ fig3 study
+
+
+def test_fig3_study_disk_cache_hit(tmp_path):
+    cache = ResultCache(str(tmp_path), namespace="fig3")
+    cold = Fig3Study(cache=cache)
+    row = cold.compute("Bubble_Sort")
+    assert cold.cache_hits == {"Bubble_Sort": False}
+
+    warm = Fig3Study(cache=cache)
+    again = warm.compute("Bubble_Sort")
+    assert warm.cache_hits == {"Bubble_Sort": True}
+    assert again.time_emulation_s == row.time_emulation_s
+    assert again.monitored_bits == row.monitored_bits
+    assert again.nominal_cycles == row.nominal_cycles
+
+
+def test_fig3_row_dict_roundtrip():
+    study = Fig3Study()
+    row = study.compute("HVPeakF")
+    clone = Fig3Row.from_dict(json.loads(json.dumps(row.to_dict())))
+    assert clone == row
+    assert clone.speedup_nec == pytest.approx(row.speedup_nec)
+
+
+def test_study_config_participates_in_cache_key(tmp_path):
+    cache = ResultCache(str(tmp_path), namespace="fig3")
+    study = Fig3Study(config=StudyConfig(coefficient_bits=12), cache=cache)
+    study.compute("Bubble_Sort")
+    other = Fig3Study(config=StudyConfig(coefficient_bits=8), cache=cache)
+    other.compute("Bubble_Sort")
+    assert other.cache_hits == {"Bubble_Sort": False}, "different config must miss"
+
+
+# ------------------------------------------------------------- sharding
+
+
+def test_run_sharded_serial_path():
+    outcome = run_sharded(_CHEAP_DESIGNS, n_workers=1)
+    assert sorted(outcome.rows) == sorted(_CHEAP_DESIGNS)
+    assert outcome.n_workers == 1
+    assert all(seconds >= 0.0 for seconds in outcome.task_times_s.values())
+
+
+def test_run_sharded_pool_matches_serial(tmp_path):
+    """One design per worker produces exactly the serial study's rows."""
+    serial = run_sharded(_CHEAP_DESIGNS, n_workers=1)
+    cache = ResultCache(str(tmp_path), namespace="fig3")
+    pooled = run_sharded(_CHEAP_DESIGNS, n_workers=2, cache=cache)
+    for name in _CHEAP_DESIGNS:
+        ours, theirs = serial.rows[name], pooled.rows[name]
+        assert ours.monitored_bits == theirs.monitored_bits
+        assert ours.time_nec_s == theirs.time_nec_s
+        assert ours.time_powertheater_s == theirs.time_powertheater_s
+        assert ours.time_emulation_s == theirs.time_emulation_s
+        assert ours.average_power_mw == theirs.average_power_mw
+    # pooled rows were persisted for the next run
+    config = StudyConfig()
+    for name in _CHEAP_DESIGNS:
+        key = cache.key(design=name, config=config.as_key())
+        assert cache.get(key) is not None
+
+
+def test_run_study_tasks_multi_config():
+    tasks = [(name, StudyConfig(coefficient_bits=bits))
+             for bits in (8, 12) for name in ["Bubble_Sort"]]
+    outcome = run_study_tasks(tasks, n_workers=1)
+    assert len(outcome.task_rows) == 2
+    rows = list(outcome.task_rows.values())
+    # coefficient width changes the instrumentation overhead, not the design
+    assert rows[0].monitored_bits == rows[1].monitored_bits
