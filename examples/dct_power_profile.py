@@ -13,21 +13,18 @@ Run:  python examples/dct_power_profile.py
 
 from __future__ import annotations
 
-from repro.core import InstrumentationConfig, PowerEmulationFlow, compare_reports
+from repro.api import RunSpec, estimate
 from repro.designs import dct
 from repro.netlist import flatten
-from repro.power import RTLPowerEstimator, build_seed_library
 from repro.sim import Simulator, SignalTrace, WaveformRecorder
 from repro.vcd import activity_from_vcd, vcd_string
 
 
 def main() -> None:
-    module = flatten(dct.build())
-    library = build_seed_library()
-
     # -------------------------------------------------- software power profile
-    estimator = RTLPowerEstimator(module, library=library)
-    report = estimator.estimate(dct.testbench(n_blocks=1, seed=1))
+    result = estimate(RunSpec(design="DCT", engine="rtl", seed=1,
+                              keep_cycle_trace=True))
+    report = result.report
     print("=== software RTL power profile (1 block) ===")
     print(report.table(n=12))
     print()
@@ -40,6 +37,7 @@ def main() -> None:
     print()
 
     # ------------------------------------------- conventional VCD-based activity
+    # (signal tracing hooks below the unified API: raw simulator observers)
     sim = Simulator(flatten(dct.build()))
     trace = sim.add_observer(SignalTrace())
     recorder = sim.add_observer(WaveformRecorder())
@@ -55,17 +53,16 @@ def main() -> None:
     print()
 
     # ----------------------------------------------------------- emulated power
-    flow = PowerEmulationFlow(library=library,
-                              config=InstrumentationConfig(coefficient_bits=12))
     nominal_blocks = 4 * 396                  # four QCIF frames
-    flow_report = flow.run(
-        dct.build(), dct.testbench(n_blocks=1, seed=1),
-        workload_cycles=nominal_blocks * 2400,
-    )
-    accuracy = compare_reports(flow_report.power_report, report)
+    emulated = estimate(RunSpec(design="DCT", engine="emulation", seed=1,
+                                workload_cycles=nominal_blocks * 2400,
+                                compare_to_rtl=True))
     print("=== power emulation of the same design ===")
-    print(flow_report.summary())
-    print(accuracy.summary())
+    print(emulated.summary())
+    print(f"  device {emulated.metadata['device']} "
+          f"@ {emulated.metadata['emulation_clock_mhz']:.1f} MHz, "
+          f"LUT overhead {emulated.metadata['lut_overhead']:.1%}, "
+          f"modeled emulation time {emulated.timing['modeled_total_s']:.3f} s")
 
 
 if __name__ == "__main__":

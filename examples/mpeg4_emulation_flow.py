@@ -12,20 +12,19 @@ Run:  python examples/mpeg4_emulation_flow.py
 
 from __future__ import annotations
 
+from repro.api import RunSpec, estimate
 from repro.core import (
     InstrumentationConfig,
-    PowerEmulationFlow,
     SynthesisEstimator,
     VIRTEX2_DEVICES,
     instrument,
 )
-from repro.designs import mpeg4
-from repro.designs.registry import get_design
+from repro.designs import registry
 from repro.power import NEC_RTPOWER, POWERTHEATER, build_seed_library, calibrate_tool
 
 
 def main() -> None:
-    design = get_design("MPEG4")
+    design = registry.get("MPEG4")
     module = design.build()
     library = build_seed_library()
 
@@ -41,17 +40,21 @@ def main() -> None:
               f"FF {utilization['ffs']:7.1%}  BRAM {utilization['bram_kbits']:7.1%}  -> {fits}")
     print()
 
-    # ------------------------------------------------------------- full flow
-    flow = PowerEmulationFlow(library=library,
-                              config=InstrumentationConfig(coefficient_bits=12))
-    report = flow.run(module, design.testbench(), workload_cycles=design.nominal_cycles)
+    # ----------------------------------------------- full flow (unified API)
+    result = estimate(RunSpec(design="MPEG4", engine="emulation",
+                              workload_cycles=design.nominal_cycles))
     print("=== power-emulation flow ===")
-    print(report.summary())
+    print(result.summary())
+    print(f"  {result.metadata['n_power_models']} power models inserted "
+          f"({result.metadata['monitored_bits']} monitored bits); "
+          f"LUT overhead {result.metadata['lut_overhead']:.1%}, "
+          f"FF overhead {result.metadata['ff_overhead']:.1%}")
     print()
 
     # --------------------------------------- commercial tools on this workload
-    bits = report.instrumented.monitored_bits
+    bits = result.metadata["monitored_bits"]
     cycles = design.nominal_cycles
+    emulation_time_s = result.timing["modeled_total_s"]
     nec = calibrate_tool(NEC_RTPOWER, cycles, bits, target_runtime_s=55 * 60.0)
     power_theater = calibrate_tool(POWERTHEATER, cycles, bits, target_runtime_s=43 * 60.0)
     print("=== estimation time for the 4-frame workload ===")
@@ -59,10 +62,10 @@ def main() -> None:
     for tool in (nec, power_theater):
         runtime = tool.estimate_runtime_s(cycles, bits)
         print(f"  {tool.name:13s}: {runtime / 60.0:6.1f} min "
-              f"(speedup of emulation: {runtime / report.emulation_time_s:6.0f}x)")
-    print(f"  power emulation: {report.emulation_time_s:6.2f} s "
-          f"(device {report.emulation.device.name}, "
-          f"{report.emulation.emulation_clock_mhz:.0f} MHz)")
+              f"(speedup of emulation: {runtime / emulation_time_s:6.0f}x)")
+    print(f"  power emulation: {emulation_time_s:6.2f} s "
+          f"(device {result.metadata['device']}, "
+          f"{result.metadata['emulation_clock_mhz']:.0f} MHz)")
 
 
 if __name__ == "__main__":

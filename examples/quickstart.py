@@ -1,65 +1,62 @@
-"""Quickstart: power-emulate the paper's Fig. 1 binary-search circuit.
+"""Quickstart: every estimation engine through the unified API.
 
-Builds the example RTL design, estimates its power with the software RTL
-estimator (the baseline that tools like PowerTheater / NEC-RTpower implement),
-then enhances it with power-estimation hardware, maps it onto a Virtex-II
-emulation platform model and reads the power back from the emulated circuit —
-comparing accuracy and (modeled) estimation time.
+The paper's argument is a *comparison between estimation engines* — software
+RTL estimation, a gate-level baseline, and power emulation — over the same
+designs and workloads.  ``repro.api`` makes that comparison declarative: one
+:class:`~repro.api.RunSpec` names the design (by registry name), the engine,
+the stimulus seed and the cycle budget, and every engine returns the same
+:class:`~repro.api.EstimateResult`.
 
-Run:  python examples/quickstart.py
+This script runs the paper's Fig. 1 binary-search circuit through all three
+engines, then a multi-seed RTL power sweep over BatchSimulator lanes.
+
+Run:  PYTHONPATH=src python examples/quickstart.py
+(or the equivalent CLI:  python -m repro run --design binary_search)
 """
 
 from __future__ import annotations
 
-from repro.core import InstrumentationConfig, PowerEmulationFlow, compare_reports
-from repro.designs import binary_search
-from repro.netlist import flatten, module_stats
-from repro.power import NEC_RTPOWER, POWERTHEATER, RTLPowerEstimator, build_seed_library
+from repro.api import RunSpec, SweepSpec, estimate, sweep
 
 
 def main() -> None:
-    # ------------------------------------------------------------ the design
-    module = binary_search.build()
-    stats = module_stats(module)
-    print("=== design under test ===")
-    print(stats.summary())
-    print()
-
-    library = build_seed_library()
-
-    # ---------------------------------------------- software RTL power estimate
-    testbench = binary_search.testbench(n_searches=32, module=module)
-    estimator = RTLPowerEstimator(flatten(module), library=library)
-    software_report = estimator.estimate(testbench)
-    print("=== software RTL power estimation (baseline) ===")
-    print(software_report.table(n=8))
-    print()
-
-    # -------------------------------------------------------- power emulation
-    flow = PowerEmulationFlow(library=library,
-                              config=InstrumentationConfig(coefficient_bits=12))
-    nominal_cycles = 1_000_000 * 24          # one million searches
-    report = flow.run(
-        module,
-        binary_search.testbench(n_searches=32, module=module),
-        workload_cycles=nominal_cycles,
-    )
-    print("=== power emulation ===")
-    print(report.summary())
-    print()
-    print(report.power_report.table(n=8))
-    print()
-
-    # ----------------------------------------------------------- comparison
-    accuracy = compare_reports(report.power_report, software_report)
-    print("=== accuracy and speed ===")
-    print(accuracy.summary())
-    for tool in (NEC_RTPOWER, POWERTHEATER):
-        tool_time = tool.estimate_runtime_s(nominal_cycles, report.instrumented.monitored_bits)
-        print(
-            f"  {tool.name:13s}: {tool_time:9.1f} s for the nominal workload  "
-            f"-> emulation speedup {tool_time / report.emulation_time_s:6.1f}x"
+    # ---------------------------------------- one spec shape, three engines
+    print("=== the three estimation engines on one spec ===")
+    for engine in ("rtl", "gate", "emulation"):
+        spec = RunSpec(
+            design="binary_search",
+            engine=engine,
+            seed=3,
+            max_cycles=192,
+            compare_to_rtl=(engine != "rtl"),
         )
+        result = estimate(spec)
+        print(result.summary())
+    print()
+
+    # ------------------------------------------------- a closer look at one
+    result = estimate(RunSpec(design="binary_search", engine="emulation",
+                              seed=3, max_cycles=192,
+                              workload_cycles=1_000_000 * 24))
+    print("=== emulation engine detail (modeled Fig. 2 flow) ===")
+    print(result.report.table(n=8))
+    print(f"  device {result.metadata['device']} "
+          f"@ {result.metadata['emulation_clock_mhz']:.1f} MHz; "
+          f"modeled emulation time {result.timing['modeled_total_s']:.3f} s "
+          f"for a {result.metadata['workload_cycles']}-cycle nominal workload")
+    print()
+
+    # --------------------------- multi-seed RTL power sweep on batch lanes
+    print("=== multi-seed RTL power distribution (8 seeds, one lane each) ===")
+    swept = sweep(SweepSpec(designs=("binary_search",), engines=("rtl",),
+                            seeds=tuple(range(8))))
+    print(swept.summary())
+    print(f"  (executed as {swept.results[0].backend}: all seeds advanced by "
+          f"one lane-vectorized settle per cycle)")
+
+    # every result is JSON-round-trippable for caching and artifacts
+    payload = swept.results[0].to_json()
+    print(f"  first result serializes to {len(payload)} bytes of JSON")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,63 @@
+"""repro.api — the unified estimation API.
+
+The paper's argument is a comparison between estimation engines over the same
+designs and workloads; this package is the single front door that makes such
+comparisons one-liners:
+
+* :class:`RunSpec` / :class:`SweepSpec` — frozen, declarative run
+  configurations (design by registry name, engine, stimulus seed, cycle
+  budget, simulation backend),
+* :class:`PowerEstimator` — the protocol all three engine adapters implement
+  (``estimate(spec) -> EstimateResult``): software RTL, gate-level baseline,
+  and the power-emulation flow,
+* :class:`EstimateResult` — the uniform result (PowerReport + timing
+  breakdown + accuracy-vs-baseline + engine metadata), JSON-round-trippable
+  and persisted by the :mod:`repro.bench.cache` layer,
+* :func:`sweep` — the multi-seed sweep runner: BatchSimulator lanes per RTL
+  group, the PR-2 shard pool across groups, and the on-disk result cache,
+* ``python -m repro`` — the CLI (``run``, ``sweep``, ``characterize``,
+  ``fig3``) built on exactly this surface.
+
+Quickstart::
+
+    from repro.api import RunSpec, SweepSpec, estimate, sweep
+
+    result = estimate(RunSpec(design="binary_search", engine="rtl"))
+    print(result.summary())
+
+    swept = sweep(SweepSpec(designs=("DCT",), seeds=tuple(range(8))))
+    print(swept.summary())
+"""
+
+from repro.api.spec import (
+    BACKENDS,
+    ENGINES,
+    EstimateResult,
+    RunSpec,
+    SweepSpec,
+)
+from repro.api.estimators import (
+    EmulationEstimatorAdapter,
+    GateLevelEstimatorAdapter,
+    PowerEstimator,
+    RTLEstimatorAdapter,
+    estimate,
+    estimator_for,
+)
+from repro.api.sweep import SweepResult, sweep
+
+__all__ = [
+    "BACKENDS",
+    "ENGINES",
+    "RunSpec",
+    "SweepSpec",
+    "EstimateResult",
+    "SweepResult",
+    "PowerEstimator",
+    "RTLEstimatorAdapter",
+    "GateLevelEstimatorAdapter",
+    "EmulationEstimatorAdapter",
+    "estimate",
+    "estimator_for",
+    "sweep",
+]

@@ -1,0 +1,223 @@
+"""The ``python -m repro`` command line.
+
+One CLI over the unified estimation API::
+
+    python -m repro run --design binary_search --engine rtl --max-cycles 64
+    python -m repro sweep --designs DCT HVPeakF --seeds 0 1 2 3 --workers 4
+    python -m repro characterize --pairs 150
+    python -m repro fig3 --workers 4
+
+``run`` executes one :class:`~repro.api.spec.RunSpec` through any engine,
+``sweep`` fans a (design × engine × seed) grid over batch lanes + the shard
+pool, ``characterize`` fits macromodels against the gate-level references,
+and ``fig3`` reproduces the paper's Figure 3 study (the former
+``python -m repro.bench.fig3`` entry, which remains as a shim).  Every
+subcommand can emit its result as a JSON artifact via ``--json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+
+def _add_common_run_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.api.spec import BACKENDS
+
+    parser.add_argument("--max-cycles", type=int, default=None,
+                        help="cycle budget (default: the testbench's own)")
+    parser.add_argument("--backend", choices=BACKENDS, default="auto",
+                        help="simulation backend (default auto; batch = lane path)")
+    parser.add_argument("--coefficient-bits", type=int, default=12,
+                        help="instrumentation coefficient width (emulation engine)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the result as a JSON artifact")
+
+
+def _design_names() -> List[str]:
+    from repro.designs.registry import all_designs
+
+    return sorted(all_designs())
+
+
+def _write_json(path: Optional[str], payload: dict) -> None:
+    if not path:
+        return
+    with open(path, "w") as handle:
+        json.dump(payload, handle, sort_keys=True, indent=2)
+    print(f"wrote {path}")
+
+
+# ------------------------------------------------------------------ run
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.api import RunSpec, estimate
+
+    spec = RunSpec(
+        design=args.design,
+        engine=args.engine,
+        seed=args.seed,
+        max_cycles=args.max_cycles,
+        backend=args.backend,
+        coefficient_bits=args.coefficient_bits,
+        workload_cycles=args.workload_cycles,
+        compare_to_rtl=args.compare_to_rtl,
+    )
+    result = estimate(spec)
+    print(result.report.table(n=args.top))
+    print()
+    print(result.summary())
+    if result.metadata.get("device"):
+        print(f"  device {result.metadata['device']} "
+              f"@ {result.metadata['emulation_clock_mhz']:.1f} MHz, "
+              f"LUT overhead {result.metadata['lut_overhead']:.1%}")
+    _write_json(args.json, result.to_dict())
+    return 0
+
+
+# ---------------------------------------------------------------- sweep
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.api import SweepSpec, sweep
+
+    spec = SweepSpec(
+        designs=tuple(args.designs),
+        engines=tuple(args.engines),
+        seeds=tuple(args.seeds),
+        max_cycles=args.max_cycles,
+        backend=args.backend,
+        coefficient_bits=args.coefficient_bits,
+        n_workers=args.workers,
+        cache_dir=args.cache_dir or None,
+    )
+    result = sweep(spec)
+    print(result.summary())
+    _write_json(args.json, result.to_dict())
+    return 0
+
+
+# --------------------------------------------------------- characterize
+def _characterize_components(names: Optional[List[str]]):
+    from repro.netlist.components import Adder, Comparator, LogicOp, Multiplier
+
+    builders = {
+        "adder8": lambda: Adder("adder8", 8),
+        "adder16": lambda: Adder("adder16", 16),
+        "mult8": lambda: Multiplier("mult8", 8),
+        "cmp16": lambda: Comparator("cmp16", 16),
+        "xor16": lambda: LogicOp("xor16", "xor", 16),
+    }
+    selected = names if names else sorted(builders)
+    unknown = sorted(set(selected) - set(builders))
+    if unknown:
+        raise SystemExit(
+            f"unknown component(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(sorted(builders))}"
+        )
+    return [(name, builders[name]()) for name in selected]
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.power import CharacterizationEngine
+
+    engine = CharacterizationEngine(n_pairs=args.pairs, seed=args.seed,
+                                    batch=not args.no_batch)
+    rows = []
+    print(f"{'component':12s} {'R^2':>7s} {'NRMSE':>7s} {'mean E (fJ)':>12s} "
+          f"{'max |err| (fJ)':>15s}")
+    for name, component in _characterize_components(args.components):
+        result = engine.characterize(component)
+        metrics = result.metrics
+        print(f"{name:12s} {metrics.r_squared:7.3f} {metrics.nrmse:7.3f} "
+              f"{metrics.mean_energy_fj:12.1f} {metrics.max_abs_error_fj:15.1f}")
+        rows.append({
+            "component": name,
+            "n_samples": metrics.n_samples,
+            "r_squared": metrics.r_squared,
+            "nrmse": metrics.nrmse,
+            "mean_energy_fj": metrics.mean_energy_fj,
+            "max_abs_error_fj": metrics.max_abs_error_fj,
+        })
+    _write_json(args.json, {"n_pairs": args.pairs, "seed": args.seed, "models": rows})
+    return 0
+
+
+# ----------------------------------------------------------------- main
+def build_parser() -> argparse.ArgumentParser:
+    from repro.api.spec import ENGINES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Unified power-estimation CLI (Coburn/Ravi/Raghunathan, DATE'05 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="one estimation run through any engine")
+    run.add_argument("--design", required=True, choices=_design_names())
+    run.add_argument("--engine", choices=ENGINES, default="rtl")
+    run.add_argument("--seed", type=int, default=None,
+                     help="stimulus seed (default: the design's standard stimulus)")
+    run.add_argument("--workload-cycles", type=int, default=None,
+                     help="nominal workload for the emulation time model")
+    run.add_argument("--compare-to-rtl", action="store_true",
+                     help="attach accuracy vs a software-RTL reference run")
+    run.add_argument("--top", type=int, default=10,
+                     help="component rows to print in the power table")
+    _add_common_run_arguments(run)
+    run.set_defaults(func=_cmd_run)
+
+    swp = sub.add_parser("sweep", help="(design x engine x seed) sweep: "
+                                       "batch lanes + shard pool + cache")
+    swp.add_argument("--designs", nargs="+", required=True, choices=_design_names())
+    swp.add_argument("--engines", nargs="+", choices=ENGINES, default=["rtl"])
+    swp.add_argument("--seeds", nargs="+", type=int, default=[0, 1],
+                     help="stimulus seeds (one RTL lane per seed)")
+    swp.add_argument("--workers", type=int, default=1,
+                     help="shard-pool worker processes (1 = serial)")
+    swp.add_argument("--cache-dir", default="",
+                     help="on-disk result cache directory ('' disables caching)")
+    _add_common_run_arguments(swp)
+    swp.set_defaults(func=_cmd_sweep)
+
+    cha = sub.add_parser("characterize",
+                         help="fit macromodels against gate-level references")
+    cha.add_argument("--components", nargs="*", default=None,
+                     help="subset of the standard component set")
+    cha.add_argument("--pairs", type=int, default=150,
+                     help="training vector pairs per component")
+    cha.add_argument("--seed", type=int, default=2005)
+    cha.add_argument("--no-batch", action="store_true",
+                     help="use the scalar (non-lane) characterization path")
+    cha.add_argument("--json", metavar="PATH", default=None,
+                     help="write fit metrics as a JSON artifact")
+    cha.set_defaults(func=_cmd_characterize)
+
+    # listed for `python -m repro --help` only: every real fig3 invocation —
+    # including `fig3 --help` — is forwarded to the study's own parser by
+    # main() before argparse runs
+    sub.add_parser("fig3", add_help=False,
+                   help="the paper's Figure 3 study (sharded + cached); "
+                        "all arguments forward to repro.bench.fig3")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["fig3"]:
+        # forward everything after `fig3` — including --help — to the
+        # study's own parser (argparse REMAINDER does not reliably pass
+        # optionals through sub-parsers)
+        from repro.bench.fig3 import main as fig3_main
+
+        return fig3_main(argv[1:])
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (KeyError, ValueError) as error:
+        # registry lookups and spec validation raise with actionable messages
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,382 @@
+"""The :class:`PowerEstimator` protocol and its three engine adapters.
+
+Every estimation engine in the repository — the software RTL macromodel
+estimator, the gate-level re-simulation baseline, and the power-emulation
+flow — is exposed through one uniform surface::
+
+    result = estimate(RunSpec(design="DCT", engine="rtl", seed=7))
+
+Adapters resolve registry designs by name, auto-flatten hierarchical modules,
+resolve the simulation backend declaratively (``auto``/``compiled``/
+``interp``/``batch``), and return the same :class:`EstimateResult` shape, so
+examples, benchmarks, the sweep runner and the CLI share one code path
+instead of hand-wiring each engine's constructor signature.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Protocol, runtime_checkable
+
+from repro.api.spec import ENGINES, EstimateResult, RunSpec
+from repro.netlist.flatten import flatten
+from repro.netlist.module import Module
+from repro.power.library import PowerModelLibrary, build_seed_library
+from repro.power.report import PowerReport
+from repro.power.technology import CB130M_TECHNOLOGY, Technology
+from repro.sim.testbench import Testbench
+
+
+@runtime_checkable
+class PowerEstimator(Protocol):
+    """Uniform front door of every estimation engine."""
+
+    #: engine key this estimator implements (``rtl`` / ``gate`` / ``emulation``)
+    engine: str
+
+    def estimate(self, spec: RunSpec) -> EstimateResult:
+        """Run the spec and return the uniform result."""
+        ...
+
+
+class _EngineAdapter:
+    """Shared plumbing: design resolution, auto-flattening, libraries, timing.
+
+    ``module``/``testbench_factory`` override the registry: pass an explicit
+    (possibly hierarchical) module and a ``factory(seed) -> Testbench`` to
+    estimate designs that are not registered.  Hierarchical modules are
+    flattened automatically — the adapters never surface the legacy
+    constructors' flatten-first requirement.
+    """
+
+    engine = "abstract"
+
+    def __init__(
+        self,
+        module: Optional[Module] = None,
+        testbench_factory: Optional[Callable[[Optional[int]], Testbench]] = None,
+        library: Optional[PowerModelLibrary] = None,
+        technology: Technology = CB130M_TECHNOLOGY,
+    ) -> None:
+        if module is not None and testbench_factory is None:
+            raise ValueError(
+                "an explicit module needs a testbench_factory(seed) -> Testbench"
+            )
+        self._module = module
+        self._testbench_factory = testbench_factory
+        self._library = library
+        self.technology = technology
+        self._flat_cache: Optional[Module] = None
+
+    # ------------------------------------------------------------ resolution
+    def library_for(self, spec: RunSpec) -> PowerModelLibrary:
+        if self._library is None:
+            # spec validation restricts `library` to the deterministic seed set
+            self._library = build_seed_library(self.technology)
+        return self._library
+
+    def _resolve_flat(self, spec: RunSpec) -> Module:
+        """The flat module to simulate (auto-flattened, cached per adapter)."""
+        if self._module is not None:
+            if self._flat_cache is None:
+                module = self._module
+                self._flat_cache = flatten(module) if module.is_hierarchical else module
+            return self._flat_cache
+        from repro.designs.registry import build_flat
+
+        return build_flat(spec.design)
+
+    def _resolve_hierarchical(self, spec: RunSpec) -> Module:
+        """A fresh, possibly hierarchical module (the emulation flow
+        instruments and flattens on its own)."""
+        if self._module is not None:
+            return self._module
+        from repro.designs.registry import get
+
+        return get(spec.design).build()
+
+    def _resolve_testbench(self, spec: RunSpec) -> Testbench:
+        if self._testbench_factory is not None:
+            return self._testbench_factory(spec.seed)
+        from repro.designs.registry import get
+
+        return get(spec.design).make_testbench(spec.seed)
+
+    def _check_spec(self, spec: RunSpec) -> None:
+        if spec.engine != self.engine:
+            raise ValueError(
+                f"spec requests engine {spec.engine!r} but this adapter "
+                f"implements {self.engine!r}; use estimator_for(spec.engine)"
+            )
+
+    # -------------------------------------------------------------- accuracy
+    def _accuracy_vs_rtl(self, spec: RunSpec, report: PowerReport) -> Dict[str, float]:
+        from repro.core.accuracy import compare_reports
+
+        reference_spec = spec.replace(
+            engine="rtl", backend="auto", compare_to_rtl=False, keep_cycle_trace=False
+        )
+        reference = RTLEstimatorAdapter(
+            module=self._module,
+            testbench_factory=self._testbench_factory,
+            library=self._library,
+            technology=self.technology,
+        ).estimate(reference_spec)
+        accuracy = compare_reports(report, reference.report)
+        return {
+            "relative_error": accuracy.relative_error,
+            "reference_power_mw": accuracy.reference_power_mw,
+            "test_power_mw": accuracy.test_power_mw,
+        }
+
+    def _finish(
+        self,
+        spec: RunSpec,
+        report: PowerReport,
+        backend: str,
+        start: float,
+        setup_s: float,
+        metadata: Dict[str, object],
+    ) -> EstimateResult:
+        if not spec.keep_cycle_trace:
+            report.cycle_energy_fj = []
+        accuracy = None
+        if spec.compare_to_rtl:
+            accuracy = self._accuracy_vs_rtl(spec, report)
+        total = time.perf_counter() - start
+        return EstimateResult(
+            spec=spec,
+            engine=report.estimator,
+            backend=backend,
+            report=report,
+            timing={
+                "setup_s": setup_s,
+                "estimate_s": report.estimation_time_s,
+                "total_s": total,
+            },
+            accuracy=accuracy,
+            metadata=metadata,
+        )
+
+
+class RTLEstimatorAdapter(_EngineAdapter):
+    """The software RTL macromodel estimator behind the uniform surface.
+
+    ``backend="batch"`` routes through the lane-vectorized
+    :class:`~repro.power.lane_estimator.BatchRTLPowerEstimator` (one lane),
+    falling back to the scalar path when the module or testbench cannot run
+    on lanes; results are backend-independent either way.
+    """
+
+    engine = "rtl"
+
+    def estimate(self, spec: RunSpec) -> EstimateResult:
+        self._check_spec(spec)
+        start = time.perf_counter()
+        library = self.library_for(spec)
+        flat = self._resolve_flat(spec)
+        testbench = self._resolve_testbench(spec)
+        setup_s = time.perf_counter() - start
+
+        if spec.backend == "batch":
+            report, backend = self._estimate_batch(spec, flat, library, testbench)
+        else:
+            backend = "compiled" if spec.backend == "auto" else spec.backend
+            estimator = _get_rtl_estimator(flat, library, self.technology, backend)
+            report = estimator.estimate(
+                testbench,
+                max_cycles=spec.max_cycles,
+                keep_cycle_trace=spec.keep_cycle_trace,
+            )
+        metadata = {
+            "n_monitored_components": report.notes.get("n_monitored_components"),
+            "design": spec.design,
+        }
+        return self._finish(spec, report, backend, start, setup_s, metadata)
+
+    def estimate_many(self, specs) -> list:
+        """Multi-seed batch: all specs share design/engine, one lane per seed.
+
+        Returns one :class:`EstimateResult` per spec.  This is the fast path
+        the sweep runner uses; it degrades to per-spec scalar estimation when
+        the lane path cannot run the module or its testbenches.
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        first = specs[0]
+        for spec in specs:
+            self._check_spec(spec)
+            if spec.design != first.design or spec.max_cycles != first.max_cycles:
+                raise ValueError(
+                    "estimate_many requires specs sharing design and max_cycles"
+                )
+        from repro.power.lane_estimator import BatchRTLPowerEstimator
+        from repro.sim.batch import BatchCompilationError, LaneStateError
+
+        start = time.perf_counter()
+        library = self.library_for(first)
+        flat = self._resolve_flat(first)
+        testbenches = [self._resolve_testbench(spec) for spec in specs]
+        setup_s = time.perf_counter() - start
+        try:
+            estimator = BatchRTLPowerEstimator(flat, library=library,
+                                               technology=self.technology)
+            reports = estimator.estimate_all(
+                testbenches,
+                max_cycles=first.max_cycles,
+                keep_cycle_trace=any(s.keep_cycle_trace for s in specs),
+            )
+            backend = f"batch[{len(specs)}]"
+        except (BatchCompilationError, LaneStateError):
+            fallbacks = []
+            for spec in specs:
+                result = self.estimate(spec.replace(backend="auto"))
+                result.spec = spec  # keep the caller's spec as the result key
+                fallbacks.append(result)
+            return fallbacks
+        results = []
+        for spec, report in zip(specs, reports):
+            metadata = {
+                "n_monitored_components": report.notes.get("n_monitored_components"),
+                "batch_lanes": report.notes.get("batch_lanes"),
+                "design": spec.design,
+            }
+            results.append(
+                self._finish(spec, report, backend, start, setup_s / len(specs), metadata)
+            )
+        return results
+
+    def _estimate_batch(self, spec, flat, library, testbench):
+        from repro.power.lane_estimator import BatchRTLPowerEstimator
+        from repro.sim.batch import BatchCompilationError, LaneStateError
+
+        try:
+            estimator = BatchRTLPowerEstimator(flat, library=library,
+                                               technology=self.technology)
+            reports = estimator.estimate_all(
+                [testbench],
+                max_cycles=spec.max_cycles,
+                keep_cycle_trace=spec.keep_cycle_trace,
+            )
+            return reports[0], "batch[1]"
+        except (BatchCompilationError, LaneStateError):
+            estimator = _get_rtl_estimator(flat, library, self.technology, "compiled")
+            report = estimator.estimate(
+                testbench,
+                max_cycles=spec.max_cycles,
+                keep_cycle_trace=spec.keep_cycle_trace,
+            )
+            return report, "compiled"
+
+
+class GateLevelEstimatorAdapter(_EngineAdapter):
+    """The gate-level re-simulation baseline behind the uniform surface."""
+
+    engine = "gate"
+
+    def estimate(self, spec: RunSpec) -> EstimateResult:
+        self._check_spec(spec)
+        from repro.power.gate_estimator import GateLevelPowerEstimator
+
+        start = time.perf_counter()
+        library = self.library_for(spec)
+        flat = self._resolve_flat(spec)
+        testbench = self._resolve_testbench(spec)
+        backend = "compiled" if spec.backend == "auto" else spec.backend
+        estimator = GateLevelPowerEstimator(
+            flat, library=library, technology=self.technology, backend=backend
+        )
+        setup_s = time.perf_counter() - start
+        report = estimator.estimate(testbench, max_cycles=spec.max_cycles)
+        metadata = {
+            "n_gate_mapped": report.notes.get("n_gate_mapped"),
+            "n_macromodelled": report.notes.get("n_macromodelled"),
+            "design": spec.design,
+        }
+        return self._finish(spec, report, backend, start, setup_s, metadata)
+
+
+class EmulationEstimatorAdapter(_EngineAdapter):
+    """The paper's instrument → synthesize → emulate flow behind the surface.
+
+    The platform model owns functional simulation, so ``spec.backend`` is
+    resolved as ``emulation``; the modeled time breakdown (download, execute,
+    stimulus, readback) lands in ``timing`` and the synthesis/device facts in
+    ``metadata``.
+    """
+
+    engine = "emulation"
+
+    def estimate(self, spec: RunSpec) -> EstimateResult:
+        self._check_spec(spec)
+        from repro.core.flow import PowerEmulationFlow
+        from repro.core.instrument import InstrumentationConfig
+
+        start = time.perf_counter()
+        library = self.library_for(spec)
+        module = self._resolve_hierarchical(spec)
+        testbench = self._resolve_testbench(spec)
+        flow = PowerEmulationFlow(
+            library=library,
+            technology=self.technology,
+            config=InstrumentationConfig(coefficient_bits=spec.coefficient_bits),
+        )
+        setup_s = time.perf_counter() - start
+        flow_report = flow.run(
+            module,
+            testbench,
+            workload_cycles=spec.workload_cycles,
+            testbench_on_fpga=spec.testbench_on_fpga,
+            max_cycles=spec.max_cycles,
+        )
+        emulation = flow_report.emulation
+        report = flow_report.power_report
+        metadata = {
+            "design": spec.design,
+            "device": emulation.device.name,
+            "emulation_clock_mhz": emulation.emulation_clock_mhz,
+            "monitored_bits": flow_report.instrumented.monitored_bits,
+            "n_power_models": flow_report.instrumented.n_power_models,
+            "lut_overhead": flow_report.instrumentation_overhead.get("luts", 0.0),
+            "ff_overhead": flow_report.instrumentation_overhead.get("ffs", 0.0),
+            "executed_cycles": emulation.executed_cycles,
+            "workload_cycles": emulation.workload_cycles,
+        }
+        result = self._finish(spec, report, "emulation", start, setup_s, metadata)
+        result.timing.update(
+            {f"modeled_{k}": v for k, v in emulation.time_breakdown.as_dict().items()}
+        )
+        result.timing["host_simulation_s"] = emulation.host_simulation_s
+        return result
+
+
+#: engine key -> adapter class
+_ADAPTERS = {
+    "rtl": RTLEstimatorAdapter,
+    "gate": GateLevelEstimatorAdapter,
+    "emulation": EmulationEstimatorAdapter,
+}
+
+def _get_rtl_estimator(flat, library, technology, backend):
+    from repro.power.rtl_estimator import RTLPowerEstimator
+
+    return RTLPowerEstimator(
+        flat, library=library, technology=technology, backend=backend
+    )
+
+
+def estimator_for(engine: str, **kwargs) -> PowerEstimator:
+    """An adapter instance for ``engine`` (see :data:`~repro.api.spec.ENGINES`)."""
+    try:
+        adapter = _ADAPTERS[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}"
+        ) from None
+    return adapter(**kwargs)
+
+
+def estimate(spec: RunSpec, **kwargs) -> EstimateResult:
+    """One-shot convenience: build the engine's adapter and run the spec."""
+    return estimator_for(spec.engine, **kwargs).estimate(spec)

@@ -1,0 +1,237 @@
+"""Declarative run/sweep specifications and the uniform estimation result.
+
+A :class:`RunSpec` names *what* to estimate — a registry design, an engine,
+a stimulus seed, a cycle budget, a simulation backend — without touching any
+engine API.  Every engine adapter (:mod:`repro.api.estimators`) consumes the
+same spec and produces the same :class:`EstimateResult`: the
+:class:`~repro.power.report.PowerReport`, a wall-clock timing breakdown, the
+resolved engine/backend metadata, and (optionally) accuracy against the
+software RTL baseline.  Specs and results are frozen/plain dataclasses with
+``to_json``/``from_json``, so the :mod:`repro.bench.cache` layer can persist
+them and the CLI can emit them as artifacts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.power.report import PowerReport
+
+#: engines selectable by ``RunSpec.engine``
+ENGINES: Tuple[str, ...] = ("rtl", "gate", "emulation")
+
+#: simulation backends selectable by ``RunSpec.backend``
+BACKENDS: Tuple[str, ...] = ("auto", "compiled", "interp", "batch")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One power-estimation run, declaratively.
+
+    ``design`` names an entry of :mod:`repro.designs.registry`; ``engine``
+    selects the estimation engine (``rtl`` — the software RTL macromodel
+    estimator, ``gate`` — the gate-level re-simulation baseline,
+    ``emulation`` — the paper's instrumented-FPGA flow).  ``seed`` re-seeds
+    the design's scaled-workload stimulus (``None`` = the design default);
+    ``backend`` picks the functional-simulation strategy (``auto`` resolves
+    to ``compiled``; ``batch`` runs the RTL engine over BatchSimulator
+    lanes).  ``compare_to_rtl`` attaches accuracy against a software-RTL
+    reference run of the same design/seed.
+    """
+
+    design: str
+    engine: str = "rtl"
+    seed: Optional[int] = None
+    max_cycles: Optional[int] = None
+    backend: str = "auto"
+    library: str = "seed"
+    #: fixed-point coefficient width of the instrumentation (emulation engine)
+    coefficient_bits: int = 12
+    #: nominal workload the emulation time model is evaluated at
+    #: (``None`` = the executed cycle count)
+    workload_cycles: Optional[int] = None
+    #: model the testbench as mapped onto the FPGA (emulation engine)
+    testbench_on_fpga: bool = False
+    keep_cycle_trace: bool = False
+    compare_to_rtl: bool = False
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {', '.join(ENGINES)}"
+            )
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {', '.join(BACKENDS)}"
+            )
+        if self.backend == "batch" and self.engine != "rtl":
+            raise ValueError(
+                f"backend 'batch' is only available for the 'rtl' engine, "
+                f"not {self.engine!r} (gate/emulation engines observe scalar "
+                f"simulations)"
+            )
+        if self.library != "seed":
+            raise ValueError(
+                f"unknown power-model library {self.library!r}; only the "
+                f"deterministic 'seed' library is registered"
+            )
+
+    # -------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RunSpec":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in fields})
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------- variants
+    def replace(self, **changes) -> "RunSpec":
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A (design × engine × stimulus-seed) sweep.
+
+    Expands into one :class:`RunSpec` per combination.  Multi-seed RTL runs
+    are grouped into BatchSimulator lanes (one settle per cycle for all
+    seeds); groups/tasks fan out over the PR-2 process-pool shard runner when
+    ``n_workers > 1``, and completed results persist in the on-disk result
+    cache when ``cache_dir`` is set.
+    """
+
+    designs: Tuple[str, ...]
+    engines: Tuple[str, ...] = ("rtl",)
+    seeds: Tuple[int, ...] = (0,)
+    max_cycles: Optional[int] = None
+    backend: str = "auto"
+    library: str = "seed"
+    coefficient_bits: int = 12
+    n_workers: int = 0
+    cache_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        # tolerate lists (e.g. built from JSON / argparse) by normalizing
+        for name in ("designs", "engines", "seeds"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+        if not self.designs:
+            raise ValueError("sweep needs at least one design")
+        for engine in self.engines:
+            if engine not in ENGINES:
+                raise ValueError(
+                    f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}"
+                )
+
+    def run_specs(self) -> List[RunSpec]:
+        """The sweep's full (design × engine × seed) RunSpec expansion."""
+        return [
+            RunSpec(
+                design=design,
+                engine=engine,
+                seed=seed,
+                max_cycles=self.max_cycles,
+                backend=self.backend,
+                library=self.library,
+                coefficient_bits=self.coefficient_bits,
+            )
+            for design in self.designs
+            for engine in self.engines
+            for seed in self.seeds
+        ]
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SweepSpec":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in fields})
+
+
+@dataclass
+class EstimateResult:
+    """The uniform result of one :class:`RunSpec` through any engine.
+
+    ``engine`` is the resolved estimator identity (e.g. ``rtl-macromodel``),
+    ``backend`` the resolved simulation strategy (``compiled``, ``interp``,
+    ``batch[n]``, or ``emulation``), ``timing`` a wall-clock breakdown in
+    seconds, ``accuracy`` the relative error against the software RTL
+    baseline when the spec asked for it, and ``metadata`` engine-specific
+    extras (monitored bits, FPGA device, overheads, ...).
+    """
+
+    spec: RunSpec
+    engine: str
+    backend: str
+    report: PowerReport
+    timing: Dict[str, float] = field(default_factory=dict)
+    accuracy: Optional[Dict[str, float]] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # ---------------------------------------------------------------- views
+    @property
+    def average_power_mw(self) -> float:
+        return self.report.average_power_mw
+
+    @property
+    def total_s(self) -> float:
+        return float(self.timing.get("total_s", 0.0))
+
+    def summary(self) -> str:
+        seed = f" seed={self.spec.seed}" if self.spec.seed is not None else ""
+        accuracy = (
+            f"  error vs rtl {100.0 * self.accuracy['relative_error']:+.2f}%"
+            if self.accuracy
+            else ""
+        )
+        return (
+            f"{self.spec.design}[{self.spec.engine}/{self.backend}]{seed}: "
+            f"{self.report.average_power_mw:.4f} mW over {self.report.cycles} "
+            f"cycles in {self.total_s:.3f} s{accuracy}"
+        )
+
+    # -------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec.to_dict(),
+            "engine": self.engine,
+            "backend": self.backend,
+            "report": self.report.to_dict(),
+            "timing": dict(self.timing),
+            "accuracy": dict(self.accuracy) if self.accuracy is not None else None,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "EstimateResult":
+        return cls(
+            spec=RunSpec.from_dict(payload["spec"]),
+            engine=payload["engine"],
+            backend=payload["backend"],
+            report=PowerReport.from_dict(payload["report"]),
+            timing=dict(payload.get("timing") or {}),
+            accuracy=(
+                dict(payload["accuracy"]) if payload.get("accuracy") is not None else None
+            ),
+            metadata=dict(payload.get("metadata") or {}),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "EstimateResult":
+        return cls.from_dict(json.loads(text))

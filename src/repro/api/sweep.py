@@ -1,0 +1,195 @@
+"""The (design × engine × stimulus-seed) sweep runner.
+
+``sweep(SweepSpec(...))`` expands the sweep into :class:`RunSpec` tasks and
+executes them with every scaling lever the repository has grown:
+
+* **Batch lanes** — all seeds of one (design, ``rtl``) group run as
+  :class:`~repro.sim.batch.BatchSimulator` lanes: the module settles once per
+  cycle for every seed and each component's macromodel is evaluated with one
+  vectorized pass over the lane arrays (the ROADMAP's named multi-seed RTL
+  power sweep workload).
+* **Shard pool** — independent groups/tasks fan out over the PR-2
+  process-pool runner (:func:`repro.bench.shard.run_payload_tasks`).
+* **Disk cache** — every completed :class:`EstimateResult` persists in the
+  code-fingerprinted :class:`~repro.bench.cache.ResultCache`, so repeat
+  sweeps of unchanged code are served from disk.
+
+The result is a JSON-round-trippable :class:`SweepResult` carrying one
+uniform result per task plus per-(design, engine) power distributions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.api.estimators import RTLEstimatorAdapter, estimate
+from repro.api.spec import EstimateResult, RunSpec, SweepSpec
+from repro.bench.cache import ResultCache
+
+#: cache namespace for unified-API estimation results
+CACHE_NAMESPACE = "estimate"
+
+
+def _sweep_worker(payload: Dict[str, object]) -> List[Dict[str, object]]:
+    """Shard-pool entry point: one task group's results as plain dicts."""
+    if payload["kind"] == "rtl-batch":
+        specs = [RunSpec.from_dict(d) for d in payload["specs"]]
+        adapter = RTLEstimatorAdapter()
+        return [result.to_dict() for result in adapter.estimate_many(specs)]
+    spec = RunSpec.from_dict(payload["spec"])
+    return [estimate(spec).to_dict()]
+
+
+@dataclass
+class SweepResult:
+    """Results plus scheduling metadata from one sweep."""
+
+    spec: SweepSpec
+    #: one result per task, in ``spec.run_specs()`` order
+    results: List[EstimateResult]
+    wall_time_s: float
+    n_workers: int
+    #: tasks served from the on-disk result cache
+    cache_hits: int = 0
+
+    # ---------------------------------------------------------------- views
+    def for_task(self, design: str, engine: str) -> List[EstimateResult]:
+        return [
+            r for r in self.results
+            if r.spec.design == design and r.spec.engine == engine
+        ]
+
+    def distribution(self, design: str, engine: str = "rtl") -> Dict[str, float]:
+        """Average-power distribution over seeds for one (design, engine)."""
+        powers = [r.average_power_mw for r in self.for_task(design, engine)]
+        if not powers:
+            raise KeyError(f"no results for design {design!r} engine {engine!r}")
+        mean = sum(powers) / len(powers)
+        variance = sum((p - mean) ** 2 for p in powers) / len(powers)
+        return {
+            "n_seeds": len(powers),
+            "mean_mw": mean,
+            "std_mw": variance ** 0.5,
+            "min_mw": min(powers),
+            "max_mw": max(powers),
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"{'design':12s} {'engine':9s} {'seeds':>5s} {'mean (mW)':>10s} "
+            f"{'std (mW)':>9s} {'min (mW)':>9s} {'max (mW)':>9s}"
+        ]
+        for design in self.spec.designs:
+            for engine in self.spec.engines:
+                try:
+                    d = self.distribution(design, engine)
+                except KeyError:
+                    continue
+                lines.append(
+                    f"{design:12s} {engine:9s} {d['n_seeds']:5d} {d['mean_mw']:10.4f} "
+                    f"{d['std_mw']:9.4f} {d['min_mw']:9.4f} {d['max_mw']:9.4f}"
+                )
+        lines.append(
+            f"{len(self.results)} runs in {self.wall_time_s:.2f}s "
+            f"({self.n_workers} workers, {self.cache_hits} cache hits)"
+        )
+        return "\n".join(lines)
+
+    # -------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec.to_dict(),
+            "results": [result.to_dict() for result in self.results],
+            "wall_time_s": self.wall_time_s,
+            "n_workers": self.n_workers,
+            "cache_hits": self.cache_hits,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SweepResult":
+        return cls(
+            spec=SweepSpec.from_dict(payload["spec"]),
+            results=[EstimateResult.from_dict(r) for r in payload["results"]],
+            wall_time_s=payload.get("wall_time_s", 0.0),
+            n_workers=payload.get("n_workers", 0),
+            cache_hits=payload.get("cache_hits", 0),
+        )
+
+
+def _group_tasks(
+    missing: List[RunSpec],
+) -> List[Dict[str, object]]:
+    """Group cache-missing specs into shard payloads.
+
+    Multi-seed RTL groups (backend ``auto``/``batch``) become one
+    ``rtl-batch`` payload — their seeds run as simulator lanes inside one
+    worker; everything else is one payload per spec.
+    """
+    by_group: Dict[Tuple[str, str], List[RunSpec]] = {}
+    for spec in missing:
+        by_group.setdefault((spec.design, spec.engine), []).append(spec)
+    payloads: List[Dict[str, object]] = []
+    for (_, engine), specs in by_group.items():
+        if (
+            engine == "rtl"
+            and len(specs) > 1
+            and all(s.backend in ("auto", "batch") for s in specs)
+        ):
+            payloads.append(
+                {"kind": "rtl-batch", "specs": [s.to_dict() for s in specs]}
+            )
+        else:
+            payloads.extend({"kind": "single", "spec": s.to_dict()} for s in specs)
+    return payloads
+
+
+def sweep(spec: SweepSpec) -> SweepResult:
+    """Run the sweep: batch lanes per RTL group, shard pool across groups."""
+    from repro.bench.shard import run_payload_tasks
+
+    start = time.perf_counter()
+    all_specs = spec.run_specs()
+    cache = (
+        ResultCache(spec.cache_dir, namespace=CACHE_NAMESPACE)
+        if spec.cache_dir
+        else None
+    )
+
+    resolved: Dict[RunSpec, EstimateResult] = {}
+    cache_hits = 0
+    if cache is not None:
+        for run_spec in all_specs:
+            payload = cache.get(cache.key(spec=run_spec.to_dict()))
+            if payload is not None:
+                resolved[run_spec] = EstimateResult.from_dict(payload)
+                cache_hits += 1
+
+    missing = [s for s in all_specs if s not in resolved]
+    payloads = _group_tasks(missing)
+
+    def persist(index: int, result_dicts: List[Dict[str, object]]) -> None:
+        # persist each completed result immediately so finished work
+        # survives a later task failing
+        if cache is None:
+            return
+        for result_dict in result_dicts:
+            cache.put(cache.key(spec=result_dict["spec"]), result_dict)
+
+    produced = run_payload_tasks(
+        payloads, _sweep_worker, n_workers=spec.n_workers, on_result=persist
+    )
+    for result_dicts in produced:
+        for result_dict in result_dicts:
+            result = EstimateResult.from_dict(result_dict)
+            resolved[result.spec] = result
+
+    results = [resolved[s] for s in all_specs]
+    return SweepResult(
+        spec=spec,
+        results=results,
+        wall_time_s=time.perf_counter() - start,
+        n_workers=spec.n_workers,
+        cache_hits=cache_hits,
+    )

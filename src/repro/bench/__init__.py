@@ -20,7 +20,12 @@ embarrassingly parallel across designs, so this package provides:
 
 from repro.bench.cache import ResultCache, code_fingerprint
 from repro.bench.fig3 import Fig3Row, Fig3Study, StudyConfig
-from repro.bench.shard import ShardOutcome, run_sharded, run_study_tasks
+from repro.bench.shard import (
+    ShardOutcome,
+    run_payload_tasks,
+    run_sharded,
+    run_study_tasks,
+)
 
 __all__ = [
     "ResultCache",
@@ -30,5 +35,6 @@ __all__ = [
     "StudyConfig",
     "ShardOutcome",
     "run_sharded",
+    "run_payload_tasks",
     "run_study_tasks",
 ]

@@ -310,4 +310,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 if __name__ == "__main__":
+    import sys as _sys
+
+    # thin shim: the canonical entry is the unified CLI's fig3 subcommand
+    print(
+        "note: `python -m repro.bench.fig3` is deprecated; "
+        "use `python -m repro fig3`",
+        file=_sys.stderr,
+    )
     raise SystemExit(main())

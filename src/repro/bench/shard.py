@@ -1,11 +1,15 @@
-"""Process-pool sharding for per-design benchmark studies.
+"""Process-pool sharding for per-design benchmark studies and sweeps.
 
-The Figure 3 study is embarrassingly parallel: every design's row is computed
-independently.  :func:`run_sharded` fans the requested designs out over a
-``ProcessPoolExecutor`` (one design per task), with each worker process
-holding a lazily constructed study of its own — the seed library and tool
-calibration are built once per worker, then amortized over every design that
-worker computes.
+The Figure 3 study — and the unified API's (design × engine × seed) sweeps —
+are embarrassingly parallel: every task's result is computed independently.
+:func:`run_payload_tasks` is the generic fan-out primitive: it runs one
+picklable worker function per payload across a ``ProcessPoolExecutor``,
+degrading to in-process serial execution for one worker or one task (same
+results, no pool overhead).  :func:`run_sharded`/:func:`run_study_tasks`
+specialize it for the Fig. 3 study, with each worker process holding a
+lazily constructed study of its own — the seed library and tool calibration
+are built once per worker, then amortized over every design that worker
+computes.
 
 Completed rows are written to the shared on-disk cache (when one is
 configured) from the parent process, so a repeat run — even a serial one —
@@ -15,12 +19,52 @@ is served from disk.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.bench.cache import ResultCache
 from repro.bench.fig3 import Fig3Row, StudyConfig
+
+_P = TypeVar("_P")
+_R = TypeVar("_R")
+
+
+def run_payload_tasks(
+    payloads: Sequence[_P],
+    worker: Callable[[_P], _R],
+    n_workers: int = 2,
+    on_result: Optional[Callable[[int, _R], None]] = None,
+) -> List[_R]:
+    """Fan ``worker(payload)`` out over a process pool, preserving order.
+
+    ``worker`` must be a module-level (picklable) function and each payload
+    picklable.  ``n_workers <= 1`` or a single payload runs in-process —
+    results are identical either way.  ``on_result(index, result)`` fires in
+    the parent as each result lands (completion order), so callers can
+    persist completed work before later tasks finish.
+    """
+    results: List[Optional[_R]] = [None] * len(payloads)
+
+    def collect(index: int, result: _R) -> None:
+        results[index] = result
+        if on_result is not None:
+            on_result(index, result)
+
+    if n_workers <= 1 or len(payloads) <= 1:
+        for index, payload in enumerate(payloads):
+            collect(index, worker(payload))
+    else:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = {
+                pool.submit(worker, payload): index
+                for index, payload in enumerate(payloads)
+            }
+            # collect in completion order so finished work is surfaced (and
+            # persisted by on_result) even when an earlier task fails
+            for future in as_completed(futures):
+                collect(futures[future], future.result())
+    return results  # type: ignore[return-value]
 
 #: per-worker-process study, keyed by config (workers reuse calibration)
 _WORKER_STUDIES: Dict[StudyConfig, object] = {}
@@ -58,6 +102,10 @@ class ShardOutcome:
         return {design: row for (design, _), row in self.task_rows.items()}
 
 
+def _study_worker(task: StudyTask) -> Dict[str, object]:
+    return _compute_row_payload(*task)
+
+
 def run_study_tasks(
     tasks: List[StudyTask],
     n_workers: int = 2,
@@ -72,26 +120,20 @@ def run_study_tasks(
     start = time.perf_counter()
     task_rows: Dict[StudyTask, Fig3Row] = {}
     task_times: Dict[StudyTask, float] = {}
+    last_collect = [start]
 
-    def collect(task: StudyTask, payload: Dict[str, object], t0: float) -> None:
+    def collect(index: int, payload: Dict[str, object]) -> None:
+        task = tasks[index]
         task_rows[task] = row = Fig3Row.from_dict(payload)
-        task_times[task] = time.perf_counter() - t0
+        now = time.perf_counter()
+        task_times[task] = now - last_collect[0]
+        last_collect[0] = now
         # persist immediately so completed work survives a later task failing
         if cache is not None:
             design, config = task
             cache.put(cache.key(design=design, config=config.as_key()), row.to_dict())
 
-    if n_workers <= 1 or len(tasks) <= 1:
-        for task in tasks:
-            t0 = time.perf_counter()
-            collect(task, _compute_row_payload(*task), t0)
-    else:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            futures = {task: pool.submit(_compute_row_payload, *task) for task in tasks}
-            for task, future in futures.items():
-                t0 = time.perf_counter()
-                collect(task, future.result(), t0)
-
+    run_payload_tasks(tasks, _study_worker, n_workers=n_workers, on_result=collect)
     return ShardOutcome(
         task_rows=task_rows,
         n_workers=n_workers,

@@ -20,14 +20,18 @@ benchmark harnesses iterate over.
 
 from repro.designs.registry import (
     BenchmarkDesign,
+    DesignEntry,
     all_designs,
+    get,
     get_design,
     figure3_designs,
 )
 
 __all__ = [
     "BenchmarkDesign",
+    "DesignEntry",
     "all_designs",
+    "get",
     "get_design",
     "figure3_designs",
 ]

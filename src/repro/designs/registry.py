@@ -36,6 +36,28 @@ class BenchmarkDesign:
     #: True for the designs that appear in the paper's Figure 3
     in_figure3: bool = True
     notes: Dict[str, object] = field(default_factory=dict)
+    #: returns a fresh scaled-workload testbench under an explicit stimulus
+    #: seed (multi-seed sweeps); ``None`` when the design has no seeded form
+    testbench_seeded: Optional[Callable[[int], Testbench]] = None
+
+    def make_testbench(self, seed: Optional[int] = None) -> Testbench:
+        """A fresh scaled-workload testbench, optionally re-seeded.
+
+        ``seed=None`` returns the design's default stimulus; an explicit seed
+        requires the design to register a seeded factory.
+        """
+        if seed is None:
+            return self.testbench()
+        if self.testbench_seeded is None:
+            raise ValueError(
+                f"design {self.name!r} has no seeded testbench factory; "
+                f"run it with seed=None (the default stimulus)"
+            )
+        return self.testbench_seeded(seed)
+
+
+#: canonical alias used by the unified estimation API (:mod:`repro.api`)
+DesignEntry = BenchmarkDesign
 
 
 def _bubble_sort() -> BenchmarkDesign:
@@ -48,6 +70,7 @@ def _bubble_sort() -> BenchmarkDesign:
         description="in-memory bubble sort engine (sorting circuit)",
         build=lambda: bubble_sort.build(depth=scaled_depth),
         testbench=lambda: bubble_sort.testbench(depth=scaled_depth, seed=11),
+        testbench_seeded=lambda seed: bubble_sort.testbench(depth=scaled_depth, seed=seed),
         nominal_cycles=bubble_sort.cycles_per_sort(nominal_depth),
         scaled_cycles=bubble_sort.cycles_per_sort(scaled_depth),
         notes={"nominal_workload": f"sort {nominal_depth} words",
@@ -65,6 +88,7 @@ def _hvpeakf() -> BenchmarkDesign:
         description="horizontal/vertical peaking (sharpening) image filter",
         build=hvpeakf.build,
         testbench=lambda: hvpeakf.testbench(n_pixels=scaled_pixels, seed=5),
+        testbench_seeded=lambda seed: hvpeakf.testbench(n_pixels=scaled_pixels, seed=seed),
         nominal_cycles=nominal_pixels + 16,
         scaled_cycles=scaled_pixels + 16,
         notes={"nominal_workload": f"filter {nominal_pixels} pixels (4 CIF frames)",
@@ -82,6 +106,7 @@ def _dct() -> BenchmarkDesign:
         description="2-D 8x8 forward discrete cosine transform engine",
         build=dct.build,
         testbench=lambda: dct.testbench(n_blocks=scaled_blocks, seed=2),
+        testbench_seeded=lambda seed: dct.testbench(n_blocks=scaled_blocks, seed=seed),
         nominal_cycles=nominal_blocks * transform.cycles_per_block(),
         scaled_cycles=scaled_blocks * transform.cycles_per_block(),
         notes={"nominal_workload": f"{nominal_blocks} blocks (4 QCIF frames)",
@@ -99,6 +124,7 @@ def _idct() -> BenchmarkDesign:
         description="2-D 8x8 inverse DCT (MPEG4 decoder sub-block)",
         build=idct.build,
         testbench=lambda: idct.testbench(n_blocks=scaled_blocks, seed=4),
+        testbench_seeded=lambda seed: idct.testbench(n_blocks=scaled_blocks, seed=seed),
         nominal_cycles=nominal_blocks * transform.cycles_per_block(),
         scaled_cycles=scaled_blocks * transform.cycles_per_block(),
         notes={"nominal_workload": f"{nominal_blocks} blocks (4 QCIF frames)",
@@ -116,6 +142,7 @@ def _ispq() -> BenchmarkDesign:
         description="MPEG-style inverse quantization block (MPEG4 sub-block)",
         build=ispq.build,
         testbench=lambda: ispq.testbench(n_blocks=scaled_blocks, seed=6),
+        testbench_seeded=lambda seed: ispq.testbench(n_blocks=scaled_blocks, seed=seed),
         nominal_cycles=nominal_blocks * ispq.CYCLES_PER_BLOCK,
         scaled_cycles=scaled_blocks * ispq.CYCLES_PER_BLOCK,
         notes={"nominal_workload": f"{nominal_blocks} blocks (4 QCIF frames)",
@@ -133,6 +160,7 @@ def _vld() -> BenchmarkDesign:
         description="variable-length (prefix code) decoder (MPEG4 sub-block)",
         build=vld.build,
         testbench=lambda: vld.testbench(n_symbols=scaled_symbols, seed=8),
+        testbench_seeded=lambda seed: vld.testbench(n_symbols=scaled_symbols, seed=seed),
         nominal_cycles=nominal_symbols * vld.CYCLES_PER_SYMBOL,
         scaled_cycles=scaled_symbols * vld.CYCLES_PER_SYMBOL,
         notes={"nominal_workload": f"decode {nominal_symbols} symbols (4 frames)",
@@ -150,6 +178,7 @@ def _mpeg4() -> BenchmarkDesign:
         description="MPEG4 block decoder composite (VLD + IQ + IDCT + MC/frame store)",
         build=mpeg4.build,
         testbench=lambda: mpeg4.testbench(n_blocks=scaled_blocks, seed=10),
+        testbench_seeded=lambda seed: mpeg4.testbench(n_blocks=scaled_blocks, seed=seed),
         nominal_cycles=nominal_blocks * mpeg4.CYCLES_PER_BLOCK,
         scaled_cycles=scaled_blocks * mpeg4.CYCLES_PER_BLOCK,
         notes={"nominal_workload": f"decode {nominal_blocks} blocks (4 QCIF frames)",
@@ -165,6 +194,7 @@ def _binary_search() -> BenchmarkDesign:
         description="the paper's Fig. 1 binary search example circuit",
         build=binary_search.build,
         testbench=lambda: binary_search.testbench(n_searches=8),
+        testbench_seeded=lambda seed: binary_search.testbench(n_searches=8, seed=seed),
         nominal_cycles=100_000 * 24,
         scaled_cycles=8 * 24,
         in_figure3=False,
@@ -192,13 +222,23 @@ def all_designs() -> Dict[str, BenchmarkDesign]:
     return {name: factory() for name, factory in _FACTORIES.items()}
 
 
-def get_design(name: str) -> BenchmarkDesign:
+def get(name: str) -> DesignEntry:
+    """The canonical design lookup: builder + testbench factories + metadata.
+
+    Raises a :class:`KeyError` that lists the valid names — the CLI and the
+    sweep runner surface it verbatim.
+    """
     try:
         return _FACTORIES[name]()
     except KeyError:
         raise KeyError(
-            f"unknown design {name!r}; available: {sorted(_FACTORIES)}"
+            f"unknown design {name!r}; available: {', '.join(sorted(_FACTORIES))}"
         ) from None
+
+
+def get_design(name: str) -> BenchmarkDesign:
+    """Backwards-compatible alias of :func:`get`."""
+    return get(name)
 
 
 def figure3_designs() -> List[BenchmarkDesign]:

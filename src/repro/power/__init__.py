@@ -37,6 +37,7 @@ from repro.power.characterize import (
 )
 from repro.power.report import ComponentPower, PowerReport
 from repro.power.rtl_estimator import RTLPowerEstimator
+from repro.power.lane_estimator import BatchRTLPowerEstimator
 from repro.power.gate_estimator import GateLevelPowerEstimator
 from repro.power.commercial import (
     CommercialToolModel,
@@ -62,6 +63,7 @@ __all__ = [
     "ComponentPower",
     "PowerReport",
     "RTLPowerEstimator",
+    "BatchRTLPowerEstimator",
     "GateLevelPowerEstimator",
     "CommercialToolModel",
     "POWERTHEATER",

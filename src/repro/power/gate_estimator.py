@@ -80,11 +80,16 @@ class GateLevelPowerEstimator:
         library: Optional[PowerModelLibrary] = None,
         technology: Technology = CB130M_TECHNOLOGY,
         mapper: Optional[TechnologyMapper] = None,
+        backend: str = "compiled",
     ) -> None:
         if module.is_hierarchical:
             raise ValueError(
-                f"module {module.name!r} is hierarchical; flatten() it before estimation"
+                f"module {module.name!r} is hierarchical and cannot be estimated "
+                f"directly: call repro.netlist.flatten(module) first, or go "
+                f"through repro.api (its estimator adapters auto-flatten)"
             )
+        #: functional-simulation backend used by :meth:`estimate`
+        self.backend = backend
         self.module = module
         self.technology = technology
         self.library = library if library is not None else build_seed_library(technology)
@@ -110,7 +115,7 @@ class GateLevelPowerEstimator:
     # ------------------------------------------------------------------ API
     def estimate(self, testbench: Testbench, max_cycles: Optional[int] = None) -> PowerReport:
         start = time.perf_counter()
-        simulator = Simulator(self.module)
+        simulator = Simulator(self.module, backend=self.backend)
         observer = _GateLevelObserver(self)
         observer.on_reset(simulator)
         simulator.add_observer(observer)

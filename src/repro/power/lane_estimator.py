@@ -1,0 +1,230 @@
+"""Multi-stimulus RTL power estimation over :class:`BatchSimulator` lanes.
+
+The ROADMAP's named next workload: multi-seed RTL power sweeps.  A Monte-Carlo
+style sweep runs the *same* flat module under N independent stimulus seeds; the
+scalar :class:`~repro.power.rtl_estimator.RTLPowerEstimator` would simulate the
+design N times.  This estimator instead lowers the design once into lane form
+(:mod:`repro.sim.batch`) and advances all N testbenches together — one settle
+per cycle for every lane — evaluating each component's power macromodel with
+one vectorized pass over ``(n_lanes,)`` port-value arrays per cycle
+(:meth:`~repro.power.macromodel.PowerMacromodel.evaluate_lanes`).
+
+Interactive testbenches drive their lane through a
+:class:`~repro.sim.batch.LaneView`: stimulus is collected per lane and applied
+as per-lane slot writes, output checks read single lane values, and memory
+backdoor loads land in that lane's private state.  Lanes that finish early are
+masked out of the energy accumulation (and stop being driven/checked), so each
+lane's report is identical to what a scalar run of the same testbench would
+produce — lane count changes speed, never results.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.netlist.module import Module
+from repro.power.library import PowerModelLibrary
+from repro.power.report import ComponentPower, PowerReport
+from repro.power.rtl_estimator import RTLPowerEstimator
+from repro.power.technology import CB130M_TECHNOLOGY, Technology
+from repro.sim.batch import BatchSimulator
+from repro.sim.testbench import Testbench
+
+
+class BatchRTLPowerEstimator:
+    """Lane-vectorized counterpart of :class:`RTLPowerEstimator`.
+
+    ``estimate_all`` runs one testbench per lane and returns one
+    :class:`PowerReport` per testbench, each equal (up to wall-clock fields)
+    to the report a scalar estimator would produce for that testbench alone.
+    Raises :class:`~repro.sim.batch.BatchCompilationError` or
+    :class:`~repro.sim.batch.LaneStateError` when the module or a testbench
+    cannot run on the lane path — callers fall back to per-seed scalar runs.
+    """
+
+    #: reports carry the scalar estimator's name: same algorithm, same results
+    name = RTLPowerEstimator.name
+
+    def __init__(
+        self,
+        module: Module,
+        library: Optional[PowerModelLibrary] = None,
+        technology: Technology = CB130M_TECHNOLOGY,
+    ) -> None:
+        # shares the monitored-component/model association (and the
+        # hierarchical-module guard) with the scalar estimator
+        self._scalar = RTLPowerEstimator(module, library=library, technology=technology)
+        self.module = module
+        self.technology = self._scalar.technology
+        self.library = self._scalar.library
+        self.monitored = self._scalar.monitored
+
+    # ------------------------------------------------------------------ API
+    def estimate_all(
+        self,
+        testbenches: Sequence[Testbench],
+        max_cycles: Optional[int] = None,
+        keep_cycle_trace: bool = True,
+    ) -> List[PowerReport]:
+        """Run every testbench in its own lane and report power per lane."""
+        n_lanes = len(testbenches)
+        if n_lanes == 0:
+            return []
+        start = time.perf_counter()
+        simulator = BatchSimulator(self.module, n_lanes)
+        views = [simulator.lane_view(lane) for lane in range(n_lanes)]
+        for testbench, view in zip(testbenches, views):
+            testbench.bind(view)
+
+        slot_of = simulator.program.slot_of
+        # (component, model, [(port, slot)]) in the scalar snapshot order
+        monitored = []
+        for component, model in self.monitored:
+            binding = [
+                (p.name, slot_of[p.net])
+                for p in list(component.input_ports) + list(component.output_ports)
+                if p.net is not None
+            ]
+            monitored.append((component, model, binding))
+
+        limits = [
+            max_cycles if max_cycles is not None else tb.max_cycles
+            for tb in testbenches
+        ]
+        input_keys = simulator._input_keys
+        v = simulator._v
+        is_object = simulator.program.dtype is object
+
+        active = np.ones(n_lanes, dtype=bool)
+        lane_cycles = [0] * n_lanes
+        energy_by_component = {
+            component.name: np.zeros(n_lanes, dtype=np.float64)
+            for component, _, _ in monitored
+        }
+        cycle_energy: List[np.ndarray] = []
+        #: settled value store of the previous observed cycle (one snapshot
+        #: per cycle instead of per-component port copies)
+        prev_store: Optional[np.ndarray] = None
+
+        while active.any():
+            cycle = simulator.cycle
+            # per-lane cycle budget (mirrors the scalar run loop's limit check)
+            for lane in np.flatnonzero(active):
+                limit = limits[lane]
+                if limit is not None and cycle >= limit:
+                    active[lane] = False
+                    lane_cycles[lane] = cycle
+            if not active.any():
+                break
+
+            # drive: collect each active lane's stimulus into per-lane writes
+            for lane in np.flatnonzero(active):
+                stimulus = testbenches[lane].drive(cycle, views[lane])
+                if not stimulus:
+                    continue
+                for name, value in stimulus.items():
+                    try:
+                        slot, width = input_keys[name]
+                    except KeyError:
+                        valid = ", ".join(sorted(input_keys)) or "<none>"
+                        raise KeyError(
+                            f"module {self.module.name!r} has no input port "
+                            f"{name!r}; valid input ports: {valid}"
+                        ) from None
+                    masked = int(value) & ((1 << width) - 1)
+                    v[slot, lane] = masked if is_object else np.int64(masked)
+
+            simulator.settle()
+
+            # observe: one vectorized macromodel evaluation per component
+            if prev_store is None:
+                prev_store = v.copy()  # first cycle: previous == current
+            active_f = active.astype(np.float64)
+            total_this_cycle = np.zeros(n_lanes, dtype=np.float64)
+            for component, model, binding in monitored:
+                current = {name: v[slot] for name, slot in binding}
+                prev = {name: prev_store[slot] for name, slot in binding}
+                energies = model.evaluate_lanes(prev, current) * active_f
+                energy_by_component[component.name] += energies
+                total_this_cycle += energies
+            np.copyto(prev_store, v, casting="unsafe")
+            cycle_energy.append(total_this_cycle)
+
+            # check/finish each active lane, then take the shared clock edge
+            finishing = []
+            for lane in np.flatnonzero(active):
+                testbenches[lane].check(cycle, views[lane])
+                if testbenches[lane].finished(cycle, views[lane]):
+                    finishing.append(lane)
+                    lane_cycles[lane] = cycle + 1
+            simulator.clock_edge()
+            simulator.cycle += 1
+            for lane in finishing:
+                active[lane] = False
+
+        simulator.settle()
+        elapsed = time.perf_counter() - start
+        trace = (
+            np.stack(cycle_energy, axis=0)
+            if cycle_energy
+            else np.zeros((0, n_lanes), dtype=np.float64)
+        )
+        return [
+            self._build_lane_report(
+                lane, lane_cycles[lane], energy_by_component, trace,
+                elapsed / n_lanes, n_lanes, keep_cycle_trace,
+            )
+            for lane in range(n_lanes)
+        ]
+
+    # -------------------------------------------------------------- helpers
+    def _build_lane_report(
+        self,
+        lane: int,
+        cycles: int,
+        energy_by_component: Dict[str, np.ndarray],
+        trace: np.ndarray,
+        elapsed_s: float,
+        n_lanes: int,
+        keep_cycle_trace: bool,
+    ) -> PowerReport:
+        technology = self.technology
+        components: Dict[str, ComponentPower] = {}
+        total_energy = 0.0
+        for component, _ in self.monitored:
+            energy = float(energy_by_component[component.name][lane])
+            total_energy += energy
+            components[component.name] = ComponentPower(
+                name=component.name,
+                component_type=component.type_name,
+                energy_fj=energy,
+                average_power_mw=technology.energy_to_power_mw(
+                    energy / cycles if cycles else 0.0
+                ),
+            )
+        lane_trace = trace[:cycles, lane] if cycles else trace[:0, lane]
+        return PowerReport(
+            design=self.module.name,
+            estimator=self.name,
+            cycles=cycles,
+            clock_mhz=technology.clock_mhz,
+            total_energy_fj=total_energy,
+            average_power_mw=technology.energy_to_power_mw(
+                total_energy / cycles if cycles else 0.0
+            ),
+            peak_power_mw=(
+                technology.energy_to_power_mw(float(lane_trace.max()))
+                if lane_trace.size
+                else 0.0
+            ),
+            components=components,
+            cycle_energy_fj=[float(e) for e in lane_trace] if keep_cycle_trace else [],
+            estimation_time_s=elapsed_s,
+            notes={
+                "n_monitored_components": len(self.monitored),
+                "batch_lanes": n_lanes,
+            },
+        )

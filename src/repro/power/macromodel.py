@@ -63,6 +63,26 @@ class PowerMacromodel:
         """Energy (fJ) consumed given the previous and current port values."""
         raise NotImplementedError
 
+    def evaluate_lanes(self, previous: Mapping[str, object], current: Mapping[str, object]):
+        """Per-lane energies (fJ) for ``(n_lanes,)`` arrays of port values.
+
+        ``previous``/``current`` map each port to an array of per-lane values
+        (the :class:`~repro.sim.batch.BatchSimulator` store shape).  The base
+        implementation loops the scalar :meth:`evaluate` once per lane — exact
+        for any model; :class:`LinearTransitionModel` overrides it with a
+        vectorized path.  Lane count never changes results, only speed.
+        """
+        import numpy as np
+
+        ports = list(self.port_widths)
+        n_lanes = len(np.asarray(next(iter(current.values())))) if current else 0
+        energies = np.zeros(n_lanes, dtype=np.float64)
+        for lane in range(n_lanes):
+            prev_lane = {p: int(previous[p][lane]) for p in ports if p in previous}
+            cur_lane = {p: int(current[p][lane]) for p in ports if p in current}
+            energies[lane] = self.evaluate(prev_lane, cur_lane)
+        return energies
+
     def average_power_mw(self, energy_fj: float, cycles: int, clock_mhz: float) -> float:
         if cycles == 0:
             return 0.0
@@ -106,6 +126,52 @@ class LinearTransitionModel(PowerMacromodel):
                 if (toggles >> i) & 1:
                     energy += coeffs[i]
         return energy
+
+    def evaluate_lanes(self, previous: Mapping[str, object], current: Mapping[str, object]):
+        """Vectorized per-lane energies: one bit-unpack + matvec per port.
+
+        Exactly :meth:`evaluate` applied lane-wise (same coefficients, same
+        toggle indicators), so batch sweeps reproduce scalar estimates
+        bit-for-bit.
+        """
+        import numpy as np
+
+        n_lanes = len(np.asarray(next(iter(current.values())))) if current else 0
+        energies = np.full(n_lanes, self.base_energy_fj, dtype=np.float64)
+        for port, shifts, coeffs in self._lane_tables():
+            # missing ports observe as constant 0, as in the scalar evaluate
+            toggles = np.asarray(previous.get(port, 0)) ^ np.asarray(current.get(port, 0))
+            if toggles.dtype == object:
+                # >60-bit lane stores hold exact Python ints: per-bit loop
+                for bit, coeff in zip(shifts, coeffs):
+                    energies += coeff * ((toggles >> int(bit)) & 1).astype(np.float64)
+                continue
+            bits = (toggles[..., None] >> shifts) & 1  # (n_lanes, width)
+            energies += bits @ coeffs
+        return energies
+
+    def _lane_tables(self):
+        """Per-port (shifts, coefficient-vector) tables for the lane path.
+
+        Built once per model; ports whose coefficients are all zero are
+        dropped entirely (they cannot contribute energy).  Coefficients are
+        treated as immutable after construction, as everywhere else.
+        """
+        tables = getattr(self, "_lane_tables_cache", None)
+        if tables is None:
+            import numpy as np
+
+            tables = []
+            for port, coeffs in self.coefficients.items():
+                if not any(coeffs):
+                    continue
+                tables.append((
+                    port,
+                    np.arange(len(coeffs), dtype=np.int64),
+                    np.asarray(coeffs, dtype=np.float64),
+                ))
+            self._lane_tables_cache = tables
+        return tables
 
     # --------------------------------------------------- canonical flat view
     def flat_coefficients(self) -> List[Tuple[str, int, float]]:

@@ -3,11 +3,15 @@
 Every estimator in the package — the software RTL estimator, the gate-level
 baseline, and the power-emulation platform readback — produces the same
 :class:`PowerReport`, which is what makes the accuracy comparisons in
-``benchmarks/bench_accuracy.py`` straightforward.
+``benchmarks/bench_accuracy.py`` straightforward.  Reports serialize to plain
+JSON dicts (:meth:`PowerReport.to_dict` / :meth:`PowerReport.from_dict`) so
+the unified estimation API (:mod:`repro.api`) and the on-disk result cache
+(:mod:`repro.bench.cache`) can persist them.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -24,6 +28,14 @@ class ComponentPower:
     def __post_init__(self) -> None:
         self.energy_fj = float(self.energy_fj)
         self.average_power_mw = float(self.average_power_mw)
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ComponentPower":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in fields})
 
 
 @dataclass
@@ -43,6 +55,25 @@ class PowerReport:
     #: wall-clock time spent producing this report (the quantity Fig. 3 compares)
     estimation_time_s: float = 0.0
     notes: Dict[str, object] = field(default_factory=dict)
+
+    # -------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (round-trips through :meth:`from_dict`)."""
+        payload = dataclasses.asdict(self)
+        payload["components"] = {
+            name: component.to_dict() for name, component in self.components.items()
+        }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "PowerReport":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {k: v for k, v in payload.items() if k in fields}
+        kwargs["components"] = {
+            name: ComponentPower.from_dict(component)
+            for name, component in (payload.get("components") or {}).items()
+        }
+        return cls(**kwargs)
 
     # ---------------------------------------------------------------- views
     def energy_by_type(self) -> Dict[str, float]:

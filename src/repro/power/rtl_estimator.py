@@ -59,11 +59,16 @@ class RTLPowerEstimator:
         module: Module,
         library: Optional[PowerModelLibrary] = None,
         technology: Technology = CB130M_TECHNOLOGY,
+        backend: str = "compiled",
     ) -> None:
         if module.is_hierarchical:
             raise ValueError(
-                f"module {module.name!r} is hierarchical; flatten() it before estimation"
+                f"module {module.name!r} is hierarchical and cannot be estimated "
+                f"directly: call repro.netlist.flatten(module) first, or go "
+                f"through repro.api (its estimator adapters auto-flatten)"
             )
+        #: simulation backend used by :meth:`estimate` ("compiled" or "interp")
+        self.backend = backend
         self.module = module
         self.technology = technology
         self.library = library if library is not None else build_seed_library(technology)
@@ -83,7 +88,7 @@ class RTLPowerEstimator:
     ) -> PowerReport:
         """Run the testbench and return the power report."""
         start = time.perf_counter()
-        simulator = Simulator(self.module)
+        simulator = Simulator(self.module, backend=self.backend)
         observer = _MacromodelObserver(self)
         observer.on_reset(simulator)
         simulator.add_observer(observer)

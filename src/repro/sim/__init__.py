@@ -18,6 +18,8 @@ from repro.sim.batch import (
     BatchCompilationError,
     BatchProgram,
     BatchSimulator,
+    LaneStateError,
+    LaneView,
     compile_module_batch,
 )
 from repro.sim.engine import Simulator, SimulationResult, SimulationObserver
@@ -39,6 +41,8 @@ __all__ = [
     "BatchCompilationError",
     "BatchProgram",
     "BatchSimulator",
+    "LaneStateError",
+    "LaneView",
     "compile_module_batch",
     "Simulator",
     "SimulationResult",

@@ -1292,3 +1292,186 @@ class BatchSimulator:
             self.settle()
             self.clock_edge()
             self.cycle += 1
+
+    def lane_view(self, lane: int) -> "LaneView":
+        """A scalar, single-lane façade over this simulator (see :class:`LaneView`)."""
+        return LaneView(self, lane)
+
+
+# ---------------------------------------------------------------------------
+# Per-lane scalar views: drive one lane with an ordinary interactive testbench.
+# ---------------------------------------------------------------------------
+
+
+class LaneStateError(RuntimeError):
+    """Raised when a per-lane view cannot express an operation safely."""
+
+
+class _LaneSequentialProxy:
+    """Per-lane stand-in for one sequential component of a batched module.
+
+    Interactive testbenches reach into ``simulator.module.components`` to
+    backdoor-load memories and read results (``load``/``read_word``/
+    ``write_word``).  In a :class:`BatchSimulator` that state lives in per-lane
+    holders (or per-lane snapshot dicts for fallback components), not on the
+    component object, so this proxy reroutes those accessors to one lane's
+    private state.  Plain data attributes (``type_name``, ``width``, ``depth``,
+    ...) pass through; any other method would silently touch the *scalar*
+    state shared by all lanes, so it raises :class:`LaneStateError` instead.
+    """
+
+    #: stateless component methods that are safe to pass through
+    _SAFE_METHODS = frozenset({"monitored_ports"})
+
+    def __init__(self, component, lane: int, holder=None, lane_component=None) -> None:
+        object.__setattr__(self, "_component", component)
+        object.__setattr__(self, "_lane", lane)
+        object.__setattr__(self, "_holder", holder)
+        object.__setattr__(self, "_lane_component", lane_component)
+
+    # ------------------------------------------------- backdoor state access
+    def read_word(self, addr: int) -> int:
+        holder = self._holder
+        if isinstance(holder, LaneMemoryState):
+            return int(holder.mem[addr, self._lane])
+        return self._call_with_lane_state("read_word", addr)
+
+    def write_word(self, addr: int, value: int) -> None:
+        holder = self._holder
+        if isinstance(holder, LaneMemoryState):
+            holder.mem[addr, self._lane] = _mask_int(value, self._component.width)
+            return None
+        return self._call_with_lane_state("write_word", addr, value)
+
+    def load(self, contents, offset: int = 0) -> None:
+        holder = self._holder
+        if isinstance(holder, LaneMemoryState):
+            width = self._component.width
+            for i, value in enumerate(contents):
+                holder.mem[offset + i, self._lane] = _mask_int(value, width)
+            return None
+        return self._call_with_lane_state("load", contents, offset)
+
+    def _call_with_lane_state(self, method: str, *args):
+        """Run a scalar component method against this lane's snapshot state."""
+        wrapper = self._lane_component
+        if wrapper is None or wrapper.lane_states is None:
+            raise LaneStateError(
+                f"component {self._component.name!r} keeps no per-lane scalar "
+                f"state; {method}() is not available through a lane view"
+            )
+        component = self._component
+        attrs = component.__dict__
+        states = wrapper.lane_states
+        lane = self._lane
+        attrs.update(states[lane])
+        result = getattr(component, method)(*args)
+        states[lane] = {
+            key: value for key, value in attrs.items() if key.startswith("_")
+        }
+        return result
+
+    # ------------------------------------------------------ attribute access
+    def __getattr__(self, name: str):
+        if name.startswith("__"):
+            # keep protocol probes (copy/pickle/inspect) on the standard path
+            raise AttributeError(name)
+        if name.startswith("_"):
+            raise LaneStateError(
+                f"per-lane access to private attribute {name!r} of component "
+                f"{self._component.name!r} is not supported; lane state lives "
+                f"in the batch program, not on the component"
+            )
+        value = getattr(self._component, name)
+        if callable(value) and name not in self._SAFE_METHODS:
+            raise LaneStateError(
+                f"method {name}() of component {self._component.name!r} is not "
+                f"lane-safe; only load/read_word/write_word are supported "
+                f"through a BatchSimulator lane view"
+            )
+        return value
+
+    def __setattr__(self, name: str, value) -> None:
+        raise LaneStateError(
+            f"cannot set attribute {name!r} on a per-lane component view"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<lane {self._lane} view of {self._component!r}>"
+
+
+def _mask_int(value: int, width: int) -> int:
+    return int(value) & ((1 << width) - 1)
+
+
+class _LaneModuleView:
+    """Module façade whose sequential components are per-lane proxies."""
+
+    def __init__(self, simulator: "BatchSimulator", lane: int) -> None:
+        module = simulator.module
+        self.name = module.name
+        self.ports = module.ports
+        self.nets = module.nets
+        self.attributes = module.attributes
+        program = simulator.program
+        wrappers = {lc.component: lc for lc in program.lane_components}
+        self.components: Dict[str, object] = {}
+        for comp_name, component in module.components.items():
+            if component.is_sequential:
+                self.components[comp_name] = _LaneSequentialProxy(
+                    component,
+                    lane,
+                    holder=program.holders.get(component),
+                    lane_component=wrappers.get(component),
+                )
+            else:
+                self.components[comp_name] = component
+
+
+class LaneView:
+    """Scalar view of one :class:`BatchSimulator` lane.
+
+    Presents the read-side of the scalar :class:`~repro.sim.engine.Simulator`
+    API (``get_output``/``get_outputs``/``get_net``/``cycle``/``module``) for
+    a single lane, so interactive testbenches — including ones that backdoor
+    load and verify memories — can drive per-lane stimulus in a multi-seed
+    batch run.  Writes still go through the owning simulator (per-lane input
+    assembly is the sweep driver's job); the view itself is read-only plus the
+    memory backdoors exposed by :class:`_LaneSequentialProxy`.
+    """
+
+    def __init__(self, simulator: "BatchSimulator", lane: int) -> None:
+        if not 0 <= lane < simulator.n_lanes:
+            raise ValueError(
+                f"lane {lane} out of range for {simulator.n_lanes}-lane simulator"
+            )
+        self.simulator = simulator
+        self.lane = lane
+        self.module = _LaneModuleView(simulator, lane)
+
+    @property
+    def cycle(self) -> int:
+        return self.simulator.cycle
+
+    def get_output(self, name: str) -> int:
+        try:
+            slot = self.simulator._output_keys[name]
+        except KeyError:
+            valid = ", ".join(sorted(self.simulator._output_keys)) or "<none>"
+            raise KeyError(
+                f"module {self.module.name!r} has no output port {name!r}; "
+                f"valid output ports: {valid}"
+            ) from None
+        return int(self.simulator._v[slot, self.lane])
+
+    def get_outputs(self) -> Dict[str, int]:
+        v, lane = self.simulator._v, self.lane
+        return {
+            name: int(v[slot, lane])
+            for name, slot in self.simulator._output_keys.items()
+        }
+
+    def get_net(self, net: Union[Net, str]) -> int:
+        if isinstance(net, str):
+            net = self.simulator.module.nets[net]
+        return int(self.simulator._v[self.simulator.program.slot_of[net], self.lane])

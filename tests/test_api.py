@@ -1,0 +1,312 @@
+"""Tests for the unified estimation API (repro.api).
+
+Covers the declarative specs and their JSON round-trips, protocol conformance
+of the three engine adapters (one spec shape in, comparable reports out),
+auto-flattening, the multi-seed sweep runner (batch lanes, shard pool, disk
+cache), and lane-count invariance of the batched RTL path.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    EmulationEstimatorAdapter,
+    EstimateResult,
+    GateLevelEstimatorAdapter,
+    PowerEstimator,
+    RTLEstimatorAdapter,
+    RunSpec,
+    SweepSpec,
+    estimate,
+    estimator_for,
+    sweep,
+)
+from repro.api.sweep import SweepResult
+
+DESIGN = "binary_search"
+CYCLES = 64
+
+
+# ----------------------------------------------------------------- specs
+
+
+def test_runspec_validation():
+    with pytest.raises(ValueError, match="unknown engine"):
+        RunSpec(design=DESIGN, engine="spice")
+    with pytest.raises(ValueError, match="unknown backend"):
+        RunSpec(design=DESIGN, backend="verilator")
+    with pytest.raises(ValueError, match="only available for the 'rtl'"):
+        RunSpec(design=DESIGN, engine="gate", backend="batch")
+    with pytest.raises(ValueError, match="library"):
+        RunSpec(design=DESIGN, library="characterized")
+
+
+def test_runspec_json_roundtrip():
+    spec = RunSpec(design="DCT", engine="emulation", seed=7, max_cycles=100,
+                   coefficient_bits=10, workload_cycles=12345)
+    again = RunSpec.from_json(spec.to_json())
+    assert again == spec
+    assert spec.replace(seed=8) != spec
+    assert spec.replace(seed=8).design == "DCT"
+
+
+def test_sweepspec_expansion_and_normalization():
+    spec = SweepSpec(designs=["DCT", "HVPeakF"], engines=["rtl", "gate"],
+                     seeds=[0, 1, 2])
+    assert spec.designs == ("DCT", "HVPeakF")  # lists normalize to tuples
+    specs = spec.run_specs()
+    assert len(specs) == 2 * 2 * 3
+    assert {s.engine for s in specs} == {"rtl", "gate"}
+    with pytest.raises(ValueError, match="at least one design"):
+        SweepSpec(designs=())
+
+
+# ------------------------------------------------- protocol conformance
+
+
+@pytest.fixture(scope="module")
+def rtl_result():
+    return estimate(RunSpec(design=DESIGN, engine="rtl", seed=3, max_cycles=CYCLES))
+
+
+def test_adapters_satisfy_protocol():
+    for engine, cls in (("rtl", RTLEstimatorAdapter),
+                        ("gate", GateLevelEstimatorAdapter),
+                        ("emulation", EmulationEstimatorAdapter)):
+        adapter = estimator_for(engine)
+        assert isinstance(adapter, cls)
+        assert isinstance(adapter, PowerEstimator)
+        assert adapter.engine == engine
+    with pytest.raises(ValueError, match="unknown engine"):
+        estimator_for("spice")
+
+
+def test_all_engines_share_spec_semantics(rtl_result):
+    """The same spec shape drives every engine to a comparable report."""
+    results = {"rtl": rtl_result}
+    for engine in ("gate", "emulation"):
+        results[engine] = estimate(
+            RunSpec(design=DESIGN, engine=engine, seed=3, max_cycles=CYCLES)
+        )
+    for engine, result in results.items():
+        assert result.spec.design == DESIGN
+        assert result.report.cycles == CYCLES
+        assert result.report.average_power_mw > 0
+        assert result.total_s > 0
+        assert result.metadata["design"] == DESIGN
+    # engines disagree only modestly on the same workload
+    rtl_power = results["rtl"].average_power_mw
+    emu_power = results["emulation"].average_power_mw
+    assert abs(emu_power - rtl_power) / rtl_power < 0.2
+
+
+def test_adapter_rejects_wrong_engine_spec():
+    with pytest.raises(ValueError, match="implements"):
+        RTLEstimatorAdapter().estimate(RunSpec(design=DESIGN, engine="gate"))
+
+
+def test_accuracy_vs_rtl_attached():
+    result = estimate(
+        RunSpec(design=DESIGN, engine="emulation", seed=3, max_cycles=CYCLES,
+                compare_to_rtl=True)
+    )
+    assert result.accuracy is not None
+    assert abs(result.accuracy["relative_error"]) < 0.2
+    assert result.accuracy["reference_power_mw"] > 0
+
+
+def test_estimate_result_json_roundtrip():
+    result = estimate(
+        RunSpec(design=DESIGN, engine="emulation", seed=2, max_cycles=CYCLES,
+                compare_to_rtl=True, keep_cycle_trace=True)
+    )
+    again = EstimateResult.from_json(result.to_json())
+    assert again.spec == result.spec
+    assert again.engine == result.engine
+    assert again.backend == result.backend
+    assert again.average_power_mw == pytest.approx(result.average_power_mw)
+    assert again.report.cycle_energy_fj == pytest.approx(result.report.cycle_energy_fj)
+    assert again.accuracy == result.accuracy
+    assert again.metadata["device"] == result.metadata["device"]
+    assert set(again.report.components) == set(result.report.components)
+    # and the serialized form really is JSON
+    payload = json.loads(result.to_json())
+    assert payload["spec"]["design"] == DESIGN
+
+
+# -------------------------------------------------------- auto-flatten
+
+
+def _hierarchical_module():
+    from repro.netlist import NetlistBuilder
+    from repro.netlist.module import Module
+
+    b = NetlistBuilder("leaf")
+    a = b.input("a", 8)
+    x = b.input("x", 8)
+    b.output("y", b.add(a, x, name="adder"))
+    leaf = b.build()
+    parent = Module("parent")
+    pa = parent.add_input("a", 8)
+    px = parent.add_input("x", 8)
+    py = parent.add_net("y", leaf.ports["y"].width)
+    parent.add_instance("u0", leaf, {"a": pa, "x": px, "y": py})
+    parent.add_output("y", py)
+    return parent
+
+
+def test_adapter_auto_flattens_hierarchical_modules():
+    from repro.power import RTLPowerEstimator
+    from repro.sim import RandomTestbench
+
+    module = _hierarchical_module()
+    # the legacy constructor refuses with actionable guidance...
+    with pytest.raises(ValueError, match="repro.api"):
+        RTLPowerEstimator(module)
+    # ...while the adapter flattens automatically
+    adapter = RTLEstimatorAdapter(
+        module=module,
+        testbench_factory=lambda seed: RandomTestbench(30, seed=seed or 0),
+    )
+    result = adapter.estimate(RunSpec(design="custom", engine="rtl", seed=1))
+    assert result.report.cycles == 30
+    assert result.report.average_power_mw > 0
+
+
+def test_explicit_module_requires_testbench_factory():
+    with pytest.raises(ValueError, match="testbench_factory"):
+        RTLEstimatorAdapter(module=_hierarchical_module())
+
+
+# --------------------------------------------- lane-count invariance
+
+
+def test_batch_backend_matches_scalar_single_run(rtl_result):
+    batched = estimate(
+        RunSpec(design=DESIGN, engine="rtl", seed=3, max_cycles=CYCLES,
+                backend="batch")
+    )
+    assert batched.backend == "batch[1]"
+    assert batched.report.cycles == rtl_result.report.cycles
+    assert batched.average_power_mw == pytest.approx(rtl_result.average_power_mw)
+    assert batched.report.total_energy_fj == pytest.approx(
+        rtl_result.report.total_energy_fj
+    )
+
+
+@pytest.mark.parametrize("design", ["binary_search", "Ispq"])
+def test_multi_seed_batch_matches_scalar_per_seed(design):
+    """Lane count never changes results: N lanes == N scalar runs."""
+    seeds = [0, 1, 2]
+    adapter = RTLEstimatorAdapter()
+    specs = [RunSpec(design=design, engine="rtl", seed=s) for s in seeds]
+    batched = adapter.estimate_many(specs)
+    assert all(r.backend == f"batch[{len(seeds)}]" for r in batched)
+    for spec, lane_result in zip(specs, batched):
+        scalar = estimate(spec)
+        assert lane_result.report.cycles == scalar.report.cycles
+        assert lane_result.report.total_energy_fj == pytest.approx(
+            scalar.report.total_energy_fj
+        )
+        for name, component in scalar.report.components.items():
+            assert lane_result.report.components[name].energy_fj == pytest.approx(
+                component.energy_fj
+            )
+
+
+def test_estimate_many_rejects_mixed_designs():
+    adapter = RTLEstimatorAdapter()
+    with pytest.raises(ValueError, match="sharing design"):
+        adapter.estimate_many([
+            RunSpec(design="binary_search", engine="rtl", seed=0),
+            RunSpec(design="Ispq", engine="rtl", seed=0),
+        ])
+
+
+# ----------------------------------------------------------------- sweep
+
+
+def test_sweep_multi_seed_rtl_uses_batch_lanes(tmp_path):
+    spec = SweepSpec(designs=(DESIGN,), engines=("rtl",), seeds=(0, 1, 2, 3),
+                     max_cycles=CYCLES, cache_dir=str(tmp_path))
+    result = sweep(spec)
+    assert len(result.results) == 4
+    assert {r.backend for r in result.results} == {"batch[4]"}
+    distribution = result.distribution(DESIGN, "rtl")
+    assert distribution["n_seeds"] == 4
+    assert distribution["min_mw"] <= distribution["mean_mw"] <= distribution["max_mw"]
+    assert DESIGN in result.summary()
+
+    # a repeat sweep is served from the on-disk cache with identical results
+    again = sweep(spec)
+    assert again.cache_hits == 4
+    for first, second in zip(result.results, again.results):
+        assert second.average_power_mw == pytest.approx(first.average_power_mw)
+
+    # and the whole sweep result round-trips through JSON
+    restored = SweepResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert [r.average_power_mw for r in restored.results] == pytest.approx(
+        [r.average_power_mw for r in result.results]
+    )
+
+
+def test_sweep_sharded_matches_serial():
+    spec_serial = SweepSpec(designs=(DESIGN,), engines=("rtl", "emulation"),
+                            seeds=(0, 1), max_cycles=CYCLES, n_workers=1)
+    spec_pool = SweepSpec(designs=(DESIGN,), engines=("rtl", "emulation"),
+                          seeds=(0, 1), max_cycles=CYCLES, n_workers=2)
+    serial = sweep(spec_serial)
+    pooled = sweep(spec_pool)
+    assert len(serial.results) == len(pooled.results) == 4
+    for a, b in zip(serial.results, pooled.results):
+        assert a.spec.engine == b.spec.engine and a.spec.seed == b.spec.seed
+        assert b.average_power_mw == pytest.approx(a.average_power_mw)
+
+
+# ------------------------------------------------------------- registry
+
+
+def test_registry_get_and_seeded_testbenches():
+    from repro.designs import registry
+
+    entry = registry.get(DESIGN)
+    assert entry is not None and entry.name == DESIGN
+    tb_a = entry.make_testbench(seed=4)
+    tb_b = entry.make_testbench(seed=4)
+    tb_c = entry.make_testbench()  # default stimulus
+    assert type(tb_a) is type(tb_c)
+    assert tb_a is not tb_b
+    with pytest.raises(KeyError, match="available"):
+        registry.get("not_a_design")
+
+
+# ----------------------------------------------------------------- CLI
+
+
+def test_cli_run_writes_json_artifact(tmp_path, capsys):
+    from repro.api.cli import main
+
+    out = tmp_path / "run.json"
+    code = main(["run", "--design", DESIGN, "--engine", "rtl",
+                 "--max-cycles", str(CYCLES), "--json", str(out)])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    restored = EstimateResult.from_dict(payload)
+    assert restored.spec.design == DESIGN
+    assert restored.report.cycles == CYCLES
+    assert DESIGN in capsys.readouterr().out
+
+
+def test_cli_sweep_writes_json_artifact(tmp_path, capsys):
+    from repro.api.cli import main
+
+    out = tmp_path / "sweep.json"
+    code = main(["sweep", "--designs", DESIGN, "--seeds", "0", "1",
+                 "--max-cycles", str(CYCLES), "--json", str(out)])
+    assert code == 0
+    restored = SweepResult.from_dict(json.loads(out.read_text()))
+    assert len(restored.results) == 2
+    assert "mean (mW)" in capsys.readouterr().out
