@@ -94,7 +94,15 @@ def test_multiseed_sweep_throughput(benchmark):
             f"{row['batch_cycles_per_s']:12,.0f} {row['speedup']:8.1f}x"
         )
     lines += ["", f"aggregate speedup (sum of scalar / sum of lanes): {aggregate:.1f}x"]
-    write_result("multiseed_sweep.txt", "\n".join(lines))
+    write_result(
+        "multiseed_sweep.txt",
+        "\n".join(lines),
+        metrics={
+            "n_seeds": N_SEEDS,
+            "aggregate_speedup": round(aggregate, 2),
+            **{f"speedup_{k}": round(v["speedup"], 2) for k, v in rows.items()},
+        },
+    )
 
     # the lane path must not regress below the scalar loop (modest floor so
     # CI jitter cannot flake the job; local measurements are well above it)

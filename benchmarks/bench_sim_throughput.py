@@ -88,6 +88,12 @@ def test_instrumented_mpeg4_throughput(benchmark):
         iterations=1,
     )
     speedup = _record(benchmark, "MPEG4 (instrumented)", interp, compiled)
-    write_result("sim_throughput.txt", _format_table())
+    write_result(
+        "sim_throughput.txt",
+        _format_table(),
+        metrics={
+            f"speedup_{name}": round(row[2], 2) for name, row in _ROWS.items()
+        },
+    )
     assert compiled.final_outputs == interp.final_outputs
     assert speedup >= 5.0

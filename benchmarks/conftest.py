@@ -17,7 +17,10 @@ on-disk result caching controlled by environment variables:
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import sys
 
 import pytest
 
@@ -32,15 +35,37 @@ from repro.bench.fig3 import (  # noqa: F401  (re-exported for the harnesses)
 from repro.power import build_seed_library
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
-def write_result(filename: str, text: str) -> str:
-    """Write a reproduced table under benchmarks/results/ (and echo it)."""
+def write_result(filename: str, text: str, metrics=None, bench_name=None) -> str:
+    """Write a reproduced table under benchmarks/results/ (and echo it).
+
+    Every table also lands as a machine-readable repo-root
+    ``BENCH_<name>.json`` summary — the per-PR perf trajectory artifact —
+    carrying the harness's headline ``metrics`` (when it passes any) plus the
+    rendered table and the python/platform identity of the run.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, filename)
     with open(path, "w") as handle:
         handle.write(text.rstrip() + "\n")
     print(text)
+    name = bench_name or os.path.splitext(os.path.basename(filename))[0]
+    summary_path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+    with open(summary_path, "w") as handle:
+        json.dump(
+            {
+                "benchmark": name,
+                "metrics": dict(metrics or {}),
+                "table": text.rstrip(),
+                "python": sys.version.split()[0],
+                "platform": platform.platform(),
+            },
+            handle,
+            sort_keys=True,
+            indent=2,
+        )
     return path
 
 

@@ -16,7 +16,9 @@ A from-scratch Python reproduction of "Hardware Accelerated Power Estimation"
   FPGA platform model and the end-to-end power-emulation flow,
 * :mod:`repro.hls` — a small behavioral-synthesis substrate used to generate
   dataflow benchmark designs,
-* :mod:`repro.designs` — the benchmark designs evaluated in the paper.
+* :mod:`repro.designs` — the benchmark designs evaluated in the paper,
+* :mod:`repro.stim` — declarative stimulus specs, the tensor compiler and
+  the vectorized lane drivers behind Monte-Carlo scenario sweeps.
 """
 
 __version__ = "1.0.0"
@@ -30,4 +32,5 @@ __all__ = [
     "core",
     "hls",
     "designs",
+    "stim",
 ]

@@ -3,16 +3,23 @@
 One CLI over the unified estimation API::
 
     python -m repro run --design binary_search --engine rtl --max-cycles 64
-    python -m repro sweep --designs DCT HVPeakF --seeds 0 1 2 3 --workers 4
+    python -m repro sweep --designs DCT HVPeakF --seeds 0:64 --workers 4
+    python -m repro sweep --designs HVPeakF --seeds 0:32 --stimulus design
+    python -m repro stim --stimulus "burst:active=4,idle=12" --design HVPeakF
     python -m repro characterize --pairs 150
     python -m repro fig3 --workers 4
 
 ``run`` executes one :class:`~repro.api.spec.RunSpec` through any engine,
 ``sweep`` fans a (design × engine × seed) grid over batch lanes + the shard
-pool, ``characterize`` fits macromodels against the gate-level references,
-and ``fig3`` reproduces the paper's Figure 3 study (the former
-``python -m repro.bench.fig3`` entry, which remains as a shim).  Every
-subcommand can emit its result as a JSON artifact via ``--json``.
+pool (``--seeds`` accepts ranges like ``0:64`` and rejects duplicates),
+``stim`` describes and previews declarative stimulus specs, ``characterize``
+fits macromodels against the gate-level references, and ``fig3`` reproduces
+the paper's Figure 3 study (the former ``python -m repro.bench.fig3`` entry,
+which remains as a shim).  ``run``/``sweep`` accept ``--stimulus`` — a
+shorthand like ``markov:p01=0.2,p10=0.1``, inline JSON, ``@file``, or
+``design`` for the registry entry's declared scenario — to drive a
+:class:`~repro.stim.spec.StimulusSpec` instead of the built-in testbench.
+Every subcommand can emit its result as a JSON artifact via ``--json``.
 """
 
 from __future__ import annotations
@@ -30,10 +37,75 @@ def _add_common_run_arguments(parser: argparse.ArgumentParser) -> None:
                         help="cycle budget (default: the testbench's own)")
     parser.add_argument("--backend", choices=BACKENDS, default="auto",
                         help="simulation backend (default auto; batch = lane path)")
+    parser.add_argument("--stimulus", default=None, metavar="SPEC",
+                        help="declarative stimulus instead of the built-in "
+                             "testbench: kind[:k=v,...] shorthand, inline "
+                             "JSON, @file, or 'design' for the registry "
+                             "entry's declared scenario")
     parser.add_argument("--coefficient-bits", type=int, default=12,
                         help="instrumentation coefficient width (emulation engine)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the result as a JSON artifact")
+
+
+def parse_seed_list(tokens: List[str]) -> List[int]:
+    """Expand ``--seeds`` tokens (ints and ``start:stop[:step]`` ranges).
+
+    Duplicates in the expanded list are rejected downstream by
+    :class:`~repro.api.spec.SweepSpec` — every seed is one independent
+    lane/run, so a repeat would only re-estimate an identical result.
+    """
+    seeds: List[int] = []
+    for token in tokens:
+        if ":" in token:
+            parts = token.split(":")
+            try:
+                numbers = [int(part) for part in parts]
+            except ValueError:
+                numbers = []
+            if len(numbers) not in (2, 3) or (len(numbers) == 3 and numbers[2] == 0):
+                raise ValueError(
+                    f"bad seed range {token!r}; expected start:stop or "
+                    f"start:stop:step with a nonzero step (python range "
+                    f"semantics, stop excluded)"
+                )
+            expanded = list(range(*numbers))
+            if not expanded:
+                raise ValueError(
+                    f"seed range {token!r} is empty (stop is excluded, like "
+                    f"python's range)"
+                )
+            seeds.extend(expanded)
+        else:
+            try:
+                seeds.append(int(token))
+            except ValueError:
+                raise ValueError(
+                    f"bad seed {token!r}; expected an integer or a "
+                    f"start:stop[:step] range"
+                ) from None
+    return seeds
+
+
+def _resolve_stimulus(args: argparse.Namespace, designs: List[str]):
+    """The ``--stimulus`` argument as a StimulusSpec (or None)."""
+    if not args.stimulus:
+        return None
+    from repro.stim import parse_stimulus
+
+    if args.stimulus == "design":
+        if len(designs) != 1:
+            raise ValueError(
+                "--stimulus design needs exactly one design (each registry "
+                "entry declares its own scenario)"
+            )
+        from repro.designs.registry import get
+
+        return get(designs[0]).make_stimulus_spec()
+    # run/sweep default the shorthand's cycle count to their --max-cycles;
+    # the stim subcommand has no such flag (its --cycles overrides later)
+    default_cycles = getattr(args, "max_cycles", None) or 256
+    return parse_stimulus(args.stimulus, default_cycles=default_cycles)
 
 
 def _design_names() -> List[str]:
@@ -58,6 +130,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         design=args.design,
         engine=args.engine,
         seed=args.seed,
+        stimulus=_resolve_stimulus(args, [args.design]),
         max_cycles=args.max_cycles,
         backend=args.backend,
         coefficient_bits=args.coefficient_bits,
@@ -83,7 +156,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = SweepSpec(
         designs=tuple(args.designs),
         engines=tuple(args.engines),
-        seeds=tuple(args.seeds),
+        seeds=tuple(parse_seed_list(args.seeds)),
+        stimulus=_resolve_stimulus(args, list(args.designs)),
         max_cycles=args.max_cycles,
         backend=args.backend,
         coefficient_bits=args.coefficient_bits,
@@ -93,6 +167,64 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     result = sweep(spec)
     print(result.summary())
     _write_json(args.json, result.to_dict())
+    return 0
+
+
+# ----------------------------------------------------------------- stim
+def _cmd_stim(args: argparse.Namespace) -> int:
+    from repro.stim import CompiledStimulus
+
+    spec = _resolve_stimulus(args, [args.design] if args.design else [])
+    if spec is None:
+        raise ValueError("stim needs --stimulus (shorthand, JSON, @file or "
+                         "'design' with --design)")
+    if args.cycles:
+        spec = spec.replace(n_cycles=args.cycles)
+    if args.seed is not None:
+        spec = spec.replace(seed=args.seed)
+
+    if args.design:
+        from repro.designs.registry import build_flat
+
+        module = build_flat(args.design)
+        widths = {
+            name: port.width
+            for name, port in module.ports.items()
+            if port.is_input
+        }
+    else:
+        # no design: preview against the named ports (default width 16)
+        widths = {name: 16 for name, _ in spec.ports} or {"data": 16}
+
+    seeds = [spec.seed + lane for lane in range(args.lanes)]
+    compiled = CompiledStimulus(spec, widths, seeds)
+    tensor = compiled.tensor()
+    print(spec.describe())
+    print()
+    statistics = compiled.port_statistics(tensor)
+    print(f"{'port':16s} {'width':>5s} {'toggles/bit/cyc':>15s} {'nonzero duty':>12s}")
+    for row in statistics:
+        print(f"{row['port']:16s} {row['width']:5d} {row['toggle_rate']:15.3f} "
+              f"{row['nonzero_duty']:12.1%}")
+    n_preview = min(args.preview, spec.n_cycles)
+    if n_preview:
+        preview = tensor[:n_preview]
+        print()
+        print(f"first {n_preview} cycles (lane 0 of {args.lanes}):")
+        header = " ".join(f"{name:>10s}" for name in compiled.port_names)
+        print(f"{'cycle':>5s} {header}")
+        for cycle in range(n_preview):
+            row = " ".join(
+                f"{int(preview[cycle, p, 0]):>10d}"
+                for p in range(len(compiled.port_names))
+            )
+            print(f"{cycle:5d} {row}")
+    _write_json(args.json, {
+        "spec": spec.to_dict(),
+        "design": args.design,
+        "n_lanes": args.lanes,
+        "ports": statistics,
+    })
     return 0
 
 
@@ -170,14 +302,35 @@ def build_parser() -> argparse.ArgumentParser:
                                        "batch lanes + shard pool + cache")
     swp.add_argument("--designs", nargs="+", required=True, choices=_design_names())
     swp.add_argument("--engines", nargs="+", choices=ENGINES, default=["rtl"])
-    swp.add_argument("--seeds", nargs="+", type=int, default=[0, 1],
-                     help="stimulus seeds (one RTL lane per seed)")
+    swp.add_argument("--seeds", nargs="+", default=["0", "1"], metavar="SEED",
+                     help="stimulus seeds (one RTL lane per seed): integers "
+                          "and start:stop[:step] ranges, e.g. --seeds 0:64; "
+                          "duplicates are rejected")
     swp.add_argument("--workers", type=int, default=1,
                      help="shard-pool worker processes (1 = serial)")
     swp.add_argument("--cache-dir", default="",
                      help="on-disk result cache directory ('' disables caching)")
     _add_common_run_arguments(swp)
     swp.set_defaults(func=_cmd_sweep)
+
+    stim = sub.add_parser("stim", help="describe & preview a stimulus spec "
+                                       "(ports, activity stats, first cycles)")
+    stim.add_argument("--stimulus", required=True, metavar="SPEC",
+                      help="kind[:k=v,...] shorthand, inline JSON, @file, or "
+                           "'design' (with --design) for the registry scenario")
+    stim.add_argument("--design", choices=_design_names(), default=None,
+                      help="resolve port widths against this design's inputs")
+    stim.add_argument("--cycles", type=int, default=None,
+                      help="override the spec's n_cycles")
+    stim.add_argument("--lanes", type=int, default=4,
+                      help="lanes to compile for the activity statistics")
+    stim.add_argument("--seed", type=int, default=None,
+                      help="override the spec's base seed")
+    stim.add_argument("--preview", type=int, default=8,
+                      help="cycles of lane-0 values to print (0 disables)")
+    stim.add_argument("--json", metavar="PATH", default=None,
+                      help="write the spec + port stats as a JSON artifact")
+    stim.set_defaults(func=_cmd_stim)
 
     cha = sub.add_parser("characterize",
                          help="fit macromodels against gate-level references")

@@ -96,6 +96,12 @@ class _EngineAdapter:
         return get(spec.design).build()
 
     def _resolve_testbench(self, spec: RunSpec) -> Testbench:
+        if spec.stimulus is not None:
+            # a declarative scenario always wins over registry/explicit
+            # testbenches; on the lane path it runs as the array driver
+            from repro.stim import SpecTestbench
+
+            return SpecTestbench(spec.stimulus, seed=spec.seed)
         if self._testbench_factory is not None:
             return self._testbench_factory(spec.seed)
         from repro.designs.registry import get
@@ -207,9 +213,14 @@ class RTLEstimatorAdapter(_EngineAdapter):
         first = specs[0]
         for spec in specs:
             self._check_spec(spec)
-            if spec.design != first.design or spec.max_cycles != first.max_cycles:
+            if (
+                spec.design != first.design
+                or spec.max_cycles != first.max_cycles
+                or spec.stimulus != first.stimulus
+            ):
                 raise ValueError(
-                    "estimate_many requires specs sharing design and max_cycles"
+                    "estimate_many requires specs sharing design, max_cycles "
+                    "and stimulus"
                 )
         from repro.power.lane_estimator import BatchRTLPowerEstimator
         from repro.sim.batch import BatchCompilationError, LaneStateError

@@ -19,12 +19,25 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.power.report import PowerReport
+from repro.stim.spec import StimulusSpec
 
 #: engines selectable by ``RunSpec.engine``
 ENGINES: Tuple[str, ...] = ("rtl", "gate", "emulation")
 
 #: simulation backends selectable by ``RunSpec.backend``
 BACKENDS: Tuple[str, ...] = ("auto", "compiled", "interp", "batch")
+
+
+def _coerce_stimulus(value) -> Optional[StimulusSpec]:
+    """Accept a StimulusSpec, its dict payload (JSON round trips), or None."""
+    if isinstance(value, dict):
+        return StimulusSpec.from_dict(value)
+    if value is not None and not isinstance(value, StimulusSpec):
+        raise ValueError(
+            f"stimulus must be a repro.stim.StimulusSpec (or its dict "
+            f"payload), got {type(value).__name__}"
+        )
+    return value
 
 
 @dataclass(frozen=True)
@@ -38,13 +51,18 @@ class RunSpec:
     the design's scaled-workload stimulus (``None`` = the design default);
     ``backend`` picks the functional-simulation strategy (``auto`` resolves
     to ``compiled``; ``batch`` runs the RTL engine over BatchSimulator
-    lanes).  ``compare_to_rtl`` attaches accuracy against a software-RTL
+    lanes).  ``stimulus`` replaces the design's built-in testbench with a
+    declarative :class:`~repro.stim.spec.StimulusSpec` scenario (driven as a
+    :class:`~repro.stim.testbench.SpecTestbench`, and as the vectorized
+    array driver on the lane path); a plain dict payload is accepted and
+    coerced.  ``compare_to_rtl`` attaches accuracy against a software-RTL
     reference run of the same design/seed.
     """
 
     design: str
     engine: str = "rtl"
     seed: Optional[int] = None
+    stimulus: Optional[StimulusSpec] = None
     max_cycles: Optional[int] = None
     backend: str = "auto"
     library: str = "seed"
@@ -78,10 +96,15 @@ class RunSpec:
                 f"unknown power-model library {self.library!r}; only the "
                 f"deterministic 'seed' library is registered"
             )
+        object.__setattr__(self, "stimulus", _coerce_stimulus(self.stimulus))
 
     # -------------------------------------------------------- serialization
     def to_dict(self) -> Dict[str, object]:
-        return dataclasses.asdict(self)
+        payload = dataclasses.asdict(self)
+        if self.stimulus is not None:
+            # asdict() would drop the port-spec `kind` discriminators
+            payload["stimulus"] = self.stimulus.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "RunSpec":
@@ -120,6 +143,8 @@ class SweepSpec:
     coefficient_bits: int = 12
     n_workers: int = 0
     cache_dir: Optional[str] = None
+    #: declarative scenario driven instead of the designs' built-in testbenches
+    stimulus: Optional[StimulusSpec] = None
 
     def __post_init__(self) -> None:
         # tolerate lists (e.g. built from JSON / argparse) by normalizing
@@ -134,6 +159,17 @@ class SweepSpec:
                 raise ValueError(
                     f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}"
                 )
+        seeds = self.seeds
+        if len(set(seeds)) != len(seeds):
+            duplicates = sorted({s for s in seeds if seeds.count(s) > 1})
+            raise ValueError(
+                f"duplicate stimulus seeds in sweep: "
+                f"{', '.join(str(s) for s in duplicates)} — each seed is one "
+                f"independent run/lane, so repeats would only re-estimate "
+                f"identical results; drop the repeated seeds (on the CLI, "
+                f"--seeds 0:4 already covers 0 1 2 3)"
+            )
+        object.__setattr__(self, "stimulus", _coerce_stimulus(self.stimulus))
 
     def run_specs(self) -> List[RunSpec]:
         """The sweep's full (design × engine × seed) RunSpec expansion."""
@@ -142,6 +178,7 @@ class SweepSpec:
                 design=design,
                 engine=engine,
                 seed=seed,
+                stimulus=self.stimulus,
                 max_cycles=self.max_cycles,
                 backend=self.backend,
                 library=self.library,
@@ -153,7 +190,11 @@ class SweepSpec:
         ]
 
     def to_dict(self) -> Dict[str, object]:
-        return dataclasses.asdict(self)
+        payload = dataclasses.asdict(self)
+        if self.stimulus is not None:
+            # asdict() would drop the port-spec `kind` discriminators
+            payload["stimulus"] = self.stimulus.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "SweepSpec":

@@ -39,6 +39,11 @@ class BenchmarkDesign:
     #: returns a fresh scaled-workload testbench under an explicit stimulus
     #: seed (multi-seed sweeps); ``None`` when the design has no seeded form
     testbench_seeded: Optional[Callable[[int], Testbench]] = None
+    #: returns a declarative :class:`~repro.stim.spec.StimulusSpec` scenario
+    #: for the design's free-running input ports; ``None`` when the design's
+    #: workload is protocol-driven (memory preloads etc.) and has no
+    #: meaningful port-stream form
+    stimulus: Optional[Callable[[], "object"]] = None
 
     def make_testbench(self, seed: Optional[int] = None) -> Testbench:
         """A fresh scaled-workload testbench, optionally re-seeded.
@@ -54,6 +59,23 @@ class BenchmarkDesign:
                 f"run it with seed=None (the default stimulus)"
             )
         return self.testbench_seeded(seed)
+
+    def make_stimulus_spec(self):
+        """The design's declared :class:`~repro.stim.spec.StimulusSpec`."""
+        if self.stimulus is None:
+            raise ValueError(
+                f"design {self.name!r} declares no stimulus spec; pass an "
+                f"explicit spec (e.g. --stimulus uniform) instead of "
+                f"--stimulus design"
+            )
+        return self.stimulus()
+
+    def make_stimulus_testbench(self, seed: Optional[int] = None):
+        """A scalar :class:`~repro.stim.testbench.SpecTestbench` over the
+        design's declared stimulus spec (``seed=None`` = the spec's own)."""
+        from repro.stim import SpecTestbench
+
+        return SpecTestbench(self.make_stimulus_spec(), seed=seed)
 
 
 #: canonical alias used by the unified estimation API (:mod:`repro.api`)
@@ -78,6 +100,17 @@ def _bubble_sort() -> BenchmarkDesign:
     )
 
 
+def _hvpeakf_stimulus():
+    from repro.stim import ConstantSpec, StimulusSpec, UniformSpec
+
+    # a free-running random pixel stream with the valid strobe held high
+    return StimulusSpec(
+        n_cycles=256,
+        ports={"pixel": UniformSpec(), "valid": ConstantSpec(1)},
+        default=None,
+    )
+
+
 def _hvpeakf() -> BenchmarkDesign:
     from repro.designs import hvpeakf
 
@@ -89,6 +122,7 @@ def _hvpeakf() -> BenchmarkDesign:
         build=hvpeakf.build,
         testbench=lambda: hvpeakf.testbench(n_pixels=scaled_pixels, seed=5),
         testbench_seeded=lambda seed: hvpeakf.testbench(n_pixels=scaled_pixels, seed=seed),
+        stimulus=_hvpeakf_stimulus,
         nominal_cycles=nominal_pixels + 16,
         scaled_cycles=scaled_pixels + 16,
         notes={"nominal_workload": f"filter {nominal_pixels} pixels (4 CIF frames)",
@@ -186,6 +220,22 @@ def _mpeg4() -> BenchmarkDesign:
     )
 
 
+def _binary_search_stimulus():
+    from repro.stim import ReplaySpec, StimulusSpec, UniformSpec
+
+    # pulse `start` once per search slot, hold a fresh random key per search
+    cycles_per_search = 24
+    pulse = (1,) + (0,) * (cycles_per_search - 1)
+    return StimulusSpec(
+        n_cycles=8 * cycles_per_search,
+        ports={
+            "start": ReplaySpec(values=pulse, repeat=True),
+            "key": UniformSpec(hold=cycles_per_search),
+        },
+        default=None,
+    )
+
+
 def _binary_search() -> BenchmarkDesign:
     from repro.designs import binary_search
 
@@ -195,6 +245,7 @@ def _binary_search() -> BenchmarkDesign:
         build=binary_search.build,
         testbench=lambda: binary_search.testbench(n_searches=8),
         testbench_seeded=lambda seed: binary_search.testbench(n_searches=8, seed=seed),
+        stimulus=_binary_search_stimulus,
         nominal_cycles=100_000 * 24,
         scaled_cycles=8 * 24,
         in_figure3=False,

@@ -16,6 +16,13 @@ backdoor loads land in that lane's private state.  Lanes that finish early are
 masked out of the energy accumulation (and stop being driven/checked), so each
 lane's report is identical to what a scalar run of the same testbench would
 produce — lane count changes speed, never results.
+
+Spec-backed testbenches (:class:`~repro.stim.testbench.SpecTestbench` sharing
+one :class:`~repro.stim.spec.StimulusSpec`) skip the per-lane LaneView drive
+loop entirely: their stimulus compiles into chunked lane tensors
+(:mod:`repro.stim.compile`) written straight into the value store, one NumPy
+row per port per cycle — the same values the per-lane loop would produce,
+minus its ``O(n_lanes)`` Python overhead per cycle.
 """
 
 from __future__ import annotations
@@ -68,8 +75,18 @@ class BatchRTLPowerEstimator:
         testbenches: Sequence[Testbench],
         max_cycles: Optional[int] = None,
         keep_cycle_trace: bool = True,
+        use_array_driver: Optional[bool] = None,
     ) -> List[PowerReport]:
-        """Run every testbench in its own lane and report power per lane."""
+        """Run every testbench in its own lane and report power per lane.
+
+        ``use_array_driver`` controls the stimulus path for spec-backed
+        testbenches: ``None`` (default) prefers the vectorized array driver
+        whenever every testbench is a :class:`SpecTestbench` sharing one
+        spec, ``False`` forces the per-lane LaneView drive loop (the
+        benchmark baseline), ``True`` requires the array driver and raises
+        :class:`ValueError` when the testbenches are not spec-backed.
+        Results are identical either way.
+        """
         n_lanes = len(testbenches)
         if n_lanes == 0:
             return []
@@ -78,6 +95,23 @@ class BatchRTLPowerEstimator:
         views = [simulator.lane_view(lane) for lane in range(n_lanes)]
         for testbench, view in zip(testbenches, views):
             testbench.bind(view)
+
+        limits = [
+            max_cycles if max_cycles is not None else tb.max_cycles
+            for tb in testbenches
+        ]
+        driver = None
+        if use_array_driver is not False:
+            # the array path stops every lane at one uniform cycle, so it
+            # also requires equal per-lane budgets (a caller can retarget a
+            # testbench's max_cycles after construction)
+            if len(set(limits)) == 1:
+                driver = self._make_array_driver(testbenches, simulator)
+            if use_array_driver is True and driver is None:
+                raise ValueError(
+                    "use_array_driver=True needs SpecTestbench instances "
+                    "sharing one StimulusSpec and equal cycle budgets"
+                )
 
         slot_of = simulator.program.slot_of
         # (component, model, [(port, slot)]) in the scalar snapshot order
@@ -90,10 +124,6 @@ class BatchRTLPowerEstimator:
             ]
             monitored.append((component, model, binding))
 
-        limits = [
-            max_cycles if max_cycles is not None else tb.max_cycles
-            for tb in testbenches
-        ]
         input_keys = simulator._input_keys
         v = simulator._v
         is_object = simulator.program.dtype is object
@@ -109,33 +139,57 @@ class BatchRTLPowerEstimator:
         #: per cycle instead of per-component port copies)
         prev_store: Optional[np.ndarray] = None
 
+        #: spec-backed lanes all run the same cycle-determined workload (one
+        #: spec, equal limits, no checks), so their stop cycle is computed
+        #: once and the per-lane budget/check/finished loops are skipped
+        uniform_stop: Optional[int] = None
+        if driver is not None:
+            uniform_stop = (
+                driver.n_cycles
+                if limits[0] is None
+                else min(limits[0], driver.n_cycles)
+            )
+
         while active.any():
             cycle = simulator.cycle
-            # per-lane cycle budget (mirrors the scalar run loop's limit check)
-            for lane in np.flatnonzero(active):
-                limit = limits[lane]
-                if limit is not None and cycle >= limit:
-                    active[lane] = False
-                    lane_cycles[lane] = cycle
-            if not active.any():
-                break
+            if uniform_stop is not None:
+                if cycle >= uniform_stop:
+                    for lane in np.flatnonzero(active):
+                        lane_cycles[lane] = cycle
+                    active[:] = False
+                    break
+            else:
+                # per-lane cycle budget (mirrors the scalar run loop's limit
+                # check)
+                for lane in np.flatnonzero(active):
+                    limit = limits[lane]
+                    if limit is not None and cycle >= limit:
+                        active[lane] = False
+                        lane_cycles[lane] = cycle
+                if not active.any():
+                    break
 
-            # drive: collect each active lane's stimulus into per-lane writes
-            for lane in np.flatnonzero(active):
-                stimulus = testbenches[lane].drive(cycle, views[lane])
-                if not stimulus:
-                    continue
-                for name, value in stimulus.items():
-                    try:
-                        slot, width = input_keys[name]
-                    except KeyError:
-                        valid = ", ".join(sorted(input_keys)) or "<none>"
-                        raise KeyError(
-                            f"module {self.module.name!r} has no input port "
-                            f"{name!r}; valid input ports: {valid}"
-                        ) from None
-                    masked = int(value) & ((1 << width) - 1)
-                    v[slot, lane] = masked if is_object else np.int64(masked)
+            if driver is not None:
+                # array driver: one vectorized row write per driven port
+                if cycle < driver.n_cycles:
+                    driver.apply(cycle)
+            else:
+                # drive: collect each active lane's stimulus into per-lane writes
+                for lane in np.flatnonzero(active):
+                    lane_stimulus = testbenches[lane].drive(cycle, views[lane])
+                    if not lane_stimulus:
+                        continue
+                    for name, value in lane_stimulus.items():
+                        try:
+                            slot, width = input_keys[name]
+                        except KeyError:
+                            valid = ", ".join(sorted(input_keys)) or "<none>"
+                            raise KeyError(
+                                f"module {self.module.name!r} has no input port "
+                                f"{name!r}; valid input ports: {valid}"
+                            ) from None
+                        masked = int(value) & ((1 << width) - 1)
+                        v[slot, lane] = masked if is_object else np.int64(masked)
 
             simulator.settle()
 
@@ -152,6 +206,15 @@ class BatchRTLPowerEstimator:
                 total_this_cycle += energies
             np.copyto(prev_store, v, casting="unsafe")
             cycle_energy.append(total_this_cycle)
+
+            if uniform_stop is not None:
+                simulator.clock_edge()
+                simulator.cycle += 1
+                if cycle + 1 >= uniform_stop:
+                    for lane in range(n_lanes):
+                        lane_cycles[lane] = cycle + 1
+                    active[:] = False
+                continue
 
             # check/finish each active lane, then take the shared clock edge
             finishing = []
@@ -172,15 +235,41 @@ class BatchRTLPowerEstimator:
             if cycle_energy
             else np.zeros((0, n_lanes), dtype=np.float64)
         )
+        driver_name = "array" if driver is not None else "lane-view"
         return [
             self._build_lane_report(
                 lane, lane_cycles[lane], energy_by_component, trace,
-                elapsed / n_lanes, n_lanes, keep_cycle_trace,
+                elapsed / n_lanes, n_lanes, keep_cycle_trace, driver_name,
             )
             for lane in range(n_lanes)
         ]
 
     # -------------------------------------------------------------- helpers
+    @staticmethod
+    def _make_array_driver(testbenches: Sequence[Testbench], simulator):
+        """A :class:`~repro.stim.driver.BatchStimulusDriver` when every
+        testbench is spec-backed.
+
+        Returns ``None`` unless all testbenches are
+        :class:`~repro.stim.testbench.SpecTestbench` instances sharing one
+        :class:`~repro.stim.spec.StimulusSpec` (seeds may differ — each
+        becomes one lane).  The driver compiles the very streams a scalar
+        ``SpecTestbench`` run would pull, so switching drivers never changes
+        results.  Subclasses are excluded — they may override ``check``/
+        ``finished``, which the array-driven loop does not call — and take
+        the per-lane LaneView path instead.
+        """
+        from repro.stim.driver import BatchStimulusDriver
+        from repro.stim.testbench import SpecTestbench
+
+        if not all(type(tb) is SpecTestbench for tb in testbenches):
+            return None
+        spec = testbenches[0].spec
+        if any(tb.spec != spec for tb in testbenches[1:]):
+            return None
+        return BatchStimulusDriver(
+            simulator, spec, seeds=[tb.seed for tb in testbenches]
+        )
     def _build_lane_report(
         self,
         lane: int,
@@ -190,6 +279,7 @@ class BatchRTLPowerEstimator:
         elapsed_s: float,
         n_lanes: int,
         keep_cycle_trace: bool,
+        stimulus_driver: str = "lane-view",
     ) -> PowerReport:
         technology = self.technology
         components: Dict[str, ComponentPower] = {}
@@ -226,5 +316,6 @@ class BatchRTLPowerEstimator:
             notes={
                 "n_monitored_components": len(self.monitored),
                 "batch_lanes": n_lanes,
+                "stimulus_driver": stimulus_driver,
             },
         )
