@@ -31,12 +31,16 @@ from typing import List, Optional
 
 
 def _add_common_run_arguments(parser: argparse.ArgumentParser) -> None:
-    from repro.api.spec import BACKENDS
+    from repro.api.spec import BACKENDS, KERNEL_BACKENDS
 
     parser.add_argument("--max-cycles", type=int, default=None,
                         help="cycle budget (default: the testbench's own)")
     parser.add_argument("--backend", choices=BACKENDS, default="auto",
                         help="simulation backend (default auto; batch = lane path)")
+    parser.add_argument("--kernel-backend", choices=KERNEL_BACKENDS, default="auto",
+                        help="fused lane-kernel backend for batch execution "
+                             "(native = C via cffi when a compiler exists, "
+                             "numpy = fused NumPy pass, off = per-op dispatch)")
     parser.add_argument("--stimulus", default=None, metavar="SPEC",
                         help="declarative stimulus instead of the built-in "
                              "testbench: kind[:k=v,...] shorthand, inline "
@@ -133,6 +137,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         stimulus=_resolve_stimulus(args, [args.design]),
         max_cycles=args.max_cycles,
         backend=args.backend,
+        kernel_backend=args.kernel_backend,
         coefficient_bits=args.coefficient_bits,
         workload_cycles=args.workload_cycles,
         compare_to_rtl=args.compare_to_rtl,
@@ -160,6 +165,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         stimulus=_resolve_stimulus(args, list(args.designs)),
         max_cycles=args.max_cycles,
         backend=args.backend,
+        kernel_backend=args.kernel_backend,
         coefficient_bits=args.coefficient_bits,
         n_workers=args.workers,
         cache_dir=args.cache_dir or None,
@@ -253,7 +259,8 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     from repro.power import CharacterizationEngine
 
     engine = CharacterizationEngine(n_pairs=args.pairs, seed=args.seed,
-                                    batch=not args.no_batch)
+                                    batch=not args.no_batch,
+                                    kernel_backend=args.kernel_backend)
     rows = []
     print(f"{'component':12s} {'R^2':>7s} {'NRMSE':>7s} {'mean E (fJ)':>12s} "
           f"{'max |err| (fJ)':>15s}")
@@ -276,7 +283,7 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 # ----------------------------------------------------------------- main
 def build_parser() -> argparse.ArgumentParser:
-    from repro.api.spec import ENGINES
+    from repro.api.spec import ENGINES, KERNEL_BACKENDS
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -341,6 +348,10 @@ def build_parser() -> argparse.ArgumentParser:
     cha.add_argument("--seed", type=int, default=2005)
     cha.add_argument("--no-batch", action="store_true",
                      help="use the scalar (non-lane) characterization path")
+    cha.add_argument("--kernel-backend", default="auto",
+                     choices=KERNEL_BACKENDS,
+                     help="fused settle kernel for the gate-level reference "
+                          "simulation (native = C via cffi)")
     cha.add_argument("--json", metavar="PATH", default=None,
                      help="write fit metrics as a JSON artifact")
     cha.set_defaults(func=_cmd_characterize)

@@ -184,8 +184,11 @@ class RTLEstimatorAdapter(_EngineAdapter):
         testbench = self._resolve_testbench(spec)
         setup_s = time.perf_counter() - start
 
+        kernel_backend = None
         if spec.backend == "batch":
-            report, backend = self._estimate_batch(spec, flat, library, testbench)
+            report, backend, kernel_backend = self._estimate_batch(
+                spec, flat, library, testbench
+            )
         else:
             backend = "compiled" if spec.backend == "auto" else spec.backend
             estimator = _get_rtl_estimator(flat, library, self.technology, backend)
@@ -198,6 +201,8 @@ class RTLEstimatorAdapter(_EngineAdapter):
             "n_monitored_components": report.notes.get("n_monitored_components"),
             "design": spec.design,
         }
+        if kernel_backend is not None:
+            metadata["kernel_backend"] = kernel_backend
         return self._finish(spec, report, backend, start, setup_s, metadata)
 
     def estimate_many(self, specs) -> list:
@@ -217,10 +222,11 @@ class RTLEstimatorAdapter(_EngineAdapter):
                 spec.design != first.design
                 or spec.max_cycles != first.max_cycles
                 or spec.stimulus != first.stimulus
+                or spec.kernel_backend != first.kernel_backend
             ):
                 raise ValueError(
-                    "estimate_many requires specs sharing design, max_cycles "
-                    "and stimulus"
+                    "estimate_many requires specs sharing design, max_cycles, "
+                    "stimulus and kernel_backend"
                 )
         from repro.power.lane_estimator import BatchRTLPowerEstimator
         from repro.sim.batch import BatchCompilationError, LaneStateError
@@ -232,7 +238,8 @@ class RTLEstimatorAdapter(_EngineAdapter):
         setup_s = time.perf_counter() - start
         try:
             estimator = BatchRTLPowerEstimator(flat, library=library,
-                                               technology=self.technology)
+                                               technology=self.technology,
+                                               kernel_backend=first.kernel_backend)
             reports = estimator.estimate_all(
                 testbenches,
                 max_cycles=first.max_cycles,
@@ -251,6 +258,7 @@ class RTLEstimatorAdapter(_EngineAdapter):
             metadata = {
                 "n_monitored_components": report.notes.get("n_monitored_components"),
                 "batch_lanes": report.notes.get("batch_lanes"),
+                "kernel_backend": estimator.last_kernel_backend,
                 "design": spec.design,
             }
             results.append(
@@ -264,13 +272,14 @@ class RTLEstimatorAdapter(_EngineAdapter):
 
         try:
             estimator = BatchRTLPowerEstimator(flat, library=library,
-                                               technology=self.technology)
+                                               technology=self.technology,
+                                               kernel_backend=spec.kernel_backend)
             reports = estimator.estimate_all(
                 [testbench],
                 max_cycles=spec.max_cycles,
                 keep_cycle_trace=spec.keep_cycle_trace,
             )
-            return reports[0], "batch[1]"
+            return reports[0], "batch[1]", estimator.last_kernel_backend
         except (BatchCompilationError, LaneStateError):
             estimator = _get_rtl_estimator(flat, library, self.technology, "compiled")
             report = estimator.estimate(
@@ -278,7 +287,7 @@ class RTLEstimatorAdapter(_EngineAdapter):
                 max_cycles=spec.max_cycles,
                 keep_cycle_trace=spec.keep_cycle_trace,
             )
-            return report, "compiled"
+            return report, "compiled", None
 
 
 class GateLevelEstimatorAdapter(_EngineAdapter):

@@ -19,6 +19,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.power.report import PowerReport
+#: lane-kernel backends selectable by ``RunSpec.kernel_backend`` (the fused
+#: settle/clock-edge kernels of :mod:`repro.sim.kernels`; only consulted on
+#: the batch lane path — ``auto`` = NumPy fusion, ``native`` = C via cffi
+#: with graceful fallback, ``off`` = per-op NumPy dispatch); re-exported from
+#: the kernels package so the list cannot drift
+from repro.sim.kernels import KERNEL_BACKENDS
 from repro.stim.spec import StimulusSpec
 
 #: engines selectable by ``RunSpec.engine``
@@ -65,6 +71,8 @@ class RunSpec:
     stimulus: Optional[StimulusSpec] = None
     max_cycles: Optional[int] = None
     backend: str = "auto"
+    #: fused lane-kernel backend for batch execution (see KERNEL_BACKENDS)
+    kernel_backend: str = "auto"
     library: str = "seed"
     #: fixed-point coefficient width of the instrumentation (emulation engine)
     coefficient_bits: int = 12
@@ -84,6 +92,11 @@ class RunSpec:
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {self.backend!r}; expected one of {', '.join(BACKENDS)}"
+            )
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"unknown kernel backend {self.kernel_backend!r}; expected one "
+                f"of {', '.join(KERNEL_BACKENDS)}"
             )
         if self.backend == "batch" and self.engine != "rtl":
             raise ValueError(
@@ -139,6 +152,8 @@ class SweepSpec:
     seeds: Tuple[int, ...] = (0,)
     max_cycles: Optional[int] = None
     backend: str = "auto"
+    #: fused lane-kernel backend for multi-seed batch groups
+    kernel_backend: str = "auto"
     library: str = "seed"
     coefficient_bits: int = 12
     n_workers: int = 0
@@ -159,6 +174,11 @@ class SweepSpec:
                 raise ValueError(
                     f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}"
                 )
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"unknown kernel backend {self.kernel_backend!r}; expected one "
+                f"of {', '.join(KERNEL_BACKENDS)}"
+            )
         seeds = self.seeds
         if len(set(seeds)) != len(seeds):
             duplicates = sorted({s for s in seeds if seeds.count(s) > 1})
@@ -181,6 +201,7 @@ class SweepSpec:
                 stimulus=self.stimulus,
                 max_cycles=self.max_cycles,
                 backend=self.backend,
+                kernel_backend=self.kernel_backend,
                 library=self.library,
                 coefficient_bits=self.coefficient_bits,
             )

@@ -143,6 +143,8 @@ class GateProgram:
     cells: Tuple[object, ...] = ()
     #: lazily compiled batch settle function over a (n_slots, n_lanes) array
     _batch_fn: Optional[Callable[[np.ndarray], None]] = field(default=None, repr=False)
+    #: lazily compiled native (C) batch settle kernel; False = unavailable
+    _native_kernel: object = field(default=None, repr=False)
 
     @property
     def batch_fn(self) -> Callable[[np.ndarray], None]:
@@ -150,6 +152,39 @@ class GateProgram:
             self._batch_fn = _compile_settle(self.order, self.slots, self.resolved,
                                              batch=True)
         return self._batch_fn
+
+    def native_batch_fn(self) -> Optional[Callable[[np.ndarray], None]]:
+        """The batch settle as a fused C kernel, or None when unavailable.
+
+        The gate lane program is stateless (pure ``v[i] = expr`` rows), so
+        the lane-kernel IR extractor (:mod:`repro.sim.kernels`) lowers it
+        directly; netlists with non-templated cells (lanewise fallbacks) and
+        compiler-less hosts return None and stay on the NumPy ``batch_fn``.
+        Shared across simulators like the other compiled forms.
+        """
+        if self._native_kernel is None:
+            self._native_kernel = False
+            try:
+                from repro.sim.kernels import extract_ir
+                from repro.sim.kernels.ir import KernelUnsupportedError
+                from repro.sim.kernels.native import (
+                    NativeKernel, NativeToolchainError, find_compiler,
+                )
+
+                if find_compiler() is not None:
+                    source, env, name = _settle_source(
+                        self.order, self.slots, self.resolved, batch=True
+                    )
+                    ir = extract_ir(
+                        source, env, self.n_slots,
+                        functions=((name, "settle"),), dtype="int8",
+                    )
+                    self._native_kernel = NativeKernel(ir, 0)
+            except (KernelUnsupportedError, NativeToolchainError):
+                self._native_kernel = False
+        if self._native_kernel is False:
+            return None
+        return self._native_kernel.settle
 
 
 def netlist_fingerprint(netlist: GateNetlist) -> tuple:
@@ -204,18 +239,13 @@ def _levelize(netlist: GateNetlist, resolve: Callable[[str], str]) -> List[GateI
     return order
 
 
-def _compile_settle(
+def _settle_source(
     order: List[GateInstance],
     slots: Dict[str, int],
     resolved: Dict[str, str],
     batch: bool,
-) -> Callable:
-    """Lower the levelized gate order into one straight-line function.
-
-    With ``batch=True`` the generated function receives a ``(n_slots,
-    n_lanes)`` NumPy array and each gate is an elementwise row expression;
-    otherwise it receives the flat scalar slot list.
-    """
+) -> Tuple[str, Dict[str, object], str]:
+    """Source + exec environment of the straight-line settle function."""
     env: Dict[str, object] = {}
     name = "_evaluate_batch" if batch else "_evaluate"
     lines = [f"def {name}(v):"]
@@ -240,11 +270,27 @@ def _compile_settle(
     if not body:
         body.append("pass")
     lines.extend("    " + line for line in body)
+    return "\n".join(lines), env, name
+
+
+def _compile_settle(
+    order: List[GateInstance],
+    slots: Dict[str, int],
+    resolved: Dict[str, str],
+    batch: bool,
+) -> Callable:
+    """Lower the levelized gate order into one straight-line function.
+
+    With ``batch=True`` the generated function receives a ``(n_slots,
+    n_lanes)`` NumPy array and each gate is an elementwise row expression;
+    otherwise it receives the flat scalar slot list.
+    """
+    source, env, name = _settle_source(order, slots, resolved, batch)
     namespace = dict(env)
     if batch:
         namespace["_where"] = np.where
     namespace["__builtins__"] = {}
-    exec(compile("\n".join(lines), f"<gatesim:{name}>", "exec"), namespace)
+    exec(compile(source, f"<gatesim:{name}>", "exec"), namespace)
     return namespace[name]
 
 
@@ -294,10 +340,18 @@ def compile_gate_netlist(netlist: GateNetlist) -> GateProgram:
 class GateLevelSimulator:
     """Evaluates a :class:`GateNetlist` one input vector (or lane batch) at a time."""
 
-    def __init__(self, netlist: GateNetlist) -> None:
+    def __init__(self, netlist: GateNetlist, kernel_backend: Optional[str] = None) -> None:
         self.netlist = netlist
         self.program = compile_gate_netlist(netlist)
         program = self.program
+        #: requested lane-kernel backend for batch settles; only ``native``
+        #: changes execution (the NumPy batch_fn already is one fused pass)
+        from repro.sim.kernels import resolve_kernel_backend
+
+        self._kernel_request = resolve_kernel_backend(kernel_backend)
+        self._batch_settle_fn: Optional[Callable[[np.ndarray], None]] = None
+        #: kernel backend actually serving batch settles ("native" or "off")
+        self.kernel_backend = "off"
         self._slots = program.slots
         self._resolved = program.resolved
         self._order = program.order
@@ -391,7 +445,14 @@ class GateLevelSimulator:
         for net, slot in self._input_pairs:
             bits = get(net, zero)
             v[slot] = bits & 1 if isinstance(bits, int) else np.asarray(bits) & 1
-        self.program.batch_fn(v)
+        if self._batch_settle_fn is None:
+            self._batch_settle_fn = self.program.batch_fn
+            if self._kernel_request == "native":
+                native = self.program.native_batch_fn()
+                if native is not None:
+                    self._batch_settle_fn = native
+                    self.kernel_backend = "native"
+        self._batch_settle_fn(v)
         return v
 
     def evaluate_ports_batch(

@@ -242,6 +242,7 @@ class CharacterizationEngine:
         seed: int = 2005,
         nonnegative: bool = True,
         batch: bool = True,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         if n_pairs < 1:
             raise ValueError(f"characterization needs n_pairs >= 1, got {n_pairs}")
@@ -254,6 +255,9 @@ class CharacterizationEngine:
         #: lane-vectorize the gate-level reference simulation (opt-out flag;
         #: the scalar path consumes identical stimuli and fits the same model)
         self.batch = batch
+        #: lane-kernel backend for the batched gate-level settles ("native"
+        #: compiles the settle via repro.sim.kernels when a C compiler exists)
+        self.kernel_backend = kernel_backend
 
     # ------------------------------------------------------------------ API
     def characterize(self, component: Component) -> CharacterizationResult:
@@ -310,7 +314,7 @@ class CharacterizationEngine:
         firsts, seconds = generate_training_pairs(component, self.n_pairs, self.seed)
         gate_netlist = self.mapper.map_component(component)
         calculator = GatePowerCalculator(gate_netlist, self.technology.cell_library)
-        simulator = GateLevelSimulator(gate_netlist)
+        simulator = GateLevelSimulator(gate_netlist, kernel_backend=self.kernel_backend)
         port_widths = {p.name: p.width for p in component.ports.values()}
         return _run_pairs(
             component, simulator, calculator, port_widths, firsts, seconds,

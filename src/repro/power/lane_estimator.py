@@ -34,11 +34,91 @@ import numpy as np
 
 from repro.netlist.module import Module
 from repro.power.library import PowerModelLibrary
+from repro.power.macromodel import LinearTransitionModel
 from repro.power.report import ComponentPower, PowerReport
 from repro.power.rtl_estimator import RTLPowerEstimator
 from repro.power.technology import CB130M_TECHNOLOGY, Technology
 from repro.sim.batch import BatchSimulator
 from repro.sim.testbench import Testbench
+
+
+class _MacromodelObserver:
+    """Per-cycle macromodel observation, vectorized across components.
+
+    The per-component observation loop (one dict build + one
+    ``evaluate_lanes`` call per monitored component per cycle) dominated
+    spec-driven sweeps at low lane counts.  This observer gathers every
+    monitored port column **once** per cycle (one fancy index over the value
+    store), XORs against the previous cycle's gather in one pass, and keeps
+    only the per-port bit-unpack + matvec per component — in exactly the
+    order :meth:`LinearTransitionModel.evaluate_lanes` uses, so energies stay
+    bit-identical to the per-component path.  Models that are not plain
+    :class:`LinearTransitionModel` instances (LUT models, subclasses) and
+    object-dtype stores keep the generic per-component evaluation, fed from
+    the same gathered rows.
+    """
+
+    def __init__(self, monitored, slot_of, store_is_object: bool) -> None:
+        slots: List[int] = []
+        slot_row: Dict[int, int] = {}
+
+        def row_of(slot: int) -> int:
+            if slot not in slot_row:
+                slot_row[slot] = len(slots)
+                slots.append(slot)
+            return slot_row[slot]
+
+        #: (component name, base energy, [(row, shifts, coeffs), ...])
+        self._fast = []
+        #: (component name, model, [(port, row), ...]) — generic evaluation
+        self._generic = []
+        for component, model in monitored:
+            binding = {
+                p.name: row_of(slot_of[p.net])
+                for p in list(component.input_ports) + list(component.output_ports)
+                if p.net is not None
+            }
+            if type(model) is LinearTransitionModel and not store_is_object:
+                entries = [
+                    (binding[port], shifts, coeffs)
+                    for port, shifts, coeffs in model._lane_tables()
+                    if port in binding  # unbound ports observe as constant 0
+                ]
+                self._fast.append((component.name, model.base_energy_fj, entries))
+            else:
+                self._generic.append((component.name, model, sorted(binding.items())))
+        self._rows = np.asarray(slots, dtype=np.intp)
+        self._prev = None
+
+    def observe(
+        self,
+        v: np.ndarray,
+        active_f: np.ndarray,
+        energy_by_component: Dict[str, np.ndarray],
+    ) -> np.ndarray:
+        """Accumulate this cycle's per-component energies; returns the total."""
+        n_lanes = v.shape[1]
+        cur = v[self._rows]  # one (n_ports, n_lanes) gather (a copy)
+        prev = self._prev if self._prev is not None else cur
+        total = np.zeros(n_lanes, dtype=np.float64)
+        if self._fast:
+            toggles = prev ^ cur  # one XOR for every monitored port
+            for name, base, entries in self._fast:
+                energies = np.full(n_lanes, base, dtype=np.float64)
+                for row, shifts, coeffs in entries:
+                    bits = (toggles[row][..., None] >> shifts) & 1
+                    energies += bits @ coeffs
+                energies *= active_f
+                energy_by_component[name] += energies
+                total += energies
+        for name, model, ports in self._generic:
+            current = {port: cur[row] for port, row in ports}
+            previous = {port: prev[row] for port, row in ports}
+            energies = model.evaluate_lanes(previous, current) * active_f
+            energy_by_component[name] += energies
+            total += energies
+        self._prev = cur
+        return total
 
 
 class BatchRTLPowerEstimator:
@@ -60,6 +140,7 @@ class BatchRTLPowerEstimator:
         module: Module,
         library: Optional[PowerModelLibrary] = None,
         technology: Technology = CB130M_TECHNOLOGY,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         # shares the monitored-component/model association (and the
         # hierarchical-module guard) with the scalar estimator
@@ -68,6 +149,10 @@ class BatchRTLPowerEstimator:
         self.technology = self._scalar.technology
         self.library = self._scalar.library
         self.monitored = self._scalar.monitored
+        #: kernel backend requested for the lane simulator (None = default)
+        self.kernel_backend = kernel_backend
+        #: kernel backend actually in effect during the last estimate_all
+        self.last_kernel_backend: Optional[str] = None
 
     # ------------------------------------------------------------------ API
     def estimate_all(
@@ -91,7 +176,10 @@ class BatchRTLPowerEstimator:
         if n_lanes == 0:
             return []
         start = time.perf_counter()
-        simulator = BatchSimulator(self.module, n_lanes)
+        simulator = BatchSimulator(
+            self.module, n_lanes, kernel_backend=self.kernel_backend
+        )
+        self.last_kernel_backend = simulator.kernel_backend
         views = [simulator.lane_view(lane) for lane in range(n_lanes)]
         for testbench, view in zip(testbenches, views):
             testbench.bind(view)
@@ -113,31 +201,21 @@ class BatchRTLPowerEstimator:
                     "sharing one StimulusSpec and equal cycle budgets"
                 )
 
-        slot_of = simulator.program.slot_of
-        # (component, model, [(port, slot)]) in the scalar snapshot order
-        monitored = []
-        for component, model in self.monitored:
-            binding = [
-                (p.name, slot_of[p.net])
-                for p in list(component.input_ports) + list(component.output_ports)
-                if p.net is not None
-            ]
-            monitored.append((component, model, binding))
+        is_object = simulator.program.dtype is object
+        observer = _MacromodelObserver(
+            self.monitored, simulator.program.slot_of, is_object
+        )
 
         input_keys = simulator._input_keys
         v = simulator._v
-        is_object = simulator.program.dtype is object
 
         active = np.ones(n_lanes, dtype=bool)
         lane_cycles = [0] * n_lanes
         energy_by_component = {
             component.name: np.zeros(n_lanes, dtype=np.float64)
-            for component, _, _ in monitored
+            for component, _ in self.monitored
         }
         cycle_energy: List[np.ndarray] = []
-        #: settled value store of the previous observed cycle (one snapshot
-        #: per cycle instead of per-component port copies)
-        prev_store: Optional[np.ndarray] = None
 
         #: spec-backed lanes all run the same cycle-determined workload (one
         #: spec, equal limits, no checks), so their stop cycle is computed
@@ -193,18 +271,10 @@ class BatchRTLPowerEstimator:
 
             simulator.settle()
 
-            # observe: one vectorized macromodel evaluation per component
-            if prev_store is None:
-                prev_store = v.copy()  # first cycle: previous == current
+            # observe: one gather + XOR across all monitored ports, then one
+            # bit-unpack + matvec per (component, port) — see _MacromodelObserver
             active_f = active.astype(np.float64)
-            total_this_cycle = np.zeros(n_lanes, dtype=np.float64)
-            for component, model, binding in monitored:
-                current = {name: v[slot] for name, slot in binding}
-                prev = {name: prev_store[slot] for name, slot in binding}
-                energies = model.evaluate_lanes(prev, current) * active_f
-                energy_by_component[component.name] += energies
-                total_this_cycle += energies
-            np.copyto(prev_store, v, casting="unsafe")
+            total_this_cycle = observer.observe(v, active_f, energy_by_component)
             cycle_energy.append(total_this_cycle)
 
             if uniform_stop is not None:

@@ -22,6 +22,11 @@ from repro.sim.batch import (
     LaneView,
     compile_module_batch,
 )
+from repro.sim.kernels import (
+    KERNEL_BACKENDS,
+    KernelUnsupportedError,
+    resolve_kernel_backend,
+)
 from repro.sim.engine import Simulator, SimulationResult, SimulationObserver
 from repro.sim.testbench import (
     Testbench,
@@ -41,9 +46,12 @@ __all__ = [
     "BatchCompilationError",
     "BatchProgram",
     "BatchSimulator",
+    "KERNEL_BACKENDS",
+    "KernelUnsupportedError",
     "LaneStateError",
     "LaneView",
     "compile_module_batch",
+    "resolve_kernel_backend",
     "Simulator",
     "SimulationResult",
     "SimulationObserver",

@@ -25,6 +25,11 @@ correct as on the scalar backends, just without the speedup.  Modules with
 nets wider than :data:`MAX_LANE_WIDTH` bits drop every component onto that
 path (over an object-dtype store), so batch execution never changes
 results — only speed.
+
+On top of the per-op NumPy execution here, :mod:`repro.sim.kernels` fuses a
+module's whole settle/clock-edge into single kernels (C via cffi, or one
+exec-compiled NumPy pass) — ``BatchSimulator(kernel_backend=...)`` selects
+them, with automatic per-module fallback to this path.
 """
 
 from __future__ import annotations
@@ -68,18 +73,35 @@ def _popcount_u64(values: np.ndarray) -> np.ndarray:
 
 
 class LaneState:
-    """(n_lanes,) state/pending arrays for a register-like component."""
+    """(n_lanes,) state/pending arrays for a register-like component.
+
+    ``reset`` refills the arrays *in place* (here and in every holder below):
+    native kernels capture stable pointers to these arrays at bind time, so a
+    reset must never re-allocate them.
+    """
 
     __slots__ = ("state", "pending", "_n", "_reset_value")
 
     def __init__(self, n_lanes: int, reset_value: int = 0) -> None:
         self._n = n_lanes
         self._reset_value = reset_value
-        self.reset()
+        self.state = np.full(n_lanes, reset_value, dtype=np.int64)
+        self.pending = self.state.copy()
 
     def reset(self) -> None:
-        self.state = np.full(self._n, self._reset_value, dtype=np.int64)
-        self.pending = self.state.copy()
+        self.state[...] = self._reset_value
+        self.pending[...] = self._reset_value
+
+    def unalias(self) -> None:
+        """Split state/pending arrays re-aliased by the batch commit swap.
+
+        The generated batch commit (``s.state = s.pending``) rebinds rather
+        than copies, so after a plain-path run both names can refer to one
+        array.  Kernels bind rows to fixed addresses, so they re-split the
+        pairs before binding (values are preserved).
+        """
+        if self.pending is self.state:
+            self.pending = self.state.copy()
 
 
 class LanePairState:
@@ -91,13 +113,22 @@ class LanePairState:
         self._n = n_lanes
         self._reset_a = reset_a
         self._reset_b = reset_b
-        self.reset()
-
-    def reset(self) -> None:
-        self.a = np.full(self._n, self._reset_a, dtype=np.int64)
-        self.b = np.full(self._n, self._reset_b, dtype=np.int64)
+        self.a = np.full(n_lanes, reset_a, dtype=np.int64)
+        self.b = np.full(n_lanes, reset_b, dtype=np.int64)
         self.pending_a = self.a.copy()
         self.pending_b = self.b.copy()
+
+    def reset(self) -> None:
+        self.a[...] = self._reset_a
+        self.b[...] = self._reset_b
+        self.pending_a[...] = self._reset_a
+        self.pending_b[...] = self._reset_b
+
+    def unalias(self) -> None:
+        if self.pending_a is self.a:
+            self.pending_a = self.a.copy()
+        if self.pending_b is self.b:
+            self.pending_b = self.b.copy()
 
 
 class LanePowerState:
@@ -109,16 +140,27 @@ class LanePowerState:
     def __init__(self, n_lanes: int, n_ports: int) -> None:
         self._n = n_lanes
         self._n_ports = n_ports
-        self.reset()
-
-    def reset(self) -> None:
-        zeros = lambda: np.zeros(self._n, dtype=np.int64)  # noqa: E731
-        self.prev = [zeros() for _ in range(self._n_ports)]
-        self.pending_prev = [zeros() for _ in range(self._n_ports)]
+        zeros = lambda: np.zeros(n_lanes, dtype=np.int64)  # noqa: E731
+        self.prev = [zeros() for _ in range(n_ports)]
+        self.pending_prev = [zeros() for _ in range(n_ports)]
         self.accumulated = zeros()
         self.output = zeros()
         self.pending_accumulated = zeros()
         self.pending_output = zeros()
+
+    def reset(self) -> None:
+        for array in (*self.prev, *self.pending_prev, self.accumulated,
+                      self.output, self.pending_accumulated, self.pending_output):
+            array[...] = 0
+
+    def unalias(self) -> None:
+        for index, (prev, pending) in enumerate(zip(self.prev, self.pending_prev)):
+            if pending is prev:
+                self.pending_prev[index] = prev.copy()
+        if self.pending_accumulated is self.accumulated:
+            self.pending_accumulated = self.accumulated.copy()
+        if self.pending_output is self.output:
+            self.pending_output = self.output.copy()
 
 
 class LaneMemoryState:
@@ -136,15 +178,22 @@ class LaneMemoryState:
     def __init__(self, n_lanes: int, initial) -> None:
         self._n = n_lanes
         self._initial = np.asarray(initial, dtype=np.int64)
-        self.reset()
+        self.mem = np.tile(self._initial[:, None], (1, n_lanes))
+        self.read_reg = np.zeros(n_lanes, dtype=np.int64)
+        self.pending_read = np.zeros(n_lanes, dtype=np.int64)
+        self.w_en = np.zeros(n_lanes, dtype=np.int64)
+        self.w_addr = np.zeros(n_lanes, dtype=np.int64)
+        self.w_data = np.zeros(n_lanes, dtype=np.int64)
 
     def reset(self) -> None:
-        self.mem = np.tile(self._initial[:, None], (1, self._n))
-        self.read_reg = np.zeros(self._n, dtype=np.int64)
-        self.pending_read = np.zeros(self._n, dtype=np.int64)
-        self.w_en = np.zeros(self._n, dtype=np.int64)
-        self.w_addr = np.zeros(self._n, dtype=np.int64)
-        self.w_data = np.zeros(self._n, dtype=np.int64)
+        self.mem[...] = self._initial[:, None]
+        for array in (self.read_reg, self.pending_read, self.w_en,
+                      self.w_addr, self.w_data):
+            array[...] = 0
+
+    def unalias(self) -> None:
+        if self.pending_read is self.read_reg:
+            self.pending_read = self.read_reg.copy()
 
 
 class LaneFSMState:
@@ -155,11 +204,16 @@ class LaneFSMState:
     def __init__(self, n_lanes: int, reset_index: int) -> None:
         self._n = n_lanes
         self._reset_index = reset_index
-        self.reset()
+        self.state = np.full(n_lanes, reset_index, dtype=np.int64)
+        self.pending = self.state.copy()
 
     def reset(self) -> None:
-        self.state = np.full(self._n, self._reset_index, dtype=np.int64)
-        self.pending = self.state.copy()
+        self.state[...] = self._reset_index
+        self.pending[...] = self._reset_index
+
+    def unalias(self) -> None:
+        if self.pending is self.state:
+            self.pending = self.state.copy()
 
 
 class LaneComponent:
@@ -978,6 +1032,15 @@ class BatchProgram:
     holders: Dict[object, object] = None  # type: ignore[assignment]
     #: lane-scalar fallback wrappers (state reset goes through these)
     lane_components: List[LaneComponent] = None  # type: ignore[assignment]
+    #: exec environment of the generated source (tables, holders, fallbacks);
+    #: the kernel IR extractor resolves names through it
+    env: Dict[str, object] = None  # type: ignore[assignment]
+    #: cached kernel IR / unsupported-reason (see :meth:`kernel_ir`)
+    _kernel_ir: object = None
+    _kernel_unsupported: Optional[str] = None
+    #: requested backend -> compiled kernel; shared by simulators over this
+    #: program (safe: kernels rebind stale state pointers at every reset)
+    _kernel_cache: Optional[Dict[str, object]] = None
 
     def reset_state(self) -> None:
         """Return every lane of every sequential component to its reset state."""
@@ -985,6 +1048,32 @@ class BatchProgram:
             holder.reset()
         for lane_component in self.lane_components:
             lane_component.reset()
+
+    def kernel_ir(self):
+        """The typed kernel IR of this program (extracted once, cached).
+
+        Raises :class:`~repro.sim.kernels.ir.KernelUnsupportedError` when the
+        module cannot lower to a fused kernel (lane-scalar fallback
+        components, object-dtype stores); the reason is cached so repeated
+        attach attempts stay cheap.
+        """
+        from repro.sim.kernels.ir import KernelUnsupportedError, extract_ir
+
+        if self._kernel_ir is not None:
+            return self._kernel_ir
+        if self._kernel_unsupported is not None:
+            raise KernelUnsupportedError(self._kernel_unsupported)
+        try:
+            if self.dtype is object:
+                raise KernelUnsupportedError(
+                    "lane program not kernelizable: object-dtype store "
+                    "(module has nets wider than MAX_LANE_WIDTH)"
+                )
+            self._kernel_ir = extract_ir(self.source, self.env, self.n_slots)
+        except KernelUnsupportedError as error:
+            self._kernel_unsupported = str(error)
+            raise
+        return self._kernel_ir
 
 
 def _generate_batch_source(
@@ -1164,6 +1253,7 @@ def compile_module_batch(
         n_fallback=n_fallback,
         holders=holders,
         lane_components=lane_comps,
+        env=env,
     )
     try:
         _BATCH_CACHE[module] = (key, n_lanes, schedule, program)
@@ -1196,13 +1286,38 @@ class BatchSimulator:
         module: Module,
         n_lanes: int,
         schedule: Optional[Schedule] = None,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         if n_lanes < 1:
             raise ValueError(f"BatchSimulator needs n_lanes >= 1, got {n_lanes}")
+        from repro.sim import kernels
+
+        requested = kernels.resolve_kernel_backend(kernel_backend)
         self.module = module
         self.n_lanes = n_lanes
         self.schedule = schedule if schedule is not None else schedule_for(module)
         self.program = compile_module_batch(module, n_lanes, self.schedule)
+        #: the fused kernel executing settle/clock_edge, or None (plain batch)
+        self.kernel: Optional["kernels.LaneKernel"] = None
+        #: resolved kernel backend actually in effect ("native"/"numpy"/"off")
+        self.kernel_backend = "off"
+        #: why a requested kernel fell back to the plain batch path, if it did
+        self.kernel_fallback: Optional[str] = None
+        if requested != "off":
+            try:
+                ir = self.program.kernel_ir()
+            except kernels.KernelUnsupportedError as error:
+                self.kernel_fallback = str(error)
+            else:
+                for holder in self.program.holders.values():
+                    holder.unalias()
+                if self.program._kernel_cache is None:
+                    self.program._kernel_cache = {}
+                self.kernel = self.program._kernel_cache.get(requested)
+                if self.kernel is None:
+                    self.kernel = kernels.compile_kernel(ir, n_lanes, requested)
+                    self.program._kernel_cache[requested] = self.kernel
+                self.kernel_backend = self.kernel.backend
         self.cycle = 0
         self._v = np.zeros((self.program.n_slots, n_lanes), dtype=self.program.dtype)
         slot_of = self.program.slot_of
@@ -1220,6 +1335,13 @@ class BatchSimulator:
     def reset(self) -> None:
         """Reset all per-lane sequential state, zero all nets, then settle."""
         self.program.reset_state()
+        if self.kernel is not None:
+            # a sibling simulator running the plain batch path on this shared
+            # program commits by *rebinding* holder arrays; re-split any
+            # aliased pairs and point the kernel back at the live state
+            for holder in self.program.holders.values():
+                holder.unalias()
+            self.kernel.rebind()
         self._v[:] = 0
         self.cycle = 0
         self.settle()
@@ -1278,19 +1400,30 @@ class BatchSimulator:
     # ------------------------------------------------------------ execution
     def settle(self) -> None:
         """Propagate combinational logic in every lane."""
-        self.program.settle(self._v)
+        if self.kernel is not None:
+            self.kernel.settle(self._v)
+        else:
+            self.program.settle(self._v)
 
     def clock_edge(self) -> None:
         """Capture and commit the next sequential state in every lane."""
-        self.program.clock_edge(self._v)
+        if self.kernel is not None:
+            self.kernel.clock_edge(self._v)
+        else:
+            self.program.clock_edge(self._v)
 
     def step(self, inputs: Optional[Mapping[str, ArrayLike]] = None, cycles: int = 1) -> None:
         """Advance all lanes by ``cycles`` clock cycles."""
+        kernel = self.kernel
         for _ in range(cycles):
             if inputs:
                 self.set_inputs(inputs)
-            self.settle()
-            self.clock_edge()
+            if kernel is not None:
+                # one fused settle+edge call per cycle (lanes are independent)
+                kernel.cycle(self._v)
+            else:
+                self.settle()
+                self.clock_edge()
             self.cycle += 1
 
     def lane_view(self, lane: int) -> "LaneView":

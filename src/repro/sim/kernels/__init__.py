@@ -1,0 +1,102 @@
+"""Fused lane-kernel compiler: one call per cycle phase instead of one per op.
+
+The batch backend's per-cycle cost is dominated by NumPy per-op dispatch —
+every fused expression pays ~1 µs of interpreter + dispatch overhead per
+cycle regardless of lane count.  This package lifts a module's whole settle
+and clock-edge phases into *one kernel each* over the ``(n_slots, n_lanes)``
+store:
+
+1. :mod:`repro.sim.kernels.ir` extracts a small typed expression IR from the
+   generated lane program (slot/state/memory access + a closed operator set),
+2. :mod:`repro.sim.kernels.native` prints the IR as C — a single per-lane
+   loop of straight-line scalar code — compiled via the system C compiler and
+   called through cffi (cached per source hash), and
+3. :mod:`repro.sim.kernels.numpy_backend` prints the same IR as one fused,
+   exec-compiled NumPy pass — the portable fallback when no compiler exists.
+
+Backend selection (``KERNEL_BACKENDS``):
+
+* ``"auto"``   — the NumPy kernel when the module lowers, else plain batch,
+* ``"native"`` — the C kernel; falls back to the NumPy kernel without a
+  toolchain, and to plain batch when the module cannot lower,
+* ``"numpy"``  — the NumPy kernel, never invoking a compiler,
+* ``"off"``    — the plain batch path (per-op NumPy dispatch).
+
+The environment variable ``REPRO_KERNEL_BACKEND`` sets the default for every
+:class:`~repro.sim.batch.BatchSimulator` that is not given an explicit
+``kernel_backend``.  Kernels are bit-identical to the batch path by
+construction — extraction refuses anything it cannot express, so a module
+either lowers completely or runs exactly as before.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple, Union
+
+from repro.sim.kernels.ir import KernelIR, KernelUnsupportedError, extract_ir
+from repro.sim.kernels.native import (
+    NativeKernel,
+    NativeToolchainError,
+    find_compiler,
+)
+from repro.sim.kernels.numpy_backend import NumpyKernel
+
+#: kernel backends selectable per simulator / RunSpec / CLI
+KERNEL_BACKENDS: Tuple[str, ...] = ("auto", "native", "numpy", "off")
+
+#: environment variable providing the session-wide default backend
+KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+
+def resolve_kernel_backend(requested: Optional[str] = None) -> str:
+    """Validate and default the requested kernel backend.
+
+    ``None`` reads ``REPRO_KERNEL_BACKEND`` (defaulting to ``auto``); any
+    explicit value must be one of :data:`KERNEL_BACKENDS`.
+    """
+    if requested is None:
+        requested = os.environ.get(KERNEL_BACKEND_ENV) or "auto"
+    if requested not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {requested!r}; expected one of "
+            f"{', '.join(KERNEL_BACKENDS)}"
+        )
+    return requested
+
+
+LaneKernel = Union[NativeKernel, NumpyKernel]
+
+
+def compile_kernel(ir: KernelIR, n_lanes: int, backend: str) -> LaneKernel:
+    """Compile extracted IR with the chosen backend (``native``/``numpy``/``auto``).
+
+    ``native`` degrades gracefully to the NumPy kernel when the host has no C
+    toolchain (or the compile fails); ``auto`` means the NumPy kernel.  Raises
+    :class:`ValueError` for ``off`` — the caller decides what "no kernel"
+    means.
+    """
+    if backend == "native":
+        try:
+            return NativeKernel(ir, n_lanes)
+        except NativeToolchainError:
+            return NumpyKernel(ir, n_lanes)
+    if backend in ("numpy", "auto"):
+        return NumpyKernel(ir, n_lanes)
+    raise ValueError(f"cannot compile a kernel for backend {backend!r}")
+
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "KERNEL_BACKEND_ENV",
+    "KernelIR",
+    "KernelUnsupportedError",
+    "LaneKernel",
+    "NativeKernel",
+    "NativeToolchainError",
+    "NumpyKernel",
+    "compile_kernel",
+    "extract_ir",
+    "find_compiler",
+    "resolve_kernel_backend",
+]

@@ -1,0 +1,163 @@
+"""Single-pass vectorized NumPy code generator for the kernel IR.
+
+Prints a :class:`~repro.sim.kernels.ir.KernelIR` back into one exec-compiled
+module holding ``_settle``/``_clock_edge`` plus a fused ``_cycle`` (settle
+followed by clock edge in a single function call), all row-vectorized over
+the ``(n_slots, n_lanes)`` store.  This is the portable fallback backend: it
+runs everywhere NumPy runs, costs no compiler invocation, and — because it is
+generated from the same IR the native backend consumes — stays bit-identical
+to both the plain batch path and the C kernels.
+
+State statements print as holder-attribute *rebinds* (``_h3.pending = ...``),
+exactly the form the plain batch program uses, so the NumPy kernel pays no
+extra per-row copies and is never slower than the per-op batch path; memory
+arrays (which the batch program also mutates in place) bind directly.
+Holder-facing features — lane views, memory backdoors, ``reset_state`` —
+keep working unchanged because all state still lives on the holders.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.sim.batch import _popcount_u64
+from repro.sim.kernels.ir import (
+    Abs, Bin, Const, KernelIR, Lane, MemRead, MemWrite, Min, Popcount,
+    Select, SetSlot, SetState, SetTemp, SlotRef, StateRef, Stmt, Table,
+    TempRef, Unary, Where,
+)
+
+
+class _Printer:
+    def __init__(self, ir: KernelIR) -> None:
+        self.ir = ir
+        #: unique holder object -> bound name
+        self.holder_names: Dict[int, str] = {}
+        self.holders: List[object] = []
+        for holder, _, _ in ir.state_specs:
+            if id(holder) not in self.holder_names:
+                self.holder_names[id(holder)] = f"_h{len(self.holders)}"
+                self.holders.append(holder)
+
+    # ------------------------------------------------------------- locations
+    def state(self, row: int) -> str:
+        holder, field, index = self.ir.state_specs[row]
+        name = self.holder_names[id(holder)]
+        suffix = "" if index is None else f"[{index}]"
+        return f"{name}.{field}{suffix}"
+
+    # ------------------------------------------------------------ expressions
+    def expr(self, x) -> str:
+        e = self.expr
+        if isinstance(x, Const):
+            return repr(x.value)
+        if isinstance(x, Lane):
+            return "_lidx"
+        if isinstance(x, SlotRef):
+            return f"v[{x.slot}]"
+        if isinstance(x, StateRef):
+            return self.state(x.row)
+        if isinstance(x, TempRef):
+            return x.name
+        if isinstance(x, Table):
+            return f"_T{x.table}[{e(x.index)}]"
+        if isinstance(x, MemRead):
+            return f"_g{x.mem}[{e(x.addr)}, _lidx]"
+        if isinstance(x, Unary):
+            return f"(-({e(x.a)}))" if x.op == "neg" else f"(~({e(x.a)}))"
+        if isinstance(x, Bin):
+            return f"(({e(x.a)}) {x.op} ({e(x.b)}))"
+        if isinstance(x, Where):
+            return f"_where({e(x.cond)}, {e(x.a)}, {e(x.b)})"
+        if isinstance(x, Min):
+            return f"_minimum({e(x.a)}, {e(x.b)})"
+        if isinstance(x, Abs):
+            return f"_abs({e(x.a)})"
+        if isinstance(x, Popcount):
+            return f"_popcount({e(x.a)})"
+        if isinstance(x, Select):
+            choices = ", ".join(e(c) for c in x.choices)
+            return f"_stack(({choices}))[{e(x.index)}, _lidx]"
+        raise TypeError(f"unprintable IR node {x!r}")
+
+    # ------------------------------------------------------------- statements
+    def statement(self, stmt: Stmt) -> str:
+        if isinstance(stmt, SetTemp):
+            return f"{stmt.name} = {self.expr(stmt.expr)}"
+        if isinstance(stmt, SetSlot):
+            return f"v[{stmt.slot}] = {self.expr(stmt.expr)}"
+        if isinstance(stmt, SetState):
+            return f"{self.state(stmt.row)} = {self.expr(stmt.expr)}"
+        if isinstance(stmt, MemWrite):
+            mask = self.expr(stmt.enable)
+            return (
+                f"_g{stmt.mem}[({self.expr(stmt.addr)})[{mask}], "
+                f"_lidx[{mask}]] = ({self.expr(stmt.data)})[{mask}]"
+            )
+        raise TypeError(f"unprintable IR statement {stmt!r}")
+
+
+def generate_numpy_source(ir: KernelIR, printer: "_Printer" = None) -> str:
+    """The fused NumPy module source for one extracted lane program."""
+    printer = printer if printer is not None else _Printer(ir)
+    lines: List[str] = []
+    for phase, stmts in ir.phases.items():
+        lines.append(f"def _{phase}(v):")
+        body = [printer.statement(stmt) for stmt in stmts] or ["pass"]
+        lines.extend("    " + line for line in body)
+        lines.append("")
+    if set(ir.phases) >= {"settle", "clock_edge"}:
+        lines.append("def _cycle(v):")
+        body = [
+            printer.statement(stmt)
+            for phase in ("settle", "clock_edge")
+            for stmt in ir.phases[phase]
+        ] or ["pass"]
+        lines.extend("    " + line for line in body)
+        lines.append("")
+    return "\n".join(lines)
+
+
+class NumpyKernel:
+    """A fused, exec-compiled NumPy kernel over the live holder state."""
+
+    backend = "numpy"
+
+    def __init__(self, ir: KernelIR, n_lanes: int) -> None:
+        self.ir = ir
+        self.n_lanes = n_lanes
+        printer = _Printer(ir)
+        self.source = generate_numpy_source(ir, printer)
+        namespace: Dict[str, object] = {
+            "_where": np.where,
+            "_minimum": np.minimum,
+            "_abs": np.abs,
+            "_stack": np.stack,
+            "_popcount": _popcount_u64,
+            "_lidx": np.arange(n_lanes),
+        }
+        for index, table in enumerate(ir.tables):
+            namespace[f"_T{index}"] = table
+        for holder, name in zip(printer.holders, printer.holder_names.values()):
+            namespace[name] = holder
+        for index, array in enumerate(ir.mem_arrays()):
+            namespace[f"_g{index}"] = array
+        namespace["__builtins__"] = {}
+        exec(compile(self.source, "<lane-kernel:numpy>", "exec"), namespace)
+        self._settle = namespace.get("_settle")
+        self._clock_edge = namespace.get("_clock_edge")
+        self._cycle = namespace.get("_cycle")
+
+    def rebind(self) -> None:
+        """No-op: state is reached through live holder attributes."""
+
+    def settle(self, v: np.ndarray) -> None:
+        self._settle(v)
+
+    def clock_edge(self, v: np.ndarray) -> None:
+        self._clock_edge(v)
+
+    def cycle(self, v: np.ndarray) -> None:
+        self._cycle(v)

@@ -1,13 +1,17 @@
 """Tests for the benchmark-study infrastructure (repro.bench).
 
 Covers the on-disk result cache (keying, code fingerprinting, atomicity),
-the library-form Figure 3 study, and the process-pool shard runner's parity
-with serial execution.
+the library-form Figure 3 study, the process-pool shard runner's parity
+with serial execution, and the perf-trajectory contract: every benchmark
+harness that calls ``write_result`` must have produced a committed repo-root
+``BENCH_*.json`` summary.
 """
 
 from __future__ import annotations
 
+import ast
 import json
+import os
 
 import pytest
 
@@ -134,3 +138,96 @@ def test_run_study_tasks_multi_config():
     rows = list(outcome.task_rows.values())
     # coefficient width changes the instrumentation overhead, not the design
     assert rows[0].monitored_bits == rows[1].monitored_bits
+
+
+# ------------------------------------------------------- perf trajectory
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_BENCH_DIR = os.path.join(_REPO_ROOT, "benchmarks")
+
+
+def _expected_trajectory_names():
+    """BENCH summary names every harness's write_result calls produce.
+
+    Statically extracts the literal ``filename``/``bench_name`` arguments of
+    each ``write_result(...)`` call in ``benchmarks/bench_*.py`` and applies
+    conftest.write_result's naming rule (``bench_name`` wins, else the
+    filename stem).
+    """
+    names = {}
+    for entry in sorted(os.listdir(_BENCH_DIR)):
+        if not (entry.startswith("bench_") and entry.endswith(".py")):
+            continue
+        path = os.path.join(_BENCH_DIR, entry)
+        with open(path) as handle:
+            tree = ast.parse(handle.read(), filename=path)
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "write_result"
+            ):
+                continue
+            assert node.args and isinstance(node.args[0], ast.Constant), (
+                f"{entry}: write_result must be called with a literal "
+                f"filename so the perf trajectory is statically checkable"
+            )
+            bench_name = None
+            for keyword in node.keywords:
+                if keyword.arg == "bench_name":
+                    assert isinstance(keyword.value, ast.Constant), (
+                        f"{entry}: bench_name must be a literal"
+                    )
+                    bench_name = keyword.value.value
+            filename = node.args[0].value
+            name = bench_name or os.path.splitext(os.path.basename(filename))[0]
+            names.setdefault(name, entry)
+    return names
+
+
+def test_every_write_result_harness_has_a_trajectory_entry():
+    """Each harness's BENCH_<name>.json summary exists at the repo root.
+
+    The repo-root summaries are the committed per-PR perf trajectory; a
+    harness whose artifact is missing was never (re)run — exactly the gap
+    that left the trajectory empty before this test existed.  Run the
+    harness (``python -m pytest benchmarks/bench_<x>.py``) and commit the
+    refreshed ``BENCH_*.json`` to fix a failure here.
+    """
+    names = _expected_trajectory_names()
+    assert names, "no write_result callers found under benchmarks/"
+    missing = []
+    for name, harness in sorted(names.items()):
+        path = os.path.join(_REPO_ROOT, f"BENCH_{name}.json")
+        if not os.path.exists(path):
+            missing.append(f"{harness} -> BENCH_{name}.json")
+            continue
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload.get("benchmark") == name, path
+        assert payload.get("table"), f"{path} has an empty table"
+        assert "metrics" in payload and "python" in payload, path
+    assert not missing, (
+        "benchmark harnesses without a perf-trajectory entry: "
+        + ", ".join(missing)
+    )
+
+
+def test_write_result_emits_trajectory_summary(tmp_path, monkeypatch):
+    """write_result always produces the machine-readable BENCH summary."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest", os.path.join(_BENCH_DIR, "conftest.py")
+    )
+    conftest = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(conftest)
+    monkeypatch.setattr(conftest, "RESULTS_DIR", str(tmp_path / "results"))
+    monkeypatch.setattr(conftest, "REPO_ROOT", str(tmp_path))
+    conftest.write_result("demo_table.txt", "a table", metrics={"x": 1.5})
+    summary = tmp_path / "BENCH_demo_table.json"
+    assert summary.exists()
+    payload = json.loads(summary.read_text())
+    assert payload["benchmark"] == "demo_table"
+    assert payload["metrics"] == {"x": 1.5}
+    assert payload["table"] == "a table"
