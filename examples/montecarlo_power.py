@@ -72,6 +72,10 @@ def main() -> None:
                         choices=("auto", "native", "numpy", "off"),
                         help="fused lane-kernel backend; 'native' compiles "
                              "the cycle into C (recommended at 8192+ lanes)")
+    parser.add_argument("--kernel-threads", default=None,
+                        help="native-kernel worker threads per settle/edge "
+                             "('auto' = scale with cores and lanes; results "
+                             "are bit-identical at any count)")
     args = parser.parse_args()
     n_lanes = args.lanes
 
@@ -79,7 +83,8 @@ def main() -> None:
     print()
     estimator = BatchRTLPowerEstimator(build_flat("HVPeakF"),
                                        library=build_seed_library(),
-                                       kernel_backend=args.kernel_backend)
+                                       kernel_backend=args.kernel_backend,
+                                       kernel_threads=args.kernel_threads)
     testbenches = [SpecTestbench(SCENARIO, seed=seed) for seed in range(n_lanes)]
 
     start = time.perf_counter()
@@ -96,7 +101,8 @@ def main() -> None:
     print(f"{n_lanes} lanes x {N_CYCLES} cycles in {elapsed:.2f} s "
           f"({n_lanes * N_CYCLES / elapsed:,.0f} lane-cycles/s, "
           f"stimulus driver: {reports[0].notes['stimulus_driver']}, "
-          f"kernel backend: {estimator.last_kernel_backend})")
+          f"kernel backend: {estimator.last_kernel_backend}, "
+          f"threads: {estimator.last_kernel_threads})")
     print()
     print(f"average power over {n_lanes} seeds (mW):")
     print(f"  mean {mean:.4f}  std {std:.4f}  "

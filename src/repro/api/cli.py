@@ -30,6 +30,18 @@ import sys
 from typing import List, Optional
 
 
+def _parse_kernel_threads(value: str) -> Optional[int]:
+    """``--kernel-threads`` values: an integer, or ``auto`` meaning None."""
+    if value == "auto":
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+
+
 def _add_common_run_arguments(parser: argparse.ArgumentParser) -> None:
     from repro.api.spec import BACKENDS, KERNEL_BACKENDS
 
@@ -41,6 +53,12 @@ def _add_common_run_arguments(parser: argparse.ArgumentParser) -> None:
                         help="fused lane-kernel backend for batch execution "
                              "(native = C via cffi when a compiler exists, "
                              "numpy = fused NumPy pass, off = per-op dispatch)")
+    parser.add_argument("--kernel-threads", type=_parse_kernel_threads,
+                        default=None, metavar="N",
+                        help="native-kernel worker threads across lane blocks "
+                             "(an integer, or 'auto' = min(cores, lanes/128); "
+                             "default: the REPRO_KERNEL_THREADS env or auto; "
+                             "any count is bit-identical)")
     parser.add_argument("--stimulus", default=None, metavar="SPEC",
                         help="declarative stimulus instead of the built-in "
                              "testbench: kind[:k=v,...] shorthand, inline "
@@ -138,6 +156,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         max_cycles=args.max_cycles,
         backend=args.backend,
         kernel_backend=args.kernel_backend,
+        kernel_threads=args.kernel_threads,
         coefficient_bits=args.coefficient_bits,
         workload_cycles=args.workload_cycles,
         compare_to_rtl=args.compare_to_rtl,
@@ -166,6 +185,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         max_cycles=args.max_cycles,
         backend=args.backend,
         kernel_backend=args.kernel_backend,
+        kernel_threads=args.kernel_threads,
         coefficient_bits=args.coefficient_bits,
         n_workers=args.workers,
         cache_dir=args.cache_dir or None,
@@ -256,16 +276,18 @@ def _characterize_components(names: Optional[List[str]]):
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
-    from repro.power import CharacterizationEngine
+    from repro.power import CharacterizationEngine, characterize_many
 
     engine = CharacterizationEngine(n_pairs=args.pairs, seed=args.seed,
                                     batch=not args.no_batch,
                                     kernel_backend=args.kernel_backend)
+    selected = _characterize_components(args.components)
+    results = characterize_many([component for _, component in selected],
+                                engine=engine, n_workers=args.workers)
     rows = []
     print(f"{'component':12s} {'R^2':>7s} {'NRMSE':>7s} {'mean E (fJ)':>12s} "
           f"{'max |err| (fJ)':>15s}")
-    for name, component in _characterize_components(args.components):
-        result = engine.characterize(component)
+    for (name, _), result in zip(selected, results):
         metrics = result.metrics
         print(f"{name:12s} {metrics.r_squared:7.3f} {metrics.nrmse:7.3f} "
               f"{metrics.mean_energy_fj:12.1f} {metrics.max_abs_error_fj:15.1f}")
@@ -277,7 +299,8 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
             "mean_energy_fj": metrics.mean_energy_fj,
             "max_abs_error_fj": metrics.max_abs_error_fj,
         })
-    _write_json(args.json, {"n_pairs": args.pairs, "seed": args.seed, "models": rows})
+    _write_json(args.json, {"n_pairs": args.pairs, "seed": args.seed,
+                            "workers": args.workers, "models": rows})
     return 0
 
 
@@ -352,16 +375,22 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=KERNEL_BACKENDS,
                      help="fused settle kernel for the gate-level reference "
                           "simulation (native = C via cffi)")
+    cha.add_argument("--workers", type=int, default=1,
+                     help="shard-pool worker processes, one warm engine per "
+                          "worker (1 = serial)")
     cha.add_argument("--json", metavar="PATH", default=None,
                      help="write fit metrics as a JSON artifact")
     cha.set_defaults(func=_cmd_characterize)
 
-    # listed for `python -m repro --help` only: every real fig3 invocation —
-    # including `fig3 --help` — is forwarded to the study's own parser by
-    # main() before argparse runs
+    # listed for `python -m repro --help` only: every real fig3/gate
+    # invocation — including `--help` — is forwarded to the module's own
+    # parser by main() before argparse runs
     sub.add_parser("fig3", add_help=False,
                    help="the paper's Figure 3 study (sharded + cached); "
                         "all arguments forward to repro.bench.fig3")
+    sub.add_parser("gate", add_help=False,
+                   help="gate fresh BENCH_*.json metrics against committed "
+                        "baselines; all arguments forward to repro.bench.gate")
     return parser
 
 
@@ -374,6 +403,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.bench.fig3 import main as fig3_main
 
         return fig3_main(argv[1:])
+    if argv[:1] == ["gate"]:
+        from repro.bench.gate import main as gate_main
+
+        return gate_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)

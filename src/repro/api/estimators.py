@@ -184,9 +184,9 @@ class RTLEstimatorAdapter(_EngineAdapter):
         testbench = self._resolve_testbench(spec)
         setup_s = time.perf_counter() - start
 
-        kernel_backend = None
+        kernel_info = None
         if spec.backend == "batch":
-            report, backend, kernel_backend = self._estimate_batch(
+            report, backend, kernel_info = self._estimate_batch(
                 spec, flat, library, testbench
             )
         else:
@@ -201,8 +201,8 @@ class RTLEstimatorAdapter(_EngineAdapter):
             "n_monitored_components": report.notes.get("n_monitored_components"),
             "design": spec.design,
         }
-        if kernel_backend is not None:
-            metadata["kernel_backend"] = kernel_backend
+        if kernel_info is not None:
+            metadata.update(kernel_info)
         return self._finish(spec, report, backend, start, setup_s, metadata)
 
     def estimate_many(self, specs) -> list:
@@ -223,10 +223,11 @@ class RTLEstimatorAdapter(_EngineAdapter):
                 or spec.max_cycles != first.max_cycles
                 or spec.stimulus != first.stimulus
                 or spec.kernel_backend != first.kernel_backend
+                or spec.kernel_threads != first.kernel_threads
             ):
                 raise ValueError(
                     "estimate_many requires specs sharing design, max_cycles, "
-                    "stimulus and kernel_backend"
+                    "stimulus, kernel_backend and kernel_threads"
                 )
         from repro.power.lane_estimator import BatchRTLPowerEstimator
         from repro.sim.batch import BatchCompilationError, LaneStateError
@@ -239,7 +240,8 @@ class RTLEstimatorAdapter(_EngineAdapter):
         try:
             estimator = BatchRTLPowerEstimator(flat, library=library,
                                                technology=self.technology,
-                                               kernel_backend=first.kernel_backend)
+                                               kernel_backend=first.kernel_backend,
+                                               kernel_threads=first.kernel_threads)
             reports = estimator.estimate_all(
                 testbenches,
                 max_cycles=first.max_cycles,
@@ -259,6 +261,8 @@ class RTLEstimatorAdapter(_EngineAdapter):
                 "n_monitored_components": report.notes.get("n_monitored_components"),
                 "batch_lanes": report.notes.get("batch_lanes"),
                 "kernel_backend": estimator.last_kernel_backend,
+                "kernel_decision": estimator.last_kernel_decision,
+                "kernel_threads": estimator.last_kernel_threads,
                 "design": spec.design,
             }
             results.append(
@@ -273,13 +277,19 @@ class RTLEstimatorAdapter(_EngineAdapter):
         try:
             estimator = BatchRTLPowerEstimator(flat, library=library,
                                                technology=self.technology,
-                                               kernel_backend=spec.kernel_backend)
+                                               kernel_backend=spec.kernel_backend,
+                                               kernel_threads=spec.kernel_threads)
             reports = estimator.estimate_all(
                 [testbench],
                 max_cycles=spec.max_cycles,
                 keep_cycle_trace=spec.keep_cycle_trace,
             )
-            return reports[0], "batch[1]", estimator.last_kernel_backend
+            kernel_info = {
+                "kernel_backend": estimator.last_kernel_backend,
+                "kernel_decision": estimator.last_kernel_decision,
+                "kernel_threads": estimator.last_kernel_threads,
+            }
+            return reports[0], "batch[1]", kernel_info
         except (BatchCompilationError, LaneStateError):
             estimator = _get_rtl_estimator(flat, library, self.technology, "compiled")
             report = estimator.estimate(

@@ -73,6 +73,10 @@ class RunSpec:
     backend: str = "auto"
     #: fused lane-kernel backend for batch execution (see KERNEL_BACKENDS)
     kernel_backend: str = "auto"
+    #: native-kernel worker count for batch execution (``None`` = the
+    #: ``REPRO_KERNEL_THREADS`` env / ``auto`` = min(cores, n_lanes/128));
+    #: any count is bit-identical — this is purely a throughput knob
+    kernel_threads: Optional[int] = None
     library: str = "seed"
     #: fixed-point coefficient width of the instrumentation (emulation engine)
     coefficient_bits: int = 12
@@ -97,6 +101,11 @@ class RunSpec:
             raise ValueError(
                 f"unknown kernel backend {self.kernel_backend!r}; expected one "
                 f"of {', '.join(KERNEL_BACKENDS)}"
+            )
+        if self.kernel_threads is not None and self.kernel_threads < 1:
+            raise ValueError(
+                f"kernel_threads must be >= 1 (or None for auto), got "
+                f"{self.kernel_threads}"
             )
         if self.backend == "batch" and self.engine != "rtl":
             raise ValueError(
@@ -154,6 +163,8 @@ class SweepSpec:
     backend: str = "auto"
     #: fused lane-kernel backend for multi-seed batch groups
     kernel_backend: str = "auto"
+    #: native-kernel worker count for multi-seed batch groups (None = auto)
+    kernel_threads: Optional[int] = None
     library: str = "seed"
     coefficient_bits: int = 12
     n_workers: int = 0
@@ -179,6 +190,11 @@ class SweepSpec:
                 f"unknown kernel backend {self.kernel_backend!r}; expected one "
                 f"of {', '.join(KERNEL_BACKENDS)}"
             )
+        if self.kernel_threads is not None and self.kernel_threads < 1:
+            raise ValueError(
+                f"kernel_threads must be >= 1 (or None for auto), got "
+                f"{self.kernel_threads}"
+            )
         seeds = self.seeds
         if len(set(seeds)) != len(seeds):
             duplicates = sorted({s for s in seeds if seeds.count(s) > 1})
@@ -202,6 +218,7 @@ class SweepSpec:
                 max_cycles=self.max_cycles,
                 backend=self.backend,
                 kernel_backend=self.kernel_backend,
+                kernel_threads=self.kernel_threads,
                 library=self.library,
                 coefficient_bits=self.coefficient_bits,
             )

@@ -20,6 +20,7 @@ embarrassingly parallel across designs, so this package provides:
 
 from repro.bench.cache import ResultCache, code_fingerprint
 from repro.bench.fig3 import Fig3Row, Fig3Study, StudyConfig
+from repro.bench.gate import GateFinding, gate_dirs, gate_files, gate_metrics
 from repro.bench.shard import (
     ShardOutcome,
     run_payload_tasks,
@@ -33,6 +34,10 @@ __all__ = [
     "Fig3Row",
     "Fig3Study",
     "StudyConfig",
+    "GateFinding",
+    "gate_dirs",
+    "gate_files",
+    "gate_metrics",
     "ShardOutcome",
     "run_sharded",
     "run_payload_tasks",

@@ -1,0 +1,222 @@
+"""Perf-trajectory gating: compare fresh BENCH_*.json against baselines.
+
+Every benchmark harness leaves a repo-root ``BENCH_<name>.json`` summary
+behind (:func:`benchmarks.conftest.write_result`), carrying the harness's
+headline metrics.  Those files are committed, so the repository itself holds
+the performance trajectory — and a fresh run can be *gated* against it:
+
+    python -m repro.bench.gate --baseline-dir .bench-baseline --current-dir .
+
+Metrics are classified by name: rates (``*_per_s``) and ``speedup_*`` are
+higher-is-better, wall times (``*_time_s``, ``*_wall_s``) lower-is-better;
+configuration values (``n_lanes``, ``host_cores``, non-numeric entries, …)
+are ignored.  A metric that regresses by more than the warn fraction
+(default 15%) is reported; past the fail fraction (default 40%) the gate
+exits non-zero.  The asymmetric thresholds absorb shared-runner noise while
+still catching real cliffs — a kernel silently falling back to the per-op
+path loses far more than 40%.
+
+Improvements never gate, and a metric present on only one side is reported
+as informational (new benchmarks land without baselines; retired ones
+disappear).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: gate thresholds: fractional regression that warns / fails the run
+WARN_FRACTION = 0.15
+FAIL_FRACTION = 0.40
+
+
+def classify_metric(name: str) -> Optional[str]:
+    """``"higher"``/``"lower"`` for gateable metrics, ``None`` to skip.
+
+    Anything unrecognized is skipped rather than guessed: gating a
+    configuration constant (lane counts, seeds) as a rate would make every
+    run a false regression.
+    """
+    if name.startswith("n_") or name in ("host_cores", "seed", "seeds"):
+        return None
+    if "_per_s" in name or name.startswith("speedup"):
+        return "higher"
+    if name.endswith(("_time_s", "_wall_s", "_seconds")):
+        return "lower"
+    return None
+
+
+@dataclass
+class GateFinding:
+    """One gated metric's baseline-vs-current comparison."""
+
+    bench: str
+    metric: str
+    baseline: float
+    current: float
+    #: current performance relative to baseline (1.0 = unchanged, < 1 = worse)
+    ratio: float
+    #: "ok", "warn", "fail", or "info" (unpaired metric, never gates)
+    severity: str
+
+    def describe(self) -> str:
+        if self.severity == "info":
+            side = "baseline" if self.current != self.current else "current"
+            return f"{self.bench}.{self.metric}: only in {side} run"
+        return (
+            f"{self.bench}.{self.metric}: {self.baseline:g} -> {self.current:g} "
+            f"({(self.ratio - 1.0) * 100.0:+.1f}%)"
+        )
+
+
+def gate_metrics(
+    bench: str,
+    baseline: Mapping[str, object],
+    current: Mapping[str, object],
+    warn_fraction: float = WARN_FRACTION,
+    fail_fraction: float = FAIL_FRACTION,
+) -> List[GateFinding]:
+    """Compare one benchmark's metric dicts; returns every gateable pairing."""
+    if not 0.0 < warn_fraction <= fail_fraction < 1.0:
+        raise ValueError(
+            f"need 0 < warn <= fail < 1, got warn={warn_fraction} "
+            f"fail={fail_fraction}"
+        )
+    findings: List[GateFinding] = []
+    for name in sorted(set(baseline) | set(current)):
+        direction = classify_metric(name)
+        if direction is None:
+            continue
+        base, curr = baseline.get(name), current.get(name)
+        if not isinstance(base, (int, float)) or not isinstance(curr, (int, float)):
+            missing = float("nan")
+            findings.append(GateFinding(
+                bench=bench, metric=name,
+                baseline=base if isinstance(base, (int, float)) else missing,
+                current=curr if isinstance(curr, (int, float)) else missing,
+                ratio=missing, severity="info",
+            ))
+            continue
+        if base <= 0 or curr <= 0:
+            continue  # degenerate measurements cannot be gated as ratios
+        ratio = curr / base if direction == "higher" else base / curr
+        if ratio < 1.0 - fail_fraction:
+            severity = "fail"
+        elif ratio < 1.0 - warn_fraction:
+            severity = "warn"
+        else:
+            severity = "ok"
+        findings.append(GateFinding(
+            bench=bench, metric=name, baseline=float(base), current=float(curr),
+            ratio=ratio, severity=severity,
+        ))
+    return findings
+
+
+def _load_metrics(path: str) -> Tuple[str, Dict[str, object]]:
+    with open(path) as handle:
+        payload = json.load(handle)
+    name = payload.get("benchmark") or os.path.basename(path)
+    return str(name), dict(payload.get("metrics", {}))
+
+
+def gate_files(
+    baseline_path: str,
+    current_path: str,
+    warn_fraction: float = WARN_FRACTION,
+    fail_fraction: float = FAIL_FRACTION,
+) -> List[GateFinding]:
+    """Gate one ``BENCH_*.json`` pair."""
+    bench, baseline = _load_metrics(baseline_path)
+    _, current = _load_metrics(current_path)
+    return gate_metrics(bench, baseline, current,
+                        warn_fraction=warn_fraction, fail_fraction=fail_fraction)
+
+
+def gate_dirs(
+    baseline_dir: str,
+    current_dir: str,
+    names: Optional[Sequence[str]] = None,
+    warn_fraction: float = WARN_FRACTION,
+    fail_fraction: float = FAIL_FRACTION,
+) -> List[GateFinding]:
+    """Gate every ``BENCH_*.json`` present in both directories.
+
+    ``names`` restricts gating to specific benchmarks (``kernel_scaling``
+    matches ``BENCH_kernel_scaling.json``).  Files present on only one side
+    are skipped — new benchmarks land without baselines.
+    """
+    def bench_files(directory: str) -> Dict[str, str]:
+        out = {}
+        for filename in sorted(os.listdir(directory)):
+            if filename.startswith("BENCH_") and filename.endswith(".json"):
+                out[filename[len("BENCH_"):-len(".json")]] = os.path.join(
+                    directory, filename
+                )
+        return out
+
+    baselines = bench_files(baseline_dir)
+    currents = bench_files(current_dir)
+    selected = set(baselines) & set(currents)
+    if names:
+        unknown = sorted(set(names) - (set(baselines) | set(currents)))
+        if unknown:
+            raise SystemExit(
+                f"unknown benchmark(s) {', '.join(unknown)}; known: "
+                f"{', '.join(sorted(set(baselines) | set(currents)))}"
+            )
+        selected &= set(names)
+    findings: List[GateFinding] = []
+    for name in sorted(selected):
+        findings.extend(gate_files(baselines[name], currents[name],
+                                   warn_fraction=warn_fraction,
+                                   fail_fraction=fail_fraction))
+    return findings
+
+
+def summarize(findings: Sequence[GateFinding]) -> str:
+    """Human-readable gate summary, worst findings first."""
+    order = {"fail": 0, "warn": 1, "info": 2, "ok": 3}
+    lines = [f"perf gate: {len(findings)} gated metric(s)"]
+    for finding in sorted(findings, key=lambda f: (order[f.severity], f.bench, f.metric)):
+        lines.append(f"  [{finding.severity:4s}] {finding.describe()}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.gate",
+        description="Gate fresh BENCH_*.json metrics against committed baselines.",
+    )
+    parser.add_argument("--baseline-dir", required=True,
+                        help="directory holding the baseline BENCH_*.json files")
+    parser.add_argument("--current-dir", default=".",
+                        help="directory holding the freshly produced BENCH_*.json")
+    parser.add_argument("--names", nargs="*", default=None, metavar="BENCH",
+                        help="benchmarks to gate (default: every common one)")
+    parser.add_argument("--warn", type=float, default=WARN_FRACTION,
+                        help="fractional regression that warns (default 0.15)")
+    parser.add_argument("--fail", type=float, default=FAIL_FRACTION,
+                        help="fractional regression that fails (default 0.40)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the findings as a JSON artifact")
+    args = parser.parse_args(argv)
+
+    findings = gate_dirs(args.baseline_dir, args.current_dir, names=args.names,
+                         warn_fraction=args.warn, fail_fraction=args.fail)
+    print(summarize(findings))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump([finding.__dict__ for finding in findings], handle,
+                      indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 1 if any(f.severity == "fail" for f in findings) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,7 @@ is served from disk.
 
 from __future__ import annotations
 
+import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
@@ -28,6 +29,21 @@ from repro.bench.fig3 import Fig3Row, StudyConfig
 
 _P = TypeVar("_P")
 _R = TypeVar("_R")
+
+
+def _pool_context():
+    """A fork-safe multiprocessing context for the shard pools.
+
+    Plain ``fork`` children inherit the parent's native-kernel thread state
+    (OpenMP teams / pthread pools) without the threads themselves; the first
+    threaded kernel call in such a child deadlocks inside the threading
+    runtime.  ``forkserver`` children descend from a clean helper process
+    that never ran a kernel, so workers can use threaded kernels freely.
+    """
+    try:
+        return multiprocessing.get_context("forkserver")
+    except ValueError:  # pragma: no cover - platform without forkserver
+        return multiprocessing.get_context("spawn")
 
 
 def run_payload_tasks(
@@ -55,7 +71,9 @@ def run_payload_tasks(
         for index, payload in enumerate(payloads):
             collect(index, worker(payload))
     else:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=n_workers, mp_context=_pool_context()
+        ) as pool:
             futures = {
                 pool.submit(worker, payload): index
                 for index, payload in enumerate(payloads)

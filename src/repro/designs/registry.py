@@ -253,6 +253,37 @@ def _binary_search() -> BenchmarkDesign:
     )
 
 
+def _wide_checksum_stimulus():
+    from repro.stim import ConstantSpec, StimulusSpec, UniformSpec
+
+    # a free-running random word stream with the valid strobe held high
+    return StimulusSpec(
+        n_cycles=192,
+        ports={"data": UniformSpec(), "valid": ConstantSpec(1)},
+        default=None,
+    )
+
+
+def _wide_checksum() -> BenchmarkDesign:
+    from repro.designs import wide_checksum
+
+    scaled_words = 192
+    nominal_words = 100_000
+    return BenchmarkDesign(
+        name="Wide_Checksum",
+        description="168-bit rolling-checksum datapath (limb-store lane path)",
+        build=wide_checksum.build,
+        testbench=lambda: wide_checksum.testbench(n_words=scaled_words, seed=9),
+        testbench_seeded=lambda seed: wide_checksum.testbench(n_words=scaled_words, seed=seed),
+        stimulus=_wide_checksum_stimulus,
+        nominal_cycles=nominal_words,
+        scaled_cycles=scaled_words,
+        in_figure3=False,
+        notes={"nominal_workload": f"checksum {nominal_words} words",
+               "scaled_workload": f"checksum {scaled_words} words"},
+    )
+
+
 _FACTORIES = {
     "Bubble_Sort": _bubble_sort,
     "HVPeakF": _hvpeakf,
@@ -262,6 +293,7 @@ _FACTORIES = {
     "Vld": _vld,
     "MPEG4": _mpeg4,
     "binary_search": _binary_search,
+    "Wide_Checksum": _wide_checksum,
 }
 
 #: the order in which Fig. 3 lists the benchmarks

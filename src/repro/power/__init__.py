@@ -32,6 +32,8 @@ from repro.power.library import PowerModelLibrary, SeedModelBuilder, build_seed_
 from repro.power.characterize import (
     CharacterizationEngine,
     CharacterizationResult,
+    EngineSettings,
+    characterize_many,
     generate_training_pairs,
     holdout_error,
 )
@@ -58,6 +60,8 @@ __all__ = [
     "build_seed_library",
     "CharacterizationEngine",
     "CharacterizationResult",
+    "EngineSettings",
+    "characterize_many",
     "generate_training_pairs",
     "holdout_error",
     "ComponentPower",

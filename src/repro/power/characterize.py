@@ -27,7 +27,7 @@ optimization, not a semantic change — see the lane-parity tests).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -395,6 +395,28 @@ class CharacterizationEngine:
             toggles += _popcount(np.asarray(xor), widths[port])
         return toggles / bits
 
+    def settings(self) -> "EngineSettings":
+        """The engine's configuration as a hashable, picklable key.
+
+        Engines carrying a custom ``mapper`` cannot be reconstructed in a
+        worker process and raise — shard with the default mapper instead.
+        """
+        if (type(self.mapper) is not TechnologyMapper
+                or self.mapper.library is not self.technology.cell_library):
+            raise ValueError(
+                "sharded characterization requires the technology's default "
+                "TechnologyMapper; custom mappers cannot be shipped to worker "
+                "processes"
+            )
+        return EngineSettings(
+            technology=self.technology,
+            n_pairs=self.n_pairs,
+            seed=self.seed,
+            nonnegative=self.nonnegative,
+            batch=self.batch,
+            kernel_backend=self.kernel_backend,
+        )
+
     @staticmethod
     def _fill_empty_bins(table, counts) -> None:
         """Fill unobserved LUT bins with the nearest observed value."""
@@ -408,3 +430,74 @@ class CharacterizationEngine:
                     continue
                 nearest = min(observed, key=lambda rc: abs(rc[0] - r) + abs(rc[1] - c))
                 table[r][c] = table[nearest[0]][nearest[1]]
+
+
+# ------------------------------------------------------------ sharding
+class EngineSettings(NamedTuple):
+    """Hashable :class:`CharacterizationEngine` configuration.
+
+    Worker processes key their process-lifetime engine cache on this tuple,
+    so every component characterized under the same settings in one worker
+    reuses one engine — and with it the technology mapper and, for the
+    native backend, the process's compiled-kernel cache, which stays warm
+    across components instead of being rebuilt per task.
+    """
+
+    technology: Technology
+    n_pairs: int
+    seed: int
+    nonnegative: bool
+    batch: bool
+    kernel_backend: Optional[str]
+
+    def make_engine(self) -> CharacterizationEngine:
+        return CharacterizationEngine(
+            technology=self.technology,
+            n_pairs=self.n_pairs,
+            seed=self.seed,
+            nonnegative=self.nonnegative,
+            batch=self.batch,
+            kernel_backend=self.kernel_backend,
+        )
+
+
+#: per-worker-process engines, keyed by settings (process-lifetime cache)
+_WORKER_ENGINES: Dict[EngineSettings, CharacterizationEngine] = {}
+
+
+def _characterize_worker(
+    payload: Tuple[Component, EngineSettings]
+) -> CharacterizationResult:
+    """Worker entry point: characterize one component on a cached engine."""
+    component, settings = payload
+    engine = _WORKER_ENGINES.get(settings)
+    if engine is None:
+        engine = settings.make_engine()
+        _WORKER_ENGINES[settings] = engine
+    return engine.characterize(component)
+
+
+def characterize_many(
+    components: Sequence[Component],
+    engine: Optional[CharacterizationEngine] = None,
+    n_workers: int = 1,
+) -> List[CharacterizationResult]:
+    """Characterize a set of components, optionally across a process pool.
+
+    Results are in ``components`` order and identical for any ``n_workers``:
+    each component's training stimulus depends only on the engine seed and
+    the component itself, never on sharding (see the shard-parity tests).
+    ``n_workers <= 1`` runs serially in-process on ``engine`` directly.
+    """
+    if engine is None:
+        engine = CharacterizationEngine()
+    if n_workers <= 1 or len(components) <= 1:
+        return [engine.characterize(component) for component in components]
+    from repro.bench.shard import run_payload_tasks
+
+    settings = engine.settings()
+    return run_payload_tasks(
+        [(component, settings) for component in components],
+        _characterize_worker,
+        n_workers=n_workers,
+    )

@@ -28,7 +28,7 @@ minus its ``O(n_lanes)`` Python overhead per cycle.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -38,7 +38,7 @@ from repro.power.macromodel import LinearTransitionModel
 from repro.power.report import ComponentPower, PowerReport
 from repro.power.rtl_estimator import RTLPowerEstimator
 from repro.power.technology import CB130M_TECHNOLOGY, Technology
-from repro.sim.batch import BatchSimulator
+from repro.sim.batch import LIMB_BITS, BatchSimulator
 from repro.sim.testbench import Testbench
 
 
@@ -58,7 +58,8 @@ class _MacromodelObserver:
     the same gathered rows.
     """
 
-    def __init__(self, monitored, slot_of, store_is_object: bool) -> None:
+    def __init__(self, monitored, slot_of, store_is_object: bool, limbs_of=None) -> None:
+        limbs_of = limbs_of or {}
         slots: List[int] = []
         slot_row: Dict[int, int] = {}
 
@@ -70,25 +71,52 @@ class _MacromodelObserver:
 
         #: (component name, base energy, [(row, shifts, coeffs), ...])
         self._fast = []
-        #: (component name, model, [(port, row), ...]) — generic evaluation
+        #: (component name, model, [(port, rows), ...], wide) — generic
+        #: evaluation; multi-row ports are limb-store nets, assembled per
+        #: cycle.  ``wide`` components feed *every* port as exact Python ints
+        #: so :meth:`LinearTransitionModel.evaluate_lanes` takes its per-bit
+        #: object path for all of them — the sequential coefficient
+        #: accumulation order of the scalar ``evaluate``, keeping reports
+        #: bit-identical to the scalar estimator (the int64 matvec path sums
+        #: in a different float order).
         self._generic = []
+        #: component names in monitored order — cycle totals sum in this
+        #: order so the cycle-energy trace matches the scalar observer's
+        self._order = []
         for component, model in monitored:
-            binding = {
-                p.name: row_of(slot_of[p.net])
-                for p in list(component.input_ports) + list(component.output_ports)
-                if p.net is not None
-            }
-            if type(model) is LinearTransitionModel and not store_is_object:
+            binding = {}
+            for p in list(component.input_ports) + list(component.output_ports):
+                if p.net is None:
+                    continue
+                slot = slot_of[p.net]
+                n_limbs = limbs_of.get(p.net, 1)
+                binding[p.name] = tuple(row_of(slot + k) for k in range(n_limbs))
+            wide = any(len(rows) > 1 for rows in binding.values())
+            self._order.append(component.name)
+            if type(model) is LinearTransitionModel and not store_is_object and not wide:
                 entries = [
-                    (binding[port], shifts, coeffs)
+                    (binding[port][0], shifts, coeffs)
                     for port, shifts, coeffs in model._lane_tables()
                     if port in binding  # unbound ports observe as constant 0
                 ]
                 self._fast.append((component.name, model.base_energy_fj, entries))
             else:
-                self._generic.append((component.name, model, sorted(binding.items())))
+                self._generic.append(
+                    (component.name, model, sorted(binding.items()), wide)
+                )
         self._rows = np.asarray(slots, dtype=np.intp)
         self._prev = None
+
+    @staticmethod
+    def _gather_port(gathered: np.ndarray, rows, as_object: bool = False) -> np.ndarray:
+        """One port's per-lane values; limb-store ports assemble Python ints."""
+        if len(rows) == 1:
+            row = gathered[rows[0]]
+            return row.astype(object) if as_object else row
+        value = gathered[rows[0]].astype(object)
+        for k in range(1, len(rows)):
+            value = value | (gathered[rows[k]].astype(object) << (LIMB_BITS * k))
+        return value
 
     def observe(
         self,
@@ -100,7 +128,7 @@ class _MacromodelObserver:
         n_lanes = v.shape[1]
         cur = v[self._rows]  # one (n_ports, n_lanes) gather (a copy)
         prev = self._prev if self._prev is not None else cur
-        total = np.zeros(n_lanes, dtype=np.float64)
+        per_component: Dict[str, np.ndarray] = {}
         if self._fast:
             toggles = prev ^ cur  # one XOR for every monitored port
             for name, base, entries in self._fast:
@@ -110,13 +138,22 @@ class _MacromodelObserver:
                     energies += bits @ coeffs
                 energies *= active_f
                 energy_by_component[name] += energies
-                total += energies
-        for name, model, ports in self._generic:
-            current = {port: cur[row] for port, row in ports}
-            previous = {port: prev[row] for port, row in ports}
+                per_component[name] = energies
+        for name, model, ports, wide in self._generic:
+            current = {
+                port: self._gather_port(cur, rows, wide) for port, rows in ports
+            }
+            previous = {
+                port: self._gather_port(prev, rows, wide) for port, rows in ports
+            }
             energies = model.evaluate_lanes(previous, current) * active_f
             energy_by_component[name] += energies
-            total += energies
+            per_component[name] = energies
+        # cycle totals accumulate in monitored order, matching the scalar
+        # observer's per-cycle sum bit for bit
+        total = np.zeros(n_lanes, dtype=np.float64)
+        for name in self._order:
+            total += per_component[name]
         self._prev = cur
         return total
 
@@ -141,6 +178,7 @@ class BatchRTLPowerEstimator:
         library: Optional[PowerModelLibrary] = None,
         technology: Technology = CB130M_TECHNOLOGY,
         kernel_backend: Optional[str] = None,
+        kernel_threads: Optional[Union[int, str]] = None,
     ) -> None:
         # shares the monitored-component/model association (and the
         # hierarchical-module guard) with the scalar estimator
@@ -151,8 +189,14 @@ class BatchRTLPowerEstimator:
         self.monitored = self._scalar.monitored
         #: kernel backend requested for the lane simulator (None = default)
         self.kernel_backend = kernel_backend
+        #: kernel worker count requested for the lane simulator (None = auto)
+        self.kernel_threads = kernel_threads
         #: kernel backend actually in effect during the last estimate_all
         self.last_kernel_backend: Optional[str] = None
+        #: backend decision string from the last estimate_all's simulator
+        self.last_kernel_decision: Optional[str] = None
+        #: worker count the last estimate_all's native kernel ran with
+        self.last_kernel_threads: Optional[int] = None
 
     # ------------------------------------------------------------------ API
     def estimate_all(
@@ -177,9 +221,12 @@ class BatchRTLPowerEstimator:
             return []
         start = time.perf_counter()
         simulator = BatchSimulator(
-            self.module, n_lanes, kernel_backend=self.kernel_backend
+            self.module, n_lanes, kernel_backend=self.kernel_backend,
+            kernel_threads=self.kernel_threads,
         )
         self.last_kernel_backend = simulator.kernel_backend
+        self.last_kernel_decision = simulator.kernel_decision
+        self.last_kernel_threads = simulator.kernel_threads
         views = [simulator.lane_view(lane) for lane in range(n_lanes)]
         for testbench, view in zip(testbenches, views):
             testbench.bind(view)
@@ -203,10 +250,12 @@ class BatchRTLPowerEstimator:
 
         is_object = simulator.program.dtype is object
         observer = _MacromodelObserver(
-            self.monitored, simulator.program.slot_of, is_object
+            self.monitored, simulator.program.slot_of, is_object,
+            simulator.program.limbs_of,
         )
 
         input_keys = simulator._input_keys
+        input_limbs = simulator._port_limbs
         v = simulator._v
 
         active = np.ones(n_lanes, dtype=bool)
@@ -267,7 +316,14 @@ class BatchRTLPowerEstimator:
                                 f"{name!r}; valid input ports: {valid}"
                             ) from None
                         masked = int(value) & ((1 << width) - 1)
-                        v[slot, lane] = masked if is_object else np.int64(masked)
+                        n_limbs = input_limbs[name]
+                        if n_limbs > 1:
+                            for k in range(n_limbs):
+                                v[slot + k, lane] = (masked >> (LIMB_BITS * k)) & (
+                                    (1 << LIMB_BITS) - 1
+                                )
+                        else:
+                            v[slot, lane] = masked if is_object else np.int64(masked)
 
             simulator.settle()
 
@@ -336,6 +392,13 @@ class BatchRTLPowerEstimator:
             return None
         spec = testbenches[0].spec
         if any(tb.spec != spec for tb in testbenches[1:]):
+            return None
+        if any(
+            port.is_input and port.net in simulator.program.limbs_of
+            for port in simulator.module.ports.values()
+        ):
+            # limb-store input ports need per-limb writes; the array driver's
+            # int64 stream rows cannot represent them, so drive per lane
             return None
         return BatchStimulusDriver(
             simulator, spec, seeds=[tb.seed for tb in testbenches]

@@ -21,10 +21,20 @@ user-defined types, and the ``sample_on_strobe_only`` power model — fall
 back to a *lane-aware scalar* path: the component's own scalar
 ``evaluate``/``capture``/``commit`` runs once per lane with its private
 per-lane state snapshot swapped in, so exotic components stay exactly as
-correct as on the scalar backends, just without the speedup.  Modules with
-nets wider than :data:`MAX_LANE_WIDTH` bits drop every component onto that
-path (over an object-dtype store), so batch execution never changes
-results — only speed.
+correct as on the scalar backends, just without the speedup.
+
+Nets wider than :data:`MAX_LANE_WIDTH` bits (one int64 lane with carry
+headroom) but no wider than :data:`MAX_LIMB_WIDTH` use a *limb-array* store:
+the net occupies ``ceil(width / LIMB_BITS)`` consecutive slots holding
+little-endian 60-bit limbs, and the common wide operators (logic, mux,
+concat/slice/extend, add/sub with limb carry/borrow chains, unsigned
+compares, reductions, registers, constants) are emitted limb-wise — so wide
+datapaths run on the vectorized batch path and lower into the fused
+native/NumPy kernels like narrow ones.  Wide components outside that set
+take the lane-scalar path with limb-assembled port values.  Only modules
+with nets wider than :data:`MAX_LIMB_WIDTH` still drop every component onto
+the lane-scalar path over an object-dtype store; in every mode batch
+execution never changes results — only speed.
 
 On top of the per-op NumPy execution here, :mod:`repro.sim.kernels` fuses a
 module's whole settle/clock-edge into single kernels (C via cffi, or one
@@ -47,9 +57,30 @@ from repro.sim.codegen import SourceEmitter, _mask, _signed
 from repro.sim.scheduler import Schedule, module_mutation_key, schedule_for
 
 #: widest net (in bits) representable in an int64 lane with headroom for the
-#: +1-bit carry of fused adders; wider modules use the object-dtype lane store
-#: with every component on the lane-scalar path
+#: +1-bit carry of fused adders; wider nets are split into 60-bit limbs
 MAX_LANE_WIDTH = 60
+
+#: bits per limb of the wide-net limb-array store (= MAX_LANE_WIDTH, so every
+#: limb keeps the same carry headroom narrow lanes have)
+LIMB_BITS = 60
+
+#: all-ones mask of one full limb
+_LIMB_MASK = (1 << LIMB_BITS) - 1
+
+#: widest net (in bits) representable as int64 limbs (4x); modules with wider
+#: nets use the object-dtype lane store with every component lane-scalar
+MAX_LIMB_WIDTH = 240
+
+
+def _limb_count(width: int) -> int:
+    """Number of 60-bit limbs a ``width``-bit net occupies (1 when narrow)."""
+    return 1 if width <= MAX_LANE_WIDTH else -(-width // LIMB_BITS)
+
+
+def _limb_masks(width: int) -> List[int]:
+    """Per-limb masks, little-endian; the top limb mask covers the tail bits."""
+    n = _limb_count(width)
+    return [_LIMB_MASK] * (n - 1) + [_mask(width - LIMB_BITS * (n - 1))]
 
 
 class BatchCompilationError(Exception):
@@ -216,6 +247,40 @@ class LaneFSMState:
             self.pending = self.state.copy()
 
 
+class LaneLimbState:
+    """Per-lane limb arrays (little-endian 60-bit limbs) of a wide register.
+
+    ``state``/``pending`` are *lists* of ``(n_lanes,)`` int64 arrays — one per
+    limb — following the :class:`LanePowerState` list-field idiom: captures
+    rebind whole limb entries (always to fresh arrays), and the commit swaps
+    the lists (``state = pending`` then ``pending = list(state)``), which the
+    kernel IR extractor lowers to per-row copies.
+    """
+
+    __slots__ = ("state", "pending", "_n", "_reset_limbs")
+
+    def __init__(self, n_lanes: int, reset_value: int, n_limbs: int) -> None:
+        self._n = n_lanes
+        self._reset_limbs = [
+            (int(reset_value) >> (LIMB_BITS * k)) & _LIMB_MASK
+            for k in range(n_limbs)
+        ]
+        self.state = [
+            np.full(n_lanes, limb, dtype=np.int64) for limb in self._reset_limbs
+        ]
+        self.pending = [array.copy() for array in self.state]
+
+    def reset(self) -> None:
+        for k, limb in enumerate(self._reset_limbs):
+            self.state[k][...] = limb
+            self.pending[k][...] = limb
+
+    def unalias(self) -> None:
+        for k, (state, pending) in enumerate(zip(self.state, self.pending)):
+            if pending is state:
+                self.pending[k] = state.copy()
+
+
 class LaneComponent:
     """Lane-aware scalar fallback: per-lane evaluate/capture with private state.
 
@@ -231,17 +296,41 @@ class LaneComponent:
         self.n_lanes = n_lanes
         self.in_pairs: List[Tuple[str, int]] = []
         self.out_pairs: List[Tuple[str, int]] = []
+        #: limb-store ports: (name, first slot, n_limbs) with n_limbs > 1
+        self.in_wide: List[Tuple[str, int, int]] = []
+        self.out_wide: List[Tuple[str, int, int]] = []
         self.sequential = bool(component.is_sequential)
         self.lane_states: Optional[List[Dict[str, object]]] = None
 
-    def bind(self, slot_of: Dict[Net, int]) -> None:
+    def bind(self, slot_of: Dict[Net, int], limbs_of: Optional[Dict[Net, int]] = None) -> None:
         component = self.component
-        self.in_pairs = [
-            (p.name, slot_of[p.net]) for p in component.input_ports if p.net is not None
-        ]
-        self.out_pairs = [
-            (p.name, slot_of[p.net]) for p in component.output_ports if p.net is not None
-        ]
+        limbs_of = limbs_of or {}
+        self.in_pairs, self.in_wide = [], []
+        self.out_pairs, self.out_wide = [], []
+        for ports, pairs, wide in (
+            (component.input_ports, self.in_pairs, self.in_wide),
+            (component.output_ports, self.out_pairs, self.out_wide),
+        ):
+            for p in ports:
+                if p.net is None:
+                    continue
+                n_limbs = limbs_of.get(p.net, 1)
+                if n_limbs == 1:
+                    pairs.append((p.name, slot_of[p.net]))
+                else:
+                    wide.append((p.name, slot_of[p.net], n_limbs))
+
+    def _gather_wide(self, v: np.ndarray, lane: int, inputs: Dict[str, int]) -> None:
+        for name, slot, n_limbs in self.in_wide:
+            inputs[name] = sum(
+                int(v[slot + k, lane]) << (LIMB_BITS * k) for k in range(n_limbs)
+            )
+
+    def _scatter_wide(self, v: np.ndarray, lane: int, outputs) -> None:
+        for name, slot, n_limbs in self.out_wide:
+            value = int(outputs[name])
+            for k in range(n_limbs):
+                v[slot + k, lane] = (value >> (LIMB_BITS * k)) & _LIMB_MASK
 
     # ----------------------------------------------------------- lane state
     def _snapshot_isolated(self) -> Dict[str, object]:
@@ -268,9 +357,14 @@ class LaneComponent:
         for lane in range(self.n_lanes):
             if states is not None:
                 attrs.update(states[lane])
-            outputs = evaluate({name: int(v[slot, lane]) for name, slot in self.in_pairs})
+            inputs = {name: int(v[slot, lane]) for name, slot in self.in_pairs}
+            if self.in_wide:
+                self._gather_wide(v, lane, inputs)
+            outputs = evaluate(inputs)
             for name, slot in self.out_pairs:
                 v[slot, lane] = outputs[name]
+            if self.out_wide:
+                self._scatter_wide(v, lane, outputs)
 
     def state_outputs(self, v: np.ndarray) -> None:
         """State-source outputs (evaluate with empty inputs), lane by lane."""
@@ -284,6 +378,8 @@ class LaneComponent:
             outputs = evaluate({})
             for name, slot in self.out_pairs:
                 v[slot, lane] = outputs[name]
+            if self.out_wide:
+                self._scatter_wide(v, lane, outputs)
 
     def clock_edge(self, v: np.ndarray) -> None:
         """Per-lane capture + commit (nets are not touched, so interleaving
@@ -303,7 +399,10 @@ class LaneComponent:
         commit = component.commit
         for lane in range(self.n_lanes):
             attrs.update(states[lane])
-            capture({name: int(v[slot, lane]) for name, slot in in_pairs})
+            inputs = {name: int(v[slot, lane]) for name, slot in in_pairs}
+            if self.in_wide:
+                self._gather_wide(v, lane, inputs)
+            capture(inputs)
             commit()
             states[lane] = {k: val for k, val in attrs.items() if k[0] == "_"}
 
@@ -914,6 +1013,323 @@ def _b_commit_power_model(em: SourceEmitter, c, holders) -> None:
     em.emit(f"{s}.output = {s}.pending_output")
 
 
+# ---------------------------------------------------------------------------
+# Limb-store emitters (components touching nets wider than MAX_LANE_WIDTH).
+# A wide net occupies consecutive slots of little-endian 60-bit limbs; every
+# emitted limb expression is masked *before* any left shift, so intermediate
+# values never exceed 62 bits and the generated code stays exact on the int64
+# batch path and in both fused kernels.
+# ---------------------------------------------------------------------------
+
+
+def _l_in(em: SourceEmitter, c, port_name: str) -> Optional[Tuple[List[str], int]]:
+    """Per-limb slot expressions plus net width of an input; None if unbound."""
+    port = c.ports.get(port_name)
+    if port is None or port.net is None:
+        return None
+    slot = em.slot_of[port.net]
+    n_limbs = em.limbs_of.get(port.net, 1)
+    return [f"v[{slot + k}]" for k in range(n_limbs)], port.net.width
+
+
+def _l_out(em: SourceEmitter, c, port_name: str) -> Optional[Tuple[List[int], int]]:
+    """Per-limb slots plus net width of an output; None when unconnected."""
+    port = c.ports.get(port_name)
+    if port is None or port.net is None:
+        return None
+    slot = em.slot_of[port.net]
+    n_limbs = em.limbs_of.get(port.net, 1)
+    return [slot + k for k in range(n_limbs)], port.net.width
+
+
+def _l_gather(
+    em: SourceEmitter,
+    items: List[Tuple[str, int, int]],
+    out_slots: List[int],
+    out_width: int,
+) -> None:
+    """Assemble output limbs from bit-range contributions.
+
+    ``items`` are ``(limb expression, bit offset in the output, bit width)``
+    triples; offsets may be negative (slicing discards low bits).  Shift
+    amounts stay under :data:`LIMB_BITS` and every left-shift operand is
+    pre-masked, so nothing can overflow an int64.
+    """
+    for j, slot in enumerate(out_slots):
+        lo = LIMB_BITS * j
+        hi = min(out_width, lo + LIMB_BITS)
+        parts = []
+        for expr, offset, width in items:
+            start, end = max(offset, lo), min(offset + width, hi)
+            if start >= end:
+                continue
+            if offset >= lo:
+                kept = f"({expr} & {_mask(end - offset)})" if end - offset < width else expr
+                part = f"({kept} << {offset - lo})" if offset > lo else kept
+            else:
+                part = f"(({expr} >> {lo - offset}) & {_mask(end - start)})"
+            parts.append(part)
+        em.emit(f"v[{slot}] = " + (" | ".join(parts) if parts else "0"))
+
+
+def _bl_logic(em: SourceEmitter, c, holders=None) -> bool:
+    a, b = _l_in(em, c, "a"), _l_in(em, c, "b")
+    if a is None or b is None or len(a[0]) != len(b[0]):
+        return False
+    y = _l_out(em, c, "y")
+    if y is None:
+        return True
+    masks = _limb_masks(c.width)
+    for k, slot in enumerate(y[0]):
+        expr = _B_LOGIC_EXPRS[c.op].format(a=a[0][k], b=b[0][k], m=masks[k])
+        em.emit(f"v[{slot}] = {expr}")
+    return True
+
+
+def _bl_not(em: SourceEmitter, c, holders=None) -> bool:
+    a = _l_in(em, c, "a")
+    if a is None:
+        return False
+    y = _l_out(em, c, "y")
+    if y is None:
+        return True
+    masks = _limb_masks(c.width)
+    for k, slot in enumerate(y[0]):
+        em.emit(f"v[{slot}] = {a[0][k]} ^ {masks[k]}")
+    return True
+
+
+def _bl_adder(em: SourceEmitter, c, holders=None) -> bool:
+    a, b = _l_in(em, c, "a"), _l_in(em, c, "b")
+    if a is None or b is None or len(a[0]) != len(b[0]):
+        return False
+    y = _l_out(em, c, "y")
+    cout = em.out(c, "cout") if c.with_carry_out else None
+    n_limbs = _limb_count(c.width)
+    masks = _limb_masks(c.width)
+    top_bits = c.width - LIMB_BITS * (n_limbs - 1)
+    carry = None
+    if c.with_carry_in:
+        cin = em.opt(c, "cin", 0)
+        if cin != "0":
+            carry = f"({cin} & 1)"
+    for k in range(n_limbs):
+        terms = f"{a[0][k]} + {b[0][k]}"
+        if carry is not None:
+            terms += f" + {carry}"
+        last = k == n_limbs - 1
+        if last and cout is None:
+            if y is not None:
+                em.emit(f"v[{y[0][k]}] = ({terms}) & {masks[k]}")
+            break
+        em.emit(f"_t = {terms}")
+        if y is not None:
+            em.emit(f"v[{y[0][k]}] = _t & {masks[k]}")
+        if last:
+            em.emit(f"v[{cout}] = (_t >> {top_bits}) & 1")
+        else:
+            em.emit(f"_cy = _t >> {LIMB_BITS}")
+            carry = "_cy"
+    return True
+
+
+def _bl_subtractor(em: SourceEmitter, c, holders=None) -> bool:
+    a, b = _l_in(em, c, "a"), _l_in(em, c, "b")
+    if a is None or b is None or len(a[0]) != len(b[0]):
+        return False
+    y = _l_out(em, c, "y")
+    borrow_out = em.out(c, "borrow") if c.with_borrow_out else None
+    n_limbs = _limb_count(c.width)
+    masks = _limb_masks(c.width)
+    borrow = None
+    for k in range(n_limbs):
+        terms = f"{a[0][k]} - {b[0][k]}"
+        if borrow is not None:
+            terms += f" - {borrow}"
+        last = k == n_limbs - 1
+        if last and y is None and borrow_out is None:
+            break
+        em.emit(f"_t = {terms}")
+        if y is not None:
+            # a negative difference wraps exactly under the limb mask
+            em.emit(f"v[{y[0][k]}] = _t & {masks[k]}")
+        if last:
+            if borrow_out is not None:
+                em.emit(f"v[{borrow_out}] = _t < 0")
+        else:
+            em.emit("_bw = (_t < 0) * 1")
+            borrow = "_bw"
+    return True
+
+
+def _bl_comparator(em: SourceEmitter, c, holders=None) -> bool:
+    if c.signed:
+        return False  # signed wide compares stay on the lane-scalar path
+    a, b = _l_in(em, c, "a"), _l_in(em, c, "b")
+    if a is None or b is None or len(a[0]) != len(b[0]):
+        return False
+    outs = [(port, em.out(c, port)) for port in ("lt", "eq", "gt")]
+    if all(slot is None for _, slot in outs):
+        return True
+    n_limbs = len(a[0])
+    top = n_limbs - 1
+    # unsigned lexicographic compare, most-significant limb first
+    em.emit(f"_lt = ({a[0][top]} < {b[0][top]}) * 1")
+    em.emit(f"_gt = ({a[0][top]} > {b[0][top]}) * 1")
+    em.emit(f"_e = ({a[0][top]} == {b[0][top]}) * 1")
+    for k in range(top - 1, -1, -1):
+        em.emit(f"_lt = _lt | (_e & ({a[0][k]} < {b[0][k]}))")
+        em.emit(f"_gt = _gt | (_e & ({a[0][k]} > {b[0][k]}))")
+        em.emit(f"_e = _e & ({a[0][k]} == {b[0][k]})")
+    for port, var in (("lt", "_lt"), ("eq", "_e"), ("gt", "_gt")):
+        slot = em.out(c, port)
+        if slot is not None:
+            em.emit(f"v[{slot}] = {var}")
+    return True
+
+
+def _bl_mux(em: SourceEmitter, c, holders=None) -> bool:
+    sel = em.req(c, "sel")
+    if sel is None:
+        return False
+    rows = []
+    for i in range(c.n_inputs):
+        r = _l_in(em, c, f"d{i}")
+        if r is None:
+            return False
+        rows.append(r[0])
+    y = _l_out(em, c, "y")
+    if y is None:
+        return True
+    n_limbs = len(y[0])
+    if any(len(row) != n_limbs for row in rows):
+        return False
+    if c.n_inputs == 2:
+        for k, slot in enumerate(y[0]):
+            em.emit(f"v[{slot}] = _where({sel} & 1, {rows[1][k]}, {rows[0][k]})")
+    else:
+        em.emit(f"_s = _minimum({sel}, {c.n_inputs - 1})")
+        for k, slot in enumerate(y[0]):
+            limb_rows = ", ".join(row[k] for row in rows)
+            em.emit(f"v[{slot}] = _stack(({limb_rows}))[_s, _lidx]")
+    return True
+
+
+def _bl_reduce(em: SourceEmitter, c, holders=None) -> bool:
+    a = _l_in(em, c, "a")
+    if a is None:
+        return False
+    y = em.out(c, "y")
+    if y is None:
+        return True
+    masks = _limb_masks(c.width)
+    if c.op == "and":
+        terms = " & ".join(
+            f"({expr} == {masks[k]})" for k, expr in enumerate(a[0])
+        )
+        em.emit(f"v[{y}] = {terms}")
+    elif c.op == "or":
+        em.emit(f"v[{y}] = ({' | '.join(a[0])}) != 0")
+    else:
+        terms = " + ".join(f"_popcount({expr})" for expr in a[0])
+        em.emit(f"v[{y}] = ({terms}) & 1")
+    return True
+
+
+def _bl_concat(em: SourceEmitter, c, holders=None) -> bool:
+    items: List[Tuple[str, int, int]] = []
+    shift = 0
+    for i, width in enumerate(c.widths):
+        r = _l_in(em, c, f"i{i}")
+        if r is None:
+            return False
+        for k, expr in enumerate(r[0]):
+            items.append((expr, shift + LIMB_BITS * k, min(LIMB_BITS, width - LIMB_BITS * k)))
+        shift += width
+    y = _l_out(em, c, "y")
+    if y is not None:
+        _l_gather(em, items, y[0], y[1])
+    return True
+
+
+def _bl_slice(em: SourceEmitter, c, holders=None) -> bool:
+    a = _l_in(em, c, "a")
+    if a is None:
+        return False
+    y = _l_out(em, c, "y")
+    if y is None:
+        return True
+    items = [
+        (expr, LIMB_BITS * k - c.low, min(LIMB_BITS, a[1] - LIMB_BITS * k))
+        for k, expr in enumerate(a[0])
+    ]
+    _l_gather(em, items, y[0], y[1])
+    return True
+
+
+def _bl_extend(em: SourceEmitter, c, holders=None) -> bool:
+    if c.signed:
+        return False  # wide sign-extension stays on the lane-scalar path
+    a = _l_in(em, c, "a")
+    if a is None:
+        return False
+    y = _l_out(em, c, "y")
+    if y is None:
+        return True
+    items = [
+        (expr, LIMB_BITS * k, min(LIMB_BITS, a[1] - LIMB_BITS * k))
+        for k, expr in enumerate(a[0])
+    ]
+    _l_gather(em, items, y[0], y[1])
+    return True
+
+
+def _bl_state_constant(em: SourceEmitter, c, holders) -> bool:
+    y = _l_out(em, c, "y")
+    if y is not None:
+        for k, slot in enumerate(y[0]):
+            em.emit(f"v[{slot}] = {(c.value >> (LIMB_BITS * k)) & _LIMB_MASK}")
+    return True
+
+
+def _bl_state_register(em: SourceEmitter, c, holders) -> bool:
+    y = _l_out(em, c, "q")
+    if y is not None:
+        s = em.bind(f"_s{em.uid()}", holders[c])
+        for k, slot in enumerate(y[0]):
+            em.emit(f"v[{slot}] = {s}.state[{k}]")
+    return True
+
+
+def _bl_capture_register(em: SourceEmitter, c, holders) -> bool:
+    d = _l_in(em, c, "d")
+    if d is None or len(d[0]) != _limb_count(c.width):
+        return False
+    s = em.bind(f"_s{em.uid()}", holders[c])
+    clr = em.req(c, "clear") if c.has_clear else None
+    en = em.req(c, "en") if c.has_enable else None
+    for k, d_expr in enumerate(d[0]):
+        reset_limb = (c.reset_value >> (LIMB_BITS * k)) & _LIMB_MASK
+        if clr is not None and en is not None:
+            em.emit(
+                f"{s}.pending[{k}] = _where({clr} & 1, {reset_limb}, "
+                f"_where({en} & 1, {d_expr}, {s}.state[{k}]))"
+            )
+        elif clr is not None:
+            em.emit(f"{s}.pending[{k}] = _where({clr} & 1, {reset_limb}, {d_expr})")
+        elif en is not None:
+            em.emit(f"{s}.pending[{k}] = _where({en} & 1, {d_expr}, {s}.state[{k}])")
+        else:
+            em.emit(f"{s}.pending[{k}] = {d_expr} + 0")
+    return True
+
+
+def _bl_commit_register(em: SourceEmitter, c, holders) -> None:
+    s = em.bind(f"_s{em.uid()}", holders[c])
+    em.emit(f"{s}.state = {s}.pending")
+    em.emit(f"{s}.pending = list({s}.state)")
+
+
 _BATCH_TABLES: Optional[tuple] = None
 
 
@@ -1005,8 +1421,38 @@ def _batch_tables() -> tuple:
             return lambda n: LanePowerState(n, len(component._chunked))
         return None
 
+    # limb-wise emitters for components touching a wide (multi-limb) net;
+    # anything missing here takes the lane-scalar path with limb-assembled
+    # port values, so wide modules stay exactly as correct either way
+    limb_comb = {
+        comps.Adder: _bl_adder,
+        comps.Subtractor: _bl_subtractor,
+        comps.Comparator: _bl_comparator,
+        comps.Mux: _bl_mux,
+        comps.LogicOp: _bl_logic,
+        comps.NotOp: _bl_not,
+        comps.ReduceOp: _bl_reduce,
+        comps.Concat: _bl_concat,
+        comps.Slice: _bl_slice,
+        comps.Extend: _bl_extend,
+    }
+    limb_state = {
+        seq.Register: _bl_state_register,
+        comps.Constant: _bl_state_constant,
+    }
+    limb_capture = {seq.Register: _bl_capture_register}
+    limb_commit = {seq.Register: _bl_commit_register}
 
-    _BATCH_TABLES = (comb, state, capture, commit, make_holder)
+    def make_limb_holder(component):
+        if isinstance(component, seq.Register):
+            n_limbs = _limb_count(component.width)
+            return lambda n: LaneLimbState(n, component.reset_value, n_limbs)
+        return None
+
+    _BATCH_TABLES = (
+        comb, state, capture, commit, make_holder,
+        limb_comb, limb_state, limb_capture, limb_commit, make_limb_holder,
+    )
     return _BATCH_TABLES
 
 
@@ -1028,6 +1474,9 @@ class BatchProgram:
     source: str
     n_fused: int
     n_fallback: int
+    #: wide net -> limb count (first limb at slot_of[net]); empty when every
+    #: net fits one lane or the module is on the object-dtype store
+    limbs_of: Dict[Net, int] = None  # type: ignore[assignment]
     #: per-lane state holders for fused sequential components
     holders: Dict[object, object] = None  # type: ignore[assignment]
     #: lane-scalar fallback wrappers (state reset goes through these)
@@ -1041,6 +1490,9 @@ class BatchProgram:
     #: requested backend -> compiled kernel; shared by simulators over this
     #: program (safe: kernels rebind stale state pointers at every reset)
     _kernel_cache: Optional[Dict[str, object]] = None
+    #: cached (backend, reason) resolution of kernel_backend="auto" on a
+    #: toolchain-less host (see BatchSimulator._resolve_auto_backend)
+    _auto_decision: Optional[Tuple[str, str]] = None
 
     def reset_state(self) -> None:
         """Return every lane of every sequential component to its reset state."""
@@ -1067,7 +1519,7 @@ class BatchProgram:
             if self.dtype is object:
                 raise KernelUnsupportedError(
                     "lane program not kernelizable: object-dtype store "
-                    "(module has nets wider than MAX_LANE_WIDTH)"
+                    "(module has nets wider than MAX_LIMB_WIDTH)"
                 )
             self._kernel_ir = extract_ir(self.source, self.env, self.n_slots)
         except KernelUnsupportedError as error:
@@ -1080,21 +1532,56 @@ def _generate_batch_source(
     module: Module,
     schedule: Schedule,
     slot_of: Dict[Net, int],
+    limbs_of: Dict[Net, int],
     n_lanes: int,
     force_fallback: bool,
 ) -> Tuple[str, Dict[str, object], int, int, Dict[object, object], List[LaneComponent]]:
-    comb_table, state_table, capture_table, commit_table, make_holder = _batch_tables()
+    (comb_table, state_table, capture_table, commit_table, make_holder,
+     limb_comb, limb_state, limb_capture, limb_commit, make_limb_holder) = _batch_tables()
     if force_fallback:
         comb_table = state_table = capture_table = {}
         commit_table = {}
+        limb_comb = limb_state = limb_capture = limb_commit = {}
     em = SourceEmitter(slot_of)
+    em.limbs_of = limbs_of
+
+    # components touching any multi-limb net dispatch to the limb emitters
+    wide_components = set()
+    if limbs_of:
+        for component in module.components.values():
+            if any(
+                p.net is not None and p.net in limbs_of
+                for p in component.ports.values()
+            ):
+                wide_components.add(component)
+
+    def comb_for(component):
+        table = limb_comb if component in wide_components else comb_table
+        return table.get(type(component))
+
+    def state_for(component):
+        table = limb_state if component in wide_components else state_table
+        return table.get(type(component))
+
+    def capture_for(component):
+        table = limb_capture if component in wide_components else capture_table
+        return table.get(type(component))
+
+    def commit_for(component):
+        table = limb_commit if component in wide_components else commit_table
+        return table.get(type(component), _b_commit_state)
 
     holders: Dict[object, object] = {}
     lane_components: Dict[object, LaneComponent] = {}
 
     def holder_for(component):
         if component not in holders:
-            factory = make_holder(component) if not force_fallback else None
+            if force_fallback:
+                factory = None
+            elif component in wide_components:
+                factory = make_limb_holder(component)
+            else:
+                factory = make_holder(component)
             if factory is None:
                 return None
             holders[component] = factory(n_lanes)
@@ -1103,7 +1590,7 @@ def _generate_batch_source(
     def lane_component_for(component) -> LaneComponent:
         if component not in lane_components:
             wrapper = LaneComponent(component, n_lanes)
-            wrapper.bind(slot_of)
+            wrapper.bind(slot_of, limbs_of)
             lane_components[component] = wrapper
         return lane_components[component]
 
@@ -1128,8 +1615,9 @@ def _generate_batch_source(
     # state and the component's own scalar state never mix.
     fallback_sequential = set()
     scratch = SourceEmitter(slot_of)
+    scratch.limbs_of = limbs_of
     for component in schedule.sequential:
-        emitter = capture_table.get(type(component))
+        emitter = capture_for(component)
         fused = False
         if emitter is not None:
             scratch.lines = []
@@ -1143,7 +1631,7 @@ def _generate_batch_source(
     lines: List[str] = ["def _settle(v):"]
     em.lines = body = []
     for component in schedule.state_sources:
-        emitter = state_table.get(type(component))
+        emitter = state_for(component)
         done = False
         if component not in fallback_sequential and emitter is not None:
             try:
@@ -1155,7 +1643,7 @@ def _generate_batch_source(
         else:
             emit_fallback(component, "state_outputs")
     for component in schedule.ordered:
-        emitter = comb_table.get(type(component))
+        emitter = comb_for(component)
         if (
             component not in fallback_sequential
             and emitter is not None
@@ -1178,12 +1666,12 @@ def _generate_batch_source(
             # commits, so this is equivalent to the two-phase scalar order
             emit_fallback(component, "clock_edge")
             continue
-        done = capture_table[type(component)](em, component, holder_map)
+        done = capture_for(component)(em, component, holder_map)
         assert done, f"capture dry run and emission disagree for {component!r}"
         em.n_fused += 1
         fused_sequential.append(component)
     for component in fused_sequential:
-        commit_table.get(type(component), _b_commit_state)(em, component, holder_map)
+        commit_for(component)(em, component, holder_map)
     if not body:
         body.append("pass")
     lines.extend("    " + line for line in body)
@@ -1215,13 +1703,22 @@ def compile_module_batch(
         return cached[3]
 
     max_width = max((net.width for net in module.nets.values()), default=0)
-    force_fallback = max_width > MAX_LANE_WIDTH
+    force_fallback = max_width > MAX_LIMB_WIDTH
     dtype = object if force_fallback else np.int64
 
-    slot_of = {net: slot for slot, net in enumerate(module.nets.values())}
+    # wide nets (61..240 bits) take ceil(width / 60) consecutive limb slots
+    slot_of: Dict[Net, int] = {}
+    limbs_of: Dict[Net, int] = {}
+    n_slots = 0
+    for net in module.nets.values():
+        slot_of[net] = n_slots
+        n_limbs = 1 if force_fallback else _limb_count(net.width)
+        if n_limbs > 1:
+            limbs_of[net] = n_limbs
+        n_slots += n_limbs
     try:
         source, env, n_fused, n_fallback, holders, lane_comps = _generate_batch_source(
-            module, schedule, slot_of, n_lanes, force_fallback
+            module, schedule, slot_of, limbs_of, n_lanes, force_fallback
         )
         code = compile(source, f"<batch:{module.name}>", "exec")
         namespace = dict(env)
@@ -1242,9 +1739,10 @@ def compile_module_batch(
         ) from error
 
     program = BatchProgram(
-        n_slots=len(module.nets),
+        n_slots=n_slots,
         n_lanes=n_lanes,
         slot_of=slot_of,
+        limbs_of=limbs_of,
         dtype=dtype,
         settle=namespace["_settle"],
         clock_edge=namespace["_clock_edge"],
@@ -1287,6 +1785,7 @@ class BatchSimulator:
         n_lanes: int,
         schedule: Optional[Schedule] = None,
         kernel_backend: Optional[str] = None,
+        kernel_threads: Optional[Union[int, str]] = None,
     ) -> None:
         if n_lanes < 1:
             raise ValueError(f"BatchSimulator needs n_lanes >= 1, got {n_lanes}")
@@ -1303,6 +1802,10 @@ class BatchSimulator:
         self.kernel_backend = "off"
         #: why a requested kernel fell back to the plain batch path, if it did
         self.kernel_fallback: Optional[str] = None
+        #: how the backend was chosen (notably what "auto" resolved to and why)
+        self.kernel_decision = f"{requested} (requested)"
+        #: worker count the native kernel runs with (1 for numpy/off)
+        self.kernel_threads = 1
         if requested != "off":
             try:
                 ir = self.program.kernel_ir()
@@ -1313,14 +1816,25 @@ class BatchSimulator:
                     holder.unalias()
                 if self.program._kernel_cache is None:
                     self.program._kernel_cache = {}
-                self.kernel = self.program._kernel_cache.get(requested)
-                if self.kernel is None:
-                    self.kernel = kernels.compile_kernel(ir, n_lanes, requested)
-                    self.program._kernel_cache[requested] = self.kernel
-                self.kernel_backend = self.kernel.backend
+                backend = requested
+                if requested == "auto":
+                    backend, why = self._resolve_auto_backend(ir, kernels)
+                    self.kernel_decision = f"auto -> {backend} ({why})"
+                if backend != "off":
+                    self.kernel = self.program._kernel_cache.get(backend)
+                    if self.kernel is None:
+                        self.kernel = kernels.compile_kernel(ir, n_lanes, backend)
+                        self.program._kernel_cache[backend] = self.kernel
+                    self.kernel_backend = self.kernel.backend
+        if self.kernel is not None and self.kernel_backend == "native":
+            self.kernel_threads = kernels.resolve_kernel_threads(
+                kernel_threads, n_lanes
+            )
+            self.kernel.set_threads(self.kernel_threads)
         self.cycle = 0
         self._v = np.zeros((self.program.n_slots, n_lanes), dtype=self.program.dtype)
         slot_of = self.program.slot_of
+        limbs_of = self.program.limbs_of
         self._input_keys = {
             name: (slot_of[port.net], port.net.width)
             for name, port in module.ports.items()
@@ -1329,7 +1843,56 @@ class BatchSimulator:
         self._output_keys = {
             name: slot_of[port.net] for name, port in module.ports.items() if port.is_output
         }
+        #: port name -> limb count (1 for every narrow port)
+        self._port_limbs = {
+            name: limbs_of.get(port.net, 1) for name, port in module.ports.items()
+        }
         self.reset()
+
+    def _resolve_auto_backend(self, ir, kernels) -> Tuple[str, str]:
+        """What ``kernel_backend="auto"`` should actually run, and why.
+
+        With a C toolchain, the native kernel wins essentially always — use
+        it.  Without one the fused NumPy kernel is a wash (or a mild loss) on
+        some designs, so time one fused settle against one per-op settle on a
+        scratch store and keep the kernel only when it is measurably ahead;
+        otherwise stay on the plain batch path.  The decision is cached on
+        the shared program so sibling simulators do not re-calibrate.
+        """
+        if kernels.find_compiler() is not None:
+            return "native", "C toolchain found"
+        cached = self.program._auto_decision
+        if cached is not None:
+            return cached
+        import time
+
+        kernel = self.program._kernel_cache.get("numpy")
+        if kernel is None:
+            kernel = kernels.compile_kernel(ir, self.n_lanes, "numpy")
+            self.program._kernel_cache["numpy"] = kernel
+        # settle only writes the value store (state commits live in the clock
+        # edge), so timing both paths on a scratch store perturbs nothing
+        scratch = np.zeros((self.program.n_slots, self.n_lanes),
+                           dtype=self.program.dtype)
+
+        def best_of(fn, reps: int = 3) -> float:
+            fn(scratch)  # warm: exec/alloc costs are not steady-state costs
+            best = float("inf")
+            for _ in range(reps):
+                start = time.perf_counter()
+                fn(scratch)
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        fused = best_of(kernel.settle)
+        per_op = best_of(self.program.settle)
+        ratio = per_op / fused if fused > 0 else float("inf")
+        if ratio >= 1.1:  # keep the kernel only on a clear, repeatable win
+            decision = ("numpy", f"no toolchain; fused NumPy {ratio:.2f}x per-op")
+        else:
+            decision = ("off", f"no toolchain; fused NumPy a wash ({ratio:.2f}x)")
+        self.program._auto_decision = decision
+        return decision
 
     # -------------------------------------------------------------- control
     def reset(self) -> None:
@@ -1360,6 +1923,35 @@ class BatchSimulator:
             return np.array([int(x) & mask for x in array], dtype=object)
         return array.astype(np.int64) & mask
 
+    def _write_limbs(self, slot: int, n_limbs: int, width: int, value: ArrayLike) -> None:
+        """Split a wide value (scalar or per-lane) across its limb rows."""
+        mask = (1 << width) - 1
+        if isinstance(value, (int, np.integer)):
+            masked = int(value) & mask
+            for k in range(n_limbs):
+                self._v[slot + k] = (masked >> (LIMB_BITS * k)) & _LIMB_MASK
+            return
+        array = np.asarray(value)
+        if array.shape != (self.n_lanes,):
+            raise ValueError(
+                f"per-lane input must have shape ({self.n_lanes},), got {array.shape}"
+            )
+        values = [int(x) & mask for x in array]
+        for k in range(n_limbs):
+            shift = LIMB_BITS * k
+            self._v[slot + k] = np.fromiter(
+                ((x >> shift) & _LIMB_MASK for x in values),
+                dtype=np.int64,
+                count=self.n_lanes,
+            )
+
+    def _read_limbs(self, slot: int, n_limbs: int) -> np.ndarray:
+        """Assemble a wide row as an object array of Python ints."""
+        value = self._v[slot].astype(object)
+        for k in range(1, n_limbs):
+            value = value | (self._v[slot + k].astype(object) << (LIMB_BITS * k))
+        return value
+
     def set_input(self, name: str, value: ArrayLike) -> None:
         """Drive a module input: one scalar for all lanes, or a per-lane array."""
         try:
@@ -1370,7 +1962,11 @@ class BatchSimulator:
                 f"module {self.module.name!r} has no input port {name!r}; "
                 f"valid input ports: {valid}"
             ) from None
-        self._v[slot] = self._coerce(value, width)
+        n_limbs = self._port_limbs[name]
+        if n_limbs > 1:
+            self._write_limbs(slot, n_limbs, width, value)
+        else:
+            self._v[slot] = self._coerce(value, width)
 
     def set_inputs(self, inputs: Mapping[str, ArrayLike]) -> None:
         for name, value in inputs.items():
@@ -1386,16 +1982,23 @@ class BatchSimulator:
                 f"module {self.module.name!r} has no output port {name!r}; "
                 f"valid output ports: {valid}"
             ) from None
+        n_limbs = self._port_limbs[name]
+        if n_limbs > 1:
+            return self._read_limbs(slot, n_limbs)
         return self._v[slot].copy()
 
     def get_outputs(self) -> Dict[str, np.ndarray]:
-        return {name: self._v[slot].copy() for name, slot in self._output_keys.items()}
+        return {name: self.get_output(name) for name in self._output_keys}
 
     def get_net(self, net: Union[Net, str]) -> np.ndarray:
         """Per-lane values of any net, by object or name."""
         if isinstance(net, str):
             net = self.module.nets[net]
-        return self._v[self.program.slot_of[net]].copy()
+        slot = self.program.slot_of[net]
+        n_limbs = self.program.limbs_of.get(net, 1)
+        if n_limbs > 1:
+            return self._read_limbs(slot, n_limbs)
+        return self._v[slot].copy()
 
     # ------------------------------------------------------------ execution
     def settle(self) -> None:
@@ -1586,6 +2189,14 @@ class LaneView:
     def cycle(self) -> int:
         return self.simulator.cycle
 
+    def _read_lane(self, slot: int, n_limbs: int) -> int:
+        v, lane = self.simulator._v, self.lane
+        if n_limbs == 1:
+            return int(v[slot, lane])
+        return sum(
+            int(v[slot + k, lane]) << (LIMB_BITS * k) for k in range(n_limbs)
+        )
+
     def get_output(self, name: str) -> int:
         try:
             slot = self.simulator._output_keys[name]
@@ -1595,16 +2206,17 @@ class LaneView:
                 f"module {self.module.name!r} has no output port {name!r}; "
                 f"valid output ports: {valid}"
             ) from None
-        return int(self.simulator._v[slot, self.lane])
+        return self._read_lane(slot, self.simulator._port_limbs[name])
 
     def get_outputs(self) -> Dict[str, int]:
-        v, lane = self.simulator._v, self.lane
+        port_limbs = self.simulator._port_limbs
         return {
-            name: int(v[slot, lane])
+            name: self._read_lane(slot, port_limbs[name])
             for name, slot in self.simulator._output_keys.items()
         }
 
     def get_net(self, net: Union[Net, str]) -> int:
         if isinstance(net, str):
             net = self.simulator.module.nets[net]
-        return int(self.simulator._v[self.simulator.program.slot_of[net], self.lane])
+        program = self.simulator.program
+        return self._read_lane(program.slot_of[net], program.limbs_of.get(net, 1))

@@ -50,6 +50,9 @@ class SourceEmitter:
 
     def __init__(self, slot_of: Dict[Net, int]) -> None:
         self.slot_of = slot_of
+        #: wide net -> limb count; populated by the batch compiler when the
+        #: module uses the limb-array store (scalar codegen leaves it empty)
+        self.limbs_of: Dict[Net, int] = {}
         self.env: Dict[str, object] = {}
         self.lines: List[str] = []
         self.n_fused = 0

@@ -36,9 +36,11 @@ from typing import Optional, Tuple, Union
 
 from repro.sim.kernels.ir import KernelIR, KernelUnsupportedError, extract_ir
 from repro.sim.kernels.native import (
+    BLOCK_LANES,
     NativeKernel,
     NativeToolchainError,
     find_compiler,
+    threading_mode,
 )
 from repro.sim.kernels.numpy_backend import NumpyKernel
 
@@ -47,6 +49,9 @@ KERNEL_BACKENDS: Tuple[str, ...] = ("auto", "native", "numpy", "off")
 
 #: environment variable providing the session-wide default backend
 KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+#: environment variable providing the session-wide default worker count
+KERNEL_THREADS_ENV = "REPRO_KERNEL_THREADS"
 
 
 def resolve_kernel_backend(requested: Optional[str] = None) -> str:
@@ -63,6 +68,39 @@ def resolve_kernel_backend(requested: Optional[str] = None) -> str:
             f"{', '.join(KERNEL_BACKENDS)}"
         )
     return requested
+
+
+def resolve_kernel_threads(
+    requested: Optional[Union[int, str]] = None,
+    n_lanes: Optional[int] = None,
+) -> int:
+    """Validate and default the kernel worker count.
+
+    ``None`` reads ``REPRO_KERNEL_THREADS`` (defaulting to ``auto``).
+    ``"auto"`` means ``min(cores, n_lanes // BLOCK_LANES)`` clamped to at
+    least 1 — one worker per 128-lane block, never more than the host has
+    cores.  Lane blocks are independent, so any resolved count is
+    bit-identical to single-threaded execution.
+    """
+    if requested is None:
+        requested = os.environ.get(KERNEL_THREADS_ENV, "").strip() or "auto"
+    if isinstance(requested, str):
+        if requested == "auto":
+            cores = os.cpu_count() or 1
+            blocks = max(1, (n_lanes or 0) // BLOCK_LANES)
+            return max(1, min(cores, blocks))
+        try:
+            requested = int(requested)
+        except ValueError:
+            raise ValueError(
+                f"kernel thread count must be a positive integer or 'auto', "
+                f"got {requested!r}"
+            ) from None
+    if requested < 1:
+        raise ValueError(
+            f"kernel thread count must be >= 1, got {requested}"
+        )
+    return int(requested)
 
 
 LaneKernel = Union[NativeKernel, NumpyKernel]
@@ -87,8 +125,10 @@ def compile_kernel(ir: KernelIR, n_lanes: int, backend: str) -> LaneKernel:
 
 
 __all__ = [
+    "BLOCK_LANES",
     "KERNEL_BACKENDS",
     "KERNEL_BACKEND_ENV",
+    "KERNEL_THREADS_ENV",
     "KernelIR",
     "KernelUnsupportedError",
     "LaneKernel",
@@ -99,4 +139,6 @@ __all__ = [
     "extract_ir",
     "find_compiler",
     "resolve_kernel_backend",
+    "resolve_kernel_threads",
+    "threading_mode",
 ]

@@ -15,6 +15,18 @@ instead of striding lane-by-lane across the whole ``(n_slots, n_lanes)``
 store — the layout that makes the per-op NumPy path memory-bound — while
 eliminating all per-op interpreter dispatch.
 
+Lane blocks are also the multi-core unit: blocks touch disjoint lanes of
+every row, state array and memory column, so splitting them across threads
+cannot reorder or race any lane's arithmetic — results are bit-identical to
+single-threaded execution by construction.  Each generated entry point takes
+a thread count ``nt`` and fans blocks out over OpenMP (when the compiler
+accepts ``-fopenmp``) or a persistent hand-rolled pthread pool baked into the
+generated C (when only ``-pthread`` works); with neither, ``nt`` is ignored
+and the strip-mine runs serially.  Every thread gets its own scratch slice,
+and cffi releases the GIL around the call, so Python-side work can overlap.
+``REPRO_KERNEL_THREADING`` forces a tier (``omp``/``pthread``/``serial``)
+for tests and triage.
+
 Correctness notes:
 
 * signed arithmetic is compiled with ``-fwrapv`` so int64 overflow wraps
@@ -63,6 +75,66 @@ BLOCK_LANES = 128
 #: C sources above this size skip the host-ISA vectorization flags — the
 #: compile-time blowup on thousands of loops outweighs the runtime gain
 _VECTORIZE_MAX_LINES = 500
+
+#: environment override for the threading tier ("omp"/"pthread"/"serial")
+KERNEL_THREADING_ENV = "REPRO_KERNEL_THREADING"
+
+#: threading tier -> extra compile flags
+_THREADING_FLAGS = {
+    "omp": ["-fopenmp", "-DREPRO_KERNEL_OMP"],
+    "pthread": ["-pthread", "-DREPRO_KERNEL_PTHREADS"],
+    "serial": [],
+}
+
+#: probed threading tier of the host toolchain (None = not probed yet)
+_THREADING_MODE: Optional[str] = None
+
+
+def threading_mode() -> str:
+    """The threading tier the native kernels compile with on this host.
+
+    Probes the compiler once per process: ``omp`` when a tiny OpenMP
+    translation unit compiles with ``-fopenmp``, else ``pthread`` when
+    ``-pthread`` works, else ``serial``.  ``REPRO_KERNEL_THREADING`` forces a
+    tier (useful for exercising the pthread pool on an OpenMP toolchain).
+    """
+    global _THREADING_MODE
+    override = os.environ.get(KERNEL_THREADING_ENV)
+    if override:
+        if override not in _THREADING_FLAGS:
+            raise ValueError(
+                f"unknown {KERNEL_THREADING_ENV} value {override!r}; expected "
+                f"one of {', '.join(_THREADING_FLAGS)}"
+            )
+        return override
+    if _THREADING_MODE is not None:
+        return _THREADING_MODE
+    compiler = find_compiler()
+    if compiler is None:
+        _THREADING_MODE = "serial"
+        return _THREADING_MODE
+    probes = (
+        ("omp", "#include <omp.h>\nint repro_probe(void){return omp_get_max_threads();}\n"),
+        ("pthread", "#include <pthread.h>\nstatic pthread_mutex_t m = PTHREAD_MUTEX_INITIALIZER;\n"
+                    "int repro_probe(void){return pthread_mutex_lock(&m) == 0;}\n"),
+    )
+    directory = _build_dir()
+    mode = "serial"
+    for candidate, source in probes:
+        c_path = os.path.join(directory, f"probe_{candidate}.c")
+        so_path = os.path.join(directory, f"probe_{candidate}.so")
+        with open(c_path, "w") as handle:
+            handle.write(source)
+        result = subprocess.run(
+            [compiler, *(f for f in _THREADING_FLAGS[candidate] if not f.startswith("-D")),
+             "-fPIC", "-shared", c_path, "-o", so_path],
+            capture_output=True, text=True,
+        )
+        if result.returncode == 0:
+            mode = candidate
+            break
+    _THREADING_MODE = mode
+    return mode
 
 
 def find_compiler() -> Optional[str]:
@@ -159,14 +231,125 @@ def scratch_rows(ir: KernelIR) -> int:
     return rows
 
 
+#: per-.so scaffolding shared by every generated kernel: the pthread-pool
+#: tier parks persistent workers on a condvar; the per-call arguments are
+#: broadcast under the pool lock and each participant runs a static stripe of
+#: lane blocks (block b -> thread b % nt), so block assignment — and thus the
+#: result, since blocks touch disjoint lanes — is deterministic
+_RUNTIME_PREAMBLE = """\
+#if defined(REPRO_KERNEL_OMP)
+#include <omp.h>
+#endif
+#if defined(REPRO_KERNEL_PTHREADS)
+#include <pthread.h>
+#include <stdint.h>
+typedef void (*block_fn)(elem *restrict, i64 *const *, i64 *const *,
+                         i64 *restrict, i64, i64);
+static pthread_mutex_t pool_lock = PTHREAD_MUTEX_INITIALIZER;
+static pthread_cond_t pool_work_cv = PTHREAD_COND_INITIALIZER;
+static pthread_cond_t pool_done_cv = PTHREAD_COND_INITIALIZER;
+static i64 pool_spawned = 0, pool_generation = 0, pool_pending = 0;
+static block_fn pool_fn;
+static elem *pool_v;
+static i64 *const *pool_S;
+static i64 *const *pool_M;
+static i64 *pool_W;
+static i64 pool_L, pool_nt;
+
+static void pool_span(block_fn fn, elem *restrict v, i64 *const *S,
+                      i64 *const *M, i64 *restrict W, i64 L, i64 nt, i64 tid)
+{
+    const i64 nblocks = (L + B - 1) / B;
+    i64 *restrict Wt = W + tid * (i64)SCRATCH_ROWS * B;
+    for (i64 b = tid; b < nblocks; b += nt)
+        fn(v, S, M, Wt, L, b * B);
+}
+
+static void *pool_worker(void *arg)
+{
+    const i64 tid = (i64)(intptr_t)arg;
+    i64 seen = 0;
+    pthread_mutex_lock(&pool_lock);
+    for (;;) {
+        while (pool_generation == seen)
+            pthread_cond_wait(&pool_work_cv, &pool_lock);
+        seen = pool_generation;
+        {
+            block_fn fn = pool_fn;
+            elem *v = pool_v;
+            i64 *const *S = pool_S;
+            i64 *const *M = pool_M;
+            i64 *W = pool_W;
+            i64 L = pool_L, nt = pool_nt;
+            pthread_mutex_unlock(&pool_lock);
+            if (tid < nt)
+                pool_span(fn, v, S, M, W, L, nt, tid);
+        }
+        pthread_mutex_lock(&pool_lock);
+        if (--pool_pending == 0)
+            pthread_cond_signal(&pool_done_cv);
+    }
+    return 0;
+}
+
+static void pool_child_reset(void)
+{
+    /* fork() copies the pool's bookkeeping but not its worker threads; a
+       child that trusted pool_spawned would broadcast work nobody runs and
+       wait on pool_done_cv forever.  Reset so the child respawns lazily. */
+    pthread_mutex_init(&pool_lock, 0);
+    pthread_cond_init(&pool_work_cv, 0);
+    pthread_cond_init(&pool_done_cv, 0);
+    pool_spawned = 0;
+    pool_generation = 0;
+    pool_pending = 0;
+}
+
+static pthread_once_t pool_fork_once = PTHREAD_ONCE_INIT;
+static void pool_register_fork(void) { pthread_atfork(0, 0, pool_child_reset); }
+
+static void pool_run(block_fn fn, elem *restrict v, i64 *const *S,
+                     i64 *const *M, i64 *restrict W, i64 L, i64 nt)
+{
+    pthread_once(&pool_fork_once, pool_register_fork);
+    pthread_mutex_lock(&pool_lock);
+    while (pool_spawned < nt - 1) {
+        pthread_t thread;
+        if (pthread_create(&thread, 0, pool_worker,
+                           (void *)(intptr_t)(pool_spawned + 1)) != 0)
+            break;
+        pthread_detach(thread);
+        pool_spawned += 1;
+    }
+    if (nt > pool_spawned + 1)
+        nt = pool_spawned + 1;  /* thread creation failed: shrink, stay correct */
+    pool_fn = fn; pool_v = v; pool_S = S; pool_M = M; pool_W = W;
+    pool_L = L; pool_nt = nt;
+    pool_pending = pool_spawned;
+    pool_generation += 1;
+    pthread_cond_broadcast(&pool_work_cv);
+    pthread_mutex_unlock(&pool_lock);
+
+    pool_span(fn, v, S, M, W, L, nt, 0);
+
+    pthread_mutex_lock(&pool_lock);
+    while (pool_pending != 0)
+        pthread_cond_wait(&pool_done_cv, &pool_lock);
+    pthread_mutex_unlock(&pool_lock);
+}
+#endif
+"""
+
+
 def generate_c_source(ir: KernelIR) -> str:
     """The complete C translation unit for one extracted lane program."""
     elem = _ELEM_TYPES[ir.dtype]
     lines: List[str] = [
         "typedef long long i64;",
         f"typedef {elem} elem;",
-        f"enum {{ B = {BLOCK_LANES} }};",
+        f"enum {{ B = {BLOCK_LANES}, SCRATCH_ROWS = {scratch_rows(ir)} }};",
         "",
+        _RUNTIME_PREAMBLE,
     ]
     for index, table in enumerate(ir.tables):
         values = ", ".join(f"{int(value)}LL" for value in table)
@@ -184,16 +367,41 @@ def generate_c_source(ir: KernelIR) -> str:
         bodies["cycle"] = bodies["settle"] + bodies["clock_edge"]
 
     for name, body in bodies.items():
+        # one block's worth of the phase: the serial strip-mine, the OpenMP
+        # loop and the pthread stripes all dispatch through this function
         lines.append(
-            f"void {name}(elem *restrict v, i64 *const *S, i64 *const *M, "
-            f"i64 *restrict W, i64 L)"
+            f"static void {name}_block(elem *restrict v, i64 *const *S, "
+            f"i64 *const *M, i64 *restrict W, i64 L, i64 l0)"
         )
         lines.append("{")
-        lines.append("    for (i64 l0 = 0; l0 < L; l0 += B) {")
-        lines.append("        const i64 nb = (L - l0) < B ? (L - l0) : B;")
-        lines.extend(f"        {line}" for line in body)
+        lines.append("    const i64 nb = (L - l0) < B ? (L - l0) : B;")
+        lines.extend(f"    {line}" for line in body)
+        lines.append("    (void)S; (void)M; (void)W; (void)nb;")
+        lines.append("}")
+        lines.append("")
+        lines.append(
+            f"void {name}(elem *restrict v, i64 *const *S, i64 *const *M, "
+            f"i64 *restrict W, i64 L, i64 nt)"
+        )
+        lines.append("{")
+        lines.append("#if defined(REPRO_KERNEL_OMP)")
+        lines.append("    if (nt > 1) {")
+        lines.append("        const i64 nblocks = (L + B - 1) / B;")
+        lines.append("        #pragma omp parallel for schedule(static) "
+                     "num_threads((int)nt)")
+        lines.append("        for (i64 b = 0; b < nblocks; ++b)")
+        lines.append(
+            f"            {name}_block(v, S, M, W + (i64)omp_get_thread_num() "
+            f"* (i64)SCRATCH_ROWS * B, L, b * B);"
+        )
+        lines.append("        return;")
         lines.append("    }")
-        lines.append("    (void)S; (void)M; (void)W;")
+        lines.append("#elif defined(REPRO_KERNEL_PTHREADS)")
+        lines.append(f"    if (nt > 1) {{ pool_run({name}_block, v, S, M, W, L, nt); return; }}")
+        lines.append("#endif")
+        lines.append("    (void)nt;")
+        lines.append("    for (i64 l0 = 0; l0 < L; l0 += B)")
+        lines.append(f"        {name}_block(v, S, M, W, L, l0);")
         lines.append("}")
         lines.append("")
     return "\n".join(lines)
@@ -217,7 +425,8 @@ def _build_dir() -> str:
 
 
 def _compile_library(source: str, ir: KernelIR):
-    key = hashlib.sha1(source.encode()).hexdigest()
+    mode = threading_mode()
+    key = hashlib.sha1(f"{mode}\n{source}".encode()).hexdigest()
     cached = _LIB_CACHE.get(key)
     if cached is not None:
         return cached
@@ -242,13 +451,18 @@ def _compile_library(source: str, ir: KernelIR):
     # of statement loops, so very large kernels settle for plain -O2 (still
     # several times faster than the per-op path).  -march=native is safe
     # here — this is JIT-style host compilation — and the flag-less retry
-    # covers compilers that do not understand it.
+    # covers compilers that do not understand it.  The fixed runtime preamble
+    # (thread pool scaffolding) does not count against the budget — only the
+    # generated statement loops blow up compile time.
+    n_kernel_lines = len(source.splitlines()) - len(_RUNTIME_PREAMBLE.splitlines())
     tune = (
         ["-march=native", "-ftree-vectorize"]
-        if len(source.splitlines()) <= _VECTORIZE_MAX_LINES
+        if n_kernel_lines <= _VECTORIZE_MAX_LINES
         else []
     )
-    base = [compiler, "-O2", "-fwrapv", "-fPIC", "-shared", c_path, "-o", so_path]
+    threading_flags = _THREADING_FLAGS[mode]
+    base = [compiler, "-O2", "-fwrapv", "-fPIC", "-shared",
+            *threading_flags, c_path, "-o", so_path]
     result = subprocess.run(base[:1] + tune + base[1:], capture_output=True, text=True)
     if result.returncode != 0 and tune:
         result = subprocess.run(base, capture_output=True, text=True)
@@ -260,7 +474,8 @@ def _compile_library(source: str, ir: KernelIR):
     ffi = cffi.FFI()
     elem = _ELEM_TYPES[ir.dtype]
     signatures = [
-        f"void {name}({elem} *, long long **, long long **, long long *, long long);"
+        f"void {name}({elem} *, long long **, long long **, long long *, "
+        f"long long, long long);"
         for name in (*ir.phases, *(
             ["cycle"] if set(ir.phases) >= {"settle", "clock_edge"} else []
         ))
@@ -306,6 +521,24 @@ class NativeKernel:
         self._elem_ptr_type = _ELEM_TYPES[ir.dtype] + " *"
         self._vid: Optional[int] = None
         self._vp = None
+        #: worker count passed to the generated driver (1 = serial loop)
+        self.n_threads = 1
+
+    def set_threads(self, n_threads: int) -> None:
+        """Set the worker count for subsequent kernel calls.
+
+        Each worker gets its own scratch stripe, so the scratch buffer grows
+        with the thread count; results stay bit-identical for any ``n`` since
+        workers own disjoint lane blocks.
+        """
+        n_threads = max(1, int(n_threads))
+        if n_threads == self.n_threads:
+            return
+        rows = scratch_rows(self.ir)
+        if rows and n_threads > self._scratch.size // (rows * BLOCK_LANES):
+            self._scratch = np.zeros(rows * BLOCK_LANES * n_threads, dtype=np.int64)
+            self._W = self._ffi.cast("long long *", self._scratch.ctypes.data)
+        self.n_threads = n_threads
 
     def rebind(self) -> None:
         """Re-capture pointers to the holders' *current* state arrays.
@@ -350,10 +583,13 @@ class NativeKernel:
         return self._vp
 
     def settle(self, v: np.ndarray) -> None:
-        self._lib.settle(self._v_pointer(v), self._S, self._M, self._W, v.shape[1])
+        self._lib.settle(self._v_pointer(v), self._S, self._M, self._W,
+                         v.shape[1], self.n_threads)
 
     def clock_edge(self, v: np.ndarray) -> None:
-        self._lib.clock_edge(self._v_pointer(v), self._S, self._M, self._W, v.shape[1])
+        self._lib.clock_edge(self._v_pointer(v), self._S, self._M, self._W,
+                             v.shape[1], self.n_threads)
 
     def cycle(self, v: np.ndarray) -> None:
-        self._lib.cycle(self._v_pointer(v), self._S, self._M, self._W, v.shape[1])
+        self._lib.cycle(self._v_pointer(v), self._S, self._M, self._W,
+                        v.shape[1], self.n_threads)

@@ -150,8 +150,15 @@ class NumpyKernel:
         self._clock_edge = namespace.get("_clock_edge")
         self._cycle = namespace.get("_cycle")
 
+    #: NumPy kernels run single-threaded; :meth:`set_threads` is a no-op so
+    #: callers can set a thread budget without caring which backend resolved.
+    n_threads = 1
+
     def rebind(self) -> None:
         """No-op: state is reached through live holder attributes."""
+
+    def set_threads(self, n_threads: int) -> None:
+        """No-op: the NumPy backend has no worker pool."""
 
     def settle(self, v: np.ndarray) -> None:
         self._settle(v)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.sim.batch import BatchSimulator
+from repro.sim.batch import LIMB_BITS, _LIMB_MASK, BatchSimulator
 from repro.stim.compile import CHUNK_CYCLES, CompiledStimulus
 from repro.stim.spec import StimulusSpec
 
@@ -55,9 +55,12 @@ class BatchStimulusDriver:
             chunk_cycles=chunk_cycles,
         )
         input_keys = simulator._input_keys
-        #: (port index in the stimulus tensor, value-store slot) pairs
-        self.rows: List[Tuple[int, int]] = [
-            (index, input_keys[name][0])
+        port_limbs = getattr(simulator, "_port_limbs", {})
+        #: (port index in the stimulus tensor, base value-store slot, limb count)
+        #: — limb-store ports (61..240 bits) arrive as object columns of exact
+        #: Python ints and are split across their limb rows at apply time
+        self.rows: List[Tuple[int, int, int]] = [
+            (index, input_keys[name][0], port_limbs.get(name, 1))
             for index, name in enumerate(self.stimulus.port_names)
         ]
 
@@ -69,8 +72,13 @@ class BatchStimulusDriver:
         """Write cycle ``cycle``'s stimulus rows into the lane store."""
         values = self.stimulus.values_at(cycle)
         v = self.simulator._v
-        for index, slot in self.rows:
-            v[slot] = values[index]
+        for index, slot, n_limbs in self.rows:
+            if n_limbs == 1:
+                v[slot] = values[index]
+            else:
+                column = values[index]
+                for k in range(n_limbs):
+                    v[slot + k] = (column >> (LIMB_BITS * k)) & _LIMB_MASK
 
     def run(
         self,

@@ -231,3 +231,93 @@ def test_write_result_emits_trajectory_summary(tmp_path, monkeypatch):
     assert payload["benchmark"] == "demo_table"
     assert payload["metrics"] == {"x": 1.5}
     assert payload["table"] == "a table"
+
+
+# ----------------------------------------------------------------- perf gate
+
+
+def _gate():
+    from repro.bench import gate
+
+    return gate
+
+
+def test_gate_classify_metric_directions():
+    gate = _gate()
+    assert gate.classify_metric("lane_cycles_per_s_HVPeakF_1thr") == "higher"
+    assert gate.classify_metric("speedup_4thr") == "higher"
+    assert gate.classify_metric("characterize_wall_s") == "lower"
+    assert gate.classify_metric("estimate_time_s") == "lower"
+    # configuration values never gate
+    assert gate.classify_metric("n_lanes") is None
+    assert gate.classify_metric("host_cores") is None
+    assert gate.classify_metric("threading_mode") is None
+
+
+def test_gate_metrics_thresholds():
+    gate = _gate()
+    baseline = {"rate_per_s": 100.0, "wall_time_s": 10.0, "n_lanes": 64}
+    improved = gate.gate_metrics("b", baseline, {"rate_per_s": 150.0, "wall_time_s": 8.0})
+    assert {f.severity for f in improved} == {"ok"}
+    warned = gate.gate_metrics("b", baseline, {"rate_per_s": 80.0, "wall_time_s": 10.0})
+    assert {f.metric: f.severity for f in warned} == {
+        "rate_per_s": "warn", "wall_time_s": "ok"
+    }
+    failed = gate.gate_metrics("b", baseline, {"rate_per_s": 50.0, "wall_time_s": 25.0})
+    assert {f.metric: f.severity for f in failed} == {
+        "rate_per_s": "fail", "wall_time_s": "fail"
+    }
+
+
+def test_gate_metrics_unpaired_is_informational():
+    gate = _gate()
+    findings = gate.gate_metrics("b", {"old_per_s": 5.0}, {"new_per_s": 7.0})
+    assert {f.severity for f in findings} == {"info"}
+    # info findings never fail a run
+    assert all(f.severity != "fail" for f in findings)
+
+
+def test_gate_metrics_rejects_bad_thresholds():
+    gate = _gate()
+    with pytest.raises(ValueError, match="warn"):
+        gate.gate_metrics("b", {}, {}, warn_fraction=0.5, fail_fraction=0.2)
+
+
+def _write_bench(directory, name, metrics):
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump({"benchmark": name, "metrics": metrics, "table": "t"}, handle)
+    return path
+
+
+def test_gate_dirs_and_cli_exit_codes(tmp_path):
+    gate = _gate()
+    base = str(tmp_path / "base")
+    curr = str(tmp_path / "curr")
+    _write_bench(base, "demo", {"rate_per_s": 100.0})
+    _write_bench(curr, "demo", {"rate_per_s": 99.0})
+    # only-in-one-side benchmarks are skipped, not errors
+    _write_bench(base, "retired", {"rate_per_s": 1.0})
+    findings = gate.gate_dirs(base, curr)
+    assert [(f.bench, f.severity) for f in findings] == [("demo", "ok")]
+    assert gate.main(["--baseline-dir", base, "--current-dir", curr]) == 0
+
+    _write_bench(curr, "demo", {"rate_per_s": 10.0})
+    report = str(tmp_path / "gate.json")
+    assert gate.main(
+        ["--baseline-dir", base, "--current-dir", curr, "--json", report]
+    ) == 1
+    payload = json.load(open(report))
+    assert payload[0]["severity"] == "fail"
+
+    with pytest.raises(SystemExit, match="unknown benchmark"):
+        gate.gate_dirs(base, curr, names=["nope"])
+
+
+def test_gate_self_check_against_committed_baselines():
+    """The committed BENCH_*.json files gate cleanly against themselves."""
+    gate = _gate()
+    findings = gate.gate_dirs(_REPO_ROOT, _REPO_ROOT)
+    assert findings, "no committed BENCH_*.json metrics were gateable"
+    assert {f.severity for f in findings} == {"ok"}

@@ -200,8 +200,8 @@ def test_exotic_component_lane_fallback():
     assert list(simulator.get_output("y")) == [int(x) ^ int(yv) for x, yv in zip(a, b)]
 
 
-def test_wide_nets_use_object_lanes():
-    """Nets wider than an int64 lane fall back to object-dtype exact ints."""
+def test_wide_nets_use_limb_store():
+    """Nets of 61..240 bits stay in the int64 store as limb arrays."""
     builder = NetlistBuilder("wide")
     x = builder.input("x", 80)
     y = builder.input("y", 80)
@@ -209,7 +209,8 @@ def test_wide_nets_use_object_lanes():
     module = flatten(builder.build())
 
     simulator = BatchSimulator(module, 2)
-    assert simulator.program.dtype is object
+    assert simulator.program.dtype is np.int64
+    assert simulator.program.limbs_of[module.nets["x"]] == 2
     xs = [(1 << 79) - 3, 123456789012345678901]
     ys = [5, (1 << 78) + 17]
     simulator.set_inputs(
@@ -218,6 +219,29 @@ def test_wide_nets_use_object_lanes():
     simulator.settle()
     out = simulator.get_output("s")
     mask = (1 << 80) - 1
+    assert [int(v) for v in out] == [(a + b) & mask for a, b in zip(xs, ys)]
+
+
+def test_very_wide_nets_use_object_lanes():
+    """Nets past MAX_LIMB_WIDTH still fall back to object-dtype exact ints."""
+    width = 250
+    builder = NetlistBuilder("very_wide")
+    x = builder.input("x", width)
+    y = builder.input("y", width)
+    builder.output("s", builder.add(x, y, name="sum250"))
+    module = flatten(builder.build())
+
+    simulator = BatchSimulator(module, 2)
+    assert simulator.program.dtype is object
+    assert not simulator.program.limbs_of
+    xs = [(1 << (width - 1)) - 3, 123456789012345678901]
+    ys = [5, (1 << (width - 2)) + 17]
+    simulator.set_inputs(
+        {"x": np.array(xs, dtype=object), "y": np.array(ys, dtype=object)}
+    )
+    simulator.settle()
+    out = simulator.get_output("s")
+    mask = (1 << width) - 1
     assert [int(v) for v in out] == [(a + b) & mask for a, b in zip(xs, ys)]
 
 

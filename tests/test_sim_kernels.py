@@ -202,7 +202,9 @@ def test_unfusable_component_falls_back_to_plain_batch():
     assert list(simulator.get_output("y")) == [2, 3, 4]
 
 
-def test_wide_object_store_falls_back_to_plain_batch():
+@needs_cc
+def test_limb_store_modules_compile_kernels():
+    """61..240-bit nets live in int64 limb slots, so kernels still fuse."""
     builder = NetlistBuilder("wide")
     a = builder.input("a", 64)
     b = builder.input("b", 64)
@@ -210,10 +212,29 @@ def test_wide_object_store_falls_back_to_plain_batch():
     builder.output("y", y)
     module = flatten(builder.build())
     simulator = BatchSimulator(module, N_LANES, kernel_backend="native")
+    assert simulator.kernel is not None
+    assert simulator.kernel_backend == "native"
+    assert simulator.program.n_fallback == 0
+    big = (1 << 63) | 5
+    simulator.set_input("a", np.array([big, 1, 2], dtype=object))
+    simulator.set_input("b", 1)
+    simulator.settle()
+    assert int(simulator.get_output("y")[0]) == big ^ 1
+
+
+def test_very_wide_object_store_falls_back_to_plain_batch():
+    """Past MAX_LIMB_WIDTH the store is object-dtype and kernels disable."""
+    builder = NetlistBuilder("very_wide")
+    a = builder.input("a", 250)
+    b = builder.input("b", 250)
+    y = builder.logic("xor", a, b)
+    builder.output("y", y)
+    module = flatten(builder.build())
+    simulator = BatchSimulator(module, N_LANES, kernel_backend="native")
     assert simulator.kernel is None
     assert simulator.kernel_backend == "off"
     assert "object-dtype" in simulator.kernel_fallback
-    big = (1 << 63) | 5
+    big = (1 << 249) | 5
     simulator.set_input("a", np.array([big, 1, 2], dtype=object))
     simulator.set_input("b", 1)
     simulator.settle()
