@@ -44,11 +44,12 @@ from repro.api.estimators import (
     estimate,
     estimator_for,
 )
-from repro.api.sweep import SweepResult, sweep
+from repro.api.sweep import SweepInterrupted, SweepResult, sweep
 
 __all__ = [
     "BACKENDS",
     "ENGINES",
+    "SweepInterrupted",
     "RunSpec",
     "SweepSpec",
     "EstimateResult",

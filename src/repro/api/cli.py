@@ -20,6 +20,13 @@ shorthand like ``markov:p01=0.2,p10=0.1``, inline JSON, ``@file``, or
 ``design`` for the registry entry's declared scenario — to drive a
 :class:`~repro.stim.spec.StimulusSpec` instead of the built-in testbench.
 Every subcommand can emit its result as a JSON artifact via ``--json``.
+
+Robustness (PR 7): ``run``/``sweep`` accept ``--timeout-s`` and
+``--max-retries`` (per-task deadline and retry budget under the resilient
+scheduler); ``sweep`` adds ``--on-error {raise,skip}`` (skip keeps healthy
+results and exits 3 when any task failed) and ``--resume`` (recompute only
+what the cache is missing).  Ctrl-C during a sweep persists completed
+results, prints the partial summary, and exits 130.
 """
 
 from __future__ import annotations
@@ -66,6 +73,14 @@ def _add_common_run_arguments(parser: argparse.ArgumentParser) -> None:
                              "entry's declared scenario")
     parser.add_argument("--coefficient-bits", type=int, default=12,
                         help="instrumentation coefficient width (emulation engine)")
+    parser.add_argument("--timeout-s", type=float, default=None, metavar="S",
+                        help="per-task wall-clock deadline; a task past it is "
+                             "killed and retried/failed (default: the "
+                             "REPRO_TASK_TIMEOUT_S env, else none)")
+    parser.add_argument("--max-retries", type=int, default=None, metavar="N",
+                        help="retries per task after the first attempt, with "
+                             "exponential backoff (default: the "
+                             "REPRO_TASK_RETRIES env, else 0)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the result as a JSON artifact")
 
@@ -160,6 +175,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         coefficient_bits=args.coefficient_bits,
         workload_cycles=args.workload_cycles,
         compare_to_rtl=args.compare_to_rtl,
+        timeout_s=args.timeout_s,
+        max_retries=args.max_retries,
     )
     result = estimate(spec)
     print(result.report.table(n=args.top))
@@ -176,6 +193,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------- sweep
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.api import SweepSpec, sweep
+    from repro.api.sweep import SweepInterrupted
 
     spec = SweepSpec(
         designs=tuple(args.designs),
@@ -189,11 +207,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         coefficient_bits=args.coefficient_bits,
         n_workers=args.workers,
         cache_dir=args.cache_dir or None,
+        timeout_s=args.timeout_s,
+        max_retries=args.max_retries,
+        on_error=args.on_error,
     )
-    result = sweep(spec)
+    try:
+        result = sweep(spec, resume=args.resume)
+    except SweepInterrupted as interrupt:
+        # completed results are already persisted; report them and exit with
+        # the conventional SIGINT code so scripts can tell "stopped" from
+        # "failed" — `sweep --resume` picks up from here
+        result = interrupt.partial
+        print(result.summary())
+        _write_json(args.json, result.to_dict())
+        print("interrupted — completed results persisted; rerun with "
+              "--resume to finish", file=sys.stderr)
+        return 130
     print(result.summary())
     _write_json(args.json, result.to_dict())
-    return 0
+    # on_error=skip with losses: partial success gets its own exit code
+    return 0 if result.ok else 3
 
 
 # ----------------------------------------------------------------- stim
@@ -340,6 +373,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="shard-pool worker processes (1 = serial)")
     swp.add_argument("--cache-dir", default="",
                      help="on-disk result cache directory ('' disables caching)")
+    swp.add_argument("--on-error", choices=("raise", "skip"), default="raise",
+                     help="task-failure policy: raise = abort the sweep with "
+                          "the task's exception; skip = record a structured "
+                          "failure, keep the healthy results, exit 3")
+    swp.add_argument("--resume", action="store_true",
+                     help="resume a failed/interrupted sweep from its cache "
+                          "(requires --cache-dir): completed tasks are cache "
+                          "hits, only missing/failed tasks recompute")
     _add_common_run_arguments(swp)
     swp.set_defaults(func=_cmd_sweep)
 
@@ -414,6 +455,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # registry lookups and spec validation raise with actionable messages
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # a Ctrl-C outside the sweep runner's graceful path (SweepInterrupted
+        # is handled — with persistence — inside _cmd_sweep)
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

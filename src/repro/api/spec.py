@@ -33,6 +33,20 @@ ENGINES: Tuple[str, ...] = ("rtl", "gate", "emulation")
 #: simulation backends selectable by ``RunSpec.backend``
 BACKENDS: Tuple[str, ...] = ("auto", "compiled", "interp", "batch")
 
+#: failure policies selectable by ``SweepSpec.on_error``
+ON_ERROR_POLICIES: Tuple[str, ...] = ("raise", "skip")
+
+#: spec fields that configure *execution robustness* rather than result
+#: identity — excluded from cache keys (a retried run is still the same run)
+EXECUTION_POLICY_FIELDS: Tuple[str, ...] = ("timeout_s", "max_retries")
+
+
+def _check_policy_fields(timeout_s, max_retries) -> None:
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError(f"timeout_s must be > 0 seconds, got {timeout_s}")
+    if max_retries is not None and max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+
 
 def _coerce_stimulus(value) -> Optional[StimulusSpec]:
     """Accept a StimulusSpec, its dict payload (JSON round trips), or None."""
@@ -87,6 +101,12 @@ class RunSpec:
     testbench_on_fpga: bool = False
     keep_cycle_trace: bool = False
     compare_to_rtl: bool = False
+    #: per-task wall-clock deadline when executed by the resilient sweep/shard
+    #: layer (``None`` = the ``REPRO_TASK_TIMEOUT_S`` env, else no deadline)
+    timeout_s: Optional[float] = None
+    #: retries after the first attempt under the resilient layer
+    #: (``None`` = the ``REPRO_TASK_RETRIES`` env, else 0)
+    max_retries: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -118,6 +138,7 @@ class RunSpec:
                 f"unknown power-model library {self.library!r}; only the "
                 f"deterministic 'seed' library is registered"
             )
+        _check_policy_fields(self.timeout_s, self.max_retries)
         object.__setattr__(self, "stimulus", _coerce_stimulus(self.stimulus))
 
     # -------------------------------------------------------- serialization
@@ -126,6 +147,19 @@ class RunSpec:
         if self.stimulus is not None:
             # asdict() would drop the port-spec `kind` discriminators
             payload["stimulus"] = self.stimulus.to_dict()
+        return payload
+
+    def cache_dict(self) -> Dict[str, object]:
+        """The spec as a cache-key payload: execution policy excluded.
+
+        Retrying or time-limiting a run does not change what it computes, so
+        ``timeout_s``/``max_retries`` must not fracture the result cache — a
+        ``--resume`` with a different retry budget still hits yesterday's
+        results.
+        """
+        payload = self.to_dict()
+        for name in EXECUTION_POLICY_FIELDS:
+            payload.pop(name, None)
         return payload
 
     @classmethod
@@ -171,6 +205,14 @@ class SweepSpec:
     cache_dir: Optional[str] = None
     #: declarative scenario driven instead of the designs' built-in testbenches
     stimulus: Optional[StimulusSpec] = None
+    #: per-task wall-clock deadline, copied into every expanded RunSpec
+    timeout_s: Optional[float] = None
+    #: retries after the first attempt, copied into every expanded RunSpec
+    max_retries: Optional[int] = None
+    #: what a task failure does to the sweep: ``"raise"`` aborts with the
+    #: task's exception; ``"skip"`` records a structured TaskFailure and keeps
+    #: going, returning results for every healthy task
+    on_error: str = "raise"
 
     def __post_init__(self) -> None:
         # tolerate lists (e.g. built from JSON / argparse) by normalizing
@@ -205,6 +247,12 @@ class SweepSpec:
                 f"identical results; drop the repeated seeds (on the CLI, "
                 f"--seeds 0:4 already covers 0 1 2 3)"
             )
+        _check_policy_fields(self.timeout_s, self.max_retries)
+        if self.on_error not in ON_ERROR_POLICIES:
+            raise ValueError(
+                f"unknown on_error policy {self.on_error!r}; expected one of "
+                f"{', '.join(ON_ERROR_POLICIES)}"
+            )
         object.__setattr__(self, "stimulus", _coerce_stimulus(self.stimulus))
 
     def run_specs(self) -> List[RunSpec]:
@@ -221,6 +269,8 @@ class SweepSpec:
                 kernel_threads=self.kernel_threads,
                 library=self.library,
                 coefficient_bits=self.coefficient_bits,
+                timeout_s=self.timeout_s,
+                max_retries=self.max_retries,
             )
             for design in self.designs
             for engine in self.engines

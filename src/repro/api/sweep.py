@@ -8,28 +8,68 @@ executes them with every scaling lever the repository has grown:
   cycle for every seed and each component's macromodel is evaluated with one
   vectorized pass over the lane arrays (the ROADMAP's named multi-seed RTL
   power sweep workload).
-* **Shard pool** — independent groups/tasks fan out over the PR-2
-  process-pool runner (:func:`repro.bench.shard.run_payload_tasks`).
+* **Shard pool** — independent groups/tasks fan out over the fault-tolerant
+  scheduler (:func:`repro.resilience.runner.run_resilient_tasks`): per-task
+  retries with deterministic backoff, wall-clock deadlines, and crash
+  isolation (a worker segfault respawns the pool and quarantines only the
+  culprit task).
 * **Disk cache** — every completed :class:`EstimateResult` persists in the
-  code-fingerprinted :class:`~repro.bench.cache.ResultCache`, so repeat
-  sweeps of unchanged code are served from disk.
+  code-fingerprinted :class:`~repro.bench.cache.ResultCache` as it lands, so
+  repeat sweeps of unchanged code — including ``sweep(..., resume=True)``
+  after a failure or Ctrl-C — recompute only what is missing.
+
+Failure policy is ``SweepSpec.on_error``: ``"raise"`` (default) aborts on the
+first exhausted task, re-raising its original exception; ``"skip"`` records a
+structured :class:`~repro.resilience.failures.TaskFailure` per lost task and
+still returns every healthy result (``SweepResult.ok`` is then False).
+Ctrl-C raises :class:`SweepInterrupted` — a ``KeyboardInterrupt`` subclass
+carrying the partial :class:`SweepResult` — after persisting completed work.
+A *sweep manifest* (``sweep-manifest-<hash>.json`` in the cache directory)
+tracks per-task status (``pending``/``cached``/``done``/``failed``) across
+runs of the same sweep identity.
 
 The result is a JSON-round-trippable :class:`SweepResult` carrying one
-uniform result per task plus per-(design, engine) power distributions.
+uniform result per completed task plus per-(design, engine) power
+distributions and the structured failures.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.api.estimators import RTLEstimatorAdapter, estimate
-from repro.api.spec import EstimateResult, RunSpec, SweepSpec
+from repro.api.spec import (
+    EXECUTION_POLICY_FIELDS,
+    EstimateResult,
+    RunSpec,
+    SweepSpec,
+)
 from repro.bench.cache import ResultCache
+from repro.resilience.failures import TaskFailure
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.runner import run_resilient_tasks
 
 #: cache namespace for unified-API estimation results
 CACHE_NAMESPACE = "estimate"
+
+
+class SweepInterrupted(KeyboardInterrupt):
+    """Ctrl-C during a sweep, carrying the partial :class:`SweepResult`.
+
+    Completed results were already persisted to the cache (when one is
+    configured) before this is raised, so ``sweep(..., resume=True)`` picks
+    up exactly where the interrupt landed.
+    """
+
+    def __init__(self, partial: "SweepResult") -> None:
+        super().__init__("sweep interrupted")
+        self.partial = partial
 
 
 def _sweep_worker(payload: Dict[str, object]) -> List[Dict[str, object]]:
@@ -47,12 +87,23 @@ class SweepResult:
     """Results plus scheduling metadata from one sweep."""
 
     spec: SweepSpec
-    #: one result per task, in ``spec.run_specs()`` order
+    #: one result per *completed* task, in ``spec.run_specs()`` order
     results: List[EstimateResult]
     wall_time_s: float
     n_workers: int
     #: tasks served from the on-disk result cache
     cache_hits: int = 0
+    #: structured record of every task that produced no result
+    failures: List[TaskFailure] = field(default_factory=list)
+    #: the sweep was stopped by Ctrl-C before all tasks finished
+    interrupted: bool = False
+    #: worker pools killed and respawned (crashes + timeouts)
+    n_pool_respawns: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Every task produced a result and the sweep ran to completion."""
+        return not self.failures and not self.interrupted
 
     # ---------------------------------------------------------------- views
     def for_task(self, design: str, engine: str) -> List[EstimateResult]:
@@ -91,10 +142,19 @@ class SweepResult:
                     f"{design:12s} {engine:9s} {d['n_seeds']:5d} {d['mean_mw']:10.4f} "
                     f"{d['std_mw']:9.4f} {d['min_mw']:9.4f} {d['max_mw']:9.4f}"
                 )
-        lines.append(
+        for failure in self.failures:
+            lines.append(f"FAILED  {failure.summary()}")
+        tail = (
             f"{len(self.results)} runs in {self.wall_time_s:.2f}s "
-            f"({self.n_workers} workers, {self.cache_hits} cache hits)"
+            f"({self.n_workers} workers, {self.cache_hits} cache hits"
         )
+        if self.failures:
+            tail += f", {len(self.failures)} failed"
+        if self.n_pool_respawns:
+            tail += f", {self.n_pool_respawns} pool respawns"
+        if self.interrupted:
+            tail += ", interrupted"
+        lines.append(tail + ")")
         return "\n".join(lines)
 
     # -------------------------------------------------------- serialization
@@ -105,6 +165,9 @@ class SweepResult:
             "wall_time_s": self.wall_time_s,
             "n_workers": self.n_workers,
             "cache_hits": self.cache_hits,
+            "failures": [failure.to_dict() for failure in self.failures],
+            "interrupted": self.interrupted,
+            "n_pool_respawns": self.n_pool_respawns,
         }
 
     @classmethod
@@ -115,6 +178,11 @@ class SweepResult:
             wall_time_s=payload.get("wall_time_s", 0.0),
             n_workers=payload.get("n_workers", 0),
             cache_hits=payload.get("cache_hits", 0),
+            failures=[
+                TaskFailure.from_dict(f) for f in payload.get("failures") or []
+            ],
+            interrupted=bool(payload.get("interrupted", False)),
+            n_pool_respawns=int(payload.get("n_pool_respawns", 0)),
         )
 
 
@@ -145,10 +213,133 @@ def _group_tasks(
     return payloads
 
 
-def sweep(spec: SweepSpec) -> SweepResult:
-    """Run the sweep: batch lanes per RTL group, shard pool across groups."""
-    from repro.bench.shard import run_payload_tasks
+def _payload_specs(payload: Dict[str, object]) -> List[Dict[str, object]]:
+    if payload["kind"] == "rtl-batch":
+        return list(payload["specs"])
+    return [payload["spec"]]
 
+
+def _payload_label(payload: Dict[str, object]) -> str:
+    specs = _payload_specs(payload)
+    first = specs[0]
+    if len(specs) > 1:
+        seeds = sorted(int(d["seed"]) for d in specs)
+        return f"{first['design']}[{first['engine']}] seeds {seeds[0]}-{seeds[-1]}"
+    return _task_key(first)
+
+
+def _task_key(spec_dict: Dict[str, object]) -> str:
+    """The manifest/status key of one run: human-readable and unique."""
+    return (
+        f"{spec_dict['design']}[{spec_dict['engine']}] "
+        f"seed {spec_dict['seed']}"
+    )
+
+
+def _cache_key(cache: ResultCache, spec_dict: Dict[str, object]) -> str:
+    """Cache key for a spec dict, ignoring execution-policy fields.
+
+    Mirrors :meth:`RunSpec.cache_dict` for dicts that already crossed the
+    worker boundary: a run retried under a different timeout is still the
+    same run.
+    """
+    payload = dict(spec_dict)
+    for name in EXECUTION_POLICY_FIELDS:
+        payload.pop(name, None)
+    return cache.key(spec=payload)
+
+
+# ------------------------------------------------------------- the manifest
+
+
+def sweep_identity(spec: SweepSpec) -> str:
+    """A stable hash of *what the sweep computes* (not how it executes).
+
+    Worker counts, retry budgets, failure policy and the cache location can
+    all change between a run and its ``--resume`` without changing which
+    sweep it is.
+    """
+    payload = spec.to_dict()
+    for name in EXECUTION_POLICY_FIELDS + ("on_error", "n_workers", "cache_dir"):
+        payload.pop(name, None)
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def manifest_path(spec: SweepSpec) -> Optional[str]:
+    """Where this sweep's manifest lives (None without a cache_dir)."""
+    if not spec.cache_dir:
+        return None
+    return os.path.join(
+        os.path.abspath(spec.cache_dir),
+        f"sweep-manifest-{sweep_identity(spec)}.json",
+    )
+
+
+def load_manifest(spec: SweepSpec) -> Optional[Dict[str, object]]:
+    """The persisted manifest of this sweep identity, or None."""
+    path = manifest_path(spec)
+    if path is None:
+        return None
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+class _Manifest:
+    """Per-task status ledger, atomically rewritten as outcomes land."""
+
+    def __init__(self, spec: SweepSpec) -> None:
+        self.path = manifest_path(spec)
+        self.payload: Dict[str, object] = {
+            "sweep": sweep_identity(spec),
+            "designs": list(spec.designs),
+            "engines": list(spec.engines),
+            "seeds": list(spec.seeds),
+            "tasks": {},
+        }
+
+    def set_status(self, key: str, status: str, flush: bool = False) -> None:
+        self.payload["tasks"][key] = status
+        if flush:
+            self.flush()
+
+    def flush(self) -> None:
+        if self.path is None:
+            return
+        directory = os.path.dirname(self.path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(self.payload, handle, sort_keys=True, indent=1)
+            os.replace(tmp_path, self.path)
+        except OSError:  # pragma: no cover - read-only cache dir
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+
+
+# -------------------------------------------------------------- the runner
+
+
+def sweep(spec: SweepSpec, resume: bool = False) -> SweepResult:
+    """Run the sweep: batch lanes per RTL group, resilient pool across groups.
+
+    ``resume=True`` requires a ``cache_dir`` and recomputes only tasks with
+    no cached result — exactly the ones that failed or never ran in the
+    previous attempt.  (Plain runs also consult the cache; ``resume`` makes
+    depending on it explicit and fails loudly when there is nothing to
+    resume from.)
+    """
+    if resume and not spec.cache_dir:
+        raise ValueError(
+            "resume needs a cache_dir: completed results are resumed from "
+            "the on-disk result cache"
+        )
     start = time.perf_counter()
     all_specs = spec.run_specs()
     cache = (
@@ -156,40 +347,81 @@ def sweep(spec: SweepSpec) -> SweepResult:
         if spec.cache_dir
         else None
     )
+    manifest = _Manifest(spec)
 
     resolved: Dict[RunSpec, EstimateResult] = {}
     cache_hits = 0
     if cache is not None:
         for run_spec in all_specs:
-            payload = cache.get(cache.key(spec=run_spec.to_dict()))
+            payload = cache.get(cache.key(spec=run_spec.cache_dict()))
             if payload is not None:
                 resolved[run_spec] = EstimateResult.from_dict(payload)
                 cache_hits += 1
+                manifest.set_status(_task_key(run_spec.to_dict()), "cached")
 
     missing = [s for s in all_specs if s not in resolved]
     payloads = _group_tasks(missing)
+    labels = [_payload_label(p) for p in payloads]
+    for payload in payloads:
+        for spec_dict in _payload_specs(payload):
+            manifest.set_status(_task_key(spec_dict), "pending")
+    manifest.flush()
 
-    def persist(index: int, result_dicts: List[Dict[str, object]]) -> None:
-        # persist each completed result immediately so finished work
-        # survives a later task failing
-        if cache is None:
-            return
-        for result_dict in result_dicts:
-            cache.put(cache.key(spec=result_dict["spec"]), result_dict)
-
-    produced = run_payload_tasks(
-        payloads, _sweep_worker, n_workers=spec.n_workers, on_result=persist
+    policy = RetryPolicy.from_env(
+        timeout_s=spec.timeout_s, max_retries=spec.max_retries
     )
-    for result_dicts in produced:
-        for result_dict in result_dicts:
-            result = EstimateResult.from_dict(result_dict)
-            resolved[result.spec] = result
+    failures: List[TaskFailure] = []
 
-    results = [resolved[s] for s in all_specs]
-    return SweepResult(
+    def collect(outcome) -> None:
+        payload = payloads[outcome.index]
+        spec_dicts = _payload_specs(payload)
+        if outcome.ok:
+            for result_dict in outcome.value:
+                # record how many tries this result cost (acceptance: the
+                # transient task's retry count is visible in its result)
+                result_dict.setdefault("metadata", {})
+                result_dict["metadata"]["task_attempts"] = outcome.attempts
+                # persist immediately so completed work survives a later
+                # failure or Ctrl-C
+                if cache is not None:
+                    cache.put(_cache_key(cache, result_dict["spec"]), result_dict)
+                result = EstimateResult.from_dict(result_dict)
+                resolved[result.spec] = result
+                manifest.set_status(_task_key(result_dict["spec"]), "done")
+        else:
+            failure = outcome.failure
+            failure.context["specs"] = spec_dicts
+            failures.append(failure)
+            if failure.kind not in ("skipped", "interrupted"):
+                # skipped/interrupted tasks never ran — they stay "pending"
+                # in the manifest so a resume knows they are simply missing
+                for spec_dict in spec_dicts:
+                    manifest.set_status(_task_key(spec_dict), "failed")
+        manifest.flush()
+
+    run_outcome = run_resilient_tasks(
+        payloads,
+        _sweep_worker,
+        n_workers=spec.n_workers,
+        policy=policy,
+        labels=labels,
+        on_outcome=collect,
+        stop_on_failure=(spec.on_error == "raise"),
+    )
+
+    results = [resolved[s] for s in all_specs if s in resolved]
+    result = SweepResult(
         spec=spec,
         results=results,
         wall_time_s=time.perf_counter() - start,
         n_workers=spec.n_workers,
         cache_hits=cache_hits,
+        failures=failures,
+        interrupted=run_outcome.interrupted,
+        n_pool_respawns=run_outcome.n_pool_respawns,
     )
+    if run_outcome.interrupted:
+        raise SweepInterrupted(result)
+    if spec.on_error == "raise":
+        run_outcome.raise_first_failure()
+    return result

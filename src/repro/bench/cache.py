@@ -6,6 +6,14 @@ canonical key.  Every key embeds a *code fingerprint* — a hash over the
 code can never be served for the current one: editing any ``.py`` file under
 ``repro/`` silently invalidates the whole cache, while repeat runs of
 unchanged code hit disk instead of recomputing.
+
+Robustness: an entry that exists but cannot be parsed (truncated write on a
+full disk, bit rot, a concurrent writer from an older interpreter) is
+*quarantined* — renamed to ``<entry>.corrupt`` so the next lookup is an
+honest miss instead of re-reading (and re-reporting) the same corruption
+forever; ``corruption_count`` on the cache object surfaces how many entries
+were quarantined.  Cache reads and writes are also a named fault-injection
+site (``cache``) of :mod:`repro.resilience.faults`.
 """
 
 from __future__ import annotations
@@ -15,6 +23,8 @@ import json
 import os
 import tempfile
 from typing import Dict, Optional
+
+from repro.resilience.faults import maybe_inject
 
 _CODE_FINGERPRINT: Optional[str] = None
 
@@ -50,6 +60,8 @@ class ResultCache:
     def __init__(self, directory: str, namespace: str = "bench") -> None:
         self.directory = os.path.abspath(directory)
         self.namespace = namespace
+        #: unreadable entries quarantined (renamed to ``*.corrupt``) so far
+        self.corruption_count = 0
 
     # ------------------------------------------------------------------ keys
     def key(self, **parts) -> str:
@@ -65,15 +77,33 @@ class ResultCache:
 
     # ------------------------------------------------------------------- I/O
     def get(self, key: str) -> Optional[Dict]:
-        """The cached value for ``key``, or None on miss/corruption."""
+        """The cached value for ``key``, or None on miss.
+
+        A present-but-unparsable entry is quarantined (renamed to
+        ``*.corrupt``, counted in ``corruption_count``) and reported as a
+        miss, so corruption costs one recompute instead of one per lookup.
+        """
+        maybe_inject("cache")
+        path = self._path(key)
         try:
-            with open(self._path(key)) as handle:
+            with open(path) as handle:
                 return json.load(handle)
-        except (OSError, ValueError):
+        except OSError:
             return None
+        except ValueError:
+            self._quarantine(path)
+            return None
+
+    def _quarantine(self, path: str) -> None:
+        self.corruption_count += 1
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:  # pragma: no cover - raced or read-only directory
+            pass
 
     def put(self, key: str, value: Dict) -> None:
         """Atomically persist ``value`` (a JSON-serializable dict)."""
+        maybe_inject("cache")
         os.makedirs(self.directory, exist_ok=True)
         fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:

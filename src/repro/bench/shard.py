@@ -3,47 +3,44 @@
 The Figure 3 study — and the unified API's (design × engine × seed) sweeps —
 are embarrassingly parallel: every task's result is computed independently.
 :func:`run_payload_tasks` is the generic fan-out primitive: it runs one
-picklable worker function per payload across a ``ProcessPoolExecutor``,
-degrading to in-process serial execution for one worker or one task (same
-results, no pool overhead).  :func:`run_sharded`/:func:`run_study_tasks`
-specialize it for the Fig. 3 study, with each worker process holding a
-lazily constructed study of its own — the seed library and tool calibration
-are built once per worker, then amortized over every design that worker
-computes.
+picklable worker function per payload across a process pool, degrading to
+in-process serial execution for one worker or one task (same results, no
+pool overhead).  Since PR 7 it is a thin wrapper over the fault-tolerant
+scheduler in :mod:`repro.resilience.runner` — callers get retries, per-task
+timeouts and crash-proof pools (a dead worker respawns the pool instead of
+poisoning it) by passing a :class:`~repro.resilience.policy.RetryPolicy`,
+and the historical raise-on-first-failure contract is preserved by default.
+:func:`run_sharded`/:func:`run_study_tasks` specialize it for the Fig. 3
+study, with each worker process holding a lazily constructed study of its
+own — the seed library and tool calibration are built once per worker, then
+amortized over every design that worker computes.
 
 Completed rows are written to the shared on-disk cache (when one is
-configured) from the parent process, so a repeat run — even a serial one —
-is served from disk.
+configured) from the parent process as they land, so partial progress
+survives a later failure and a repeat run — even a serial one — is served
+from disk.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.bench.cache import ResultCache
 from repro.bench.fig3 import Fig3Row, StudyConfig
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.runner import _pool_context, run_resilient_tasks
+
+__all__ = [
+    "ShardOutcome",
+    "run_payload_tasks",
+    "run_sharded",
+    "run_study_tasks",
+]
 
 _P = TypeVar("_P")
 _R = TypeVar("_R")
-
-
-def _pool_context():
-    """A fork-safe multiprocessing context for the shard pools.
-
-    Plain ``fork`` children inherit the parent's native-kernel thread state
-    (OpenMP teams / pthread pools) without the threads themselves; the first
-    threaded kernel call in such a child deadlocks inside the threading
-    runtime.  ``forkserver`` children descend from a clean helper process
-    that never ran a kernel, so workers can use threaded kernels freely.
-    """
-    try:
-        return multiprocessing.get_context("forkserver")
-    except ValueError:  # pragma: no cover - platform without forkserver
-        return multiprocessing.get_context("spawn")
 
 
 def run_payload_tasks(
@@ -51,38 +48,44 @@ def run_payload_tasks(
     worker: Callable[[_P], _R],
     n_workers: int = 2,
     on_result: Optional[Callable[[int, _R], None]] = None,
+    policy: Optional[RetryPolicy] = None,
+    labels: Optional[Sequence[str]] = None,
 ) -> List[_R]:
     """Fan ``worker(payload)`` out over a process pool, preserving order.
 
     ``worker`` must be a module-level (picklable) function and each payload
     picklable.  ``n_workers <= 1`` or a single payload runs in-process —
     results are identical either way.  ``on_result(index, result)`` fires in
-    the parent as each result lands (completion order), so callers can
+    the parent as each task *succeeds* (completion order), so callers can
     persist completed work before later tasks finish.
+
+    ``policy`` adds retries/timeouts/backoff (default: one attempt, no
+    deadline, honouring the ``REPRO_TASK_TIMEOUT_S``/``REPRO_TASK_RETRIES``
+    environment).  When a task still fails after its retries, scheduling
+    stops and the task's exception is re-raised (the original object when it
+    survived pickling, else a :class:`~repro.resilience.failures.TaskError`
+    carrying the structured failure) — callers that want partial results
+    instead of an exception use :func:`~repro.resilience.runner
+    .run_resilient_tasks` directly, as the sweep runner does.
     """
-    results: List[Optional[_R]] = [None] * len(payloads)
+    outcome = run_resilient_tasks(
+        payloads,
+        worker,
+        n_workers=n_workers,
+        policy=policy,
+        labels=labels,
+        on_outcome=(
+            None
+            if on_result is None
+            else lambda task: on_result(task.index, task.value) if task.ok else None
+        ),
+        stop_on_failure=True,
+    )
+    if outcome.interrupted:
+        raise KeyboardInterrupt("shard run interrupted")
+    outcome.raise_first_failure()
+    return outcome.values()  # type: ignore[return-value]
 
-    def collect(index: int, result: _R) -> None:
-        results[index] = result
-        if on_result is not None:
-            on_result(index, result)
-
-    if n_workers <= 1 or len(payloads) <= 1:
-        for index, payload in enumerate(payloads):
-            collect(index, worker(payload))
-    else:
-        with ProcessPoolExecutor(
-            max_workers=n_workers, mp_context=_pool_context()
-        ) as pool:
-            futures = {
-                pool.submit(worker, payload): index
-                for index, payload in enumerate(payloads)
-            }
-            # collect in completion order so finished work is surfaced (and
-            # persisted by on_result) even when an earlier task fails
-            for future in as_completed(futures):
-                collect(futures[future], future.result())
-    return results  # type: ignore[return-value]
 
 #: per-worker-process study, keyed by config (workers reuse calibration)
 _WORKER_STUDIES: Dict[StudyConfig, object] = {}
@@ -111,7 +114,8 @@ class ShardOutcome:
     task_rows: Dict[StudyTask, Fig3Row]
     n_workers: int
     wall_time_s: float
-    #: per-task wall time as observed from the parent (queue + compute)
+    #: per-task compute wall time, measured *inside* the worker (pure
+    #: compute, independent of queueing or parallel completion order)
     task_times_s: Dict[StudyTask, float] = field(default_factory=dict)
 
     @property
@@ -128,30 +132,42 @@ def run_study_tasks(
     tasks: List[StudyTask],
     n_workers: int = 2,
     cache: Optional[ResultCache] = None,
+    policy: Optional[RetryPolicy] = None,
 ) -> ShardOutcome:
     """Compute one study row per ``(design, config)`` task across a pool.
 
     ``n_workers <= 1`` (or a single task) degrades to in-process serial
     execution — same results, no pool overhead.  Rows are persisted to
-    ``cache`` as they arrive.
+    ``cache`` as they arrive, so completed work survives a later task
+    failing.
     """
     start = time.perf_counter()
     task_rows: Dict[StudyTask, Fig3Row] = {}
     task_times: Dict[StudyTask, float] = {}
-    last_collect = [start]
 
-    def collect(index: int, payload: Dict[str, object]) -> None:
-        task = tasks[index]
-        task_rows[task] = row = Fig3Row.from_dict(payload)
-        now = time.perf_counter()
-        task_times[task] = now - last_collect[0]
-        last_collect[0] = now
+    def collect(outcome) -> None:
+        if not outcome.ok:
+            return
+        task = tasks[outcome.index]
+        task_rows[task] = row = Fig3Row.from_dict(outcome.value)
+        task_times[task] = outcome.wall_time_s
         # persist immediately so completed work survives a later task failing
         if cache is not None:
             design, config = task
             cache.put(cache.key(design=design, config=config.as_key()), row.to_dict())
 
-    run_payload_tasks(tasks, _study_worker, n_workers=n_workers, on_result=collect)
+    run_outcome = run_resilient_tasks(
+        tasks,
+        _study_worker,
+        n_workers=n_workers,
+        policy=policy,
+        labels=[design for design, _ in tasks],
+        on_outcome=collect,
+        stop_on_failure=True,
+    )
+    if run_outcome.interrupted:
+        raise KeyboardInterrupt("study run interrupted")
+    run_outcome.raise_first_failure()
     return ShardOutcome(
         task_rows=task_rows,
         n_workers=n_workers,

@@ -1,0 +1,60 @@
+"""Fault-tolerant execution layer: retries, timeouts, crash isolation.
+
+One bad task must not kill a sweep.  This package is the robustness
+substrate under :mod:`repro.bench.shard` and :mod:`repro.api.sweep` (and any
+future serving layer):
+
+* :mod:`repro.resilience.failures` — structured :class:`TaskFailure` /
+  :class:`TaskOutcome` / :class:`RunOutcome` records instead of raised
+  exceptions,
+* :mod:`repro.resilience.policy` — :class:`RetryPolicy`: per-task timeouts,
+  retry budgets and exponential backoff with deterministic seeded jitter
+  (env defaults ``REPRO_TASK_TIMEOUT_S`` / ``REPRO_TASK_RETRIES``),
+* :mod:`repro.resilience.runner` — :func:`run_resilient_tasks`, the
+  process-pool scheduler that retries failed attempts, kills and respawns
+  the pool around hung or crashed workers, isolates crash suspects for exact
+  blame, and turns Ctrl-C into a partial result,
+* :mod:`repro.resilience.faults` — deterministic fault injection behind
+  ``REPRO_FAULT_PLAN`` (named sites: ``worker``, ``kernel``, ``cache``), so
+  every recovery path above is tested end-to-end instead of hoped-for.
+"""
+
+from repro.resilience.failures import (
+    FAILURE_KINDS,
+    RunOutcome,
+    TaskError,
+    TaskFailure,
+    TaskOutcome,
+)
+from repro.resilience.faults import (
+    FAULT_PLAN_ENV,
+    FaultRule,
+    InjectedFault,
+    install_plan,
+    maybe_inject,
+    parse_plan,
+)
+from repro.resilience.policy import (
+    TASK_RETRIES_ENV,
+    TASK_TIMEOUT_ENV,
+    RetryPolicy,
+)
+from repro.resilience.runner import run_resilient_tasks
+
+__all__ = [
+    "FAILURE_KINDS",
+    "FAULT_PLAN_ENV",
+    "FaultRule",
+    "InjectedFault",
+    "RetryPolicy",
+    "RunOutcome",
+    "TASK_RETRIES_ENV",
+    "TASK_TIMEOUT_ENV",
+    "TaskError",
+    "TaskFailure",
+    "TaskOutcome",
+    "install_plan",
+    "maybe_inject",
+    "parse_plan",
+    "run_resilient_tasks",
+]

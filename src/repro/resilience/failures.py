@@ -1,0 +1,142 @@
+"""Structured task failures: what went wrong, where, and how many tries.
+
+A :class:`TaskFailure` is the serializable record of one task that could not
+be completed — the exception type and message (plus the worker-side traceback
+when one exists), the number of attempts made, the wall time the final
+attempt spent inside the worker, and the failure *kind*:
+
+* ``"exception"``   — the worker raised (after exhausting retries),
+* ``"timeout"``     — the task exceeded its per-task deadline and was killed,
+* ``"crash"``       — the task's worker process died abruptly (segfault,
+  ``os._exit``, OOM kill) enough times to be quarantined,
+* ``"interrupted"`` — the run was interrupted (Ctrl-C) before the task ran,
+* ``"skipped"``     — an earlier failure stopped the run (``on_error="raise"``).
+
+The sibling :class:`TaskOutcome` is the uniform per-task record a resilient
+run produces: either a value or a failure, never an exception crossing the
+scheduler boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: the failure kinds a resilient run can record
+FAILURE_KINDS = ("exception", "timeout", "crash", "interrupted", "skipped")
+
+
+@dataclass
+class TaskFailure:
+    """One task that did not produce a result, structurally."""
+
+    task_index: int
+    label: str
+    kind: str
+    error_type: str
+    message: str
+    traceback: str = ""
+    attempts: int = 1
+    wall_time_s: float = 0.0
+    #: caller-attached context (e.g. the sweep stores the affected run specs)
+    context: Dict[str, object] = field(default_factory=dict)
+    #: the original exception object when it survived pickling (never
+    #: serialized — ``to_dict`` keeps only the structured fields)
+    exception: Optional[BaseException] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def summary(self) -> str:
+        return (
+            f"{self.label}: {self.kind} after {self.attempts} attempt(s) — "
+            f"{self.error_type}: {self.message}"
+        )
+
+    # -------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "task_index": self.task_index,
+            "label": self.label,
+            "kind": self.kind,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+            "wall_time_s": self.wall_time_s,
+            "context": dict(self.context),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "TaskFailure":
+        return cls(
+            task_index=int(payload["task_index"]),
+            label=payload.get("label", ""),
+            kind=payload.get("kind", "exception"),
+            error_type=payload.get("error_type", ""),
+            message=payload.get("message", ""),
+            traceback=payload.get("traceback", ""),
+            attempts=int(payload.get("attempts", 1)),
+            wall_time_s=float(payload.get("wall_time_s", 0.0)),
+            context=dict(payload.get("context") or {}),
+        )
+
+
+class TaskError(RuntimeError):
+    """Raised on ``on_error="raise"`` when the original exception is gone.
+
+    The original exception is re-raised whenever it survived pickling across
+    the worker boundary; this wrapper carries the structured
+    :class:`TaskFailure` for the cases (crash, timeout, unpicklable
+    exception) where there is no original object to raise.
+    """
+
+    def __init__(self, failure: TaskFailure) -> None:
+        super().__init__(failure.summary())
+        self.failure = failure
+
+
+@dataclass
+class TaskOutcome:
+    """The uniform per-task record of a resilient run: value or failure."""
+
+    index: int
+    label: str
+    ok: bool
+    value: object = None
+    failure: Optional[TaskFailure] = None
+    #: attempts made (1 = first try succeeded)
+    attempts: int = 1
+    #: wall time of the final attempt, measured *inside* the worker
+    wall_time_s: float = 0.0
+
+
+@dataclass
+class RunOutcome:
+    """All task outcomes of one resilient run, in payload order."""
+
+    outcomes: List[TaskOutcome]
+    interrupted: bool = False
+    #: process pools killed and respawned (crashes + timeouts)
+    n_pool_respawns: int = 0
+
+    @property
+    def failures(self) -> List[TaskFailure]:
+        return [o.failure for o in self.outcomes if o.failure is not None]
+
+    @property
+    def ok(self) -> bool:
+        return not self.interrupted and not self.failures
+
+    def values(self) -> List[object]:
+        """Per-task values in payload order (``None`` for failed tasks)."""
+        return [o.value for o in self.outcomes]
+
+    def raise_first_failure(self) -> None:
+        """Re-raise the first failure (original exception when available)."""
+        for outcome in self.outcomes:
+            failure = outcome.failure
+            if failure is None or failure.kind == "skipped":
+                continue
+            if failure.exception is not None:
+                raise failure.exception
+            raise TaskError(failure)

@@ -1,0 +1,112 @@
+"""Retry/timeout policy: how hard to try before recording a failure.
+
+A :class:`RetryPolicy` bundles the execution-robustness knobs — per-task
+timeout, retry budget, and the exponential-backoff schedule between attempts.
+Backoff jitter is *deterministic*: it is drawn from a PRNG seeded by
+``(jitter_seed, task_index, attempt)``, so a rerun of the same failing sweep
+sleeps exactly as long as the last one did and tests can assert schedules.
+
+Environment defaults (consulted by :meth:`RetryPolicy.from_env` when the
+caller passes ``None``):
+
+* ``REPRO_TASK_TIMEOUT_S`` — per-task wall-clock deadline in seconds,
+* ``REPRO_TASK_RETRIES``   — retries after the first attempt.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+#: environment variable providing the default per-task timeout (seconds)
+TASK_TIMEOUT_ENV = "REPRO_TASK_TIMEOUT_S"
+
+#: environment variable providing the default retry budget
+TASK_RETRIES_ENV = "REPRO_TASK_RETRIES"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout, retry and backoff configuration for a resilient run."""
+
+    #: retries after the first attempt (0 = one attempt total)
+    max_retries: int = 0
+    #: per-task wall-clock deadline in seconds (None = no deadline)
+    timeout_s: Optional[float] = None
+    #: first backoff delay; attempt ``k`` waits ``base * factor**k`` (capped)
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 5.0
+    #: +/- fraction of the delay drawn as deterministic jitter
+    jitter_fraction: float = 0.25
+    #: seed of the jitter PRNG (combined with task index and attempt)
+    jitter_seed: int = 0
+    #: pool crashes a task may be involved in before it is quarantined
+    max_pool_crashes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {self.timeout_s}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ValueError(
+                f"jitter_fraction must be in [0, 1), got {self.jitter_fraction}"
+            )
+        if self.max_pool_crashes < 1:
+            raise ValueError(
+                f"max_pool_crashes must be >= 1, got {self.max_pool_crashes}"
+            )
+
+    def backoff_s(self, task_index: int, attempt: int) -> float:
+        """Delay before re-running ``task_index`` after failed ``attempt``.
+
+        Exponential in the attempt number, capped at ``backoff_max_s``, with
+        deterministic seeded jitter — the same (seed, task, attempt) triple
+        always sleeps the same amount.
+        """
+        base = min(
+            self.backoff_max_s,
+            self.backoff_base_s * self.backoff_factor ** attempt,
+        )
+        if not self.jitter_fraction:
+            return base
+        rng = random.Random(f"{self.jitter_seed}:{task_index}:{attempt}")
+        return base * (1.0 + self.jitter_fraction * rng.uniform(-1.0, 1.0))
+
+    @classmethod
+    def from_env(
+        cls,
+        timeout_s: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        **overrides,
+    ) -> "RetryPolicy":
+        """A policy with ``None`` fields defaulted from the environment."""
+        if timeout_s is None:
+            text = os.environ.get(TASK_TIMEOUT_ENV, "").strip()
+            if text:
+                try:
+                    timeout_s = float(text)
+                except ValueError:
+                    raise ValueError(
+                        f"{TASK_TIMEOUT_ENV} must be a number of seconds, "
+                        f"got {text!r}"
+                    ) from None
+        if max_retries is None:
+            text = os.environ.get(TASK_RETRIES_ENV, "").strip()
+            if text:
+                try:
+                    max_retries = int(text)
+                except ValueError:
+                    raise ValueError(
+                        f"{TASK_RETRIES_ENV} must be an integer, got {text!r}"
+                    ) from None
+            else:
+                max_retries = 0
+        return cls(max_retries=max_retries, timeout_s=timeout_s, **overrides)

@@ -1,0 +1,36 @@
+"""Tiny picklable workers for exercising the resilient runner.
+
+Pool workers must be module-level functions importable from worker processes
+(the ``forkserver`` context pickles them by reference), so the test suite's
+fault-path tests use these rather than locals defined in test modules.  All
+failure behaviour is injected via the fault plan
+(:mod:`repro.resilience.faults`) — the workers themselves are deliberately
+boring.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def echo_task(payload):
+    """Return the payload unchanged."""
+    return payload
+
+
+def double_task(value):
+    """Return twice the numeric payload."""
+    return 2 * value
+
+
+def sleep_task(seconds):
+    """Sleep ``seconds`` then return it (worker wall-time tests)."""
+    time.sleep(float(seconds))
+    return seconds
+
+
+def failing_task(payload):
+    """Raise ValueError when the payload is the string ``"bad"``."""
+    if payload == "bad":
+        raise ValueError(f"refusing payload {payload!r}")
+    return payload

@@ -114,6 +114,9 @@ def compile_kernel(ir: KernelIR, n_lanes: int, backend: str) -> LaneKernel:
     :class:`ValueError` for ``off`` — the caller decides what "no kernel"
     means.
     """
+    from repro.resilience.faults import maybe_inject
+
+    maybe_inject("kernel")
     if backend == "native":
         try:
             return NativeKernel(ir, n_lanes)

@@ -51,13 +51,24 @@ def test_result_cache_key_depends_on_parts_and_namespace(tmp_path):
     assert cache.key(design="X") != other.key(design="X")
 
 
-def test_result_cache_survives_corruption(tmp_path):
+def test_result_cache_quarantines_corruption(tmp_path):
+    import os
+
     cache = ResultCache(str(tmp_path), namespace="t")
     key = cache.key(design="X")
     cache.put(key, {"ok": True})
     with open(cache._path(key), "w") as handle:
         handle.write("{not json")
     assert cache.get(key) is None
+    # the corrupt entry was moved aside and counted, not left in place:
+    # the next lookup is a clean miss, and a fresh put works again
+    assert cache.corruption_count == 1
+    assert not os.path.exists(cache._path(key))
+    assert os.path.exists(cache._path(key) + ".corrupt")
+    assert cache.get(key) is None
+    assert cache.corruption_count == 1
+    cache.put(key, {"ok": True})
+    assert cache.get(key) == {"ok": True}
 
 
 def test_code_fingerprint_stable_and_hexadecimal():

@@ -1,0 +1,243 @@
+"""Contracts of the fault-tolerant execution layer (repro.resilience).
+
+Everything here drives real failure paths — worker exceptions, ``os._exit``
+worker crashes, wall-clock deadlines, Ctrl-C — through the deterministic
+fault-injection plans of :mod:`repro.resilience.faults` rather than mocks, so
+the recovery machinery (retries, pool respawn, crash isolation, checkpoint/
+resume) is exercised exactly as production would hit it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.failures import TaskError, TaskFailure
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.runner import run_resilient_tasks
+from repro.resilience.testing import double_task, echo_task
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_state(monkeypatch):
+    """Every test starts and ends with no fault plan in effect."""
+    monkeypatch.delenv(faults.FAULT_PLAN_ENV, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+# ------------------------------------------------------------- fault plans
+class TestFaultPlans:
+    def test_parse_full_grammar(self):
+        rules = faults.parse_plan("worker@3:fail*2; kernel:hang=1.5 ;cache:exit=139")
+        assert rules[0] == faults.FaultRule(
+            site="worker", action="fail", task=3, count=2
+        )
+        assert rules[1].action == "hang" and rules[1].value == 1.5
+        assert rules[1].task is None and rules[1].count is None
+        assert rules[2].action == "exit" and rules[2].value == 139
+
+    @pytest.mark.parametrize("bad", [
+        "worker",            # no action
+        "worker:explode",    # unknown action
+        "worker@x:fail",     # non-integer task
+        "worker:fail*0",     # count < 1
+        "worker:hang",       # hang without seconds
+        "worker:fail=3",     # value on a valueless action
+    ])
+    def test_parse_rejects_bad_rules(self, bad):
+        with pytest.raises(ValueError):
+            faults.parse_plan(bad)
+
+    def test_installed_plan_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULT_PLAN_ENV, "worker:fail")
+        faults.install_plan("cache:fail")
+        assert faults.plan_text() == "cache:fail"
+        faults.install_plan(None)
+        assert faults.plan_text() == "worker:fail"
+
+    def test_maybe_inject_matches_site_task_and_count(self):
+        faults.install_plan("worker@1:fail*2")
+        faults.maybe_inject("worker", task=0, attempt=0)  # wrong task: no-op
+        faults.maybe_inject("cache")                      # wrong site: no-op
+        with pytest.raises(faults.InjectedFault):
+            faults.maybe_inject("worker", task=1, attempt=0)
+        with pytest.raises(faults.InjectedFault):
+            faults.maybe_inject("worker", task=1, attempt=1)
+        # attempt >= count: the transient fault has burned out
+        faults.maybe_inject("worker", task=1, attempt=2)
+
+    def test_countless_sites_use_process_local_counter(self):
+        faults.install_plan("cache:fail*2")
+        for _ in range(2):
+            with pytest.raises(faults.InjectedFault):
+                faults.maybe_inject("cache")
+        faults.maybe_inject("cache")  # third call: burned out
+
+
+# ------------------------------------------------------------ retry policy
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_pool_crashes=0)
+
+    def test_backoff_is_exponential_capped_and_deterministic(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_factor=2.0,
+                             backoff_max_s=0.3, jitter_fraction=0.0)
+        assert policy.backoff_s(0, 0) == pytest.approx(0.1)
+        assert policy.backoff_s(0, 1) == pytest.approx(0.2)
+        assert policy.backoff_s(0, 5) == pytest.approx(0.3)  # capped
+        jittered = RetryPolicy(jitter_seed=7)
+        assert jittered.backoff_s(3, 1) == jittered.backoff_s(3, 1)
+        assert jittered.backoff_s(3, 1) != jittered.backoff_s(4, 1)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT_S", "2.5")
+        monkeypatch.setenv("REPRO_TASK_RETRIES", "3")
+        policy = RetryPolicy.from_env()
+        assert policy.timeout_s == 2.5 and policy.max_retries == 3
+        # explicit arguments beat the environment
+        policy = RetryPolicy.from_env(timeout_s=1.0, max_retries=0)
+        assert policy.timeout_s == 1.0 and policy.max_retries == 0
+
+    def test_from_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_RETRIES", "many")
+        with pytest.raises(ValueError):
+            RetryPolicy.from_env()
+
+
+# ------------------------------------------------------------ serial runner
+class TestSerialRunner:
+    def test_plain_success_and_order(self):
+        outcome = run_resilient_tasks([1, 2, 3], double_task)
+        assert outcome.ok and outcome.values() == [2, 4, 6]
+        assert [o.attempts for o in outcome.outcomes] == [1, 1, 1]
+
+    def test_transient_failure_retries_to_success(self):
+        faults.install_plan("worker@1:fail*2")
+        policy = RetryPolicy(max_retries=3, backoff_base_s=0.001)
+        outcome = run_resilient_tasks([10, 20, 30], double_task, policy=policy)
+        assert outcome.ok and outcome.values() == [20, 40, 60]
+        assert outcome.outcomes[1].attempts == 3  # failed twice, then won
+
+    def test_exhausted_retries_record_structured_failure(self):
+        faults.install_plan("worker@0:fail")
+        policy = RetryPolicy(max_retries=1, backoff_base_s=0.001)
+        outcome = run_resilient_tasks(["a", "b"], echo_task, policy=policy)
+        assert not outcome.ok and outcome.values() == [None, "b"]
+        failure = outcome.outcomes[0].failure
+        assert failure.kind == "exception"
+        assert failure.error_type == "InjectedFault"
+        assert failure.attempts == 2
+        assert "injected fault" in failure.message
+        assert failure.traceback  # the worker-side traceback came across
+
+    def test_raise_first_failure_reraises_original_exception(self):
+        faults.install_plan("worker@0:fail")
+        outcome = run_resilient_tasks([1], echo_task)
+        with pytest.raises(faults.InjectedFault):
+            outcome.raise_first_failure()
+
+    def test_stop_on_failure_skips_later_tasks(self):
+        faults.install_plan("worker@1:fail")
+        outcome = run_resilient_tasks(
+            [0, 1, 2], echo_task, stop_on_failure=True
+        )
+        kinds = [o.failure.kind if o.failure else None for o in outcome.outcomes]
+        assert kinds == [None, "exception", "skipped"]
+
+    def test_interrupt_returns_partial_outcome(self):
+        faults.install_plan("worker@1:interrupt")
+        outcome = run_resilient_tasks([0, 1, 2], echo_task)
+        assert outcome.interrupted and not outcome.ok
+        assert outcome.outcomes[0].ok
+        assert outcome.outcomes[1].failure.kind == "interrupted"
+        assert outcome.outcomes[2].failure.kind == "interrupted"
+
+    def test_serial_run_restores_installed_plan(self, monkeypatch):
+        # regression: the serial path runs the worker envelope in-process,
+        # and its install_plan() call must not outlive the run — a stale
+        # installed plan would shadow every later env change
+        monkeypatch.setenv(faults.FAULT_PLAN_ENV, "worker@0:fail")
+        outcome = run_resilient_tasks([1], echo_task)
+        assert not outcome.ok
+        assert faults.installed_plan() is None
+        monkeypatch.setenv(faults.FAULT_PLAN_ENV, "")
+        assert run_resilient_tasks([1], echo_task).ok
+
+    def test_worker_wall_time_is_measured(self):
+        from repro.resilience.testing import sleep_task
+
+        outcome = run_resilient_tasks([0.05], sleep_task)
+        assert outcome.outcomes[0].wall_time_s >= 0.04
+
+
+# -------------------------------------------------------------- pool runner
+class TestPoolRunner:
+    def test_pool_matches_serial_results(self):
+        outcome = run_resilient_tasks(list(range(6)), double_task, n_workers=2)
+        assert outcome.ok
+        assert outcome.values() == [2 * v for v in range(6)]
+
+    def test_worker_crash_is_quarantined_with_structured_failure(self):
+        # an os._exit(139) inside the worker kills its process and poisons
+        # the pool: the runner must respawn, re-run suspects in isolation,
+        # quarantine the culprit and still complete every innocent task
+        faults.install_plan("worker@1:exit=139")
+        outcome = run_resilient_tasks(list(range(4)), double_task, n_workers=2)
+        assert not outcome.ok
+        assert outcome.values() == [0, None, 4, 6]
+        failure = outcome.outcomes[1].failure
+        assert failure.kind == "crash"
+        assert failure.error_type == "WorkerCrashed"
+        assert "died abruptly" in failure.message
+        assert outcome.n_pool_respawns >= 2  # initial strike + solo strike
+
+    def test_transient_crash_recovers_via_retry(self):
+        # dies once, then succeeds on the isolated re-run
+        faults.install_plan("worker@1:exit=1*1")
+        policy = RetryPolicy(max_retries=2, backoff_base_s=0.001)
+        outcome = run_resilient_tasks(
+            list(range(3)), double_task, n_workers=2, policy=policy
+        )
+        assert outcome.ok and outcome.values() == [0, 2, 4]
+        assert outcome.outcomes[1].attempts >= 2
+        assert outcome.n_pool_respawns == 1
+
+    def test_hung_task_times_out_with_kind_timeout(self):
+        faults.install_plan("worker@0:hang=30")
+        policy = RetryPolicy(timeout_s=0.5)
+        outcome = run_resilient_tasks(
+            list(range(3)), double_task, n_workers=2, policy=policy
+        )
+        assert outcome.values() == [None, 2, 4]
+        failure = outcome.outcomes[0].failure
+        assert failure.kind == "timeout"
+        assert "0.5s deadline" in failure.message
+
+
+# ------------------------------------------------------------ serialization
+class TestFailureSerialization:
+    def test_task_failure_round_trip(self):
+        failure = TaskFailure(
+            task_index=3, label="DCT[rtl] seed 1", kind="timeout",
+            error_type="TaskTimeout", message="too slow", attempts=2,
+            wall_time_s=1.5, context={"specs": [{"design": "DCT"}]},
+        )
+        clone = TaskFailure.from_dict(json.loads(json.dumps(failure.to_dict())))
+        assert clone == failure
+
+    def test_task_error_carries_failure(self):
+        failure = TaskFailure(task_index=0, label="t", kind="crash",
+                              error_type="WorkerCrashed", message="boom")
+        error = TaskError(failure)
+        assert error.failure is failure
+        assert "crash" in str(error)

@@ -1,0 +1,190 @@
+"""Sweep-level robustness: on_error policy, resume, manifest, CLI exit codes.
+
+These run the real ``sweep()`` over registry designs with faults injected at
+the worker site, all in serial mode (``n_workers=0``) so they stay fast —
+the pool-specific machinery has its own tests in ``test_resilience.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.api import RunSpec, SweepInterrupted, SweepSpec, sweep
+from repro.api.cli import main
+from repro.api.spec import EXECUTION_POLICY_FIELDS
+from repro.api.sweep import SweepResult, load_manifest, manifest_path
+from repro.bench.cache import ResultCache
+from repro.resilience import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_state(monkeypatch):
+    monkeypatch.delenv(faults.FAULT_PLAN_ENV, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def _spec(tmp_path, **overrides):
+    base = dict(designs=("binary_search",), seeds=(0, 1), max_cycles=32,
+                cache_dir=str(tmp_path / "cache"))
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+# ------------------------------------------------------------------- specs
+class TestSpecPolicyFields:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunSpec(design="binary_search", timeout_s=-1.0)
+        with pytest.raises(ValueError):
+            SweepSpec(designs=("binary_search",), max_retries=-1)
+        with pytest.raises(ValueError):
+            SweepSpec(designs=("binary_search",), on_error="explode")
+
+    def test_sweep_copies_policy_into_run_specs(self):
+        spec = SweepSpec(designs=("binary_search",), seeds=(0,),
+                         timeout_s=2.0, max_retries=3)
+        run_spec = spec.run_specs()[0]
+        assert run_spec.timeout_s == 2.0 and run_spec.max_retries == 3
+
+    def test_cache_dict_excludes_execution_policy(self, tmp_path):
+        # changing the retry budget must not change cache identity
+        a = RunSpec(design="binary_search", max_cycles=32)
+        b = RunSpec(design="binary_search", max_cycles=32,
+                    timeout_s=9.0, max_retries=5)
+        assert a.to_dict() != b.to_dict()
+        assert a.cache_dict() == b.cache_dict()
+        for name in EXECUTION_POLICY_FIELDS:
+            assert name not in a.cache_dict()
+        cache = ResultCache(str(tmp_path), namespace="estimate")
+        assert cache.key(spec=a.cache_dict()) == cache.key(spec=b.cache_dict())
+
+
+# --------------------------------------------------------------- on_error
+class TestOnErrorPolicy:
+    def test_raise_aborts_with_original_exception(self, tmp_path):
+        faults.install_plan("worker:fail")
+        with pytest.raises(faults.InjectedFault):
+            sweep(_spec(tmp_path))
+
+    def test_skip_returns_healthy_results_and_failures(self, tmp_path):
+        spec = _spec(tmp_path, designs=("binary_search", "DCT"),
+                     on_error="skip")
+        # the expansion groups per design: payload 1 (DCT) always fails
+        faults.install_plan("worker@1:fail")
+        result = sweep(spec)
+        assert not result.ok
+        assert {r.spec.design for r in result.results} == {"binary_search"}
+        assert len(result.results) == 2
+        (failure,) = result.failures
+        assert failure.kind == "exception"
+        assert failure.error_type == "InjectedFault"
+        specs = failure.context["specs"]
+        assert {d["design"] for d in specs} == {"DCT"}
+
+    def test_result_round_trips_with_failures(self, tmp_path):
+        spec = _spec(tmp_path, on_error="skip")
+        faults.install_plan("worker:fail")
+        result = sweep(spec)
+        clone = SweepResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert not clone.ok
+        assert [f.kind for f in clone.failures] == [f.kind for f in result.failures]
+
+    def test_transient_failure_records_attempts(self, tmp_path):
+        faults.install_plan("worker@0:fail*2")
+        result = sweep(_spec(tmp_path, max_retries=3))
+        assert result.ok
+        assert all(r.metadata["task_attempts"] == 3 for r in result.results)
+
+
+# ----------------------------------------------------------------- resume
+class TestResume:
+    def test_resume_requires_cache_dir(self):
+        spec = SweepSpec(designs=("binary_search",), seeds=(0,), max_cycles=32)
+        with pytest.raises(ValueError, match="cache_dir"):
+            sweep(spec, resume=True)
+
+    def test_resume_recomputes_only_failures(self, tmp_path):
+        spec = _spec(tmp_path, designs=("binary_search", "DCT"),
+                     on_error="skip")
+        faults.install_plan("worker@1:fail")
+        first = sweep(spec)
+        assert len(first.results) == 2 and first.failures
+
+        faults.install_plan(None)
+        second = sweep(spec, resume=True)
+        assert second.ok and len(second.results) == 4
+        # the healthy group came straight from disk
+        assert second.cache_hits == 2
+
+    def test_manifest_tracks_task_status(self, tmp_path):
+        spec = _spec(tmp_path, designs=("binary_search", "DCT"),
+                     on_error="skip")
+        faults.install_plan("worker@1:fail")
+        sweep(spec)
+        manifest = load_manifest(spec)
+        statuses = manifest["tasks"]
+        assert statuses["binary_search[rtl] seed 0"] == "done"
+        assert statuses["DCT[rtl] seed 0"] == "failed"
+
+        faults.install_plan(None)
+        sweep(spec, resume=True)
+        statuses = load_manifest(spec)["tasks"]
+        assert statuses["binary_search[rtl] seed 0"] == "cached"
+        assert statuses["DCT[rtl] seed 0"] == "done"
+
+    def test_manifest_identity_ignores_execution_policy(self, tmp_path):
+        spec = _spec(tmp_path)
+        tweaked = _spec(tmp_path, timeout_s=60.0, max_retries=9,
+                        on_error="skip", n_workers=8)
+        assert manifest_path(spec) == manifest_path(tweaked)
+
+
+# ------------------------------------------------------------------ Ctrl-C
+class TestInterruption:
+    def test_interrupt_carries_partial_result(self, tmp_path):
+        spec = _spec(tmp_path, designs=("binary_search", "DCT"),
+                     on_error="skip")
+        # payload 0 completes, payload 1 raises KeyboardInterrupt
+        faults.install_plan("worker@1:interrupt")
+        with pytest.raises(SweepInterrupted) as exc_info:
+            sweep(spec)
+        partial = exc_info.value.partial
+        assert partial.interrupted and not partial.ok
+        assert {r.spec.design for r in partial.results} == {"binary_search"}
+        # completed work was persisted: a resume finishes from disk
+        faults.install_plan(None)
+        result = sweep(spec, resume=True)
+        assert result.ok and result.cache_hits == 2
+
+
+# --------------------------------------------------------------------- CLI
+class TestCli:
+    BASE = ["sweep", "--designs", "binary_search", "--seeds", "0",
+            "--max-cycles", "32"]
+
+    def test_skip_policy_exits_3_on_failures(self, monkeypatch, capsys):
+        monkeypatch.setenv(faults.FAULT_PLAN_ENV, "worker:fail")
+        assert main(self.BASE + ["--on-error", "skip"]) == 3
+        out = capsys.readouterr().out
+        assert "FAILED" in out and "InjectedFault" in out
+
+    def test_healthy_sweep_exits_0(self, capsys):
+        assert main(self.BASE + ["--max-retries", "1"]) == 0
+        assert "1 runs" in capsys.readouterr().out
+
+    def test_interrupt_exits_130_and_persists(self, tmp_path, monkeypatch,
+                                              capsys):
+        monkeypatch.setenv(faults.FAULT_PLAN_ENV, "worker:interrupt")
+        code = main(self.BASE + ["--cache-dir", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 130
+        assert "--resume" in captured.err
+
+    def test_resume_without_cache_dir_is_a_usage_error(self, capsys):
+        assert main(self.BASE + ["--resume"]) == 2
+        assert "cache_dir" in capsys.readouterr().err
