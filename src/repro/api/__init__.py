@@ -31,10 +31,13 @@ Quickstart::
 
 from repro.api.spec import (
     BACKENDS,
+    COALESCE_FREE_FIELDS,
     ENGINES,
     EstimateResult,
     RunSpec,
     SweepSpec,
+    coalesce_key,
+    is_coalescable,
 )
 from repro.api.estimators import (
     EmulationEstimatorAdapter,
@@ -48,7 +51,10 @@ from repro.api.sweep import SweepInterrupted, SweepResult, sweep
 
 __all__ = [
     "BACKENDS",
+    "COALESCE_FREE_FIELDS",
     "ENGINES",
+    "coalesce_key",
+    "is_coalescable",
     "SweepInterrupted",
     "RunSpec",
     "SweepSpec",

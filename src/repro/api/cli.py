@@ -8,6 +8,10 @@ One CLI over the unified estimation API::
     python -m repro stim --stimulus "burst:active=4,idle=12" --design HVPeakF
     python -m repro characterize --pairs 150
     python -m repro fig3 --workers 4
+    python -m repro serve --cache-dir .cache
+    python -m repro submit --design DCT --seed 3
+    python -m repro status
+    python -m repro cache stats --cache-dir .cache
 
 ``run`` executes one :class:`~repro.api.spec.RunSpec` through any engine,
 ``sweep`` fans a (design × engine × seed) grid over batch lanes + the shard
@@ -20,6 +24,13 @@ shorthand like ``markov:p01=0.2,p10=0.1``, inline JSON, ``@file``, or
 ``design`` for the registry entry's declared scenario — to drive a
 :class:`~repro.stim.spec.StimulusSpec` instead of the built-in testbench.
 Every subcommand can emit its result as a JSON artifact via ``--json``.
+
+Serving (PR 8): ``serve`` runs the :mod:`repro.serve` job server — compatible
+jobs submitted concurrently coalesce into shared lane batches — over HTTP or
+stdio; ``submit``/``status`` are its thin clients, and ``cache`` inspects or
+clears the on-disk result store (byte budget via ``REPRO_CACHE_MAX_MB``).
+Stopping the server with Ctrl-C marks unfinished jobs interrupted, flushes
+the job store, and exits 0.
 
 Robustness (PR 7): ``run``/``sweep`` accept ``--timeout-s`` and
 ``--max-retries`` (per-task deadline and retry budget under the resilient
@@ -337,6 +348,208 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------- cache
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.bench.cache import ResultCache
+
+    namespace_given = args.namespace is not None
+    cache = ResultCache(args.cache_dir, namespace=args.namespace or "estimate")
+    if args.action == "stats":
+        stats = cache.stats()
+        budget = (
+            f"{stats['max_bytes'] / (1024 * 1024):.1f} MiB"
+            if stats["max_bytes"] is not None
+            else "unbounded (set REPRO_CACHE_MAX_MB)"
+        )
+        print(f"cache directory   {stats['directory']}")
+        print(f"entries           {stats['entries']} "
+              f"({stats['namespace_entries']} in namespace "
+              f"{stats['namespace']!r})")
+        print(f"bytes             {stats['bytes']:,} "
+              f"({stats['bytes'] / (1024 * 1024):.2f} MiB)")
+        print(f"byte budget       {budget}")
+        print(f"corrupt entries   {stats['corrupt_quarantined']} quarantined")
+        _write_json(args.json, stats)
+        return 0
+    # clear: an explicit --namespace restricts; default clears every entry
+    removed = cache.clear(all_namespaces=not namespace_given)
+    scope = args.namespace if namespace_given else "all namespaces"
+    print(f"cleared {removed} cache entries ({scope}) from {cache.directory}")
+    return 0
+
+
+# ---------------------------------------------------------------- serve
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve import HttpFrontend, PowerServer, run_stdio
+
+    async def _serve() -> None:
+        server = PowerServer(
+            cache_dir=args.cache_dir or None,
+            coalesce_window_s=args.coalesce_window,
+        )
+        await server.start()
+        # graceful shutdown on Ctrl-C and on a supervisor's SIGTERM alike:
+        # unfinished jobs get marked interrupted and flushed (explicit
+        # handlers also cover backgrounded servers, whose inherited SIGINT
+        # disposition would otherwise be "ignore")
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # platforms without loop signal handlers
+        try:
+            if args.stdio:
+                stdio = asyncio.ensure_future(run_stdio(server))
+                stopped = asyncio.ensure_future(stop.wait())
+                await asyncio.wait(
+                    {stdio, stopped}, return_when=asyncio.FIRST_COMPLETED
+                )
+                for task in (stdio, stopped):
+                    task.cancel()
+            else:
+                http = HttpFrontend(server, host=args.host, port=args.port)
+                await http.start()
+                print(f"serving on {http.url} "
+                      f"(cache: {args.cache_dir or 'in-memory'}; Ctrl-C stops)",
+                      flush=True)
+                try:
+                    await stop.wait()
+                finally:
+                    await http.stop()
+        finally:
+            await server.stop()
+            stats = server.stats()
+            print(f"served {stats['jobs_submitted']} jobs "
+                  f"({stats['coalesced_jobs']} coalesced into shared batches, "
+                  f"{stats['cache_hits']} cache hits)", flush=True)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        # Ctrl-C is the intended way to stop: unfinished jobs were marked
+        # interrupted and flushed to the job store before the loop closed
+        pass
+    return 0
+
+
+def _http_json(url: str, payload: Optional[dict] = None, timeout: float = 600.0):
+    """(status, JSON body) of one request; connection errors become ValueError."""
+    import urllib.error
+    import urllib.request
+
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        url, data=data, method="POST" if data is not None else "GET",
+        headers={"Content-Type": "application/json"} if data is not None else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        try:
+            body = json.load(error)
+        except ValueError:
+            body = {"error": str(error.reason)}
+        return error.code, body
+    except (urllib.error.URLError, OSError) as error:
+        raise ValueError(
+            f"cannot reach server at {url}: "
+            f"{getattr(error, 'reason', error)} — is `python -m repro serve` "
+            f"running?"
+        ) from None
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.api import RunSpec
+
+    spec = RunSpec(
+        design=args.design,
+        engine=args.engine,
+        seed=args.seed,
+        stimulus=_resolve_stimulus(args, [args.design]),
+        max_cycles=args.max_cycles,
+        backend=args.backend,
+        kernel_backend=args.kernel_backend,
+        kernel_threads=args.kernel_threads,
+        coefficient_bits=args.coefficient_bits,
+        compare_to_rtl=args.compare_to_rtl,
+        timeout_s=args.timeout_s,
+        max_retries=args.max_retries,
+    )
+    status, body = _http_json(f"{args.url}/jobs", payload=spec.to_dict())
+    if status != 202:
+        print(f"error: submit rejected ({status}): {body.get('error')}",
+              file=sys.stderr)
+        return 2
+    job_id = body["job_id"]
+    print(f"submitted {job_id}")
+    if args.no_wait:
+        _write_json(args.json, {"job_id": job_id})
+        return 0
+    status, result = _http_json(f"{args.url}/jobs/{job_id}/result")
+    if status != 200:
+        error = result.get("error") or {}
+        print(f"job {job_id} {result.get('state', 'failed')}: "
+              f"{error.get('error_type')}: {error.get('message')}",
+              file=sys.stderr)
+        _write_json(args.json, result)
+        return 3
+    report = result["report"]
+    metadata = result.get("metadata") or {}
+    group = metadata.get("group_size", 1)
+    shared = f", lane of {group}" if group and group > 1 else ""
+    print(f"{report['design']}: {report['average_power_mw']:.4f} mW over "
+          f"{report['cycles']} cycles (job {job_id}{shared})")
+    _write_json(args.json, result)
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    if args.job_id:
+        status, record = _http_json(f"{args.url}/jobs/{args.job_id}")
+        if status != 200:
+            print(f"error: {record.get('error')}", file=sys.stderr)
+            return 2
+        spec = record["spec"]
+        seed = f" seed={spec['seed']}" if spec.get("seed") is not None else ""
+        print(f"{record['job_id']}  {spec['design']}[{spec['engine']}]{seed}: "
+              f"{record['state']}")
+        for event in record.get("events") or []:
+            detail = event.get("detail") or {}
+            facts = ", ".join(f"{k}={v}" for k, v in sorted(detail.items())
+                              if v not in (None, {}, []))
+            print(f"  {event['seq']:2d} {event['state']:11s} {facts}")
+        if record.get("error"):
+            print(f"  error: {record['error'].get('error_type')}: "
+                  f"{record['error'].get('message')}")
+        _write_json(args.json, record)
+        return 0
+    status, jobs = _http_json(f"{args.url}/jobs")
+    stats_status, stats = _http_json(f"{args.url}/stats")
+    print(f"{'job':16s} {'design':14s} {'engine':9s} {'seed':>5s} "
+          f"{'state':11s} {'group':>5s}")
+    for job in jobs.get("jobs") or []:
+        seed = job["seed"] if job["seed"] is not None else "-"
+        group = job["group_size"] or "-"
+        state = job["state"] + (" (cached)" if job.get("cached") else "")
+        print(f"{job['job_id']:16s} {job['design']:14s} {job['engine']:9s} "
+              f"{seed!s:>5s} {state:11s} {group!s:>5s}")
+    if stats_status == 200:
+        print(f"\n{stats['jobs_submitted']} submitted, "
+              f"{stats['coalesced_jobs']} coalesced, "
+              f"{stats['cache_hits']} cache hits, "
+              f"{stats['groups']} groups, "
+              f"{stats['program_builds']} program builds, "
+              f"{stats['kernel_builds']} kernel builds")
+    _write_json(args.json, {"jobs": jobs.get("jobs"), "stats": stats})
+    return 0
+
+
 # ----------------------------------------------------------------- main
 def build_parser() -> argparse.ArgumentParser:
     from repro.api.spec import ENGINES, KERNEL_BACKENDS
@@ -422,6 +635,64 @@ def build_parser() -> argparse.ArgumentParser:
     cha.add_argument("--json", metavar="PATH", default=None,
                      help="write fit metrics as a JSON artifact")
     cha.set_defaults(func=_cmd_characterize)
+
+    srv = sub.add_parser("serve", help="run the coalescing power-estimation "
+                                       "job server (HTTP or stdio)")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8350,
+                     help="HTTP port (0 = an ephemeral port, printed on start)")
+    srv.add_argument("--cache-dir", default="",
+                     help="persistent job + result store; shares the sweep "
+                          "runner's result cache ('' = in-memory)")
+    srv.add_argument("--coalesce-window", type=float, default=0.05, metavar="S",
+                     help="seconds the dispatcher waits after a submission "
+                          "so concurrent compatible jobs merge into one "
+                          "shared lane batch")
+    srv.add_argument("--stdio", action="store_true",
+                     help="serve JSON-line operations on stdin/stdout "
+                          "instead of HTTP")
+    srv.set_defaults(func=_cmd_serve)
+
+    sbm = sub.add_parser("submit", help="submit one run to a serve instance "
+                                        "and (by default) wait for the result")
+    sbm.add_argument("--url", default="http://127.0.0.1:8350",
+                     help="base URL of the serve instance")
+    sbm.add_argument("--design", required=True, choices=_design_names())
+    sbm.add_argument("--engine", choices=ENGINES, default="rtl")
+    sbm.add_argument("--seed", type=int, default=None,
+                     help="stimulus seed (default: the design's standard stimulus)")
+    sbm.add_argument("--compare-to-rtl", action="store_true",
+                     help="attach accuracy vs a software-RTL reference run")
+    sbm.add_argument("--no-wait", action="store_true",
+                     help="print the job id and return immediately")
+    _add_common_run_arguments(sbm)
+    sbm.set_defaults(func=_cmd_submit)
+
+    sta = sub.add_parser("status", help="job list, job detail, or server "
+                                        "stats of a serve instance")
+    sta.add_argument("job_id", nargs="?", default=None,
+                     help="show one job's record and event history "
+                          "(default: list all jobs + server stats)")
+    sta.add_argument("--url", default="http://127.0.0.1:8350",
+                     help="base URL of the serve instance")
+    sta.add_argument("--json", metavar="PATH", default=None,
+                     help="write the response as a JSON artifact")
+    sta.set_defaults(func=_cmd_status)
+
+    cache = sub.add_parser("cache", help="inspect or clear an on-disk result "
+                                         "cache directory")
+    cache.add_argument("action", choices=("stats", "clear"),
+                       help="stats = entries/bytes/budget/corruption; "
+                            "clear = delete cache entries")
+    cache.add_argument("--cache-dir", required=True,
+                       help="the cache directory (as passed to sweep/serve)")
+    cache.add_argument("--namespace", default=None,
+                       help="cache namespace: stats counts it separately "
+                            "(default estimate); clear restricts to it when "
+                            "given (default: clear all namespaces)")
+    cache.add_argument("--json", metavar="PATH", default=None,
+                       help="write the stats as a JSON artifact")
+    cache.set_defaults(func=_cmd_cache)
 
     # listed for `python -m repro --help` only: every real fig3/gate
     # invocation — including `--help` — is forwarded to the module's own

@@ -205,6 +205,42 @@ class RTLEstimatorAdapter(_EngineAdapter):
             metadata.update(kernel_info)
         return self._finish(spec, report, backend, start, setup_s, metadata)
 
+    def warm(self, spec: RunSpec, n_lanes: int = 1) -> Dict[str, object]:
+        """Build everything a lane run of ``spec`` would compile, cacheably.
+
+        Resolves the library and the flat module, compiles the lane program
+        for ``n_lanes`` and the requested kernel — all through the same
+        process-lifetime caches :meth:`estimate_many` hits, so a subsequent
+        estimate of a compatible spec reuses every artifact.  This is the
+        :mod:`repro.serve` server's "compiling" phase: separating it from the
+        estimate call lets the server stream an honest compile/simulate
+        phase boundary per job group.  Returns the resolved kernel facts
+        (empty for non-lane specs, whose compilation happens inline).
+        """
+        from repro.api.spec import is_coalescable
+
+        self.library_for(spec)
+        flat = self._resolve_flat(spec)
+        if not is_coalescable(spec):
+            return {}
+        from repro.sim.batch import (
+            BatchCompilationError, BatchSimulator, LaneStateError,
+        )
+
+        try:
+            simulator = BatchSimulator(
+                flat, n_lanes, kernel_backend=spec.kernel_backend,
+                kernel_threads=spec.kernel_threads,
+            )
+        except (BatchCompilationError, LaneStateError):
+            # estimate/estimate_many will fall back to the scalar path
+            return {}
+        return {
+            "kernel_backend": simulator.kernel_backend,
+            "kernel_decision": simulator.kernel_decision,
+            "kernel_threads": simulator.kernel_threads,
+        }
+
     def estimate_many(self, specs) -> list:
         """Multi-seed batch: all specs share design/engine, one lane per seed.
 
@@ -212,22 +248,21 @@ class RTLEstimatorAdapter(_EngineAdapter):
         the sweep runner uses; it degrades to per-spec scalar estimation when
         the lane path cannot run the module or its testbenches.
         """
+        from repro.api.spec import coalesce_key
+
         specs = list(specs)
         if not specs:
             return []
         first = specs[0]
+        first_key = coalesce_key(first)
         for spec in specs:
             self._check_spec(spec)
-            if (
-                spec.design != first.design
-                or spec.max_cycles != first.max_cycles
-                or spec.stimulus != first.stimulus
-                or spec.kernel_backend != first.kernel_backend
-                or spec.kernel_threads != first.kernel_threads
-            ):
+            if coalesce_key(spec) != first_key:
                 raise ValueError(
-                    "estimate_many requires specs sharing design, max_cycles, "
-                    "stimulus, kernel_backend and kernel_threads"
+                    "estimate_many requires lane-compatible specs — sharing "
+                    "design, max_cycles, stimulus, backend, kernel_backend "
+                    "and kernel_threads (equal repro.api.coalesce_key) — "
+                    f"got {coalesce_key(spec)} vs {first_key}"
                 )
         from repro.power.lane_estimator import BatchRTLPowerEstimator
         from repro.sim.batch import BatchCompilationError, LaneStateError

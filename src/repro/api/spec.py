@@ -40,6 +40,16 @@ ON_ERROR_POLICIES: Tuple[str, ...] = ("raise", "skip")
 #: identity — excluded from cache keys (a retried run is still the same run)
 EXECUTION_POLICY_FIELDS: Tuple[str, ...] = ("timeout_s", "max_retries")
 
+#: spec fields that may differ between lane-mates of one shared batch: the
+#: stimulus seed (each seed is its own lane), per-result shaping
+#: (``keep_cycle_trace``/``compare_to_rtl`` are applied per spec after the
+#: shared simulation) and the execution-policy fields above
+COALESCE_FREE_FIELDS: Tuple[str, ...] = EXECUTION_POLICY_FIELDS + (
+    "seed",
+    "keep_cycle_trace",
+    "compare_to_rtl",
+)
+
 
 def _check_policy_fields(timeout_s, max_retries) -> None:
     if timeout_s is not None and timeout_s <= 0:
@@ -177,6 +187,44 @@ class RunSpec:
     # ------------------------------------------------------------- variants
     def replace(self, **changes) -> "RunSpec":
         return dataclasses.replace(self, **changes)
+
+
+def coalesce_key(spec: RunSpec) -> str:
+    """The canonical compatibility key of one run for lane coalescing.
+
+    Two specs with equal keys compute *independent lanes of the same shared
+    batch*: they agree on everything that shapes the simulated machine and
+    its workload (design, engine, stimulus, cycle budget, kernel
+    backend/threads, library, ...) and differ at most in the
+    :data:`COALESCE_FREE_FIELDS` — the stimulus seed plus per-result shaping
+    and execution policy.  :meth:`RTLEstimatorAdapter.estimate_many
+    <repro.api.estimators.RTLEstimatorAdapter.estimate_many>` and the
+    :mod:`repro.serve` coalescer both group by exactly this key, so the API
+    and the server can never disagree about what is mergeable.
+
+    The key is a canonical JSON string: stable across processes, hashable,
+    and directly usable as a grouping key or in logs.  ``backend`` values
+    ``auto`` and ``batch`` normalize to one key on the RTL engine — a merged
+    group runs on the lane path either way, and lane count never changes
+    results.
+    """
+    payload = spec.to_dict()
+    for name in COALESCE_FREE_FIELDS:
+        payload.pop(name, None)
+    if spec.engine == "rtl" and payload.get("backend") in ("auto", "batch"):
+        payload["backend"] = "batch"
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def is_coalescable(spec: RunSpec) -> bool:
+    """Whether this spec can run as one lane of a shared batch.
+
+    Only the RTL engine has a lane-vectorized estimator, and only the
+    ``auto``/``batch`` backends route onto it; gate/emulation runs and
+    explicitly scalar backends (``compiled``/``interp``) always execute
+    alone.
+    """
+    return spec.engine == "rtl" and spec.backend in ("auto", "batch")
 
 
 @dataclass(frozen=True)

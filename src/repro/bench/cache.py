@@ -14,6 +14,15 @@ honest miss instead of re-reading (and re-reporting) the same corruption
 forever; ``corruption_count`` on the cache object surfaces how many entries
 were quarantined.  Cache reads and writes are also a named fault-injection
 site (``cache``) of :mod:`repro.resilience.faults`.
+
+Size management: long-lived processes (notably the :mod:`repro.serve` job
+server) write results forever, so the cache supports a byte budget —
+``max_bytes=`` or the ``REPRO_CACHE_MAX_MB`` environment variable.  Every
+``put`` that pushes the directory past the budget evicts least-recently-used
+entries (hits touch the entry's mtime) across *all* namespaces until it fits;
+manifests and other non-entry files are never touched.  ``stats()`` reports
+entries/bytes on disk plus this object's hit/miss/eviction/corruption
+counters, and ``python -m repro cache stats|clear`` surfaces both.
 """
 
 from __future__ import annotations
@@ -21,12 +30,41 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import tempfile
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.resilience.faults import maybe_inject
 
+#: environment variable holding the cache byte budget, in MiB ("" = unbounded)
+CACHE_MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
+
+#: cache entry files: ``<namespace>-<sha256 hex>.json`` (manifests and other
+#: bookkeeping files in the same directory never match)
+_ENTRY_NAME = re.compile(r"^(?P<namespace>.+)-(?P<key>[0-9a-f]{64})\.json$")
+
 _CODE_FINGERPRINT: Optional[str] = None
+
+
+def resolve_max_bytes(max_bytes: Optional[int] = None) -> Optional[int]:
+    """The effective cache byte budget (None = unbounded).
+
+    An explicit ``max_bytes`` wins; ``None`` reads ``REPRO_CACHE_MAX_MB``
+    (fractional MiB accepted).  A zero/negative budget means "evict
+    everything but the newest entry" rather than "unbounded" — disabling the
+    budget is done by leaving both unset.
+    """
+    if max_bytes is not None:
+        return max_bytes
+    raw = os.environ.get(CACHE_MAX_MB_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(float(raw) * 1024 * 1024)
+    except ValueError:
+        raise ValueError(
+            f"{CACHE_MAX_MB_ENV} must be a number of MiB, got {raw!r}"
+        ) from None
 
 
 def code_fingerprint() -> str:
@@ -57,11 +95,24 @@ def code_fingerprint() -> str:
 class ResultCache:
     """JSON file cache keyed by hashed, code-fingerprinted key dicts."""
 
-    def __init__(self, directory: str, namespace: str = "bench") -> None:
+    def __init__(
+        self,
+        directory: str,
+        namespace: str = "bench",
+        max_bytes: Optional[int] = None,
+    ) -> None:
         self.directory = os.path.abspath(directory)
         self.namespace = namespace
+        #: byte budget enforced by LRU eviction on put (None = unbounded)
+        self.max_bytes = resolve_max_bytes(max_bytes)
         #: unreadable entries quarantined (renamed to ``*.corrupt``) so far
         self.corruption_count = 0
+        #: lookups served from disk by this object
+        self.hit_count = 0
+        #: lookups that missed (including quarantined corrupt entries)
+        self.miss_count = 0
+        #: entries evicted by this object to stay under the byte budget
+        self.eviction_count = 0
 
     # ------------------------------------------------------------------ keys
     def key(self, **parts) -> str:
@@ -87,12 +138,21 @@ class ResultCache:
         path = self._path(key)
         try:
             with open(path) as handle:
-                return json.load(handle)
+                value = json.load(handle)
         except OSError:
+            self.miss_count += 1
             return None
         except ValueError:
             self._quarantine(path)
+            self.miss_count += 1
             return None
+        self.hit_count += 1
+        try:
+            # a hit is a *use*: bump the mtime so LRU eviction spares it
+            os.utime(path)
+        except OSError:  # pragma: no cover - raced eviction or read-only dir
+            pass
+        return value
 
     def _quarantine(self, path: str) -> None:
         self.corruption_count += 1
@@ -102,7 +162,12 @@ class ResultCache:
             pass
 
     def put(self, key: str, value: Dict) -> None:
-        """Atomically persist ``value`` (a JSON-serializable dict)."""
+        """Atomically persist ``value`` (a JSON-serializable dict).
+
+        When a byte budget is configured, least-recently-used entries (any
+        namespace) are evicted afterwards until the directory fits — the
+        entry just written is always spared.
+        """
         maybe_inject("cache")
         os.makedirs(self.directory, exist_ok=True)
         fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
@@ -116,18 +181,104 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if self.max_bytes is not None:
+            self._evict_to_budget(spare=self._path(key))
 
-    def clear(self) -> int:
-        """Delete this namespace's entries; returns the number removed."""
+    # ------------------------------------------------------ size management
+    def _entries(self) -> List[Tuple[str, int, float]]:
+        """Every cache entry in the directory: (path, bytes, mtime)."""
+        entries = []
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return entries
+        for name in names:
+            if not _ENTRY_NAME.match(name):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                status = os.stat(path)
+            except OSError:  # raced with a concurrent eviction
+                continue
+            entries.append((path, status.st_size, status.st_mtime))
+        return entries
+
+    def _evict_to_budget(self, spare: Optional[str] = None) -> int:
+        """Evict oldest entries until the directory fits; returns how many."""
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return 0
+        evicted = 0
+        for path, size, _ in sorted(entries, key=lambda e: e[2]):
+            if total <= self.max_bytes:
+                break
+            if path == spare:
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        self.eviction_count += evicted
+        return evicted
+
+    def stats(self) -> Dict[str, object]:
+        """Entries/bytes on disk plus this object's lookup counters.
+
+        Disk numbers cover the whole directory (all namespaces — the byte
+        budget is a per-directory property); ``namespace_entries`` counts
+        just this namespace.  ``corrupt_quarantined`` counts the ``*.corrupt``
+        files present, i.e. quarantines across the directory's lifetime, not
+        just this process.
+        """
+        entries = self._entries()
+        prefix = f"{self.namespace}-"
+        corrupt = 0
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            names = []
+        for name in names:
+            if name.endswith(".corrupt"):
+                corrupt += 1
+        return {
+            "directory": self.directory,
+            "namespace": self.namespace,
+            "entries": len(entries),
+            "bytes": sum(size for _, size, _ in entries),
+            "namespace_entries": sum(
+                1 for path, _, _ in entries
+                if os.path.basename(path).startswith(prefix)
+            ),
+            "max_bytes": self.max_bytes,
+            "hits": self.hit_count,
+            "misses": self.miss_count,
+            "evictions": self.eviction_count,
+            "corrupt_quarantined": corrupt,
+        }
+
+    def clear(self, all_namespaces: bool = False) -> int:
+        """Delete cache entries; returns the number removed.
+
+        Default scope is this namespace; ``all_namespaces=True`` removes
+        every entry file in the directory (manifests and ``*.corrupt``
+        quarantine files are left alone either way).
+        """
         removed = 0
         if not os.path.isdir(self.directory):
             return removed
         prefix = f"{self.namespace}-"
         for name in os.listdir(self.directory):
-            if name.startswith(prefix) and name.endswith(".json"):
-                try:
-                    os.unlink(os.path.join(self.directory, name))
-                    removed += 1
-                except OSError:
-                    pass
+            match = _ENTRY_NAME.match(name)
+            if match is None:
+                continue
+            if not all_namespaces and not name.startswith(prefix):
+                continue
+            try:
+                os.unlink(os.path.join(self.directory, name))
+                removed += 1
+            except OSError:
+                pass
         return removed

@@ -1,0 +1,72 @@
+"""repro.serve — the power-estimation service with request coalescing.
+
+A long-lived job server over the unified :mod:`repro.api` surface: clients
+submit :class:`~repro.api.spec.RunSpec` jobs and get job ids back; the
+server merges compatible pending jobs (equal
+:func:`~repro.api.spec.coalesce_key`) into shared
+:class:`~repro.power.lane_estimator.BatchRTLPowerEstimator` lane blocks —
+one lane-program compile, one kernel build, one settle per cycle for the
+whole group — demultiplexes per-job :class:`~repro.api.spec.EstimateResult`
+objects back out, and streams structured progress events
+(``queued → coalesced → compiling → simulating → done``).
+
+Pieces:
+
+* :class:`PowerServer` (:mod:`repro.serve.server`) — the asyncio job server:
+  coalescing dispatcher, worker-thread execution, per-job error isolation
+  (a poisoned lane-group member fails alone), warm process caches.
+* :class:`Client` (:mod:`repro.serve.client`) — the in-process front end;
+  ``Client(server).estimate_all(specs)`` is the served counterpart of
+  ``estimate_many`` with independent, concurrent submissions.
+* :class:`HttpFrontend` / :func:`run_stdio` (:mod:`repro.serve.http`) — thin
+  network/pipe front ends (``python -m repro serve``).
+* :class:`JobStore` (:mod:`repro.serve.store`) — persistent job ledger on
+  :class:`~repro.bench.cache.ResultCache`, sharing the ``estimate`` result
+  namespace with the sweep runner.
+* :class:`CoalescingQueue` (:mod:`repro.serve.coalesce`) — arrival-ordered
+  queue draining into mergeable :class:`JobGroup` lane blocks.
+* :mod:`repro.serve.protocol` — job states, records and progress events.
+
+Quickstart::
+
+    import asyncio
+    from repro.api import RunSpec
+    from repro.serve import Client, PowerServer
+
+    async def main():
+        async with PowerServer(cache_dir=".cache") as server:
+            client = Client(server)
+            specs = [RunSpec(design="DCT", seed=s) for s in range(8)]
+            results = await client.estimate_all(specs)   # one shared batch
+            print([r.average_power_mw for r in results])
+
+    asyncio.run(main())
+"""
+
+from repro.serve.client import Client
+from repro.serve.coalesce import CoalescingQueue, JobGroup
+from repro.serve.http import HttpFrontend, run_stdio
+from repro.serve.protocol import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobRecord,
+    ProgressEvent,
+)
+from repro.serve.server import JobFailed, PowerServer, build_counts
+from repro.serve.store import JobStore
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "Client",
+    "CoalescingQueue",
+    "HttpFrontend",
+    "JobFailed",
+    "JobGroup",
+    "JobRecord",
+    "JobStore",
+    "PowerServer",
+    "ProgressEvent",
+    "build_counts",
+    "run_stdio",
+]

@@ -1,0 +1,144 @@
+"""Job states, progress events and job records of the estimation service.
+
+A submitted :class:`~repro.api.spec.RunSpec` becomes a :class:`JobRecord`
+that walks the state machine::
+
+    queued -> coalesced -> compiling -> simulating -> done
+                                                   \\-> failed
+    (any non-terminal state) ------------------------> interrupted
+
+``coalesced`` is the state where the server has grouped the job with every
+compatible pending job (equal :func:`~repro.api.spec.coalesce_key`) into one
+shared lane block; ``compiling`` covers lane-program + kernel builds (instant
+when the process caches are warm), ``simulating`` the actual lane execution.
+Every transition appends a :class:`ProgressEvent` to the record — the ordered
+event list is the job's streamable progress history, and the record itself is
+JSON-round-trippable so the :class:`~repro.serve.store.JobStore` can persist
+it across server restarts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.api.spec import RunSpec
+
+#: every state a job can be in, in nominal order
+JOB_STATES: Tuple[str, ...] = (
+    "queued",
+    "coalesced",
+    "compiling",
+    "simulating",
+    "done",
+    "failed",
+    "interrupted",
+)
+
+#: states a job never leaves
+TERMINAL_STATES: Tuple[str, ...] = ("done", "failed", "interrupted")
+
+
+@dataclass
+class ProgressEvent:
+    """One state transition of one job, streamable as a JSON line."""
+
+    job_id: str
+    state: str
+    #: per-job sequence number (0 = the ``queued`` event)
+    seq: int
+    #: Unix timestamp of the transition
+    at_s: float
+    #: state-specific facts: group size and lane on ``coalesced``, kernel
+    #: resolution on ``simulating``, cycle count and power on ``done``, the
+    #: structured error summary on ``failed``
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "job_id": self.job_id,
+            "state": self.state,
+            "seq": self.seq,
+            "at_s": self.at_s,
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ProgressEvent":
+        return cls(
+            job_id=payload["job_id"],
+            state=payload["state"],
+            seq=int(payload["seq"]),
+            at_s=float(payload["at_s"]),
+            detail=dict(payload.get("detail") or {}),
+        )
+
+
+@dataclass
+class JobRecord:
+    """One submitted run: its spec, live state, event history and outcome."""
+
+    job_id: str
+    spec: RunSpec
+    state: str = "queued"
+    submitted_at: float = 0.0
+    finished_at: Optional[float] = None
+    #: lanes in the merged lane block this job ran in (0 = not yet grouped)
+    group_size: int = 0
+    #: the result was served straight from the persistent result cache
+    cached: bool = False
+    #: result-cache key in the shared ``estimate`` namespace (set when done)
+    result_key: Optional[str] = None
+    #: :class:`~repro.resilience.failures.TaskFailure` payload when failed
+    error: Optional[Dict[str, object]] = None
+    events: List[ProgressEvent] = field(default_factory=list)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def summary(self) -> str:
+        seed = f" seed={self.spec.seed}" if self.spec.seed is not None else ""
+        extra = ""
+        if self.state == "done" and self.group_size > 1:
+            extra = f" (lane of {self.group_size})"
+        if self.cached:
+            extra = " (cached)"
+        if self.error is not None:
+            extra = f" ({self.error.get('error_type')}: {self.error.get('message')})"
+        return (
+            f"{self.job_id}  {self.spec.design}[{self.spec.engine}]{seed}: "
+            f"{self.state}{extra}"
+        )
+
+    # -------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "job_id": self.job_id,
+            "spec": self.spec.to_dict(),
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+            "group_size": self.group_size,
+            "cached": self.cached,
+            "result_key": self.result_key,
+            "error": dict(self.error) if self.error is not None else None,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "JobRecord":
+        return cls(
+            job_id=payload["job_id"],
+            spec=RunSpec.from_dict(payload["spec"]),
+            state=payload.get("state", "queued"),
+            submitted_at=float(payload.get("submitted_at", 0.0)),
+            finished_at=payload.get("finished_at"),
+            group_size=int(payload.get("group_size", 0)),
+            cached=bool(payload.get("cached", False)),
+            result_key=payload.get("result_key"),
+            error=payload.get("error"),
+            events=[
+                ProgressEvent.from_dict(e) for e in payload.get("events") or []
+            ],
+        )

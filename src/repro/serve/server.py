@@ -1,0 +1,393 @@
+"""The asyncio power-estimation job server.
+
+:class:`PowerServer` accepts :class:`~repro.api.spec.RunSpec` jobs, coalesces
+compatible ones into shared lane blocks (:mod:`repro.serve.coalesce`), runs
+each group in a worker thread through the very same
+:meth:`~repro.api.estimators.RTLEstimatorAdapter.estimate_many` path the
+sweep runner uses — so served results are bit-identical to standalone
+``repro.api`` estimates — and streams per-job progress events
+(``queued → coalesced → compiling → simulating → done``).
+
+Design points:
+
+* **One event loop, one worker thread at a time.**  Submissions, state
+  transitions and event streaming all happen on the loop; group execution
+  runs in ``asyncio.to_thread``.  Groups execute sequentially because lane
+  programs cache per flat module — two simultaneous simulations of one
+  design would fight over shared per-module state.  Throughput comes from
+  coalescing, not from racing groups.
+* **Coalescing window.**  The dispatcher sleeps ``coalesce_window_s`` after
+  the first pending submission before draining, so a burst of concurrent
+  clients lands in one shared lane block instead of N singleton runs.
+* **Warm process caches.**  Adapters (and their power-model library), flat
+  modules, lane programs and compiled kernels all persist for the process
+  lifetime, so repeat jobs only pay simulation.  ``stats()`` exposes the
+  process-wide :data:`~repro.sim.batch.PROGRAM_BUILD_COUNT` /
+  :data:`~repro.sim.kernels.KERNEL_BUILD_COUNT` counters that prove
+  coalesced jobs shared one build.
+* **Per-job error isolation.**  When a shared group raises, every member is
+  re-run alone: healthy siblings still produce results and exactly the
+  poisoned job fails, carrying a structured
+  :class:`~repro.resilience.failures.TaskFailure` payload
+  (``repro.resilience`` style) in its record.
+* **Durable job store.**  With a ``cache_dir``, job records persist across
+  restarts and results land in the sweep-compatible ``estimate`` namespace —
+  a spec already swept (or served) is answered from cache without
+  simulating.  Stopping the server marks unfinished jobs ``interrupted`` and
+  flushes them, so Ctrl-C leaves a consistent ledger.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import traceback
+from typing import AsyncIterator, Dict, List, Optional, Union
+
+from repro.api.estimators import estimator_for
+from repro.api.spec import (
+    EstimateResult,
+    RunSpec,
+    coalesce_key,
+    is_coalescable,
+)
+from repro.resilience.failures import TaskFailure
+from repro.serve.coalesce import CoalescingQueue, JobGroup
+from repro.serve.protocol import JobRecord, ProgressEvent
+from repro.serve.store import JobStore
+
+
+def build_counts() -> Dict[str, int]:
+    """Process-lifetime lane-program / kernel compile counters."""
+    from repro.sim import batch, kernels
+
+    return {
+        "program_builds": batch.PROGRAM_BUILD_COUNT,
+        "kernel_builds": kernels.KERNEL_BUILD_COUNT,
+    }
+
+
+class JobFailed(RuntimeError):
+    """Awaited job ended ``failed``/``interrupted``; carries the record."""
+
+    def __init__(self, record: JobRecord) -> None:
+        error = record.error or {}
+        super().__init__(
+            f"job {record.job_id} {record.state}: "
+            f"{error.get('error_type', '')}: {error.get('message', '')}"
+        )
+        self.record = record
+
+
+class PowerServer:
+    """Coalescing power-estimation job server (one asyncio loop)."""
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        coalesce_window_s: float = 0.05,
+        cache_max_bytes: Optional[int] = None,
+    ) -> None:
+        self.store = JobStore(cache_dir, max_bytes=cache_max_bytes)
+        self.queue = CoalescingQueue()
+        self.coalesce_window_s = coalesce_window_s
+        self.started_at: Optional[float] = None
+        #: jobs submitted to this server instance
+        self.n_submitted = 0
+        #: jobs answered straight from the persistent result cache
+        self.n_cache_hits = 0
+        #: execution groups drained (shared lane blocks + singletons)
+        self.n_groups = 0
+        #: jobs that ran as lanes of a shared (size > 1) group
+        self.n_coalesced_jobs = 0
+        self._adapters: Dict[str, object] = {}
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._kick: Optional[asyncio.Event] = None
+        self._cond: Optional[asyncio.Condition] = None
+
+    # --------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._kick = asyncio.Event()
+        self._cond = asyncio.Condition()
+        self.started_at = time.time()
+        self.store.load_persisted()
+        self._dispatcher = asyncio.create_task(
+            self._dispatch(), name="repro-serve-dispatch"
+        )
+
+    async def stop(self) -> None:
+        """Stop dispatching and mark every unfinished job ``interrupted``.
+
+        Completed results were persisted as they landed; this flushes the
+        final state of queued/running jobs so the on-disk job store is
+        consistent after Ctrl-C or shutdown.
+        """
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        for record in self.store.jobs():
+            if not record.terminal:
+                await self._transition(
+                    record, "interrupted", {"reason": "server stopped"}
+                )
+
+    async def __aenter__(self) -> "PowerServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -------------------------------------------------------------- submission
+    async def submit(
+        self, spec: Union[RunSpec, Dict[str, object]]
+    ) -> str:
+        """Queue one run; returns its job id immediately.
+
+        Specs whose result already exists in the shared cache complete
+        instantly (state ``done``, ``cached`` flag set) without simulating.
+        """
+        if isinstance(spec, dict):
+            spec = RunSpec.from_dict(spec)
+        from repro.designs.registry import get as _get_design
+
+        _get_design(spec.design)  # reject unknown designs at the door
+        record = self.store.create(spec)
+        self.n_submitted += 1
+        await self._transition(
+            record,
+            "queued",
+            {
+                "coalesce_key": (
+                    coalesce_key(spec) if is_coalescable(spec) else None
+                )
+            },
+        )
+        cached = self.store.cached_result(spec)
+        if cached is not None:
+            key, payload = cached
+            self.n_cache_hits += 1
+            record.cached = True
+            record.result_key = key
+            report = payload.get("report") or {}
+            await self._transition(
+                record,
+                "done",
+                {
+                    "cached": True,
+                    "cycles": report.get("cycles"),
+                    "average_power_mw": report.get("average_power_mw"),
+                },
+            )
+            return record.job_id
+        self.queue.push(record)
+        self._kick.set()
+        return record.job_id
+
+    # ----------------------------------------------------------------- queries
+    def status(self, job_id: str) -> JobRecord:
+        return self.store.get(job_id)
+
+    async def wait(self, job_id: str) -> JobRecord:
+        """Block until the job reaches a terminal state."""
+        record = self.store.get(job_id)
+        async with self._cond:
+            await self._cond.wait_for(lambda: record.terminal)
+        return record
+
+    async def result(self, job_id: str) -> EstimateResult:
+        """The job's result, awaiting completion; raises :class:`JobFailed`."""
+        record = await self.wait(job_id)
+        if record.state != "done":
+            raise JobFailed(record)
+        result = self.store.get_result(record)
+        if result is None:
+            raise JobFailed(record)
+        return result
+
+    async def events(self, job_id: str) -> AsyncIterator[ProgressEvent]:
+        """Stream the job's progress events, live, until a terminal one."""
+        record = self.store.get(job_id)
+        emitted = 0
+        while True:
+            while emitted < len(record.events):
+                yield record.events[emitted]
+                emitted += 1
+            if record.terminal:
+                return
+            async with self._cond:
+                # wait_for re-checks before sleeping: no missed notifications
+                await self._cond.wait_for(
+                    lambda: record.terminal or emitted < len(record.events)
+                )
+
+    def stats(self) -> Dict[str, object]:
+        by_state: Dict[str, int] = {}
+        for record in self.store.jobs():
+            by_state[record.state] = by_state.get(record.state, 0) + 1
+        stats = {
+            "started_at": self.started_at,
+            "jobs_submitted": self.n_submitted,
+            "jobs_by_state": by_state,
+            "pending": len(self.queue),
+            "groups": self.n_groups,
+            "coalesced_jobs": self.n_coalesced_jobs,
+            "cache_hits": self.n_cache_hits,
+            "cache": self.store.stats(),
+        }
+        stats.update(build_counts())
+        return stats
+
+    # -------------------------------------------------------------- dispatching
+    async def _dispatch(self) -> None:
+        while True:
+            await self._kick.wait()
+            if self.coalesce_window_s > 0:
+                # let concurrently-submitting clients land in this drain
+                await asyncio.sleep(self.coalesce_window_s)
+            self._kick.clear()
+            for group in self.queue.drain():
+                self.n_groups += 1
+                if len(group) > 1:
+                    self.n_coalesced_jobs += len(group)
+                for lane, record in enumerate(group.jobs):
+                    record.group_size = len(group)
+                    await self._transition(
+                        record,
+                        "coalesced",
+                        {
+                            "group_size": len(group),
+                            "lane": lane,
+                            "coalesce_key": group.key,
+                        },
+                    )
+                await asyncio.to_thread(self._run_group, group)
+
+    # ------------------------------------------------------- state transitions
+    async def _transition(
+        self,
+        record: JobRecord,
+        state: str,
+        detail: Optional[Dict[str, object]] = None,
+    ) -> None:
+        record.state = state
+        if record.terminal:
+            record.finished_at = time.time()
+        record.events.append(
+            ProgressEvent(
+                job_id=record.job_id,
+                state=state,
+                seq=len(record.events),
+                at_s=time.time(),
+                detail=detail or {},
+            )
+        )
+        self.store.save(record)
+        async with self._cond:
+            self._cond.notify_all()
+
+    def _transition_sync(
+        self,
+        record: JobRecord,
+        state: str,
+        detail: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Worker-thread transition: runs on the loop, waits for delivery."""
+        asyncio.run_coroutine_threadsafe(
+            self._transition(record, state, detail), self._loop
+        ).result()
+
+    # --------------------------------------------------------------- execution
+    def _adapter(self, engine: str):
+        adapter = self._adapters.get(engine)
+        if adapter is None:
+            adapter = self._adapters[engine] = estimator_for(engine)
+        return adapter
+
+    def _run_group(self, group: JobGroup) -> None:
+        """Execute one drained group in this worker thread."""
+        specs = group.specs
+        first = specs[0]
+        try:
+            before = build_counts()
+            for record in group.jobs:
+                self._transition_sync(record, "compiling", dict(before))
+            if group.key is not None:
+                adapter = self._adapter("rtl")
+                warm = adapter.warm(first, n_lanes=len(specs))
+                built = {
+                    k: build_counts()[k] - before[k] for k in before
+                }
+                for record in group.jobs:
+                    self._transition_sync(
+                        record, "simulating", {**warm, **built}
+                    )
+                results = adapter.estimate_many(specs)
+            else:
+                adapter = self._adapter(first.engine)
+                for record in group.jobs:
+                    self._transition_sync(record, "simulating", {})
+                results = [adapter.estimate(spec) for spec in specs]
+        except Exception:
+            self._run_solo_fallback(group)
+            return
+        for record, result in zip(group.jobs, results):
+            self._finish_job(record, result)
+
+    def _run_solo_fallback(self, group: JobGroup) -> None:
+        """Re-run each member alone after a group failure: exact blame.
+
+        A poisoned member (bad seed, injected fault, unresolvable stimulus)
+        fails by itself with a structured error; its lane-mates still
+        produce results — one job can never take its siblings down.
+        """
+        for record in group.jobs:
+            spec = record.spec
+            try:
+                result = self._adapter(spec.engine).estimate(spec)
+            except Exception as exc:
+                failure = TaskFailure(
+                    task_index=0,
+                    label=f"{spec.design}[{spec.engine}] job {record.job_id}",
+                    kind="exception",
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    traceback=traceback.format_exc(),
+                    attempts=2 if len(group) > 1 else 1,
+                )
+                record.error = failure.to_dict()
+                self._transition_sync(
+                    record,
+                    "failed",
+                    {
+                        "error_type": failure.error_type,
+                        "message": failure.message,
+                        "attempts": failure.attempts,
+                    },
+                )
+            else:
+                self._finish_job(record, result, solo_fallback=len(group) > 1)
+
+    def _finish_job(
+        self,
+        record: JobRecord,
+        result: EstimateResult,
+        solo_fallback: bool = False,
+    ) -> None:
+        result.metadata["job_id"] = record.job_id
+        result.metadata["group_size"] = max(record.group_size, 1)
+        record.result_key = self.store.put_result(record.spec, result.to_dict())
+        detail = {
+            "cycles": result.report.cycles,
+            "average_power_mw": result.report.average_power_mw,
+            "backend": result.backend,
+        }
+        if solo_fallback:
+            detail["solo_fallback"] = True
+        self._transition_sync(record, "done", detail)

@@ -1,0 +1,167 @@
+"""Persistent job ledger + shared result store of the estimation service.
+
+Two stores behind one object:
+
+* **Job records** live in the ``job`` namespace of a
+  :class:`~repro.bench.cache.ResultCache` — one JSON file per job, rewritten
+  on every state transition, so a restarted server (or ``python -m repro
+  status``) can list what happened across process lifetimes.
+* **Results** live in the very same ``estimate`` namespace, under the very
+  same ``cache.key(spec=spec.cache_dict())`` keys, that the
+  :func:`repro.api.sweep` runner uses.  The server and the sweep therefore
+  *share* one result store: a job whose spec was already swept is served from
+  cache without simulating, and a sweep after a serving session hits the
+  server's results.
+
+Without a directory the store is purely in-memory: job records and results
+die with the process, which is exactly right for tests and embedded use.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from typing import Dict, List, Optional, Tuple
+
+from repro.api.spec import EstimateResult, RunSpec
+from repro.api.sweep import CACHE_NAMESPACE
+from repro.bench.cache import ResultCache
+from repro.serve.protocol import JobRecord
+
+#: cache namespace holding job records (results use ``estimate``)
+JOB_NAMESPACE = "job"
+
+
+def new_job_id() -> str:
+    """A short, collision-resistant job identifier."""
+    return f"j{uuid.uuid4().hex[:12]}"
+
+
+class JobStore:
+    """Job records + results, in-memory always and on disk when configured."""
+
+    def __init__(
+        self, directory: Optional[str] = None, max_bytes: Optional[int] = None
+    ) -> None:
+        self.directory = os.path.abspath(directory) if directory else None
+        self._records: Dict[str, JobRecord] = {}
+        self._jobs: Optional[ResultCache] = None
+        self._results: Optional[ResultCache] = None
+        if self.directory:
+            self._jobs = ResultCache(self.directory, namespace=JOB_NAMESPACE)
+            self._results = ResultCache(
+                self.directory, namespace=CACHE_NAMESPACE, max_bytes=max_bytes
+            )
+        #: key() helper also in memory-only mode (never touches disk)
+        self._keyer = self._results or ResultCache(
+            "<memory>", namespace=CACHE_NAMESPACE
+        )
+        self._mem_results: Dict[str, Dict[str, object]] = {}
+
+    # ------------------------------------------------------------- job records
+    def create(self, spec: RunSpec) -> JobRecord:
+        record = JobRecord(
+            job_id=new_job_id(), spec=spec, submitted_at=time.time()
+        )
+        self._records[record.job_id] = record
+        self.save(record)
+        return record
+
+    def save(self, record: JobRecord) -> None:
+        """Persist the record's current state (no-op in memory-only mode)."""
+        if self._jobs is not None:
+            self._jobs.put(
+                self._jobs.key(job_id=record.job_id), record.to_dict()
+            )
+
+    def get(self, job_id: str) -> JobRecord:
+        try:
+            return self._records[job_id]
+        except KeyError:
+            raise KeyError(f"unknown job id {job_id!r}") from None
+
+    def jobs(self) -> List[JobRecord]:
+        """Every known job record, in submission order."""
+        return sorted(self._records.values(), key=lambda r: r.submitted_at)
+
+    def load_persisted(self) -> List[JobRecord]:
+        """Read every job record present on disk into this store.
+
+        Lets a restarted server (or a status command) see jobs from earlier
+        server processes.  Records already known in memory win — they are at
+        least as fresh as their on-disk copy.
+        """
+        if self.directory is None or not os.path.isdir(self.directory):
+            return []
+        loaded: List[JobRecord] = []
+        prefix = f"{JOB_NAMESPACE}-"
+        for name in sorted(os.listdir(self.directory)):
+            if not (name.startswith(prefix) and name.endswith(".json")):
+                continue
+            try:
+                with open(os.path.join(self.directory, name)) as handle:
+                    record = JobRecord.from_dict(json.load(handle))
+            except (OSError, ValueError, KeyError):
+                continue
+            if record.job_id not in self._records:
+                self._records[record.job_id] = record
+                loaded.append(record)
+        return loaded
+
+    # ---------------------------------------------------------------- results
+    def result_key(self, spec: RunSpec) -> str:
+        """The shared (sweep-compatible) result-cache key of one spec."""
+        return self._keyer.key(spec=spec.cache_dict())
+
+    def cached_result(
+        self, spec: RunSpec
+    ) -> Optional[Tuple[str, Dict[str, object]]]:
+        """(key, result payload) when this spec's result already exists."""
+        key = self.result_key(spec)
+        if self._results is not None:
+            payload = self._results.get(key)
+        else:
+            payload = self._mem_results.get(key)
+        if payload is None:
+            return None
+        return key, payload
+
+    def put_result(self, spec: RunSpec, payload: Dict[str, object]) -> str:
+        key = self.result_key(spec)
+        if self._results is not None:
+            self._results.put(key, payload)
+        else:
+            self._mem_results[key] = payload
+        return key
+
+    def get_result(self, record: JobRecord) -> Optional[EstimateResult]:
+        """The completed job's result, or None when it is gone (evicted)."""
+        if record.result_key is None:
+            return None
+        if self._results is not None:
+            payload = self._results.get(record.result_key)
+        else:
+            payload = self._mem_results.get(record.result_key)
+        if payload is None:
+            return None
+        result = EstimateResult.from_dict(payload)
+        # a cached payload may predate this job (sweep-written or another
+        # job's lane): the result always names the job that fetched it
+        result.metadata["job_id"] = record.job_id
+        return result
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> Dict[str, object]:
+        if self._results is not None:
+            return self._results.stats()
+        return {
+            "directory": None,
+            "namespace": CACHE_NAMESPACE,
+            "entries": len(self._mem_results),
+            "bytes": sum(
+                len(json.dumps(p)) for p in self._mem_results.values()
+            ),
+            "max_bytes": None,
+        }

@@ -1683,6 +1683,11 @@ def _generate_batch_source(
 #: module -> (mutation_key, n_lanes, schedule, program)
 _BATCH_CACHE: "weakref.WeakKeyDictionary[Module, tuple]" = weakref.WeakKeyDictionary()
 
+#: process-lifetime count of lane-program compilations (i.e. cache misses in
+#: :func:`compile_module_batch`); the :mod:`repro.serve` coalescer reads this
+#: to prove that N merged jobs shared one build
+PROGRAM_BUILD_COUNT = 0
+
 
 def compile_module_batch(
     module: Module, n_lanes: int, schedule: Optional[Schedule] = None
@@ -1701,6 +1706,8 @@ def compile_module_batch(
     cached = _BATCH_CACHE.get(module)
     if cached is not None and cached[0] == key and cached[1] == n_lanes and cached[2] is schedule:
         return cached[3]
+    global PROGRAM_BUILD_COUNT
+    PROGRAM_BUILD_COUNT += 1
 
     max_width = max((net.width for net in module.nets.values()), default=0)
     force_fallback = max_width > MAX_LIMB_WIDTH
@@ -1804,7 +1811,7 @@ class BatchSimulator:
         self.kernel_fallback: Optional[str] = None
         #: how the backend was chosen (notably what "auto" resolved to and why)
         self.kernel_decision = f"{requested} (requested)"
-        #: worker count the native kernel runs with (1 for numpy/off)
+        #: worker count the native/numpy kernel runs with (1 for off)
         self.kernel_threads = 1
         if requested != "off":
             try:
@@ -1826,11 +1833,15 @@ class BatchSimulator:
                         self.kernel = kernels.compile_kernel(ir, n_lanes, backend)
                         self.program._kernel_cache[backend] = self.kernel
                     self.kernel_backend = self.kernel.backend
-        if self.kernel is not None and self.kernel_backend == "native":
+        if self.kernel is not None and self.kernel_backend in ("native", "numpy"):
+            # both kernel backends fan lane blocks over a worker pool (OpenMP/
+            # pthreads for the C kernel, a ThreadPoolExecutor over sliced
+            # NumPy passes otherwise); any count is bit-identical
             self.kernel_threads = kernels.resolve_kernel_threads(
                 kernel_threads, n_lanes
             )
             self.kernel.set_threads(self.kernel_threads)
+            self.kernel_threads = self.kernel.n_threads
         self.cycle = 0
         self._v = np.zeros((self.program.n_slots, n_lanes), dtype=self.program.dtype)
         slot_of = self.program.slot_of

@@ -53,6 +53,12 @@ KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
 #: environment variable providing the session-wide default worker count
 KERNEL_THREADS_ENV = "REPRO_KERNEL_THREADS"
 
+#: process-lifetime count of kernel compilations (every
+#: :func:`compile_kernel` call — per-program caching happens in the caller);
+#: the :mod:`repro.serve` coalescer reads this to prove N merged jobs shared
+#: one kernel build
+KERNEL_BUILD_COUNT = 0
+
 
 def resolve_kernel_backend(requested: Optional[str] = None) -> str:
     """Validate and default the requested kernel backend.
@@ -117,6 +123,8 @@ def compile_kernel(ir: KernelIR, n_lanes: int, backend: str) -> LaneKernel:
     from repro.resilience.faults import maybe_inject
 
     maybe_inject("kernel")
+    global KERNEL_BUILD_COUNT
+    KERNEL_BUILD_COUNT += 1
     if backend == "native":
         try:
             return NativeKernel(ir, n_lanes)

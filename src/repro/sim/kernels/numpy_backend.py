@@ -14,11 +14,22 @@ extra per-row copies and is never slower than the per-op batch path; memory
 arrays (which the batch program also mutates in place) bind directly.
 Holder-facing features — lane views, memory backdoors, ``reset_state`` —
 keep working unchanged because all state still lives on the holders.
+
+Multi-core: :meth:`NumpyKernel.set_threads` fans each phase out over
+contiguous :data:`~repro.sim.kernels.native.BLOCK_LANES`-aligned lane slices
+on a ``ThreadPoolExecutor`` — NumPy releases the GIL inside its large ufunc
+loops, so slices genuinely overlap.  Threaded mode executes a second, sliced
+printing of the same IR whose state statements write *in place* into each
+slice's lanes (``_h3.pending[_sl] = ...``): slices touch disjoint lanes of
+every store row, state array and memory column, so any thread count is
+bit-identical to the serial kernel — this is the no-C-compiler counterpart
+of the native kernel's lane-block thread pool.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -31,8 +42,22 @@ from repro.sim.kernels.ir import (
 
 
 class _Printer:
-    def __init__(self, ir: KernelIR) -> None:
+    """Prints IR as NumPy statements.
+
+    ``state_slice``/``select_index`` configure the *sliced* printing used by
+    the threaded path: state locations gain a ``[_sl]`` lane-slice suffix
+    (reads become views, writes become in-place slice assignments) and
+    ``Select`` gathers with the slice-local lane index instead of the global
+    one (its stacked choice arrays are slice-shaped).  The default printing
+    is the whole-store form described in the module docstring.
+    """
+
+    def __init__(
+        self, ir: KernelIR, state_slice: str = "", select_index: str = "_lidx"
+    ) -> None:
         self.ir = ir
+        self.state_slice = state_slice
+        self.select_index = select_index
         #: unique holder object -> bound name
         self.holder_names: Dict[int, str] = {}
         self.holders: List[object] = []
@@ -46,7 +71,7 @@ class _Printer:
         holder, field, index = self.ir.state_specs[row]
         name = self.holder_names[id(holder)]
         suffix = "" if index is None else f"[{index}]"
-        return f"{name}.{field}{suffix}"
+        return f"{name}.{field}{suffix}{self.state_slice}"
 
     # ------------------------------------------------------------ expressions
     def expr(self, x) -> str:
@@ -79,7 +104,7 @@ class _Printer:
             return f"_popcount({e(x.a)})"
         if isinstance(x, Select):
             choices = ", ".join(e(c) for c in x.choices)
-            return f"_stack(({choices}))[{e(x.index)}, _lidx]"
+            return f"_stack(({choices}))[{e(x.index)}, {self.select_index}]"
         raise TypeError(f"unprintable IR node {x!r}")
 
     # ------------------------------------------------------------- statements
@@ -99,17 +124,27 @@ class _Printer:
         raise TypeError(f"unprintable IR statement {stmt!r}")
 
 
-def generate_numpy_source(ir: KernelIR, printer: "_Printer" = None) -> str:
-    """The fused NumPy module source for one extracted lane program."""
+def generate_numpy_source(
+    ir: KernelIR,
+    printer: "_Printer" = None,
+    name_suffix: str = "",
+    params: str = "v",
+) -> str:
+    """The fused NumPy module source for one extracted lane program.
+
+    ``name_suffix``/``params`` produce the sliced variants the threaded path
+    executes (``_settle_sl(v, _sl, _lidx, _lidx0)`` and friends); the
+    defaults print the whole-store functions.
+    """
     printer = printer if printer is not None else _Printer(ir)
     lines: List[str] = []
     for phase, stmts in ir.phases.items():
-        lines.append(f"def _{phase}(v):")
+        lines.append(f"def _{phase}{name_suffix}({params}):")
         body = [printer.statement(stmt) for stmt in stmts] or ["pass"]
         lines.extend("    " + line for line in body)
         lines.append("")
     if set(ir.phases) >= {"settle", "clock_edge"}:
-        lines.append("def _cycle(v):")
+        lines.append(f"def _cycle{name_suffix}({params}):")
         body = [
             printer.statement(stmt)
             for phase in ("settle", "clock_edge")
@@ -146,25 +181,99 @@ class NumpyKernel:
             namespace[f"_g{index}"] = array
         namespace["__builtins__"] = {}
         exec(compile(self.source, "<lane-kernel:numpy>", "exec"), namespace)
+        self._namespace = namespace
+        self._holders = list(printer.holders)
         self._settle = namespace.get("_settle")
         self._clock_edge = namespace.get("_clock_edge")
         self._cycle = namespace.get("_cycle")
-
-    #: NumPy kernels run single-threaded; :meth:`set_threads` is a no-op so
-    #: callers can set a thread budget without caring which backend resolved.
-    n_threads = 1
+        #: worker threads fanning lane slices out (1 = the serial fast path)
+        self.n_threads = 1
+        self._pool: Optional[ThreadPoolExecutor] = None
+        #: per-slice (slice, global lane index, local lane index) argument
+        #: triples, built when threading is enabled
+        self._slices: Optional[List[tuple]] = None
+        self._settle_sl = None
+        self._clock_edge_sl = None
+        self._cycle_sl = None
 
     def rebind(self) -> None:
         """No-op: state is reached through live holder attributes."""
 
+    # ---------------------------------------------------------- threading
     def set_threads(self, n_threads: int) -> None:
-        """No-op: the NumPy backend has no worker pool."""
+        """Set the worker count for subsequent kernel calls.
 
+        Workers own contiguous, :data:`~repro.sim.kernels.native.BLOCK_LANES`-
+        aligned lane slices — disjoint columns of every store row, state
+        array and memory — so results are bit-identical for any count.
+        Threaded calls execute the sliced in-place printing of the IR; the
+        serial whole-store functions keep running at ``n_threads == 1``.
+        """
+        from repro.sim.kernels.native import BLOCK_LANES
+
+        n_threads = max(1, int(n_threads))
+        n_blocks = max(1, -(-self.n_lanes // BLOCK_LANES))
+        n_threads = min(n_threads, n_blocks)
+        if n_threads == self.n_threads:
+            return
+        self.n_threads = n_threads
+        if n_threads == 1:
+            self._slices = None
+            return
+        if self._cycle_sl is None:
+            self._compile_sliced()
+        per = -(-n_blocks // n_threads) * BLOCK_LANES
+        bounds = [
+            (start, min(start + per, self.n_lanes))
+            for start in range(0, self.n_lanes, per)
+        ]
+        self._slices = [
+            (slice(s, e), np.arange(s, e), np.arange(e - s)) for s, e in bounds
+        ]
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+        self._pool = ThreadPoolExecutor(
+            max_workers=len(self._slices),
+            thread_name_prefix="repro-numpy-kernel",
+        )
+        # the serial kernel commits state by *rebinding* holder attributes,
+        # which can leave state/pending pairs aliased to one array; sliced
+        # in-place writes need them split (the native kernel's precondition)
+        for holder in self._holders:
+            unalias = getattr(holder, "unalias", None)
+            if unalias is not None:
+                unalias()
+
+    def _compile_sliced(self) -> None:
+        """Exec the sliced in-place printing into the kernel namespace."""
+        printer = _Printer(self.ir, state_slice="[_sl]", select_index="_lidx0")
+        # holder names must line up with the serial printer's bindings
+        source = generate_numpy_source(
+            self.ir, printer, name_suffix="_sl", params="v, _sl, _lidx, _lidx0"
+        )
+        self.sliced_source = source
+        exec(compile(source, "<lane-kernel:numpy-sliced>", "exec"), self._namespace)
+        self._settle_sl = self._namespace.get("_settle_sl")
+        self._clock_edge_sl = self._namespace.get("_clock_edge_sl")
+        self._cycle_sl = self._namespace.get("_cycle_sl")
+
+    def _run(self, fn, fn_sl, v: np.ndarray) -> None:
+        if self._slices is None:
+            fn(v)
+            return
+        futures = [
+            self._pool.submit(fn_sl, v[:, sl], sl, lidx, lidx0)
+            for sl, lidx, lidx0 in self._slices
+        ]
+        for future in futures:
+            future.result()
+
+    # ------------------------------------------------------------- phases
     def settle(self, v: np.ndarray) -> None:
-        self._settle(v)
+        self._run(self._settle, self._settle_sl, v)
 
     def clock_edge(self, v: np.ndarray) -> None:
-        self._clock_edge(v)
+        self._run(self._clock_edge, self._clock_edge_sl, v)
 
     def cycle(self, v: np.ndarray) -> None:
-        self._cycle(v)
+        self._run(self._cycle, self._cycle_sl, v)

@@ -71,6 +71,154 @@ def test_result_cache_quarantines_corruption(tmp_path):
     assert cache.get(key) == {"ok": True}
 
 
+def _put_with_age(cache, age_rank, **parts):
+    """Insert an entry whose mtime encodes its LRU age (0 = oldest)."""
+    key = cache.key(**parts)
+    cache.put(key, {"payload": "x" * 64, **parts})
+    stamp = 1_000_000 + age_rank * 1000
+    os.utime(cache._path(key), (stamp, stamp))
+    return key
+
+
+def test_result_cache_evicts_lru_to_byte_budget(tmp_path):
+    unbounded = ResultCache(str(tmp_path), namespace="t")
+    keys = [_put_with_age(unbounded, rank, n=rank) for rank in range(4)]
+    entry_bytes = os.path.getsize(unbounded._path(keys[0]))
+
+    # room for three entries (entry sizes vary by a byte or two, hence the
+    # slack): the next put must evict exactly the two oldest
+    cache = ResultCache(
+        str(tmp_path), namespace="t", max_bytes=3 * entry_bytes + 16
+    )
+    new_key = _put_with_age(cache, 99, n=99)
+    assert cache.eviction_count == 2
+    assert cache.get(keys[0]) is None
+    assert cache.get(keys[1]) is None
+    assert cache.get(keys[2]) is not None
+    assert cache.get(new_key) is not None
+
+
+def test_result_cache_hit_refreshes_lru_position(tmp_path):
+    cache = ResultCache(str(tmp_path), namespace="t")
+    old = _put_with_age(cache, 0, n="old")
+    young = _put_with_age(cache, 1, n="young")
+    # a hit is a use: the old entry becomes the most recently used
+    assert cache.get(old) is not None
+
+    entry_bytes = os.path.getsize(cache._path(old))
+    bounded = ResultCache(
+        str(tmp_path), namespace="t", max_bytes=2 * entry_bytes
+    )
+    kept = bounded.key(n="kept")
+    bounded.put(kept, {"payload": "x" * 64})
+    # the *young-but-unused* entry was the LRU victim, not the touched one
+    assert bounded.get(young) is None
+    assert bounded.get(old) is not None
+
+
+def test_result_cache_eviction_spares_just_written_entry(tmp_path):
+    # a budget below one entry keeps only the newest write, never zero
+    cache = ResultCache(str(tmp_path), namespace="t", max_bytes=1)
+    first = _put_with_age(cache, 0, n=1)
+    second = _put_with_age(cache, 1, n=2)
+    assert cache.get(first) is None
+    assert cache.get(second) is not None
+    assert cache.stats()["entries"] == 1
+
+
+def test_result_cache_eviction_spans_namespaces(tmp_path):
+    other = ResultCache(str(tmp_path), namespace="other")
+    foreign = _put_with_age(other, 0, n="foreign")
+    entry_bytes = os.path.getsize(other._path(foreign))
+
+    cache = ResultCache(str(tmp_path), namespace="t", max_bytes=entry_bytes)
+    mine = _put_with_age(cache, 1, n="mine")
+    # the byte budget is a directory property: the older entry of the other
+    # namespace was evicted to make room
+    assert other.get(foreign) is None
+    assert cache.get(mine) is not None
+
+
+def test_result_cache_stats_report_counters_and_sizes(tmp_path):
+    cache = ResultCache(str(tmp_path), namespace="t", max_bytes=10_000_000)
+    other = ResultCache(str(tmp_path), namespace="other")
+    key = cache.key(n=1)
+    assert cache.get(key) is None  # miss
+    cache.put(key, {"n": 1})
+    assert cache.get(key) == {"n": 1}  # hit
+    other.put(other.key(n=2), {"n": 2})
+
+    stats = cache.stats()
+    assert stats["directory"] == str(tmp_path)
+    assert stats["namespace"] == "t"
+    assert stats["entries"] == 2
+    assert stats["namespace_entries"] == 1
+    assert stats["bytes"] > 0
+    assert stats["max_bytes"] == 10_000_000
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["evictions"] == 0
+    assert stats["corrupt_quarantined"] == 0
+
+
+def test_cache_budget_resolves_from_environment(tmp_path, monkeypatch):
+    from repro.bench.cache import resolve_max_bytes
+
+    monkeypatch.delenv("REPRO_CACHE_MAX_MB", raising=False)
+    assert resolve_max_bytes(None) is None
+    assert resolve_max_bytes(123) == 123
+    monkeypatch.setenv("REPRO_CACHE_MAX_MB", "0.5")
+    assert resolve_max_bytes(None) == 512 * 1024
+    assert ResultCache(str(tmp_path)).max_bytes == 512 * 1024
+    assert resolve_max_bytes(77) == 77  # an explicit budget beats the env
+    monkeypatch.setenv("REPRO_CACHE_MAX_MB", "lots")
+    with pytest.raises(ValueError, match="REPRO_CACHE_MAX_MB"):
+        resolve_max_bytes(None)
+
+
+def test_result_cache_clear_scopes_by_namespace(tmp_path):
+    mine = ResultCache(str(tmp_path), namespace="t")
+    other = ResultCache(str(tmp_path), namespace="other")
+    mine.put(mine.key(n=1), {"n": 1})
+    mine.put(mine.key(n=2), {"n": 2})
+    other.put(other.key(n=3), {"n": 3})
+    assert mine.clear() == 2  # namespace-scoped by default
+    assert other.get(other.key(n=3)) == {"n": 3}
+    other.put(other.key(n=4), {"n": 4})
+    assert mine.clear(all_namespaces=True) == 2
+
+
+def test_cache_cli_stats_and_clear(tmp_path, capsys):
+    from repro.api.cli import main
+
+    cache = ResultCache(str(tmp_path), namespace="estimate")
+    cache.put(cache.key(n=1), {"n": 1})
+    other = ResultCache(str(tmp_path), namespace="job")
+    other.put(other.key(n=2), {"n": 2})
+
+    stats_json = tmp_path / "stats.json"
+    assert main([
+        "cache", "stats", "--cache-dir", str(tmp_path),
+        "--json", str(stats_json),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "entries           2 (1 in namespace 'estimate')" in out
+    assert "unbounded" in out
+    assert json.loads(stats_json.read_text())["entries"] == 2
+
+    # scoped clear drops just the named namespace...
+    assert main([
+        "cache", "clear", "--cache-dir", str(tmp_path),
+        "--namespace", "estimate",
+    ]) == 0
+    assert "cleared 1 cache entries (estimate)" in capsys.readouterr().out
+    assert other.get(other.key(n=2)) == {"n": 2}
+    # ...and the default clear sweeps every namespace
+    assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+    assert "cleared 1 cache entries (all namespaces)" in capsys.readouterr().out
+    assert ResultCache(str(tmp_path), namespace="job").stats()["entries"] == 0
+
+
 def test_code_fingerprint_stable_and_hexadecimal():
     first = code_fingerprint()
     assert first == code_fingerprint()

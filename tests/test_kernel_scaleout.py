@@ -119,6 +119,104 @@ def test_thread_count_invariance_under_spec_stimulus(design_name):
         )
 
 
+#: enough lanes for 3 BLOCK_LANES=128 blocks (the last one a remainder), so
+#: the threaded fused-NumPy kernel genuinely splits work across workers
+N_LANES_WIDE = 300
+
+
+def _numpy_simulator(design_name, n_threads, n_lanes=N_LANES_WIDE):
+    simulator = BatchSimulator(
+        build_flat(design_name), n_lanes,
+        kernel_backend="numpy", kernel_threads=n_threads,
+    )
+    assert simulator.kernel_backend == "numpy"
+    simulator.reset()
+    return simulator
+
+
+@pytest.mark.parametrize("design_name", sorted(all_designs()))
+def test_numpy_thread_count_bit_invariance(design_name):
+    """The threaded fused-NumPy kernel is bit-identical to its serial self."""
+    rng = np.random.default_rng(hash(design_name) % (2**32))
+    sequences = _input_sequences(
+        build_flat(design_name), rng, n_lanes=N_LANES_WIDE, n_cycles=8
+    )
+
+    def run(n_threads):
+        simulator = _numpy_simulator(design_name, n_threads)
+        if n_threads > 1:
+            # 300 lanes = 3 blocks: the multi-thread runs really fan out
+            assert simulator.kernel_threads == min(n_threads, 3)
+        for cycle in range(8):
+            simulator.set_inputs(
+                {name: sequences[name][cycle] for name in sequences}
+            )
+            simulator.settle()
+            simulator.clock_edge()
+        simulator.settle()
+        return simulator._v.copy()
+
+    reference = run(THREAD_COUNTS[0])
+    for n_threads in THREAD_COUNTS[1:]:
+        assert np.array_equal(reference, run(n_threads)), (
+            f"{design_name}: {n_threads}-thread numpy store differs from "
+            f"serial"
+        )
+
+
+@pytest.mark.parametrize("design_name", SPEC_DESIGNS)
+def test_numpy_thread_invariance_under_spec_stimulus(design_name):
+    """Spec-driven fused-NumPy runs are thread-count invariant too."""
+    spec = get_design(design_name).make_stimulus_spec().replace(n_cycles=8)
+
+    def run(n_threads):
+        simulator = _numpy_simulator(design_name, n_threads, n_lanes=200)
+        BatchStimulusDriver(simulator, spec).run()
+        return simulator._v.copy()
+
+    reference = run(THREAD_COUNTS[0])
+    for n_threads in THREAD_COUNTS[1:]:
+        assert np.array_equal(reference, run(n_threads)), (
+            f"{design_name}: {n_threads}-thread numpy spec-driven store "
+            f"differs from serial"
+        )
+
+
+def test_numpy_threads_resolve_from_environment(monkeypatch):
+    """REPRO_KERNEL_THREADS drives the numpy kernel like the native one."""
+    monkeypatch.setenv("REPRO_KERNEL_THREADS", "2")
+    simulator = BatchSimulator(
+        build_flat("binary_search"), N_LANES_WIDE, kernel_backend="numpy"
+    )
+    assert simulator.kernel_threads == 2
+    assert simulator.kernel.n_threads == 2
+
+
+def test_numpy_thread_switch_roundtrip_is_bit_identical():
+    """One simulator flipping threaded -> serial keeps producing the same
+    store as a never-threaded run (mode switches can't corrupt state)."""
+    rng = np.random.default_rng(11)
+    sequences = _input_sequences(
+        build_flat("binary_search"), rng, n_lanes=N_LANES_WIDE, n_cycles=12
+    )
+
+    def run(thread_schedule):
+        simulator = _numpy_simulator("binary_search", thread_schedule[0])
+        for cycle in range(12):
+            simulator.kernel.set_threads(
+                thread_schedule[cycle % len(thread_schedule)]
+            )
+            simulator.set_inputs(
+                {name: sequences[name][cycle] for name in sequences}
+            )
+            simulator.settle()
+            simulator.clock_edge()
+        simulator.settle()
+        return simulator._v.copy()
+
+    assert np.array_equal(run((1,)), run((2, 1, 3)))
+
+
 # ---------------------------------------------------------------------------
 # Limb-store parity against the object-dtype oracle and the scalar estimator.
 # ---------------------------------------------------------------------------
