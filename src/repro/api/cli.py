@@ -12,6 +12,9 @@ One CLI over the unified estimation API::
     python -m repro submit --design DCT --seed 3
     python -m repro status
     python -m repro cache stats --cache-dir .cache
+    python -m repro sweep --designs DCT --seeds 0:8 --trace trace.json
+    python -m repro obs summarize trace.json
+    python -m repro obs dump --url http://127.0.0.1:8350
 
 ``run`` executes one :class:`~repro.api.spec.RunSpec` through any engine,
 ``sweep`` fans a (design × engine × seed) grid over batch lanes + the shard
@@ -38,6 +41,12 @@ scheduler); ``sweep`` adds ``--on-error {raise,skip}`` (skip keeps healthy
 results and exits 3 when any task failed) and ``--resume`` (recompute only
 what the cache is missing).  Ctrl-C during a sweep persists completed
 results, prints the partial summary, and exits 130.
+
+Observability (PR 9): ``run``/``sweep`` accept ``--trace out.json`` — a
+Chrome ``trace_event`` timeline of every :mod:`repro.obs` span, including
+shard-worker spans merged from the pool; ``obs dump`` prints the metrics
+registry (or scrapes a live server's ``GET /metrics``), ``obs reset`` zeroes
+it, and ``obs summarize`` turns a trace file into a per-span timing table.
 """
 
 from __future__ import annotations
@@ -170,8 +179,33 @@ def _write_json(path: Optional[str], payload: dict) -> None:
     print(f"wrote {path}")
 
 
+def _traced(args: argparse.Namespace, body):
+    """Run ``body`` with span tracing when ``--trace PATH`` was given.
+
+    Tracing is enabled before the work starts and the buffered spans are
+    written as one Chrome ``trace_event`` JSON afterwards — also on error
+    and on Ctrl-C, so an interrupted sweep still leaves a loadable trace.
+    """
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return body()
+    from repro import obs
+
+    obs.enable(tracing=True)
+    try:
+        return body()
+    finally:
+        n_spans = obs.write_chrome_trace(trace_path)
+        print(f"wrote {trace_path} ({n_spans} spans; open in Perfetto or "
+              f"chrome://tracing)")
+
+
 # ------------------------------------------------------------------ run
 def _cmd_run(args: argparse.Namespace) -> int:
+    return _traced(args, lambda: _run_body(args))
+
+
+def _run_body(args: argparse.Namespace) -> int:
     from repro.api import RunSpec, estimate
 
     spec = RunSpec(
@@ -203,6 +237,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 # ---------------------------------------------------------------- sweep
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    return _traced(args, lambda: _sweep_body(args))
+
+
+def _sweep_body(args: argparse.Namespace) -> int:
     from repro.api import SweepSpec, sweep
     from repro.api.sweep import SweepInterrupted
 
@@ -369,12 +407,78 @@ def _cmd_cache(args: argparse.Namespace) -> int:
               f"({stats['bytes'] / (1024 * 1024):.2f} MiB)")
         print(f"byte budget       {budget}")
         print(f"corrupt entries   {stats['corrupt_quarantined']} quarantined")
+        from repro import obs
+
+        session = {
+            "hits": obs.REGISTRY.counter(
+                "repro_cache_hits_total", "").value(namespace=cache.namespace),
+            "misses": obs.REGISTRY.counter(
+                "repro_cache_misses_total", "").value(namespace=cache.namespace),
+            "evictions": obs.REGISTRY.counter(
+                "repro_cache_evictions_total", "").value(namespace=cache.namespace),
+            "corruptions": obs.REGISTRY.counter(
+                "repro_cache_corruptions_total", "").value(namespace=cache.namespace),
+        }
+        print(f"session counters  {session['hits']:.0f} hits, "
+              f"{session['misses']:.0f} misses, "
+              f"{session['evictions']:.0f} evicted, "
+              f"{session['corruptions']:.0f} corrupt "
+              f"(this process, namespace {cache.namespace!r})")
+        stats = dict(stats)
+        stats["session_counters"] = session
         _write_json(args.json, stats)
         return 0
     # clear: an explicit --namespace restricts; default clears every entry
     removed = cache.clear(all_namespaces=not namespace_given)
     scope = args.namespace if namespace_given else "all namespaces"
     print(f"cleared {removed} cache entries ({scope}) from {cache.directory}")
+    return 0
+
+
+# ------------------------------------------------------------------ obs
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    if args.obs_action == "dump":
+        if args.url:
+            import urllib.error
+            import urllib.request
+
+            try:
+                with urllib.request.urlopen(
+                    f"{args.url}/metrics", timeout=30.0
+                ) as response:
+                    text = response.read().decode()
+            except (urllib.error.URLError, OSError) as error:
+                raise ValueError(
+                    f"cannot reach {args.url}/metrics: "
+                    f"{getattr(error, 'reason', error)} — is "
+                    f"`python -m repro serve` running?"
+                ) from None
+        else:
+            text = obs.render_prometheus()
+        print(text, end="")
+        return 0
+    if args.obs_action == "reset":
+        summary = obs.reset()
+        print(f"reset {summary['metrics_reset']} metrics, dropped "
+              f"{summary['spans_dropped']} buffered spans")
+        return 0
+    # summarize: aggregate a --trace artifact into a per-span-name table
+    try:
+        summary = obs.summarize_trace(args.trace)
+    except OSError as error:
+        raise ValueError(f"cannot read trace {args.trace}: {error}") from None
+    print(f"{args.trace}: {summary['n_spans']} spans across "
+          f"{summary['n_processes']} process(es), "
+          f"{summary['wall_ms']:.1f} ms wall")
+    print(f"{'span':24s} {'count':>6s} {'total ms':>10s} {'mean ms':>9s} "
+          f"{'max ms':>9s}  pids")
+    for name, row in summary["by_name"].items():
+        pids = ",".join(str(pid) for pid in row["pids"])
+        print(f"{name:24s} {row['count']:6d} {row['total_ms']:10.2f} "
+              f"{row['mean_ms']:9.3f} {row['max_ms']:9.3f}  {pids}")
+    _write_json(args.json, summary)
     return 0
 
 
@@ -571,6 +675,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="attach accuracy vs a software-RTL reference run")
     run.add_argument("--top", type=int, default=10,
                      help="component rows to print in the power table")
+    run.add_argument("--trace", metavar="PATH", default=None,
+                     help="write the run's spans as a Chrome trace_event "
+                          "JSON (open in Perfetto or chrome://tracing)")
     _add_common_run_arguments(run)
     run.set_defaults(func=_cmd_run)
 
@@ -594,6 +701,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="resume a failed/interrupted sweep from its cache "
                           "(requires --cache-dir): completed tasks are cache "
                           "hits, only missing/failed tasks recompute")
+    swp.add_argument("--trace", metavar="PATH", default=None,
+                     help="write the sweep's spans — including shard-worker "
+                          "spans, merged onto one timeline — as a Chrome "
+                          "trace_event JSON (Perfetto / chrome://tracing)")
     _add_common_run_arguments(swp)
     swp.set_defaults(func=_cmd_sweep)
 
@@ -693,6 +804,24 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--json", metavar="PATH", default=None,
                        help="write the stats as a JSON artifact")
     cache.set_defaults(func=_cmd_cache)
+
+    obs_p = sub.add_parser("obs", help="observability: dump/reset the metrics "
+                                       "registry, summarize a --trace file")
+    obs_sub = obs_p.add_subparsers(dest="obs_action", required=True)
+    obs_dump = obs_sub.add_parser(
+        "dump", help="print metrics in Prometheus text exposition format")
+    obs_dump.add_argument("--url", default=None,
+                          help="scrape GET <url>/metrics of a live serve "
+                               "instance instead of this process's registry")
+    obs_sub.add_parser("reset", help="zero every metric in this process's "
+                                     "registry and drop buffered spans")
+    obs_sum = obs_sub.add_parser(
+        "summarize", help="aggregate a Chrome trace JSON (from --trace) into "
+                          "a per-span-name timing table")
+    obs_sum.add_argument("trace", help="trace_event JSON path")
+    obs_sum.add_argument("--json", metavar="PATH", default=None,
+                         help="write the summary as a JSON artifact")
+    obs_p.set_defaults(func=_cmd_obs)
 
     # listed for `python -m repro --help` only: every real fig3/gate
     # invocation — including `--help` — is forwarded to the module's own

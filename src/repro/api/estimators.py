@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, Optional, Protocol, runtime_checkable
 
+from repro import obs
 from repro.api.spec import ENGINES, EstimateResult, RunSpec
 from repro.netlist.flatten import flatten
 from repro.netlist.module import Module
@@ -25,6 +26,9 @@ from repro.power.library import PowerModelLibrary, build_seed_library
 from repro.power.report import PowerReport
 from repro.power.technology import CB130M_TECHNOLOGY, Technology
 from repro.sim.testbench import Testbench
+
+_ESTIMATES = obs.counter(
+    "repro_estimates_total", "Completed estimates by engine")
 
 
 @runtime_checkable
@@ -143,6 +147,7 @@ class _EngineAdapter:
         start: float,
         setup_s: float,
         metadata: Dict[str, object],
+        phase_s: Optional[Dict[str, float]] = None,
     ) -> EstimateResult:
         if not spec.keep_cycle_trace:
             report.cycle_energy_fj = []
@@ -150,6 +155,16 @@ class _EngineAdapter:
         if spec.compare_to_rtl:
             accuracy = self._accuracy_vs_rtl(spec, report)
         total = time.perf_counter() - start
+        # per-phase wall-clock breakdown (repro.obs tentpole): setup, then
+        # engine-specific phases (lane build / simulate / macromodel eval),
+        # closed by the total — always present, independent of tracing
+        phases: Dict[str, float] = {"setup_s": setup_s}
+        if phase_s:
+            phases.update(phase_s)
+        phases["total_s"] = total
+        metadata = dict(metadata)
+        metadata["phase_s"] = {k: round(float(v), 6) for k, v in phases.items()}
+        _ESTIMATES.inc(engine=self.engine)
         return EstimateResult(
             spec=spec,
             engine=report.estimator,
@@ -178,32 +193,42 @@ class RTLEstimatorAdapter(_EngineAdapter):
 
     def estimate(self, spec: RunSpec) -> EstimateResult:
         self._check_spec(spec)
+        est_span = obs.span("estimate", design=spec.design, engine=self.engine)
         start = time.perf_counter()
-        library = self.library_for(spec)
-        flat = self._resolve_flat(spec)
-        testbench = self._resolve_testbench(spec)
+        with obs.span("estimate.setup", design=spec.design):
+            library = self.library_for(spec)
+            flat = self._resolve_flat(spec)
+            testbench = self._resolve_testbench(spec)
         setup_s = time.perf_counter() - start
 
         kernel_info = None
+        phase_s: Optional[Dict[str, float]] = None
         if spec.backend == "batch":
-            report, backend, kernel_info = self._estimate_batch(
+            report, backend, kernel_info, phase_s = self._estimate_batch(
                 spec, flat, library, testbench
             )
         else:
             backend = "compiled" if spec.backend == "auto" else spec.backend
             estimator = _get_rtl_estimator(flat, library, self.technology, backend)
-            report = estimator.estimate(
-                testbench,
-                max_cycles=spec.max_cycles,
-                keep_cycle_trace=spec.keep_cycle_trace,
-            )
+            with obs.span("estimate.simulate", design=spec.design,
+                          backend=backend):
+                report = estimator.estimate(
+                    testbench,
+                    max_cycles=spec.max_cycles,
+                    keep_cycle_trace=spec.keep_cycle_trace,
+                )
+            phase_s = {"simulate_s": report.estimation_time_s}
         metadata = {
             "n_monitored_components": report.notes.get("n_monitored_components"),
             "design": spec.design,
         }
         if kernel_info is not None:
             metadata.update(kernel_info)
-        return self._finish(spec, report, backend, start, setup_s, metadata)
+        result = self._finish(
+            spec, report, backend, start, setup_s, metadata, phase_s)
+        est_span.set(backend=backend)
+        est_span.end()
+        return result
 
     def warm(self, spec: RunSpec, n_lanes: int = 1) -> Dict[str, object]:
         """Build everything a lane run of ``spec`` would compile, cacheably.
@@ -219,22 +244,23 @@ class RTLEstimatorAdapter(_EngineAdapter):
         """
         from repro.api.spec import is_coalescable
 
-        self.library_for(spec)
-        flat = self._resolve_flat(spec)
-        if not is_coalescable(spec):
-            return {}
-        from repro.sim.batch import (
-            BatchCompilationError, BatchSimulator, LaneStateError,
-        )
-
-        try:
-            simulator = BatchSimulator(
-                flat, n_lanes, kernel_backend=spec.kernel_backend,
-                kernel_threads=spec.kernel_threads,
+        with obs.span("estimate.warm", design=spec.design, n_lanes=n_lanes):
+            self.library_for(spec)
+            flat = self._resolve_flat(spec)
+            if not is_coalescable(spec):
+                return {}
+            from repro.sim.batch import (
+                BatchCompilationError, BatchSimulator, LaneStateError,
             )
-        except (BatchCompilationError, LaneStateError):
-            # estimate/estimate_many will fall back to the scalar path
-            return {}
+
+            try:
+                simulator = BatchSimulator(
+                    flat, n_lanes, kernel_backend=spec.kernel_backend,
+                    kernel_threads=spec.kernel_threads,
+                )
+            except (BatchCompilationError, LaneStateError):
+                # estimate/estimate_many will fall back to the scalar path
+                return {}
         return {
             "kernel_backend": simulator.kernel_backend,
             "kernel_decision": simulator.kernel_decision,
@@ -267,10 +293,13 @@ class RTLEstimatorAdapter(_EngineAdapter):
         from repro.power.lane_estimator import BatchRTLPowerEstimator
         from repro.sim.batch import BatchCompilationError, LaneStateError
 
+        many_span = obs.span(
+            "estimate.batch", design=first.design, n_specs=len(specs))
         start = time.perf_counter()
-        library = self.library_for(first)
-        flat = self._resolve_flat(first)
-        testbenches = [self._resolve_testbench(spec) for spec in specs]
+        with obs.span("estimate.setup", design=first.design):
+            library = self.library_for(first)
+            flat = self._resolve_flat(first)
+            testbenches = [self._resolve_testbench(spec) for spec in specs]
         setup_s = time.perf_counter() - start
         try:
             estimator = BatchRTLPowerEstimator(flat, library=library,
@@ -283,7 +312,9 @@ class RTLEstimatorAdapter(_EngineAdapter):
                 keep_cycle_trace=any(s.keep_cycle_trace for s in specs),
             )
             backend = f"batch[{len(specs)}]"
-        except (BatchCompilationError, LaneStateError):
+        except (BatchCompilationError, LaneStateError) as error:
+            many_span.set(fallback=type(error).__name__)
+            many_span.end()
             fallbacks = []
             for spec in specs:
                 result = self.estimate(spec.replace(backend="auto"))
@@ -301,8 +332,10 @@ class RTLEstimatorAdapter(_EngineAdapter):
                 "design": spec.design,
             }
             results.append(
-                self._finish(spec, report, backend, start, setup_s / len(specs), metadata)
+                self._finish(spec, report, backend, start, setup_s / len(specs),
+                             metadata, dict(estimator.last_phase_s))
             )
+        many_span.end()
         return results
 
     def _estimate_batch(self, spec, flat, library, testbench):
@@ -324,15 +357,17 @@ class RTLEstimatorAdapter(_EngineAdapter):
                 "kernel_decision": estimator.last_kernel_decision,
                 "kernel_threads": estimator.last_kernel_threads,
             }
-            return reports[0], "batch[1]", kernel_info
+            return reports[0], "batch[1]", kernel_info, dict(estimator.last_phase_s)
         except (BatchCompilationError, LaneStateError):
             estimator = _get_rtl_estimator(flat, library, self.technology, "compiled")
-            report = estimator.estimate(
-                testbench,
-                max_cycles=spec.max_cycles,
-                keep_cycle_trace=spec.keep_cycle_trace,
-            )
-            return report, "compiled", None
+            with obs.span("estimate.simulate", design=spec.design,
+                          backend="compiled"):
+                report = estimator.estimate(
+                    testbench,
+                    max_cycles=spec.max_cycles,
+                    keep_cycle_trace=spec.keep_cycle_trace,
+                )
+            return report, "compiled", None, {"simulate_s": report.estimation_time_s}
 
 
 class GateLevelEstimatorAdapter(_EngineAdapter):
@@ -353,13 +388,15 @@ class GateLevelEstimatorAdapter(_EngineAdapter):
             flat, library=library, technology=self.technology, backend=backend
         )
         setup_s = time.perf_counter() - start
-        report = estimator.estimate(testbench, max_cycles=spec.max_cycles)
+        with obs.span("estimate.simulate", design=spec.design, engine="gate"):
+            report = estimator.estimate(testbench, max_cycles=spec.max_cycles)
         metadata = {
             "n_gate_mapped": report.notes.get("n_gate_mapped"),
             "n_macromodelled": report.notes.get("n_macromodelled"),
             "design": spec.design,
         }
-        return self._finish(spec, report, backend, start, setup_s, metadata)
+        return self._finish(spec, report, backend, start, setup_s, metadata,
+                            {"simulate_s": report.estimation_time_s})
 
 
 class EmulationEstimatorAdapter(_EngineAdapter):
@@ -388,13 +425,17 @@ class EmulationEstimatorAdapter(_EngineAdapter):
             config=InstrumentationConfig(coefficient_bits=spec.coefficient_bits),
         )
         setup_s = time.perf_counter() - start
-        flow_report = flow.run(
-            module,
-            testbench,
-            workload_cycles=spec.workload_cycles,
-            testbench_on_fpga=spec.testbench_on_fpga,
-            max_cycles=spec.max_cycles,
-        )
+        flow_start = time.perf_counter()
+        with obs.span("estimate.simulate", design=spec.design,
+                      engine="emulation"):
+            flow_report = flow.run(
+                module,
+                testbench,
+                workload_cycles=spec.workload_cycles,
+                testbench_on_fpga=spec.testbench_on_fpga,
+                max_cycles=spec.max_cycles,
+            )
+        flow_s = time.perf_counter() - flow_start
         emulation = flow_report.emulation
         report = flow_report.power_report
         metadata = {
@@ -408,7 +449,10 @@ class EmulationEstimatorAdapter(_EngineAdapter):
             "executed_cycles": emulation.executed_cycles,
             "workload_cycles": emulation.workload_cycles,
         }
-        result = self._finish(spec, report, "emulation", start, setup_s, metadata)
+        result = self._finish(
+            spec, report, "emulation", start, setup_s, metadata,
+            {"flow_s": flow_s,
+             "host_simulation_s": emulation.host_simulation_s})
         result.timing.update(
             {f"modeled_{k}": v for k, v in emulation.time_breakdown.as_dict().items()}
         )

@@ -43,6 +43,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.api.estimators import RTLEstimatorAdapter, estimate
 from repro.api.spec import (
     EXECUTION_POLICY_FIELDS,
@@ -349,15 +350,20 @@ def sweep(spec: SweepSpec, resume: bool = False) -> SweepResult:
     )
     manifest = _Manifest(spec)
 
+    sweep_span = obs.span(
+        "sweep", n_tasks=len(all_specs), n_workers=spec.n_workers)
+
     resolved: Dict[RunSpec, EstimateResult] = {}
     cache_hits = 0
     if cache is not None:
-        for run_spec in all_specs:
-            payload = cache.get(cache.key(spec=run_spec.cache_dict()))
-            if payload is not None:
-                resolved[run_spec] = EstimateResult.from_dict(payload)
-                cache_hits += 1
-                manifest.set_status(_task_key(run_spec.to_dict()), "cached")
+        with obs.span("sweep.cache_scan", n_tasks=len(all_specs)) as scan:
+            for run_spec in all_specs:
+                payload = cache.get(cache.key(spec=run_spec.cache_dict()))
+                if payload is not None:
+                    resolved[run_spec] = EstimateResult.from_dict(payload)
+                    cache_hits += 1
+                    manifest.set_status(_task_key(run_spec.to_dict()), "cached")
+            scan.set(cache_hits=cache_hits)
 
     missing = [s for s in all_specs if s not in resolved]
     payloads = _group_tasks(missing)
@@ -410,6 +416,9 @@ def sweep(spec: SweepSpec, resume: bool = False) -> SweepResult:
     )
 
     results = [resolved[s] for s in all_specs if s in resolved]
+    sweep_span.set(cache_hits=cache_hits, n_results=len(results),
+                   n_failures=len(failures))
+    sweep_span.end()
     result = SweepResult(
         spec=spec,
         results=results,

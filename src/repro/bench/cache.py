@@ -34,10 +34,30 @@ import re
 import tempfile
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.resilience.faults import maybe_inject
 
 #: environment variable holding the cache byte budget, in MiB ("" = unbounded)
 CACHE_MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
+
+# Process-wide cache counters, labelled by namespace; the per-object
+# ``hit_count``/... attributes below stay authoritative for a single cache's
+# lifetime, the registry aggregates across every ResultCache in the process
+# (sweep + serve + job store share one registry).  Essential so `repro cache
+# stats` and the serve /metrics endpoint see them even with metrics disabled.
+_CACHE_HITS = obs.counter(
+    "repro_cache_hits_total", "ResultCache lookups served from disk",
+    essential=True)
+_CACHE_MISSES = obs.counter(
+    "repro_cache_misses_total", "ResultCache lookups that missed",
+    essential=True)
+_CACHE_EVICTIONS = obs.counter(
+    "repro_cache_evictions_total",
+    "ResultCache entries evicted to stay under the byte budget",
+    essential=True)
+_CACHE_CORRUPTIONS = obs.counter(
+    "repro_cache_corruptions_total",
+    "ResultCache entries quarantined as corrupt", essential=True)
 
 #: cache entry files: ``<namespace>-<sha256 hex>.json`` (manifests and other
 #: bookkeeping files in the same directory never match)
@@ -141,12 +161,15 @@ class ResultCache:
                 value = json.load(handle)
         except OSError:
             self.miss_count += 1
+            _CACHE_MISSES.inc(namespace=self.namespace)
             return None
         except ValueError:
             self._quarantine(path)
             self.miss_count += 1
+            _CACHE_MISSES.inc(namespace=self.namespace)
             return None
         self.hit_count += 1
+        _CACHE_HITS.inc(namespace=self.namespace)
         try:
             # a hit is a *use*: bump the mtime so LRU eviction spares it
             os.utime(path)
@@ -156,6 +179,7 @@ class ResultCache:
 
     def _quarantine(self, path: str) -> None:
         self.corruption_count += 1
+        _CACHE_CORRUPTIONS.inc(namespace=self.namespace)
         try:
             os.replace(path, path + ".corrupt")
         except OSError:  # pragma: no cover - raced or read-only directory
@@ -222,6 +246,8 @@ class ResultCache:
             total -= size
             evicted += 1
         self.eviction_count += evicted
+        if evicted:
+            _CACHE_EVICTIONS.inc(evicted, namespace=self.namespace)
         return evicted
 
     def stats(self) -> Dict[str, object]:

@@ -48,6 +48,10 @@ def classify_metric(name: str) -> Optional[str]:
         return "higher"
     if name.endswith(("_time_s", "_wall_s", "_seconds")):
         return "lower"
+    # *_overhead_pct / *_ns micro-measurements are deliberately NOT gated:
+    # they hover near zero, so baseline/current ratios amplify noise into
+    # false regressions — the harness that emits them asserts its own
+    # absolute budget instead (e.g. bench_obs_overhead's < 2% ceiling)
     return None
 
 

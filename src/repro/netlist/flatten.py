@@ -13,6 +13,7 @@ from __future__ import annotations
 import copy
 from typing import Dict, Mapping
 
+from repro import obs
 from repro.netlist.components import Component
 from repro.netlist.module import Module
 from repro.netlist.nets import Net
@@ -36,9 +37,11 @@ def clone_component(component: Component, new_name: str | None = None) -> Compon
 
 def flatten(module: Module, name: str | None = None) -> Module:
     """Elaborate ``module`` into a fresh, fully flat module."""
-    flat = Module(name if name is not None else module.name)
-    flat.attributes = dict(module.attributes)
-    _inline(flat, module, prefix="", port_binding=None)
+    with obs.span("netlist.flatten", module=module.name) as span:
+        flat = Module(name if name is not None else module.name)
+        flat.attributes = dict(module.attributes)
+        _inline(flat, module, prefix="", port_binding=None)
+        span.set(n_components=len(flat.components), n_nets=len(flat.nets))
     return flat
 
 

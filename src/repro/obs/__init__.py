@@ -1,0 +1,175 @@
+"""repro.obs — unified tracing + metrics for the whole estimation stack.
+
+One import gives every layer (``repro.sim``, ``repro.api``,
+``repro.resilience``, ``repro.serve``) the same two primitives:
+
+* a process-wide :class:`~repro.obs.metrics.MetricsRegistry` (``REGISTRY``)
+  of labelled counters/gauges/histograms, rendered on demand as Prometheus
+  text (``GET /metrics`` on the serve HTTP frontend, ``repro obs dump``);
+* structured trace spans (:func:`span` / :func:`start_span`) exporting
+  Chrome ``trace_event`` JSON (``repro sweep --trace out.json``), with
+  helpers to ship spans and counter deltas from forkserver shard workers
+  back to the parent timeline.
+
+Defaults: metrics **on** (cheap — one dict update per build/job/cache op,
+never per simulated cycle), tracing **off** until :func:`enable` or a
+``--trace`` flag or ``REPRO_OBS=1`` turns it on.  ``disable()`` exists for
+overhead measurement; counters registered ``essential=True`` (the build
+counters that ``repro.serve`` stats and back-compat module attributes
+read) keep counting even then.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from . import trace as _trace
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from .trace import (
+    Span,
+    chrome_trace,
+    load_trace,
+    span,
+    start_span,
+    summarize_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Span",
+    "capture_state",
+    "chrome_trace",
+    "counter",
+    "disable",
+    "drain_spans",
+    "enable",
+    "gauge",
+    "histogram",
+    "load_trace",
+    "merge_worker",
+    "metrics_enabled",
+    "render_prometheus",
+    "reset",
+    "span",
+    "start_span",
+    "summarize_trace",
+    "tracing_enabled",
+    "worker_begin",
+    "worker_export",
+    "write_chrome_trace",
+]
+
+#: The process-wide registry every instrumentation site registers against.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, help: str = "", essential: bool = False) -> Counter:
+    return REGISTRY.counter(name, help, essential)
+
+
+def gauge(name: str, help: str = "", essential: bool = False) -> Gauge:
+    return REGISTRY.gauge(name, help, essential)
+
+
+def histogram(name: str, help: str = "", essential: bool = False,
+              buckets=None) -> Histogram:
+    return REGISTRY.histogram(name, help, essential, buckets=buckets)
+
+
+def render_prometheus() -> str:
+    return REGISTRY.render_prometheus()
+
+
+# ------------------------------------------------------------------ control
+
+
+def enable(tracing: bool = True, metrics: bool = True) -> None:
+    """Turn observability on (tracing defaults on; metrics stay on)."""
+    if metrics:
+        REGISTRY.set_enabled(True)
+    if tracing:
+        _trace.enable_tracing()
+
+
+def disable() -> None:
+    """Turn tracing and non-essential metrics off (overhead measurement)."""
+    _trace.disable_tracing()
+    REGISTRY.set_enabled(False)
+
+
+def tracing_enabled() -> bool:
+    return _trace.tracing_enabled()
+
+
+def metrics_enabled() -> bool:
+    return REGISTRY.enabled
+
+
+def reset() -> dict:
+    """Zero all metric values and drop buffered spans; returns what was cut."""
+    dropped = len(_trace.drain_events())
+    n_metrics = len(REGISTRY.metrics())
+    REGISTRY.reset()
+    return {"metrics_reset": n_metrics, "spans_dropped": dropped}
+
+
+def drain_spans():
+    return _trace.drain_events()
+
+
+# ------------------------------------------------- cross-process plumbing
+#
+# The resilience runner ships ``capture_state()`` with every task call
+# (alongside the fault plan).  Worker side: ``worker_begin`` installs the
+# state and snapshots counters, ``worker_export`` drains this task's spans
+# plus counter *deltas* into the result envelope.  Parent side:
+# ``merge_worker`` folds them into the local buffer/registry.  In-process
+# (serial) execution is a no-op: same pid, token is None.
+
+
+def capture_state() -> dict:
+    return {"pid": os.getpid(), "tracing": _trace.tracing_enabled()}
+
+
+def worker_begin(state: Optional[dict]) -> Optional[dict]:
+    if not state or state.get("pid") == os.getpid():
+        return None
+    if state.get("tracing"):
+        _trace.enable_tracing()
+    return {"counters": REGISTRY.counters_snapshot()}
+
+
+def worker_export(token: Optional[dict]) -> Optional[dict]:
+    if token is None:
+        return None
+    return {
+        "spans": _trace.drain_events(),
+        "counters": REGISTRY.counter_deltas(token["counters"]),
+    }
+
+
+def merge_worker(payload: Optional[dict]) -> None:
+    if not payload:
+        return
+    _trace.add_events(payload.get("spans") or ())
+    REGISTRY.merge_counter_deltas(payload.get("counters") or {})
+
+
+# REPRO_OBS=1 (or "trace") pre-enables tracing at import — the hook that
+# lets forkserver workers spawned outside the runner's state-shipping path
+# (and ad-hoc scripts) trace without code changes.
+if os.environ.get("REPRO_OBS", "").strip().lower() in {"1", "on", "trace", "true"}:
+    _trace.enable_tracing()

@@ -1,0 +1,259 @@
+"""Structured trace spans exporting Chrome ``trace_event`` JSON.
+
+Spans mark phases of the estimation pipeline (``netlist.flatten``,
+``program.build``, ``kernel.compile``, ``lanes.simulate``, per-job serve
+states) and serialize as complete ("X") events — wall-clock ``ts`` plus
+monotonic-measured ``dur``, both in microseconds — which Perfetto and
+``chrome://tracing`` load directly.  Using wall-clock for ``ts`` is what
+lets spans recorded in forkserver shard workers land on the same timeline
+as the parent once their buffers are merged (each keeps its own ``pid``
+row in the viewer).
+
+Two span APIs with different disabled-path costs:
+
+* ``span(name, **args)`` — context manager for instrumentation sites.
+  With tracing off it returns a shared no-op singleton: one module-global
+  check, no allocation.
+* ``start_span(name, **args)`` — always returns a measuring :class:`Span`
+  whose ``duration_s`` is valid after ``end()`` even with tracing off.
+  ``repro.serve`` uses this so streaming progress events carry phase
+  durations from the span layer unconditionally.
+
+Nothing here runs per simulated cycle; the lane hot path
+(``BatchSimulator.settle``/``clock_edge``/``step``) stays untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Union
+
+__all__ = [
+    "Span",
+    "add_events",
+    "chrome_trace",
+    "disable_tracing",
+    "drain_events",
+    "enable_tracing",
+    "event_count",
+    "load_trace",
+    "peek_events",
+    "span",
+    "start_span",
+    "summarize_trace",
+    "tracing_enabled",
+    "write_chrome_trace",
+]
+
+_lock = threading.Lock()
+_events: List[dict] = []
+_tracing = False
+
+
+def enable_tracing() -> None:
+    global _tracing
+    _tracing = True
+
+
+def disable_tracing() -> None:
+    global _tracing
+    _tracing = False
+
+
+def tracing_enabled() -> bool:
+    return _tracing
+
+
+class Span:
+    """One timed phase; records a Chrome event on ``end()`` if tracing."""
+
+    __slots__ = ("name", "args", "duration_s", "_start_wall", "_start_perf",
+                 "_done")
+
+    def __init__(self, name: str, args: Optional[dict] = None) -> None:
+        self.name = name
+        self.args = dict(args) if args else {}
+        self.duration_s = 0.0
+        self._done = False
+        self._start_wall = time.time()
+        self._start_perf = time.perf_counter()
+
+    def set(self, **args: object) -> None:
+        self.args.update(args)
+
+    def end(self) -> float:
+        if self._done:
+            return self.duration_s
+        self._done = True
+        self.duration_s = time.perf_counter() - self._start_perf
+        if _tracing:
+            event = {
+                "name": self.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": int(self._start_wall * 1e6),
+                "dur": max(int(self.duration_s * 1e6), 1),
+                "pid": os.getpid(),
+                "tid": threading.get_ident() & 0x7FFFFFFF,
+            }
+            if self.args:
+                event["args"] = {k: _jsonable(v) for k, v in self.args.items()}
+            with _lock:
+                _events.append(event)
+        return self.duration_s
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.args["error"] = exc_type.__name__
+        self.end()
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned by ``span()`` when tracing is off."""
+
+    __slots__ = ()
+    name = ""
+    args: dict = {}
+    duration_s = 0.0
+
+    def set(self, **args: object) -> None:
+        pass
+
+    def end(self) -> float:
+        return 0.0
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+def span(name: str, **args: object) -> Union[Span, _NoopSpan]:
+    """Context manager for a traced phase; free when tracing is off."""
+    if not _tracing:
+        return _NOOP_SPAN
+    return Span(name, args)
+
+
+def start_span(name: str, **args: object) -> Span:
+    """A span that always measures ``duration_s``, recording only if tracing."""
+    return Span(name, args)
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+# ------------------------------------------------------------------ buffer
+
+
+def drain_events() -> List[dict]:
+    """Remove and return all buffered events (worker export, trace write)."""
+    global _events
+    with _lock:
+        events, _events = _events, []
+    return events
+
+
+def peek_events() -> List[dict]:
+    with _lock:
+        return list(_events)
+
+
+def event_count() -> int:
+    with _lock:
+        return len(_events)
+
+
+def add_events(events: Iterable[dict]) -> int:
+    """Merge events recorded elsewhere (shard workers) into this buffer."""
+    merged = [e for e in events if isinstance(e, dict) and "name" in e]
+    if merged:
+        with _lock:
+            _events.extend(merged)
+    return len(merged)
+
+
+# ------------------------------------------------------------------ export
+
+
+def chrome_trace(events: Optional[List[dict]] = None) -> dict:
+    """Wrap events as a Chrome trace object with process-name metadata."""
+    if events is None:
+        events = peek_events()
+    main_pid = os.getpid()
+    metadata = []
+    for pid in sorted({e.get("pid", main_pid) for e in events}):
+        label = "repro (main)" if pid == main_pid else "repro worker %d" % pid
+        metadata.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": label},
+        })
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+
+
+def write_chrome_trace(path: str,
+                       events: Optional[List[dict]] = None) -> int:
+    """Write the trace JSON to ``path``; returns the span count."""
+    trace = chrome_trace(events)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, indent=1)
+        fh.write("\n")
+    return sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
+
+
+def load_trace(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        trace = json.load(fh)
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ValueError("%s is not a Chrome trace (no traceEvents)" % path)
+    return trace
+
+
+def summarize_trace(trace: Union[str, dict]) -> dict:
+    """Aggregate a trace by span name: counts, total/mean/max duration."""
+    if isinstance(trace, str):
+        trace = load_trace(trace)
+    spans = [e for e in trace.get("traceEvents", [])
+             if e.get("ph") == "X" and "dur" in e]
+    by_name: Dict[str, dict] = {}
+    for event in spans:
+        entry = by_name.setdefault(event["name"], {
+            "count": 0, "total_ms": 0.0, "max_ms": 0.0, "pids": set(),
+        })
+        dur_ms = event["dur"] / 1000.0
+        entry["count"] += 1
+        entry["total_ms"] += dur_ms
+        entry["max_ms"] = max(entry["max_ms"], dur_ms)
+        entry["pids"].add(event.get("pid"))
+    for entry in by_name.values():
+        entry["mean_ms"] = entry["total_ms"] / entry["count"]
+        entry["pids"] = sorted(p for p in entry["pids"] if p is not None)
+    wall_ms = 0.0
+    if spans:
+        start = min(e["ts"] for e in spans)
+        end = max(e["ts"] + e["dur"] for e in spans)
+        wall_ms = (end - start) / 1000.0
+    return {
+        "n_spans": len(spans),
+        "n_processes": len({e.get("pid") for e in spans}),
+        "wall_ms": wall_ms,
+        "by_name": dict(sorted(
+            by_name.items(), key=lambda kv: -kv[1]["total_ms"])),
+    }

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import obs
 from repro.netlist.module import Module
 from repro.power.library import PowerModelLibrary
 from repro.power.macromodel import LinearTransitionModel
@@ -197,6 +198,13 @@ class BatchRTLPowerEstimator:
         self.last_kernel_decision: Optional[str] = None
         #: worker count the last estimate_all's native kernel ran with
         self.last_kernel_threads: Optional[int] = None
+        #: wall-clock phase breakdown of the last estimate_all —
+        #: ``lane_build_s`` (simulator + program + kernel compilation),
+        #: ``simulate_s`` (the drive/settle/observe loop) and
+        #: ``macromodel_eval_s`` (time inside the observer, a slice of
+        #: simulate_s); shared across lanes, surfaced through
+        #: ``EstimateResult.metadata["phase_s"]``
+        self.last_phase_s: Dict[str, float] = {}
 
     # ------------------------------------------------------------------ API
     def estimate_all(
@@ -220,10 +228,12 @@ class BatchRTLPowerEstimator:
         if n_lanes == 0:
             return []
         start = time.perf_counter()
-        simulator = BatchSimulator(
-            self.module, n_lanes, kernel_backend=self.kernel_backend,
-            kernel_threads=self.kernel_threads,
-        )
+        with obs.span("lanes.build", module=self.module.name, n_lanes=n_lanes):
+            simulator = BatchSimulator(
+                self.module, n_lanes, kernel_backend=self.kernel_backend,
+                kernel_threads=self.kernel_threads,
+            )
+        build_s = time.perf_counter() - start
         self.last_kernel_backend = simulator.kernel_backend
         self.last_kernel_decision = simulator.kernel_decision
         self.last_kernel_threads = simulator.kernel_threads
@@ -276,6 +286,13 @@ class BatchRTLPowerEstimator:
                 if limits[0] is None
                 else min(limits[0], driver.n_cycles)
             )
+
+        # one span for the whole drive/settle/observe loop — never per cycle;
+        # the observer's share is accumulated with two clock reads per cycle
+        # against its NumPy-heavy gather/matvec body
+        sim_span = obs.span(
+            "lanes.simulate", module=self.module.name, n_lanes=n_lanes)
+        macromodel_s = 0.0
 
         while active.any():
             cycle = simulator.cycle
@@ -330,7 +347,9 @@ class BatchRTLPowerEstimator:
             # observe: one gather + XOR across all monitored ports, then one
             # bit-unpack + matvec per (component, port) — see _MacromodelObserver
             active_f = active.astype(np.float64)
+            t_observe = time.perf_counter()
             total_this_cycle = observer.observe(v, active_f, energy_by_component)
+            macromodel_s += time.perf_counter() - t_observe
             cycle_energy.append(total_this_cycle)
 
             if uniform_stop is not None:
@@ -356,6 +375,14 @@ class BatchRTLPowerEstimator:
 
         simulator.settle()
         elapsed = time.perf_counter() - start
+        sim_span.set(cycles=simulator.cycle,
+                     macromodel_eval_s=round(macromodel_s, 6))
+        sim_span.end()
+        self.last_phase_s = {
+            "lane_build_s": build_s,
+            "simulate_s": elapsed - build_s,
+            "macromodel_eval_s": macromodel_s,
+        }
         trace = (
             np.stack(cycle_energy, axis=0)
             if cycle_energy

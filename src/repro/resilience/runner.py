@@ -42,12 +42,25 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.resilience import faults
 from repro.resilience.failures import RunOutcome, TaskFailure, TaskOutcome
 from repro.resilience.policy import RetryPolicy
 
 #: scheduler poll granularity while tasks are in flight
 _TICK_S = 0.05
+
+_TASK_RETRIES = obs.counter(
+    "repro_task_retries_total",
+    "Task attempts requeued after a failure or timeout")
+_TASK_TIMEOUTS = obs.counter(
+    "repro_task_timeouts_total",
+    "Tasks whose attempt exceeded its wall-clock deadline")
+_POOL_RESPAWNS = obs.counter(
+    "repro_pool_respawns_total",
+    "Worker-pool kills + respawns (crash or expired deadline)")
+_TASK_FAILURES = obs.counter(
+    "repro_task_failures_total", "Tasks finalized as failed, by kind")
 
 
 def _pool_context():
@@ -76,15 +89,27 @@ def _call_task(call: Tuple) -> Dict[str, object]:
     "wall_s"}`` — so worker exceptions become data instead of pool poison.
     Wall time is measured *inside* the worker: it is pure compute time,
     unpolluted by queueing or result-collection order in the parent.
+
+    Observability rides the same channel as the fault plan: ``obs_state``
+    (captured in the parent) enables tracing in a pool worker, and the
+    worker's spans plus counter *deltas* come back under the envelope's
+    ``"obs"`` key for the parent to merge into one timeline/registry.
+    In-process (serial) execution shares the parent's buffers directly —
+    ``worker_begin`` returns ``None`` for the same pid and nothing is
+    exported twice.
     """
-    worker, payload, index, attempt, plan_text = call
+    worker, payload, index, attempt, plan_text, obs_state, label = call
     faults.install_plan(plan_text)
+    token = obs.worker_begin(obs_state)
+    task_span = obs.span("task.run", task=index, attempt=attempt, label=label)
     start = time.perf_counter()
     try:
         faults.maybe_inject("worker", task=index, attempt=attempt)
         value = worker(payload)
     except Exception as error:
-        return {
+        task_span.set(error=type(error).__name__)
+        task_span.end()
+        envelope = {
             "ok": False,
             "error_type": type(error).__name__,
             "message": str(error),
@@ -92,7 +117,16 @@ def _call_task(call: Tuple) -> Dict[str, object]:
             "exception": _if_picklable(error),
             "wall_s": time.perf_counter() - start,
         }
-    return {"ok": True, "value": value, "wall_s": time.perf_counter() - start}
+    else:
+        task_span.end()
+        envelope = {
+            "ok": True, "value": value,
+            "wall_s": time.perf_counter() - start,
+        }
+    export = obs.worker_export(token)
+    if export is not None:
+        envelope["obs"] = export
+    return envelope
 
 
 def _if_picklable(error: BaseException) -> Optional[BaseException]:
@@ -240,6 +274,7 @@ class _RunBase:
     def _fail(self, entry: _Entry, kind: str, error_type: str, message: str,
               traceback_text: str = "", wall_s: float = 0.0,
               exception: Optional[BaseException] = None) -> None:
+        _TASK_FAILURES.inc(kind=kind)
         failure = TaskFailure(
             task_index=entry.index,
             label=self.label_of(entry.index),
@@ -283,7 +318,8 @@ class _RunBase:
 
     def _call(self, entry: _Entry) -> Tuple:
         return (self.worker, self.payloads[entry.index], entry.index,
-                entry.attempt, self.plan)
+                entry.attempt, self.plan, obs.capture_state(),
+                self.label_of(entry.index))
 
     def _outcome(self, interrupted: bool = False) -> RunOutcome:
         return RunOutcome(
@@ -313,6 +349,7 @@ class _SerialRun(_RunBase):
                         self._succeed(entry, envelope)
                         break
                     if entry.attempt < self.retries_of(index):
+                        _TASK_RETRIES.inc()
                         time.sleep(self.policy.backoff_s(index, entry.attempt))
                         entry.attempt += 1
                         continue
@@ -368,6 +405,7 @@ class _PoolRun(_RunBase):
         _kill_pool(self.pool)
         self.pool = self._new_pool()
         self.respawns += 1
+        _POOL_RESPAWNS.inc()
 
     def _submit(self, entry: _Entry) -> bool:
         try:
@@ -434,10 +472,14 @@ class _PoolRun(_RunBase):
         self._expire_deadlines()
 
     def _handle_envelope(self, entry: _Entry, envelope: Dict[str, object]) -> None:
+        # merge worker spans/counter deltas up front: retried attempts still
+        # contribute their spans to the timeline (each tagged with attempt=)
+        obs.merge_worker(envelope.pop("obs", None))
         if envelope["ok"]:
             self._succeed(entry, envelope)
             return
         if entry.attempt < self.retries_of(entry.index):
+            _TASK_RETRIES.inc()
             delay = self.policy.backoff_s(entry.index, entry.attempt)
             entry.attempt += 1
             entry.not_before = time.perf_counter() + delay
@@ -490,7 +532,9 @@ class _PoolRun(_RunBase):
             self.queue.appendleft(entry)
         for entry in timed_out:
             deadline = self.timeout_of(entry.index)
+            _TASK_TIMEOUTS.inc()
             if entry.attempt < self.retries_of(entry.index):
+                _TASK_RETRIES.inc()
                 delay = self.policy.backoff_s(entry.index, entry.attempt)
                 entry.attempt += 1
                 entry.not_before = time.perf_counter() + delay

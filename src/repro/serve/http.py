@@ -14,6 +14,8 @@ HTTP surface is deliberately tiny:
   JSON object per line, closing after the terminal event.
 * ``GET /stats`` — server + cache statistics (including the process-wide
   compile counters that prove coalescing).
+* ``GET /metrics`` — the process-wide :mod:`repro.obs` metrics registry in
+  Prometheus text exposition format (scrape-ready).
 
 The stdio front end (:func:`run_stdio`) speaks the same operations as JSON
 lines on stdin/stdout — for supervisors that prefer pipes over sockets:
@@ -29,6 +31,7 @@ import json
 import sys
 from typing import Dict, Optional, TextIO, Tuple
 
+from repro import obs
 from repro.serve.server import JobFailed, PowerServer
 
 #: maximum accepted request-body size (a RunSpec payload is tiny)
@@ -50,6 +53,17 @@ def _response(status: int, payload: Dict[str, object]) -> bytes:
     head = (
         f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
         f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode() + body
+
+
+def _text_response(status: int, text: str, content_type: str) -> bytes:
+    body = text.encode()
+    head = (
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: close\r\n\r\n"
     )
@@ -155,6 +169,15 @@ class HttpFrontend:
             return
         if path == "/stats":
             writer.write(_response(200, server.stats()))
+            return
+        if path == "/metrics":
+            writer.write(
+                _text_response(
+                    200,
+                    obs.render_prometheus(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            )
             return
         if path == "/jobs":
             writer.write(

@@ -44,6 +44,7 @@ import time
 import traceback
 from typing import AsyncIterator, Dict, List, Optional, Union
 
+from repro import obs
 from repro.api.estimators import estimator_for
 from repro.api.spec import (
     EstimateResult,
@@ -65,6 +66,37 @@ def build_counts() -> Dict[str, int]:
         "program_builds": batch.PROGRAM_BUILD_COUNT,
         "kernel_builds": kernels.KERNEL_BUILD_COUNT,
     }
+
+
+_JOBS_SUBMITTED = obs.counter(
+    "repro_serve_jobs_submitted_total", "Jobs accepted by the server"
+)
+_JOBS_TERMINAL = obs.counter(
+    "repro_serve_jobs_total", "Jobs that reached a terminal state, by state"
+)
+_SERVE_CACHE_HITS = obs.counter(
+    "repro_serve_cache_hits_total",
+    "Jobs answered straight from the persistent result cache",
+)
+_GROUPS = obs.counter(
+    "repro_serve_groups_total",
+    "Execution groups drained (shared lane blocks and singletons)",
+)
+_COALESCED_JOBS = obs.counter(
+    "repro_serve_coalesced_jobs_total",
+    "Jobs that ran as lanes of a shared (size > 1) group",
+)
+_QUEUE_DEPTH = obs.gauge(
+    "repro_serve_queue_depth", "Jobs waiting in the coalescing queue"
+)
+_GROUP_SIZE = obs.histogram(
+    "repro_serve_group_size",
+    "Drained group sizes (lanes per shared block)",
+    buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+)
+_JOB_LATENCY = obs.histogram(
+    "repro_serve_job_latency_seconds", "Submit-to-terminal wall time per job"
+)
 
 
 class JobFailed(RuntimeError):
@@ -101,6 +133,9 @@ class PowerServer:
         #: jobs that ran as lanes of a shared (size > 1) group
         self.n_coalesced_jobs = 0
         self._adapters: Dict[str, object] = {}
+        #: live per-job phase span (job_id -> span of the job's current state);
+        #: ended — and its duration attached to the next event — on transition
+        self._phase_spans: Dict[str, obs.Span] = {}
         self._dispatcher: Optional[asyncio.Task] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._kick: Optional[asyncio.Event] = None
@@ -160,6 +195,7 @@ class PowerServer:
         _get_design(spec.design)  # reject unknown designs at the door
         record = self.store.create(spec)
         self.n_submitted += 1
+        _JOBS_SUBMITTED.inc()
         await self._transition(
             record,
             "queued",
@@ -173,6 +209,7 @@ class PowerServer:
         if cached is not None:
             key, payload = cached
             self.n_cache_hits += 1
+            _SERVE_CACHE_HITS.inc()
             record.cached = True
             record.result_key = key
             report = payload.get("report") or {}
@@ -187,6 +224,7 @@ class PowerServer:
             )
             return record.job_id
         self.queue.push(record)
+        _QUEUE_DEPTH.set(len(self.queue))
         self._kick.set()
         return record.job_id
 
@@ -252,10 +290,15 @@ class PowerServer:
                 # let concurrently-submitting clients land in this drain
                 await asyncio.sleep(self.coalesce_window_s)
             self._kick.clear()
-            for group in self.queue.drain():
+            groups = self.queue.drain()
+            _QUEUE_DEPTH.set(len(self.queue))
+            for group in groups:
                 self.n_groups += 1
+                _GROUPS.inc()
+                _GROUP_SIZE.observe(len(group))
                 if len(group) > 1:
                     self.n_coalesced_jobs += len(group)
+                    _COALESCED_JOBS.inc(len(group))
                 for lane, record in enumerate(group.jobs):
                     record.group_size = len(group)
                     await self._transition(
@@ -276,16 +319,34 @@ class PowerServer:
         state: str,
         detail: Optional[Dict[str, object]] = None,
     ) -> None:
+        detail = dict(detail or {})
+        # End the span of the state the job is leaving; the measured duration
+        # rides along on the *new* event, so streaming clients see how long
+        # each phase took without diffing timestamps themselves.
+        previous = self._phase_spans.pop(record.job_id, None)
+        if previous is not None:
+            detail["phase_s"] = round(previous.end(), 6)
         record.state = state
         if record.terminal:
             record.finished_at = time.time()
+            _JOBS_TERMINAL.inc(state=state)
+            if record.submitted_at:
+                latency = record.finished_at - record.submitted_at
+                _JOB_LATENCY.observe(latency)
+                detail["total_s"] = round(latency, 6)
+        else:
+            self._phase_spans[record.job_id] = obs.start_span(
+                f"serve.job.{state}",
+                job_id=record.job_id,
+                design=record.spec.design,
+            )
         record.events.append(
             ProgressEvent(
                 job_id=record.job_id,
                 state=state,
                 seq=len(record.events),
                 at_s=time.time(),
-                detail=detail or {},
+                detail=detail,
             )
         )
         self.store.save(record)

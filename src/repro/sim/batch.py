@@ -51,6 +51,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 
 import numpy as np
 
+from repro import obs
 from repro.netlist.module import Module
 from repro.netlist.nets import Net
 from repro.sim.codegen import SourceEmitter, _mask, _signed
@@ -1685,8 +1686,20 @@ _BATCH_CACHE: "weakref.WeakKeyDictionary[Module, tuple]" = weakref.WeakKeyDictio
 
 #: process-lifetime count of lane-program compilations (i.e. cache misses in
 #: :func:`compile_module_batch`); the :mod:`repro.serve` coalescer reads this
-#: to prove that N merged jobs shared one build
-PROGRAM_BUILD_COUNT = 0
+#: to prove that N merged jobs shared one build.  Lives in the
+#: :mod:`repro.obs` registry; ``PROGRAM_BUILD_COUNT`` stays readable as a
+#: module attribute via :func:`__getattr__` below.
+_PROGRAM_BUILDS = obs.counter(
+    "repro_program_builds_total",
+    "Lane-program compilations (compile_module_batch cache misses)",
+    essential=True,
+)
+
+
+def __getattr__(name: str) -> int:
+    if name == "PROGRAM_BUILD_COUNT":
+        return int(_PROGRAM_BUILDS.total())
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def compile_module_batch(
@@ -1706,8 +1719,8 @@ def compile_module_batch(
     cached = _BATCH_CACHE.get(module)
     if cached is not None and cached[0] == key and cached[1] == n_lanes and cached[2] is schedule:
         return cached[3]
-    global PROGRAM_BUILD_COUNT
-    PROGRAM_BUILD_COUNT += 1
+    _PROGRAM_BUILDS.inc()
+    build_span = obs.span("program.build", module=module.name, n_lanes=n_lanes)
 
     max_width = max((net.width for net in module.nets.values()), default=0)
     force_fallback = max_width > MAX_LIMB_WIDTH
@@ -1741,6 +1754,8 @@ def compile_module_batch(
         namespace["__builtins__"] = {"list": list}
         exec(code, namespace)
     except Exception as error:
+        build_span.set(error=type(error).__name__)
+        build_span.end()
         raise BatchCompilationError(
             f"failed to batch-compile module {module.name!r}: {error}"
         ) from error
@@ -1764,6 +1779,8 @@ def compile_module_batch(
         _BATCH_CACHE[module] = (key, n_lanes, schedule, program)
     except TypeError:  # pragma: no cover - unweakrefable module subclass
         pass
+    build_span.set(n_fused=n_fused, n_fallback=n_fallback)
+    build_span.end()
     return program
 
 

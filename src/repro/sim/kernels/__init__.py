@@ -34,6 +34,7 @@ from __future__ import annotations
 import os
 from typing import Optional, Tuple, Union
 
+from repro import obs
 from repro.sim.kernels.ir import KernelIR, KernelUnsupportedError, extract_ir
 from repro.sim.kernels.native import (
     BLOCK_LANES,
@@ -56,8 +57,20 @@ KERNEL_THREADS_ENV = "REPRO_KERNEL_THREADS"
 #: process-lifetime count of kernel compilations (every
 #: :func:`compile_kernel` call — per-program caching happens in the caller);
 #: the :mod:`repro.serve` coalescer reads this to prove N merged jobs shared
-#: one kernel build
-KERNEL_BUILD_COUNT = 0
+#: one kernel build.  Lives in the :mod:`repro.obs` registry (labelled by
+#: backend); ``KERNEL_BUILD_COUNT`` stays readable as a module attribute via
+#: :func:`__getattr__` below.
+_KERNEL_BUILDS = obs.counter(
+    "repro_kernel_builds_total",
+    "Fused lane-kernel compilations by backend",
+    essential=True,
+)
+
+
+def __getattr__(name: str) -> int:
+    if name == "KERNEL_BUILD_COUNT":
+        return int(_KERNEL_BUILDS.total())
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def resolve_kernel_backend(requested: Optional[str] = None) -> str:
@@ -123,16 +136,16 @@ def compile_kernel(ir: KernelIR, n_lanes: int, backend: str) -> LaneKernel:
     from repro.resilience.faults import maybe_inject
 
     maybe_inject("kernel")
-    global KERNEL_BUILD_COUNT
-    KERNEL_BUILD_COUNT += 1
-    if backend == "native":
-        try:
-            return NativeKernel(ir, n_lanes)
-        except NativeToolchainError:
+    _KERNEL_BUILDS.inc(backend=backend)
+    with obs.span("kernel.compile", backend=backend, n_lanes=n_lanes):
+        if backend == "native":
+            try:
+                return NativeKernel(ir, n_lanes)
+            except NativeToolchainError:
+                return NumpyKernel(ir, n_lanes)
+        if backend in ("numpy", "auto"):
             return NumpyKernel(ir, n_lanes)
-    if backend in ("numpy", "auto"):
-        return NumpyKernel(ir, n_lanes)
-    raise ValueError(f"cannot compile a kernel for backend {backend!r}")
+        raise ValueError(f"cannot compile a kernel for backend {backend!r}")
 
 
 __all__ = [
