@@ -3,6 +3,7 @@
 One CLI over the unified estimation API::
 
     python -m repro run --design binary_search --engine rtl --max-cycles 64
+    python -m repro profile --design MPEG4 --top 8 --trace power.json
     python -m repro sweep --designs DCT HVPeakF --seeds 0:64 --workers 4
     python -m repro sweep --designs HVPeakF --seeds 0:32 --stimulus design
     python -m repro stim --stimulus "burst:active=4,idle=12" --design HVPeakF
@@ -47,6 +48,14 @@ Chrome ``trace_event`` timeline of every :mod:`repro.obs` span, including
 shard-worker spans merged from the pool; ``obs dump`` prints the metrics
 registry (or scrapes a live server's ``GET /metrics``), ``obs reset`` zeroes
 it, and ``obs summarize`` turns a trace file into a per-span timing table.
+
+Power telemetry (PR 10): ``profile`` runs one estimate with windowed
+per-component power collection and prints the hotspot report (top
+components, peak windows, power-over-time sparkline); ``run``/``sweep``/
+``submit`` accept ``--power-profile out.json`` (plus ``--profile-window N``)
+to attach the same :class:`~repro.power.profile.PowerProfile` to any run and
+write it as a JSON artifact.  With ``--trace``, per-window power lands on
+the timeline as Chrome counter tracks.
 """
 
 from __future__ import annotations
@@ -93,6 +102,13 @@ def _add_common_run_arguments(parser: argparse.ArgumentParser) -> None:
                              "entry's declared scenario")
     parser.add_argument("--coefficient-bits", type=int, default=12,
                         help="instrumentation coefficient width (emulation engine)")
+    parser.add_argument("--power-profile", metavar="PATH", default=None,
+                        help="collect a windowed per-component power profile "
+                             "and write it as a JSON artifact")
+    parser.add_argument("--profile-window", type=int, default=None, metavar="N",
+                        help="profile window width in cycles (default: 1 on "
+                             "the software engines, the strobe period on "
+                             "emulation)")
     parser.add_argument("--timeout-s", type=float, default=None, metavar="S",
                         help="per-task wall-clock deadline; a task past it is "
                              "killed and retried/failed (default: the "
@@ -179,6 +195,15 @@ def _write_json(path: Optional[str], payload: dict) -> None:
     print(f"wrote {path}")
 
 
+def _write_profile_json(path: Optional[str], payload: dict) -> None:
+    """Write a ``--power-profile PATH`` artifact (no-op without the flag)."""
+    if not path:
+        return
+    with open(path, "w") as handle:
+        json.dump(payload, handle, sort_keys=True, indent=2)
+    print(f"wrote power profile {path}")
+
+
 def _traced(args: argparse.Namespace, body):
     """Run ``body`` with span tracing when ``--trace PATH`` was given.
 
@@ -220,6 +245,8 @@ def _run_body(args: argparse.Namespace) -> int:
         coefficient_bits=args.coefficient_bits,
         workload_cycles=args.workload_cycles,
         compare_to_rtl=args.compare_to_rtl,
+        power_profile=bool(args.power_profile),
+        profile_window=args.profile_window,
         timeout_s=args.timeout_s,
         max_retries=args.max_retries,
     )
@@ -231,7 +258,49 @@ def _run_body(args: argparse.Namespace) -> int:
         print(f"  device {result.metadata['device']} "
               f"@ {result.metadata['emulation_clock_mhz']:.1f} MHz, "
               f"LUT overhead {result.metadata['lut_overhead']:.1%}")
+    if result.profile is not None:
+        print(f"  profile: {result.profile.n_windows} windows x "
+              f"{result.profile.window_cycles} cycles, peak "
+              f"{result.profile.peak_power_mw():.4f} mW")
+        _write_profile_json(args.power_profile, result.profile.to_dict())
     _write_json(args.json, result.to_dict())
+    return 0
+
+
+# -------------------------------------------------------------- profile
+def _cmd_profile(args: argparse.Namespace) -> int:
+    return _traced(args, lambda: _profile_body(args))
+
+
+def _profile_body(args: argparse.Namespace) -> int:
+    from repro.api import RunSpec, estimate
+
+    spec = RunSpec(
+        design=args.design,
+        engine=args.engine,
+        seed=args.seed,
+        stimulus=_resolve_stimulus(args, [args.design]),
+        max_cycles=args.max_cycles,
+        backend=args.backend,
+        kernel_backend=args.kernel_backend,
+        kernel_threads=args.kernel_threads,
+        coefficient_bits=args.coefficient_bits,
+        power_profile=True,
+        profile_window=args.profile_window,
+        timeout_s=args.timeout_s,
+        max_retries=args.max_retries,
+    )
+    result = estimate(spec)
+    profile = result.profile
+    if profile is None:  # defensive: every engine path populates it
+        raise ValueError(f"engine {spec.engine!r} produced no power profile")
+    print(profile.table(top_k=args.top))
+    _write_profile_json(args.power_profile, profile.to_dict())
+    _write_json(args.json, {
+        "summary": result.summary(),
+        "hotspots": profile.hotspots(top_k=args.top),
+        "profile": profile.to_dict(),
+    })
     return 0
 
 
@@ -256,6 +325,8 @@ def _sweep_body(args: argparse.Namespace) -> int:
         coefficient_bits=args.coefficient_bits,
         n_workers=args.workers,
         cache_dir=args.cache_dir or None,
+        power_profile=bool(args.power_profile),
+        profile_window=args.profile_window,
         timeout_s=args.timeout_s,
         max_retries=args.max_retries,
         on_error=args.on_error,
@@ -273,6 +344,14 @@ def _sweep_body(args: argparse.Namespace) -> int:
               "--resume to finish", file=sys.stderr)
         return 130
     print(result.summary())
+    if args.power_profile:
+        # one artifact for the whole grid, keyed per run
+        profiles = {
+            f"{r.spec.design}[{r.spec.engine}] seed={r.spec.seed}":
+                r.profile.to_dict()
+            for r in result.results if r.profile is not None
+        }
+        _write_profile_json(args.power_profile, {"profiles": profiles})
     _write_json(args.json, result.to_dict())
     # on_error=skip with losses: partial success gets its own exit code
     return 0 if result.ok else 3
@@ -582,6 +661,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         kernel_threads=args.kernel_threads,
         coefficient_bits=args.coefficient_bits,
         compare_to_rtl=args.compare_to_rtl,
+        power_profile=bool(args.power_profile),
+        profile_window=args.profile_window,
         timeout_s=args.timeout_s,
         max_retries=args.max_retries,
     )
@@ -609,6 +690,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     shared = f", lane of {group}" if group and group > 1 else ""
     print(f"{report['design']}: {report['average_power_mw']:.4f} mW over "
           f"{report['cycles']} cycles (job {job_id}{shared})")
+    if args.power_profile and result.get("profile") is not None:
+        _write_profile_json(args.power_profile, result["profile"])
     _write_json(args.json, result)
     return 0
 
@@ -680,6 +763,23 @@ def build_parser() -> argparse.ArgumentParser:
                           "JSON (open in Perfetto or chrome://tracing)")
     _add_common_run_arguments(run)
     run.set_defaults(func=_cmd_run)
+
+    prof = sub.add_parser("profile", help="one run with windowed power "
+                                          "telemetry: hotspot report + "
+                                          "power-over-time profile")
+    prof.add_argument("--design", required=True, choices=_design_names())
+    prof.add_argument("--engine", choices=ENGINES, default="rtl")
+    prof.add_argument("--seed", type=int, default=None,
+                      help="stimulus seed (default: the design's standard "
+                           "stimulus)")
+    prof.add_argument("--top", type=int, default=8,
+                      help="hotspot components / peak windows to report")
+    prof.add_argument("--trace", metavar="PATH", default=None,
+                      help="write spans plus per-window power counter events "
+                           "as a Chrome trace_event JSON (the counters render "
+                           "as a power-over-time track in Perfetto)")
+    _add_common_run_arguments(prof)
+    prof.set_defaults(func=_cmd_profile)
 
     swp = sub.add_parser("sweep", help="(design x engine x seed) sweep: "
                                        "batch lanes + shard pool + cache")

@@ -23,12 +23,29 @@ from repro.api.spec import ENGINES, EstimateResult, RunSpec
 from repro.netlist.flatten import flatten
 from repro.netlist.module import Module
 from repro.power.library import PowerModelLibrary, build_seed_library
+from repro.power.profile import PowerProfile, ProfileConfig
 from repro.power.report import PowerReport
 from repro.power.technology import CB130M_TECHNOLOGY, Technology
 from repro.sim.testbench import Testbench
 
 _ESTIMATES = obs.counter(
     "repro_estimates_total", "Completed estimates by engine")
+_LAST_PEAK_MW = obs.gauge(
+    "repro_power_last_peak_mw",
+    "Peak power of the most recent estimate, by design/engine (mW)")
+_LAST_MEAN_MW = obs.gauge(
+    "repro_power_last_mean_mw",
+    "Average power of the most recent estimate, by design/engine (mW)")
+_MEAN_MW_HIST = obs.histogram(
+    "repro_power_mean_mw",
+    "Distribution of estimated average power across runs (mW)")
+
+
+def _profile_config(spec: RunSpec) -> Optional[ProfileConfig]:
+    """The collector configuration a spec asks for (None = no profiling)."""
+    if not spec.power_profile:
+        return None
+    return ProfileConfig(window_cycles=spec.profile_window)
 
 
 @runtime_checkable
@@ -148,6 +165,7 @@ class _EngineAdapter:
         setup_s: float,
         metadata: Dict[str, object],
         phase_s: Optional[Dict[str, float]] = None,
+        profile: Optional[PowerProfile] = None,
     ) -> EstimateResult:
         if not spec.keep_cycle_trace:
             report.cycle_energy_fj = []
@@ -165,6 +183,20 @@ class _EngineAdapter:
         metadata = dict(metadata)
         metadata["phase_s"] = {k: round(float(v), 6) for k, v in phases.items()}
         _ESTIMATES.inc(engine=self.engine)
+        _LAST_PEAK_MW.set(report.peak_power_mw, design=spec.design,
+                          engine=self.engine)
+        _LAST_MEAN_MW.set(report.average_power_mw, design=spec.design,
+                          engine=self.engine)
+        _MEAN_MW_HIST.observe(report.average_power_mw, engine=self.engine)
+        if profile is not None and obs.tracing_enabled():
+            # merge the simulated power timeline into the software trace: the
+            # run's cycle axis maps onto the wall-clock interval the
+            # simulate/flow phase just occupied, ending now
+            sim_s = float(
+                phases.get("simulate_s") or phases.get("flow_s") or total
+            )
+            t1_us = time.time() * 1e6
+            obs.add_events(profile.counter_events(t1_us - sim_s * 1e6, t1_us))
         return EstimateResult(
             spec=spec,
             engine=report.estimator,
@@ -177,6 +209,7 @@ class _EngineAdapter:
             },
             accuracy=accuracy,
             metadata=metadata,
+            profile=profile,
         )
 
 
@@ -204,7 +237,7 @@ class RTLEstimatorAdapter(_EngineAdapter):
         kernel_info = None
         phase_s: Optional[Dict[str, float]] = None
         if spec.backend == "batch":
-            report, backend, kernel_info, phase_s = self._estimate_batch(
+            report, backend, kernel_info, phase_s, profile = self._estimate_batch(
                 spec, flat, library, testbench
             )
         else:
@@ -216,8 +249,10 @@ class RTLEstimatorAdapter(_EngineAdapter):
                     testbench,
                     max_cycles=spec.max_cycles,
                     keep_cycle_trace=spec.keep_cycle_trace,
+                    profile=_profile_config(spec),
                 )
             phase_s = {"simulate_s": report.estimation_time_s}
+            profile = estimator.last_profile
         metadata = {
             "n_monitored_components": report.notes.get("n_monitored_components"),
             "design": spec.design,
@@ -225,7 +260,8 @@ class RTLEstimatorAdapter(_EngineAdapter):
         if kernel_info is not None:
             metadata.update(kernel_info)
         result = self._finish(
-            spec, report, backend, start, setup_s, metadata, phase_s)
+            spec, report, backend, start, setup_s, metadata, phase_s,
+            profile=profile)
         est_span.set(backend=backend)
         est_span.end()
         return result
@@ -301,6 +337,19 @@ class RTLEstimatorAdapter(_EngineAdapter):
             flat = self._resolve_flat(first)
             testbenches = [self._resolve_testbench(spec) for spec in specs]
         setup_s = time.perf_counter() - start
+        # lane-mates may disagree on profiling: collect at the finest
+        # requested window and rebin coarser requests per result afterwards;
+        # a lane with no preference leaves the window to the engine default
+        profile_cfg = None
+        wanting = [s for s in specs if s.power_profile]
+        if wanting:
+            explicit = [
+                s.profile_window for s in wanting
+                if s.profile_window is not None
+            ]
+            profile_cfg = ProfileConfig(window_cycles=(
+                min(explicit) if len(explicit) == len(wanting) else None
+            ))
         try:
             estimator = BatchRTLPowerEstimator(flat, library=library,
                                                technology=self.technology,
@@ -310,6 +359,7 @@ class RTLEstimatorAdapter(_EngineAdapter):
                 testbenches,
                 max_cycles=first.max_cycles,
                 keep_cycle_trace=any(s.keep_cycle_trace for s in specs),
+                profile=profile_cfg,
             )
             backend = f"batch[{len(specs)}]"
         except (BatchCompilationError, LaneStateError) as error:
@@ -322,7 +372,7 @@ class RTLEstimatorAdapter(_EngineAdapter):
                 fallbacks.append(result)
             return fallbacks
         results = []
-        for spec, report in zip(specs, reports):
+        for lane, (spec, report) in enumerate(zip(specs, reports)):
             metadata = {
                 "n_monitored_components": report.notes.get("n_monitored_components"),
                 "batch_lanes": report.notes.get("batch_lanes"),
@@ -331,9 +381,17 @@ class RTLEstimatorAdapter(_EngineAdapter):
                 "kernel_threads": estimator.last_kernel_threads,
                 "design": spec.design,
             }
+            profile = None
+            if spec.power_profile and estimator.last_profiles:
+                profile = estimator.last_profiles[lane]
+                wanted = spec.profile_window
+                if (wanted is not None and wanted > profile.window_cycles
+                        and wanted % profile.window_cycles == 0):
+                    profile = profile.rebin(wanted)
             results.append(
                 self._finish(spec, report, backend, start, setup_s / len(specs),
-                             metadata, dict(estimator.last_phase_s))
+                             metadata, dict(estimator.last_phase_s),
+                             profile=profile)
             )
         many_span.end()
         return results
@@ -351,13 +409,18 @@ class RTLEstimatorAdapter(_EngineAdapter):
                 [testbench],
                 max_cycles=spec.max_cycles,
                 keep_cycle_trace=spec.keep_cycle_trace,
+                profile=_profile_config(spec),
             )
             kernel_info = {
                 "kernel_backend": estimator.last_kernel_backend,
                 "kernel_decision": estimator.last_kernel_decision,
                 "kernel_threads": estimator.last_kernel_threads,
             }
-            return reports[0], "batch[1]", kernel_info, dict(estimator.last_phase_s)
+            profile = (
+                estimator.last_profiles[0] if estimator.last_profiles else None
+            )
+            return (reports[0], "batch[1]", kernel_info,
+                    dict(estimator.last_phase_s), profile)
         except (BatchCompilationError, LaneStateError):
             estimator = _get_rtl_estimator(flat, library, self.technology, "compiled")
             with obs.span("estimate.simulate", design=spec.design,
@@ -366,8 +429,11 @@ class RTLEstimatorAdapter(_EngineAdapter):
                     testbench,
                     max_cycles=spec.max_cycles,
                     keep_cycle_trace=spec.keep_cycle_trace,
+                    profile=_profile_config(spec),
                 )
-            return report, "compiled", None, {"simulate_s": report.estimation_time_s}
+            return (report, "compiled", None,
+                    {"simulate_s": report.estimation_time_s},
+                    estimator.last_profile)
 
 
 class GateLevelEstimatorAdapter(_EngineAdapter):
@@ -389,14 +455,20 @@ class GateLevelEstimatorAdapter(_EngineAdapter):
         )
         setup_s = time.perf_counter() - start
         with obs.span("estimate.simulate", design=spec.design, engine="gate"):
-            report = estimator.estimate(testbench, max_cycles=spec.max_cycles)
+            report = estimator.estimate(
+                testbench,
+                max_cycles=spec.max_cycles,
+                keep_cycle_trace=spec.keep_cycle_trace,
+                profile=_profile_config(spec),
+            )
         metadata = {
             "n_gate_mapped": report.notes.get("n_gate_mapped"),
             "n_macromodelled": report.notes.get("n_macromodelled"),
             "design": spec.design,
         }
         return self._finish(spec, report, backend, start, setup_s, metadata,
-                            {"simulate_s": report.estimation_time_s})
+                            {"simulate_s": report.estimation_time_s},
+                            profile=estimator.last_profile)
 
 
 class EmulationEstimatorAdapter(_EngineAdapter):
@@ -434,10 +506,14 @@ class EmulationEstimatorAdapter(_EngineAdapter):
                 workload_cycles=spec.workload_cycles,
                 testbench_on_fpga=spec.testbench_on_fpga,
                 max_cycles=spec.max_cycles,
+                profile_window=spec.profile_window,
             )
         flow_s = time.perf_counter() - flow_start
         emulation = flow_report.emulation
         report = flow_report.power_report
+        # the platform always collects its readback profile (it is how
+        # peak_power_mw gets populated); attach it only when asked for
+        profile = emulation.power_profile if spec.power_profile else None
         metadata = {
             "design": spec.design,
             "device": emulation.device.name,
@@ -452,7 +528,8 @@ class EmulationEstimatorAdapter(_EngineAdapter):
         result = self._finish(
             spec, report, "emulation", start, setup_s, metadata,
             {"flow_s": flow_s,
-             "host_simulation_s": emulation.host_simulation_s})
+             "host_simulation_s": emulation.host_simulation_s},
+            profile=profile)
         result.timing.update(
             {f"modeled_{k}": v for k, v in emulation.time_breakdown.as_dict().items()}
         )

@@ -18,6 +18,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.power.profile import PowerProfile
 from repro.power.report import PowerReport
 #: lane-kernel backends selectable by ``RunSpec.kernel_backend`` (the fused
 #: settle/clock-edge kernels of :mod:`repro.sim.kernels`; only consulted on
@@ -42,12 +43,15 @@ EXECUTION_POLICY_FIELDS: Tuple[str, ...] = ("timeout_s", "max_retries")
 
 #: spec fields that may differ between lane-mates of one shared batch: the
 #: stimulus seed (each seed is its own lane), per-result shaping
-#: (``keep_cycle_trace``/``compare_to_rtl`` are applied per spec after the
-#: shared simulation) and the execution-policy fields above
+#: (``keep_cycle_trace``/``compare_to_rtl``/``power_profile``/
+#: ``profile_window`` are applied per spec after the shared simulation) and
+#: the execution-policy fields above
 COALESCE_FREE_FIELDS: Tuple[str, ...] = EXECUTION_POLICY_FIELDS + (
     "seed",
     "keep_cycle_trace",
     "compare_to_rtl",
+    "power_profile",
+    "profile_window",
 )
 
 
@@ -111,6 +115,12 @@ class RunSpec:
     testbench_on_fpga: bool = False
     keep_cycle_trace: bool = False
     compare_to_rtl: bool = False
+    #: collect a windowed per-component power profile alongside the report
+    #: (attached as ``EstimateResult.profile``)
+    power_profile: bool = False
+    #: profile window width in cycles (``None`` = the engine default: one
+    #: cycle on the software estimators, the strobe period on emulation)
+    profile_window: Optional[int] = None
     #: per-task wall-clock deadline when executed by the resilient sweep/shard
     #: layer (``None`` = the ``REPRO_TASK_TIMEOUT_S`` env, else no deadline)
     timeout_s: Optional[float] = None
@@ -147,6 +157,11 @@ class RunSpec:
             raise ValueError(
                 f"unknown power-model library {self.library!r}; only the "
                 f"deterministic 'seed' library is registered"
+            )
+        if self.profile_window is not None and self.profile_window < 1:
+            raise ValueError(
+                f"profile_window must be >= 1 cycle (or None for the engine "
+                f"default), got {self.profile_window}"
             )
         _check_policy_fields(self.timeout_s, self.max_retries)
         object.__setattr__(self, "stimulus", _coerce_stimulus(self.stimulus))
@@ -253,6 +268,10 @@ class SweepSpec:
     cache_dir: Optional[str] = None
     #: declarative scenario driven instead of the designs' built-in testbenches
     stimulus: Optional[StimulusSpec] = None
+    #: collect windowed power profiles on every expanded run
+    power_profile: bool = False
+    #: profile window width in cycles, copied into every expanded RunSpec
+    profile_window: Optional[int] = None
     #: per-task wall-clock deadline, copied into every expanded RunSpec
     timeout_s: Optional[float] = None
     #: retries after the first attempt, copied into every expanded RunSpec
@@ -295,6 +314,11 @@ class SweepSpec:
                 f"identical results; drop the repeated seeds (on the CLI, "
                 f"--seeds 0:4 already covers 0 1 2 3)"
             )
+        if self.profile_window is not None and self.profile_window < 1:
+            raise ValueError(
+                f"profile_window must be >= 1 cycle (or None for the engine "
+                f"default), got {self.profile_window}"
+            )
         _check_policy_fields(self.timeout_s, self.max_retries)
         if self.on_error not in ON_ERROR_POLICIES:
             raise ValueError(
@@ -317,6 +341,8 @@ class SweepSpec:
                 kernel_threads=self.kernel_threads,
                 library=self.library,
                 coefficient_bits=self.coefficient_bits,
+                power_profile=self.power_profile,
+                profile_window=self.profile_window,
                 timeout_s=self.timeout_s,
                 max_retries=self.max_retries,
             )
@@ -357,6 +383,8 @@ class EstimateResult:
     timing: Dict[str, float] = field(default_factory=dict)
     accuracy: Optional[Dict[str, float]] = None
     metadata: Dict[str, object] = field(default_factory=dict)
+    #: windowed power profile when the spec asked for ``power_profile``
+    profile: Optional[PowerProfile] = None
 
     # ---------------------------------------------------------------- views
     @property
@@ -390,6 +418,7 @@ class EstimateResult:
             "timing": dict(self.timing),
             "accuracy": dict(self.accuracy) if self.accuracy is not None else None,
             "metadata": dict(self.metadata),
+            "profile": self.profile.to_dict() if self.profile is not None else None,
         }
 
     @classmethod
@@ -404,6 +433,11 @@ class EstimateResult:
                 dict(payload["accuracy"]) if payload.get("accuracy") is not None else None
             ),
             metadata=dict(payload.get("metadata") or {}),
+            profile=(
+                PowerProfile.from_dict(payload["profile"])
+                if payload.get("profile") is not None
+                else None
+            ),
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:

@@ -14,19 +14,107 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.fpga import FPGADevice, smallest_fitting_device
 from repro.core.instrument import InstrumentedDesign
 from repro.core.synthesis import SynthesisEstimator, SynthesisResult
+from repro.power.profile import DEFAULT_MAX_WINDOWS, PowerProfile
 from repro.power.report import ComponentPower, PowerReport
 from repro.power.technology import CB130M_TECHNOLOGY, Technology
-from repro.sim.engine import Simulator
+from repro.sim.engine import SimulationObserver, Simulator
 from repro.sim.testbench import Testbench
 
 
 class CapacityError(Exception):
     """Raised when the enhanced design does not fit any available FPGA device."""
+
+
+class _ProfileReadbackObserver(SimulationObserver):
+    """Periodic accumulator readback for a power-over-time profile.
+
+    The aggregator docstring's "read back periodically" mode: every
+    ``interval`` emulated cycles the host samples the *cumulative*
+    per-component accumulators (or the single aggregator total when
+    per-component accumulators are disabled).  ``on_cycle(c)`` fires before
+    cycle ``c``'s clock edge, so the accumulators then cover exactly the
+    ``c`` committed cycles — boundaries land precisely on multiples of the
+    interval and window diffs telescope to the end-of-run totals with no
+    residue.  When the stored reading count hits ``max_windows`` every other
+    reading is dropped and the interval doubles, so an arbitrarily long
+    emulation costs a bounded number of readback transactions.
+    """
+
+    def __init__(
+        self,
+        instrumented: InstrumentedDesign,
+        interval: int,
+        max_windows: int = DEFAULT_MAX_WINDOWS,
+    ) -> None:
+        self.instrumented = instrumented
+        self.interval = max(int(interval), 1)
+        self.max_windows = max_windows + (max_windows % 2)
+        if instrumented.accumulator_map:
+            self.names = list(instrumented.accumulator_map)
+        else:
+            # no per-component accumulators: profile the aggregator total as
+            # one design-wide pseudo-component
+            self.names = [instrumented.original_name]
+        #: (boundary cycle, cumulative per-component fJ) samples
+        self.readings: List[Tuple[int, np.ndarray]] = []
+
+    def _read(self, simulator: Simulator) -> np.ndarray:
+        if self.instrumented.accumulator_map:
+            energies = self.instrumented.component_energies_fj(simulator)
+            return np.asarray([energies[name] for name in self.names])
+        return np.asarray([self.instrumented.read_total_energy_fj(simulator)])
+
+    def on_cycle(self, simulator: Simulator, cycle: int) -> None:
+        if cycle and cycle % self.interval == 0:
+            self.readings.append((cycle, self._read(simulator)))
+            if len(self.readings) >= self.max_windows:
+                # keep the readings landing on multiples of the doubled
+                # interval; cumulative samples need no re-summing
+                self.readings = self.readings[1::2]
+                self.interval *= 2
+
+    def profile(
+        self,
+        simulator: Simulator,
+        executed_cycles: int,
+        technology: Technology,
+        component_types: Dict[str, str],
+    ) -> PowerProfile:
+        """Turn the cumulative samples into a windowed :class:`PowerProfile`."""
+        cumulative = [
+            reading for boundary, reading in self.readings
+            if boundary < executed_cycles
+        ]
+        if executed_cycles:
+            cumulative.append(self._read(simulator))
+        matrix = []
+        previous = np.zeros(len(self.names))
+        for reading in cumulative:
+            matrix.append([float(e) for e in reading - previous])
+            previous = reading
+        return PowerProfile(
+            design=self.instrumented.original_name,
+            estimator="power-emulation",
+            clock_mhz=technology.clock_mhz,
+            cycles=executed_cycles,
+            window_cycles=self.interval,
+            component_names=list(self.names),
+            component_types=[
+                component_types.get(name, "design") for name in self.names
+            ],
+            energy_fj=matrix,
+            notes={
+                "readback_transactions": len(cumulative),
+                "strobe_period": self.instrumented.config.strobe_period,
+            },
+        )
 
 
 @dataclass(frozen=True)
@@ -86,6 +174,8 @@ class EmulationResult:
     final_outputs: Dict[str, int] = field(default_factory=dict)
     #: wall-clock time of the host-side functional simulation (for reference)
     host_simulation_s: float = 0.0
+    #: windowed power-over-time profile from periodic accumulator readback
+    power_profile: Optional[PowerProfile] = None
 
     @property
     def utilization(self) -> Dict[str, float]:
@@ -115,6 +205,8 @@ class EmulationPlatform:
         workload_cycles: Optional[int] = None,
         testbench_on_fpga: bool = True,
         max_cycles: Optional[int] = None,
+        profile_window: Optional[int] = None,
+        profile_max_windows: int = DEFAULT_MAX_WINDOWS,
     ) -> EmulationResult:
         """Emulate the enhanced design and read back its power results.
 
@@ -122,6 +214,12 @@ class EmulationPlatform:
         nominal workload larger than what is actually executed here (our
         Python functional execution of multi-frame video workloads would be
         needlessly slow); power results always come from the executed cycles.
+
+        A windowed power-over-time profile is always collected via periodic
+        accumulator readback (:attr:`EmulationResult.power_profile`);
+        ``profile_window`` sets the readback interval in cycles and defaults
+        to the design's strobe period, so windows align with the aggregator
+        flushes the paper's hardware produces.
         """
         synthesis = self.synthesis.estimate_module(instrumented.module)
         device = self.device or smallest_fitting_device(synthesis.resources)
@@ -132,8 +230,18 @@ class EmulationPlatform:
             )
         emulation_clock_mhz = min(device.max_clock_mhz, synthesis.achievable_clock_mhz)
 
+        interval = (
+            profile_window
+            if profile_window is not None
+            else max(instrumented.config.strobe_period, 1)
+        )
+        readback = _ProfileReadbackObserver(
+            instrumented, interval, max_windows=profile_max_windows
+        )
+
         start = time.perf_counter()
         simulator = Simulator(instrumented.module)
+        simulator.add_observer(readback)
         simulation = simulator.run(testbench, max_cycles=max_cycles)
         host_elapsed = time.perf_counter() - start
 
@@ -143,6 +251,16 @@ class EmulationPlatform:
         power_report = self._build_power_report(
             instrumented, simulator, executed_cycles, technology, host_elapsed
         )
+        power_profile = readback.profile(
+            simulator,
+            executed_cycles,
+            technology,
+            self._component_types(instrumented),
+        )
+        # the cycle trace never exists on the emulation path; the windowed
+        # profile is the authoritative peak at its readback resolution
+        power_report.peak_power_mw = power_profile.peak_power_mw()
+        power_report.notes["profile_window_cycles"] = power_profile.window_cycles
         breakdown = self._time_breakdown(
             device, instrumented, nominal_cycles, emulation_clock_mhz, testbench_on_fpga
         )
@@ -161,9 +279,17 @@ class EmulationPlatform:
             workload_cycles=nominal_cycles,
             final_outputs=simulation.final_outputs,
             host_simulation_s=host_elapsed,
+            power_profile=power_profile,
         )
 
     # -------------------------------------------------------------- helpers
+    @staticmethod
+    def _component_types(instrumented: InstrumentedDesign) -> Dict[str, str]:
+        return {
+            name: instrumented.module.components[model_name].model.component_type
+            for name, model_name in instrumented.model_map.items()
+        }
+
     def _build_power_report(
         self,
         instrumented: InstrumentedDesign,
@@ -175,10 +301,7 @@ class EmulationPlatform:
         total_energy_fj = instrumented.read_total_energy_fj(simulator)
         components: Dict[str, ComponentPower] = {}
         if instrumented.accumulator_map:
-            type_by_name = {
-                name: instrumented.module.components[model_name].model.component_type
-                for name, model_name in instrumented.model_map.items()
-            }
+            type_by_name = self._component_types(instrumented)
             for original, energy in instrumented.component_energies_fj(simulator).items():
                 components[original] = ComponentPower(
                     name=original,

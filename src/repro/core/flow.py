@@ -106,8 +106,14 @@ class PowerEmulationFlow:
         workload_cycles: Optional[int] = None,
         testbench_on_fpga: bool = True,
         max_cycles: Optional[int] = None,
+        profile_window: Optional[int] = None,
     ) -> FlowReport:
-        """Run the full Fig. 2 flow on one design."""
+        """Run the full Fig. 2 flow on one design.
+
+        ``profile_window`` sets the power-profile readback interval in
+        cycles (default: the instrumentation strobe period) — see
+        :meth:`EmulationPlatform.run`.
+        """
         flat = flatten(module)
         base_synthesis = self.synthesis.estimate_module(flat)
         instrumented = instrument(module, self.library, self.config)
@@ -119,6 +125,7 @@ class PowerEmulationFlow:
             workload_cycles=workload_cycles,
             testbench_on_fpga=testbench_on_fpga,
             max_cycles=max_cycles,
+            profile_window=profile_window,
         )
         overhead = enhanced_synthesis.resources.overhead_relative_to(base_synthesis.resources)
         return FlowReport(

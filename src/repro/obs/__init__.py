@@ -34,6 +34,7 @@ from .metrics import (
 )
 from .trace import (
     Span,
+    add_events,
     chrome_trace,
     load_trace,
     span,
@@ -50,6 +51,7 @@ __all__ = [
     "MetricsRegistry",
     "REGISTRY",
     "Span",
+    "add_events",
     "capture_state",
     "chrome_trace",
     "counter",

@@ -18,7 +18,9 @@ methodology the paper builds on (Section 2.1):
   baseline,
 * :mod:`repro.power.commercial` — calibrated runtime models of the two
   commercial tools used in the paper's Figure 3,
-* :mod:`repro.power.report` — power report data structures.
+* :mod:`repro.power.report` — power report data structures,
+* :mod:`repro.power.profile` — windowed power telemetry: time- and
+  component-resolved energy profiles with hotspot analysis.
 """
 
 from repro.power.technology import Technology, CB130M_TECHNOLOGY
@@ -38,6 +40,11 @@ from repro.power.characterize import (
     holdout_error,
 )
 from repro.power.report import ComponentPower, PowerReport
+from repro.power.profile import (
+    PowerProfile,
+    ProfileConfig,
+    WindowedEnergyCollector,
+)
 from repro.power.rtl_estimator import RTLPowerEstimator
 from repro.power.lane_estimator import BatchRTLPowerEstimator
 from repro.power.gate_estimator import GateLevelPowerEstimator
@@ -66,6 +73,9 @@ __all__ = [
     "holdout_error",
     "ComponentPower",
     "PowerReport",
+    "PowerProfile",
+    "ProfileConfig",
+    "WindowedEnergyCollector",
     "RTLPowerEstimator",
     "BatchRTLPowerEstimator",
     "GateLevelPowerEstimator",

@@ -20,6 +20,7 @@ from repro.gates.gatesim import GateLevelSimulator
 from repro.gates.techmap import TechnologyMapper
 from repro.netlist.module import Module
 from repro.power.library import PowerModelLibrary, build_seed_library
+from repro.power.profile import PowerProfile, ProfileConfig, WindowedEnergyCollector
 from repro.power.report import ComponentPower, PowerReport
 from repro.power.technology import CB130M_TECHNOLOGY, Technology
 from repro.sim.engine import SimulationObserver, Simulator
@@ -27,21 +28,32 @@ from repro.sim.testbench import Testbench
 
 
 class _GateLevelObserver(SimulationObserver):
-    def __init__(self, estimator: "GateLevelPowerEstimator") -> None:
+    def __init__(
+        self,
+        estimator: "GateLevelPowerEstimator",
+        keep_cycle_trace: bool = True,
+        collector: Optional[WindowedEnergyCollector] = None,
+    ) -> None:
         self.estimator = estimator
+        self.keep_cycle_trace = keep_cycle_trace
+        self.collector = collector
         self.energy_by_component: Dict[str, float] = {}
         self.cycle_energy: List[float] = []
+        self.peak_cycle_energy_fj = 0.0
         self._previous_io: Dict[str, Dict[str, int]] = {}
         self._previous_netvals: Dict[str, Dict[str, int]] = {}
 
     def on_reset(self, simulator: Simulator) -> None:
         self.energy_by_component = {}
         self.cycle_energy = []
+        self.peak_cycle_energy_fj = 0.0
         self._previous_io = {}
         self._previous_netvals = {}
 
     def on_cycle(self, simulator: Simulator, cycle: int) -> None:
+        collector = self.collector
         total = 0.0
+        row = 0
         # gate-mapped combinational components: re-simulate at gate level
         for name, (component, gate_sim, calculator, widths) in self.estimator.gate_mapped.items():
             io_values = simulator.component_io_values(component)
@@ -56,6 +68,9 @@ class _GateLevelObserver(SimulationObserver):
             self._previous_netvals[name] = snapshot
             self.energy_by_component[name] = self.energy_by_component.get(name, 0.0) + energy
             total += energy
+            if collector is not None:
+                collector.add(row, energy)
+            row += 1
         # everything else: RTL macromodels
         for component, model in self.estimator.macromodelled:
             current = simulator.component_io_values(component)
@@ -66,7 +81,15 @@ class _GateLevelObserver(SimulationObserver):
                 self.energy_by_component.get(component.name, 0.0) + energy
             )
             total += energy
-        self.cycle_energy.append(total)
+            if collector is not None:
+                collector.add(row, energy)
+            row += 1
+        if total > self.peak_cycle_energy_fj:
+            self.peak_cycle_energy_fj = total
+        if self.keep_cycle_trace:
+            self.cycle_energy.append(total)
+        if collector is not None:
+            collector.end_cycle()
 
 
 class GateLevelPowerEstimator:
@@ -111,16 +134,53 @@ class GateLevelPowerEstimator:
                 )
             else:
                 self.macromodelled.append((component, self.library.lookup(component)))
+        #: windowed profile from the most recent profiled :meth:`estimate`
+        self.last_profile: Optional[PowerProfile] = None
 
     # ------------------------------------------------------------------ API
-    def estimate(self, testbench: Testbench, max_cycles: Optional[int] = None) -> PowerReport:
+    def estimate(
+        self,
+        testbench: Testbench,
+        max_cycles: Optional[int] = None,
+        keep_cycle_trace: bool = True,
+        profile: Optional[ProfileConfig] = None,
+    ) -> PowerReport:
         start = time.perf_counter()
         simulator = Simulator(self.module, backend=self.backend)
-        observer = _GateLevelObserver(self)
+        collector = None
+        if profile is not None:
+            # collector rows follow the observer's iteration order:
+            # gate-mapped components first, then the macromodelled ones
+            observed = [
+                component for component, *_rest in self.gate_mapped.values()
+            ] + [component for component, _ in self.macromodelled]
+            collector = WindowedEnergyCollector(
+                names=[c.name for c in observed],
+                types=[c.type_name for c in observed],
+                window_cycles=profile.resolved_window(default=1),
+                max_windows=profile.max_windows,
+            )
+        observer = _GateLevelObserver(
+            self, keep_cycle_trace=keep_cycle_trace, collector=collector
+        )
         observer.on_reset(simulator)
         simulator.add_observer(observer)
         simulation = simulator.run(testbench, max_cycles=max_cycles)
         elapsed = time.perf_counter() - start
+        self.last_profile = (
+            collector.profile(
+                design=self.module.name,
+                estimator=self.name,
+                clock_mhz=self.technology.clock_mhz,
+                cycles=simulation.cycles,
+                notes={
+                    "n_gate_mapped": len(self.gate_mapped),
+                    "n_macromodelled": len(self.macromodelled),
+                },
+            )
+            if collector is not None
+            else None
+        )
 
         technology = self.technology
         cycles = simulation.cycles
@@ -145,12 +205,12 @@ class GateLevelPowerEstimator:
                 total_energy / cycles if cycles else 0.0
             ),
             peak_power_mw=(
-                technology.energy_to_power_mw(max(observer.cycle_energy))
-                if observer.cycle_energy
+                technology.energy_to_power_mw(observer.peak_cycle_energy_fj)
+                if cycles
                 else 0.0
             ),
             components=components,
-            cycle_energy_fj=list(observer.cycle_energy),
+            cycle_energy_fj=list(observer.cycle_energy) if keep_cycle_trace else [],
             estimation_time_s=elapsed,
             notes={
                 "n_gate_mapped": len(self.gate_mapped),

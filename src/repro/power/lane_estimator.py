@@ -36,6 +36,11 @@ from repro import obs
 from repro.netlist.module import Module
 from repro.power.library import PowerModelLibrary
 from repro.power.macromodel import LinearTransitionModel
+from repro.power.profile import (
+    DEFAULT_WINDOW_TARGET,
+    PowerProfile,
+    ProfileConfig,
+)
 from repro.power.report import ComponentPower, PowerReport
 from repro.power.rtl_estimator import RTLPowerEstimator
 from repro.power.technology import CB130M_TECHNOLOGY, Technology
@@ -59,7 +64,13 @@ class _MacromodelObserver:
     the same gathered rows.
     """
 
-    def __init__(self, monitored, slot_of, store_is_object: bool, limbs_of=None) -> None:
+    def __init__(
+        self,
+        monitored,
+        slot_of,
+        store_is_object: bool,
+        limbs_of=None,
+    ) -> None:
         limbs_of = limbs_of or {}
         slots: List[int] = []
         slot_row: Dict[int, int] = {}
@@ -205,6 +216,9 @@ class BatchRTLPowerEstimator:
         #: simulate_s); shared across lanes, surfaced through
         #: ``EstimateResult.metadata["phase_s"]``
         self.last_phase_s: Dict[str, float] = {}
+        #: per-lane windowed profiles from the last profiled estimate_all,
+        #: aligned with the returned report list (None when not profiling)
+        self.last_profiles: Optional[List[PowerProfile]] = None
 
     # ------------------------------------------------------------------ API
     def estimate_all(
@@ -213,6 +227,7 @@ class BatchRTLPowerEstimator:
         max_cycles: Optional[int] = None,
         keep_cycle_trace: bool = True,
         use_array_driver: Optional[bool] = None,
+        profile: Optional[ProfileConfig] = None,
     ) -> List[PowerReport]:
         """Run every testbench in its own lane and report power per lane.
 
@@ -259,6 +274,18 @@ class BatchRTLPowerEstimator:
                 )
 
         is_object = simulator.program.dtype is object
+        # default window: the finest width yielding ~DEFAULT_WINDOW_TARGET
+        # windows over the known cycle budget (per-cycle windows on a long
+        # run would only coalesce away)
+        known = [limit for limit in limits if limit is not None]
+        default_window = (
+            max(1, -(-max(known) // DEFAULT_WINDOW_TARGET))
+            if len(known) == len(limits)
+            else 1
+        )
+        collector = self._scalar._make_collector(
+            profile, n_lanes=n_lanes, default_window=default_window
+        )
         observer = _MacromodelObserver(
             self.monitored, simulator.program.slot_of, is_object,
             simulator.program.limbs_of,
@@ -270,11 +297,21 @@ class BatchRTLPowerEstimator:
 
         active = np.ones(n_lanes, dtype=bool)
         lane_cycles = [0] * n_lanes
+        # one (n_components, n_lanes) matrix of running energies whose rows
+        # back the per-component dict as views — the profile collector reads
+        # window deltas straight off it at boundaries, so profiling adds no
+        # per-cycle work to this loop
+        energy_matrix = np.zeros(
+            (len(self.monitored), n_lanes), dtype=np.float64
+        )
         energy_by_component = {
-            component.name: np.zeros(n_lanes, dtype=np.float64)
-            for component, _ in self.monitored
+            component.name: energy_matrix[i]
+            for i, (component, _) in enumerate(self.monitored)
         }
         cycle_energy: List[np.ndarray] = []
+        # running per-lane peak cycle energy — masked lanes observe exact
+        # zeros, so the vectorized max never picks up post-finish cycles
+        peak_energy = np.zeros(n_lanes, dtype=np.float64)
 
         #: spec-backed lanes all run the same cycle-determined workload (one
         #: spec, equal limits, no checks), so their stop cycle is computed
@@ -350,7 +387,11 @@ class BatchRTLPowerEstimator:
             t_observe = time.perf_counter()
             total_this_cycle = observer.observe(v, active_f, energy_by_component)
             macromodel_s += time.perf_counter() - t_observe
-            cycle_energy.append(total_this_cycle)
+            np.maximum(peak_energy, total_this_cycle, out=peak_energy)
+            if keep_cycle_trace:
+                cycle_energy.append(total_this_cycle)
+            if collector is not None:
+                collector.end_cycle_cumulative(energy_matrix)
 
             if uniform_stop is not None:
                 simulator.clock_edge()
@@ -388,11 +429,23 @@ class BatchRTLPowerEstimator:
             if cycle_energy
             else np.zeros((0, n_lanes), dtype=np.float64)
         )
+        if collector is not None:
+            collector.finish_cumulative(energy_matrix)
+            self.last_profiles = collector.lane_profiles(
+                design=self.module.name,
+                estimator=self.name,
+                clock_mhz=self.technology.clock_mhz,
+                lane_cycles=lane_cycles,
+                notes={"batch_lanes": n_lanes},
+            )
+        else:
+            self.last_profiles = None
         driver_name = "array" if driver is not None else "lane-view"
         return [
             self._build_lane_report(
                 lane, lane_cycles[lane], energy_by_component, trace,
-                elapsed / n_lanes, n_lanes, keep_cycle_trace, driver_name,
+                float(peak_energy[lane]), elapsed / n_lanes, n_lanes,
+                keep_cycle_trace, driver_name,
             )
             for lane in range(n_lanes)
         ]
@@ -436,6 +489,7 @@ class BatchRTLPowerEstimator:
         cycles: int,
         energy_by_component: Dict[str, np.ndarray],
         trace: np.ndarray,
+        peak_energy_fj: float,
         elapsed_s: float,
         n_lanes: int,
         keep_cycle_trace: bool,
@@ -466,9 +520,7 @@ class BatchRTLPowerEstimator:
                 total_energy / cycles if cycles else 0.0
             ),
             peak_power_mw=(
-                technology.energy_to_power_mw(float(lane_trace.max()))
-                if lane_trace.size
-                else 0.0
+                technology.energy_to_power_mw(peak_energy_fj) if cycles else 0.0
             ),
             components=components,
             cycle_energy_fj=[float(e) for e in lane_trace] if keep_cycle_trace else [],

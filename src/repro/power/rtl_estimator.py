@@ -17,6 +17,7 @@ from repro.netlist.components import Component
 from repro.netlist.module import Module
 from repro.power.library import PowerModelLibrary, build_seed_library
 from repro.power.macromodel import PowerMacromodel
+from repro.power.profile import PowerProfile, ProfileConfig, WindowedEnergyCollector
 from repro.power.report import ComponentPower, PowerReport
 from repro.power.technology import CB130M_TECHNOLOGY, Technology
 from repro.sim.engine import SimulationObserver, Simulator
@@ -24,29 +25,53 @@ from repro.sim.testbench import Testbench
 
 
 class _MacromodelObserver(SimulationObserver):
-    """Simulator observer that evaluates macromodels every cycle."""
+    """Simulator observer that evaluates macromodels every cycle.
 
-    def __init__(self, estimator: "RTLPowerEstimator") -> None:
+    Always tracks per-component totals and the running peak cycle energy;
+    the full per-cycle list is kept only when ``keep_cycle_trace`` so long
+    runs stay bounded in memory.  An optional
+    :class:`~repro.power.profile.WindowedEnergyCollector` receives each
+    component's energy every cycle for the windowed profile.
+    """
+
+    def __init__(
+        self,
+        estimator: "RTLPowerEstimator",
+        keep_cycle_trace: bool = True,
+        collector: Optional[WindowedEnergyCollector] = None,
+    ) -> None:
         self.estimator = estimator
+        self.keep_cycle_trace = keep_cycle_trace
+        self.collector = collector
         self.energy_by_component: Dict[str, float] = {}
         self.cycle_energy: List[float] = []
+        self.peak_cycle_energy_fj = 0.0
         self._previous_io: Dict[Component, Dict[str, int]] = {}
 
     def on_reset(self, simulator: Simulator) -> None:
         self.energy_by_component = {c.name: 0.0 for c, _ in self.estimator.monitored}
         self.cycle_energy = []
+        self.peak_cycle_energy_fj = 0.0
         self._previous_io = {}
 
     def on_cycle(self, simulator: Simulator, cycle: int) -> None:
+        collector = self.collector
         total_this_cycle = 0.0
-        for component, model in self.estimator.monitored:
+        for row, (component, model) in enumerate(self.estimator.monitored):
             current = simulator.component_io_values(component)
             previous = self._previous_io.get(component, current)
             energy = model.evaluate(previous, current)
             self._previous_io[component] = current
             self.energy_by_component[component.name] += energy
             total_this_cycle += energy
-        self.cycle_energy.append(total_this_cycle)
+            if collector is not None:
+                collector.add(row, energy)
+        if total_this_cycle > self.peak_cycle_energy_fj:
+            self.peak_cycle_energy_fj = total_this_cycle
+        if self.keep_cycle_trace:
+            self.cycle_energy.append(total_this_cycle)
+        if collector is not None:
+            collector.end_cycle()
 
 
 class RTLPowerEstimator:
@@ -78,6 +103,8 @@ class RTLPowerEstimator:
             if not component.monitored_ports():
                 continue
             self.monitored.append((component, self.library.lookup(component)))
+        #: windowed profile from the most recent profiled :meth:`estimate`
+        self.last_profile: Optional[PowerProfile] = None
 
     # ------------------------------------------------------------------ API
     def estimate(
@@ -85,16 +112,51 @@ class RTLPowerEstimator:
         testbench: Testbench,
         max_cycles: Optional[int] = None,
         keep_cycle_trace: bool = True,
+        profile: Optional[ProfileConfig] = None,
     ) -> PowerReport:
-        """Run the testbench and return the power report."""
+        """Run the testbench and return the power report.
+
+        When ``profile`` is given, a windowed per-component energy profile
+        is collected alongside the report and left on
+        :attr:`last_profile`.
+        """
         start = time.perf_counter()
         simulator = Simulator(self.module, backend=self.backend)
-        observer = _MacromodelObserver(self)
+        collector = self._make_collector(profile)
+        observer = _MacromodelObserver(
+            self, keep_cycle_trace=keep_cycle_trace, collector=collector
+        )
         observer.on_reset(simulator)
         simulator.add_observer(observer)
         simulation = simulator.run(testbench, max_cycles=max_cycles)
         elapsed = time.perf_counter() - start
+        self.last_profile = (
+            collector.profile(
+                design=self.module.name,
+                estimator=self.name,
+                clock_mhz=self.technology.clock_mhz,
+                cycles=simulation.cycles,
+            )
+            if collector is not None
+            else None
+        )
         return self._build_report(observer, simulation.cycles, elapsed, keep_cycle_trace)
+
+    def _make_collector(
+        self,
+        profile: Optional[ProfileConfig],
+        n_lanes: Optional[int] = None,
+        default_window: int = 1,
+    ) -> Optional[WindowedEnergyCollector]:
+        if profile is None:
+            return None
+        return WindowedEnergyCollector(
+            names=[c.name for c, _ in self.monitored],
+            types=[c.type_name for c, _ in self.monitored],
+            window_cycles=profile.resolved_window(default=default_window),
+            max_windows=profile.max_windows,
+            n_lanes=n_lanes,
+        )
 
     def model_for(self, component_name: str) -> PowerMacromodel:
         """The macromodel assigned to a named component (for inspection/tests)."""
@@ -127,8 +189,8 @@ class RTLPowerEstimator:
             )
         average_power = technology.energy_to_power_mw(total_energy / cycles if cycles else 0.0)
         peak_power = (
-            technology.energy_to_power_mw(max(observer.cycle_energy))
-            if observer.cycle_energy
+            technology.energy_to_power_mw(observer.peak_cycle_energy_fj)
+            if cycles
             else 0.0
         )
         return PowerReport(

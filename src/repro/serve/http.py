@@ -10,8 +10,13 @@ HTTP surface is deliberately tiny:
 * ``GET /jobs/<id>/result`` — blocks until the job finishes, then the
   :class:`~repro.api.spec.EstimateResult` payload (``409`` + the structured
   error when the job failed).
+* ``GET /jobs/<id>/profile`` — blocks until the job finishes, then the
+  :class:`~repro.power.profile.PowerProfile` payload (``404`` when the job
+  was not submitted with ``power_profile``; ``409`` on failure).
 * ``GET /jobs/<id>/events`` — live NDJSON stream of progress events, one
-  JSON object per line, closing after the terminal event.
+  JSON object per line, closing after the terminal event; a finished
+  profiled job's ``done`` event carries a downsampled windowed-power
+  summary.
 * ``GET /stats`` — server + cache statistics (including the process-wide
   compile counters that prove coalescing).
 * ``GET /metrics`` — the process-wide :mod:`repro.obs` metrics registry in
@@ -226,6 +231,33 @@ class HttpFrontend:
                     )
                     return
                 writer.write(_response(200, result.to_dict()))
+                return
+            if tail == ["profile"]:
+                try:
+                    result = await server.result(job_id)
+                except JobFailed as failed:
+                    writer.write(
+                        _response(
+                            409,
+                            {
+                                "state": failed.record.state,
+                                "error": failed.record.error,
+                            },
+                        )
+                    )
+                    return
+                if result.profile is None:
+                    writer.write(
+                        _response(
+                            404,
+                            {
+                                "error": f"job {job_id} has no power profile "
+                                         f"(submit with power_profile=true)",
+                            },
+                        )
+                    )
+                    return
+                writer.write(_response(200, result.profile.to_dict()))
                 return
             if tail == ["events"]:
                 writer.write(

@@ -447,8 +447,24 @@ class PowerServer:
         detail = {
             "cycles": result.report.cycles,
             "average_power_mw": result.report.average_power_mw,
+            "peak_power_mw": result.report.peak_power_mw,
             "backend": result.backend,
         }
+        if result.profile is not None:
+            # streamed windowed power: enough for a live client to draw the
+            # power-over-time curve without fetching the full profile (which
+            # stays one GET /jobs/<id>/profile away); long runs downsample
+            # to <= 32 points by striding
+            power = result.profile.window_power_mw()
+            stride = max(1, -(-len(power) // 32))
+            detail["profile"] = {
+                "n_windows": result.profile.n_windows,
+                "window_cycles": result.profile.window_cycles,
+                "peak_power_mw": result.profile.peak_power_mw(),
+                "window_power_mw": [
+                    round(float(value), 6) for value in power[::stride]
+                ],
+            }
         if solo_fallback:
             detail["solo_fallback"] = True
         self._transition_sync(record, "done", detail)
